@@ -1,0 +1,64 @@
+//! Criterion benches for the conformal substrate: calibration,
+//! prediction-set construction, and the two merge methods.
+
+use conformal::{majority_vote, random_permutation_merge, LabelSet, SplitConformal};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tinynn::rng::SplitMix64;
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64()).collect()
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformal/calibrate");
+    for n in [100usize, 1000, 10_000] {
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter_batched(
+                || scores(n, 7),
+                |s| black_box(SplitConformal::from_scores(s, 0.1)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let cp = SplitConformal::from_scores(scores(1000, 3), 0.1);
+    c.bench_function("conformal/predict_binary", |b| {
+        let mut rng = SplitMix64::new(11);
+        b.iter(|| black_box(cp.predict_binary(rng.next_f64())))
+    });
+}
+
+fn bench_merges(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(5);
+    let sets: Vec<LabelSet> = (0..30)
+        .map(|_| {
+            let mut s = LabelSet::EMPTY;
+            if rng.next_bool(0.6) {
+                s.insert(0);
+            }
+            if rng.next_bool(0.4) {
+                s.insert(1);
+            }
+            s
+        })
+        .collect();
+    let mut group = c.benchmark_group("conformal/merge");
+    for k in [5usize, 15, 30] {
+        group.bench_function(format!("majority_vote/k={k}"), |b| {
+            b.iter(|| black_box(majority_vote(&sets[..k], 0.5, 2)))
+        });
+        group.bench_function(format!("random_permutation/k={k}"), |b| {
+            let mut mrng = SplitMix64::new(9);
+            b.iter(|| black_box(random_permutation_merge(&sets[..k], 2, &mut mrng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration, bench_prediction, bench_merges);
+criterion_main!(benches);

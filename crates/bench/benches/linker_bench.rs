@@ -1,0 +1,85 @@
+//! Criterion benches for the transparent-box linker simulator and the
+//! probe stack: generation throughput (hidden states dominate) and
+//! per-token mBPP flagging latency — the runtime overhead RTS adds to a
+//! deployed pipeline.
+
+use benchgen::BenchmarkProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+use rts_core::branching::BranchDataset;
+use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+use std::hint::black_box;
+use tinynn::rng::SplitMix64;
+
+fn setup() -> (benchgen::Benchmark, SchemaLinker) {
+    let bench = BenchmarkProfile::bird_like().scaled(0.02).generate(21);
+    let linker = SchemaLinker::new("bird", 3);
+    (bench, linker)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let (bench, linker) = setup();
+    let inst = &bench.split.dev[0];
+    let mut group = c.benchmark_group("simlm/generate");
+    group.bench_function("tables_free", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            black_box(linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free))
+        })
+    });
+    group.bench_function("columns_teacher_forced", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            black_box(linker.generate(inst, &mut vocab, LinkTarget::Columns, GenMode::TeacherForced))
+        })
+    });
+    group.finish();
+}
+
+fn bench_branch_dataset(c: &mut Criterion) {
+    let (bench, linker) = setup();
+    c.bench_function("rts/branch_dataset_40_instances", |b| {
+        b.iter(|| {
+            black_box(BranchDataset::build(
+                &linker,
+                &bench.split.train,
+                LinkTarget::Tables,
+                40,
+            ))
+        })
+    });
+}
+
+fn bench_probe_training(c: &mut Criterion) {
+    let (bench, linker) = setup();
+    let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 150);
+    c.bench_function("rts/sbpp_train_single_layer", |b| {
+        b.iter(|| {
+            black_box(rts_core::bpp::Sbpp::train(
+                &ds,
+                20,
+                0.1,
+                &ProbeConfig { epochs: 5, ..ProbeConfig::default() },
+            ))
+        })
+    });
+}
+
+fn bench_flagging(c: &mut Criterion) {
+    let (bench, linker) = setup();
+    let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 150);
+    let mbpp = Mbpp::train(
+        &ds,
+        &MbppConfig { probe: ProbeConfig { epochs: 5, ..Default::default() }, ..Default::default() },
+    );
+    let inst = &bench.split.dev[0];
+    let mut vocab = Vocab::new();
+    let trace = linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+    c.bench_function("rts/mbpp_flag_trace", |b| {
+        let mut rng = SplitMix64::new(17);
+        b.iter(|| black_box(mbpp.flag_trace(&trace, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_branch_dataset, bench_probe_training, bench_flagging);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the SQL engine: parsing, planning, execution
+//! and EX comparison on generated workloads.
+
+use benchgen::BenchmarkProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanosql::exec::{execute, execute_sql};
+use nanosql::plan::bind;
+use nanosql::result::execution_accuracy;
+use std::hint::black_box;
+
+fn setup() -> benchgen::Benchmark {
+    BenchmarkProfile::bird_like().scaled(0.01).generate(13)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let bench = setup();
+    let sqls: Vec<String> =
+        bench.split.dev.iter().take(50).map(|i| i.gold_sql.to_string()).collect();
+    c.bench_function("nanosql/parse_50_stmts", |b| {
+        b.iter(|| {
+            for s in &sqls {
+                black_box(nanosql::parser::parse(s).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_bind(c: &mut Criterion) {
+    let bench = setup();
+    let work: Vec<_> = bench
+        .split
+        .dev
+        .iter()
+        .take(50)
+        .map(|i| (bench.database(&i.db_name).unwrap(), i.gold_sql.clone()))
+        .collect();
+    c.bench_function("nanosql/bind_50_stmts", |b| {
+        b.iter(|| {
+            for (db, stmt) in &work {
+                black_box(bind(db, stmt).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let bench = setup();
+    let work: Vec<_> = bench
+        .split
+        .dev
+        .iter()
+        .take(20)
+        .map(|i| (bench.database(&i.db_name).unwrap(), i.gold_sql.clone()))
+        .collect();
+    c.bench_function("nanosql/execute_20_stmts", |b| {
+        b.iter(|| {
+            for (db, stmt) in &work {
+                black_box(execute(db, stmt).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_execution_accuracy(c: &mut Criterion) {
+    let bench = setup();
+    let inst = &bench.split.dev[0];
+    let db = bench.database(&inst.db_name).unwrap();
+    let gold = inst.gold_sql.to_string();
+    c.bench_function("nanosql/execution_accuracy", |b| {
+        b.iter(|| black_box(execution_accuracy(db, &gold, &gold)))
+    });
+    // Sanity outside the timing loop.
+    assert!(execute_sql(db, &gold).is_ok());
+}
+
+criterion_group!(benches, bench_parse, bench_bind, bench_execute, bench_execution_accuracy);
+criterion_main!(benches);

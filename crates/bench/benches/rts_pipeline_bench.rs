@@ -1,0 +1,100 @@
+//! Criterion benches for the end-to-end RTS runtime: monitored linking
+//! per instance under each mitigation policy, and the downstream SQL
+//! generation + execution step.
+
+use benchgen::BenchmarkProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
+use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+use rts_core::branching::BranchDataset;
+use rts_core::human::{Expertise, HumanOracle};
+use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
+use rts_core::surrogate::SurrogateModel;
+use simlm::{LinkTarget, SchemaLinker};
+use std::hint::black_box;
+
+struct Fx {
+    bench: benchgen::Benchmark,
+    linker: SchemaLinker,
+    mbpp: Mbpp,
+    surrogate: SurrogateModel,
+}
+
+fn setup() -> Fx {
+    let bench = BenchmarkProfile::bird_like().scaled(0.02).generate(33);
+    let linker = SchemaLinker::new("bird", 3);
+    let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 150);
+    let mbpp = Mbpp::train(
+        &ds,
+        &MbppConfig { probe: ProbeConfig { epochs: 6, ..Default::default() }, ..Default::default() },
+    );
+    let surrogate = SurrogateModel::train(&bench, 7);
+    Fx { bench, linker, mbpp, surrogate }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let fx = setup();
+    let oracle = HumanOracle::new(Expertise::Expert, 5);
+    let config = RtsConfig::default();
+    let inst = &fx.bench.split.dev[0];
+    let meta = fx.bench.meta(&inst.db_name).unwrap();
+    let mut group = c.benchmark_group("rts/linking_per_instance");
+    group.bench_function("abstain_only", |b| {
+        b.iter(|| {
+            black_box(run_rts_linking(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                &MitigationPolicy::AbstainOnly,
+                &config,
+            ))
+        })
+    });
+    group.bench_function("surrogate", |b| {
+        b.iter(|| {
+            black_box(run_rts_linking(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                &MitigationPolicy::Surrogate(&fx.surrogate),
+                &config,
+            ))
+        })
+    });
+    group.bench_function("human", |b| {
+        b.iter(|| {
+            black_box(run_rts_linking(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                &MitigationPolicy::Human(&oracle),
+                &config,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sqlgen(c: &mut Criterion) {
+    let fx = setup();
+    let generator = SqlGenModel::deepseek_7b("bird", 9);
+    let inst = &fx.bench.split.dev[0];
+    let meta = fx.bench.meta(&inst.db_name).unwrap();
+    let db = fx.bench.database(&inst.db_name).unwrap();
+    let schema = ProvidedSchema::full(meta);
+    c.bench_function("rts/sqlgen_generate_and_execute", |b| {
+        b.iter(|| {
+            let stmt = generator.generate(inst, &schema, meta);
+            black_box(nanosql::exec::execute(db, &stmt).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_sqlgen);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Fast calibration loop: the head-line numbers the knobs target.
+
+use rts_bench::experiments::{abstain, coverage_over_split, free_linking_metrics};
+use rts_bench::{Context, Which};
+use rts_core::abstention::MitigationPolicy;
+use rts_core::metrics::{abstention_metrics, AbstentionOutcome};
+use simlm::LinkTarget;
+
+fn main() {
+    let scale = rts_bench::env_scale();
+    let ctx = Context::load(Which::Both, scale, rts_bench::env_seed());
+
+    for (name, arts) in [("bird", ctx.bird()), ("spider", ctx.spider())] {
+        let dev = &arts.bench.split.dev;
+        let t = free_linking_metrics(arts, dev, LinkTarget::Tables);
+        let c = free_linking_metrics(arts, dev, LinkTarget::Columns);
+        println!(
+            "{name}: table EM {:.1} P {:.1} R {:.1} | column EM {:.1} P {:.1} R {:.1}",
+            t.exact_match * 100.0,
+            t.precision * 100.0,
+            t.recall * 100.0,
+            c.exact_match * 100.0,
+            c.precision * 100.0,
+            c.recall * 100.0
+        );
+    }
+
+    let arts = ctx.bird();
+    let dev = &arts.bench.split.dev;
+    for (target, mbpp, label) in [
+        (LinkTarget::Tables, &arts.mbpp_tables, "tables"),
+        (LinkTarget::Columns, &arts.mbpp_columns, "columns"),
+    ] {
+        print!("fig6 {label}:");
+        for alpha in [0.05, 0.10, 0.15, 0.20] {
+            let m = mbpp.with_alpha(alpha);
+            let cov = coverage_over_split(arts, &m, dev, target, 0xF6);
+            print!(" α={alpha}: cov {:.1} ear {:.2} |", cov.coverage * 100.0, cov.ear * 100.0);
+        }
+        println!();
+    }
+    print!("fig7 tables:");
+    for k in [1usize, 5, 15, 30] {
+        let perm = arts.mbpp_tables.with_k(k);
+        let vote = perm.with_method(rts_core::bpp::MergeMethod::MajorityVote { theta: 0.5 });
+        let cp = coverage_over_split(arts, &perm, dev, LinkTarget::Tables, 0xF7);
+        let cv = coverage_over_split(arts, &vote, dev, LinkTarget::Tables, 0xF7);
+        print!(
+            " k={k}: perm {:.0}/{:.2} vote {:.0}/{:.2} |",
+            cp.coverage * 100.0,
+            cp.ear * 100.0,
+            cv.coverage * 100.0,
+            cv.ear * 100.0
+        );
+    }
+    println!();
+
+    // Table 5 quick check (bird tables, abstain-only).
+    let outs = abstain::outcomes_for(arts, dev, LinkTarget::Tables, &MitigationPolicy::AbstainOnly, 0xC0FFEE);
+    let m = abstention_metrics(
+        &outs
+            .iter()
+            .map(|o| AbstentionOutcome {
+                abstained: o.abstained,
+                correct: o.correct,
+                would_be_correct: o.would_be_correct,
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "table5 bird tables (abstain): EM {:.1} TAR {:.1} FAR {:.1} (paper 98.9/19.1/12.8)",
+        m.exact_match * 100.0,
+        m.tar * 100.0,
+        m.far * 100.0
+    );
+
+    // Table 6 quick check: joint human-feedback EM.
+    let oracle = rts_core::human::HumanOracle::new(rts_core::human::Expertise::Expert, 0x11 ^ 0xC0FFEE);
+    let take = dev.len().min(400);
+    let outcomes = rts_bench::experiments::abstain::joint_outcomes(arts, &dev[..take], &oracle, 0xC0FFEE);
+    let s6 = rts_bench::experiments::abstain::summarise_joint(&outcomes);
+    println!(
+        "table6 bird joint (human): table EM {:.1} column EM {:.1} TAR {:.1} FAR {:.1} (paper 96.9/96.0/19.0/13.7)",
+        s6.em_tables * 100.0,
+        s6.em_columns * 100.0,
+        s6.tar * 100.0,
+        s6.far * 100.0
+    );
+}

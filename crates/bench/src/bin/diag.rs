@@ -1,0 +1,121 @@
+//! Scratch diagnostics for BPP calibration (not an experiment binary).
+
+use benchgen::BenchmarkProfile;
+use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+use rts_core::branching::BranchDataset;
+use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+use tinynn::rng::SplitMix64;
+
+fn quantiles(label: &str, v: &mut Vec<f64>) {
+    if v.is_empty() {
+        println!("{label}: (empty)");
+        return;
+    }
+    v.sort_by(f64::total_cmp);
+    let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+    println!(
+        "{label}: n={} q05={:.3} q25={:.3} q50={:.3} q75={:.3} q90={:.3} q99={:.3}",
+        v.len(),
+        q(0.05),
+        q(0.25),
+        q(0.50),
+        q(0.75),
+        q(0.90),
+        q(0.99)
+    );
+}
+
+fn main() {
+    let target = match std::env::var("DIAG_TARGET").as_deref() {
+        Ok("columns") => LinkTarget::Columns,
+        _ => LinkTarget::Tables,
+    };
+    let bench = BenchmarkProfile::bird_like().scaled(0.12).generate(0xC0FFEE);
+    let model = SchemaLinker::new("bird", 0xC0FFEE ^ 0x11CC);
+    let cap = (bench.split.train.len() / 4).max(400);
+    let ds = BranchDataset::build(&model, &bench.split.train, target, cap);
+    println!("tokens={} pos_rate={:.4}", ds.n_tokens(), ds.positive_rate());
+    let cfg = MbppConfig {
+        probe: ProbeConfig { seed: 0xC0FFEE ^ 0xB0, ..Default::default() },
+        ..Default::default()
+    };
+    let mbpp = Mbpp::train(&ds, &cfg);
+    println!(
+        "selected layers: {:?} (mean AUC {:.4})",
+        mbpp.selected.iter().map(|&i| mbpp.sbpps[i].layer).collect::<Vec<_>>(),
+        mbpp.mean_selected_auc()
+    );
+
+    // Class-wise probe score quantiles at the best and a weak layer.
+    let strong = &mbpp.sbpps[mbpp.selected[0]];
+    let weak = &mbpp.sbpps[0];
+    for (name, sbpp) in [("strong", strong), ("weak", weak)] {
+        let mut branch = Vec::new();
+        let mut risky = Vec::new();
+        let mut ordinary = Vec::new();
+        let mut wide = 0usize;
+        let mut n = 0usize;
+        for inst in bench.split.dev.iter() {
+            let mut vocab = Vocab::new();
+            let trace = model.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+            let mut seen_elem: Option<usize> = None;
+            for step in &trace.steps {
+                let p = sbpp.score(&step.hidden[sbpp.layer]);
+                let first_of_element =
+                    step.element_idx.is_some() && step.element_idx != seen_elem;
+                if step.element_idx.is_some() {
+                    seen_elem = step.element_idx;
+                }
+                if step.is_branch {
+                    branch.push(p);
+                } else if first_of_element {
+                    risky.push(p);
+                } else {
+                    ordinary.push(p);
+                }
+                let set = sbpp.predict_set(&step.hidden[sbpp.layer]);
+                wide += (set.len() == 2) as usize;
+                n += 1;
+            }
+        }
+        println!("--- layer {} ({name}), AUC {:.4}", sbpp.layer, sbpp.auc);
+        quantiles("  branch p(1)", &mut branch);
+        quantiles("  risky  p(1)", &mut risky);
+        quantiles("  ordin. p(1)", &mut ordinary);
+        println!("  wide-set share: {:.1}%", wide as f64 / n as f64 * 100.0);
+        for alpha in [0.02, 0.1, 0.3] {
+            let s2 = sbpp.with_alpha(alpha);
+            let mut det = 0usize;
+            let mut tot = 0usize;
+            for inst in bench.split.dev.iter() {
+                let mut vocab = Vocab::new();
+                let trace = model.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+                for step in trace.steps.iter().filter(|s| s.is_branch) {
+                    det += s2.predict_set(&step.hidden[s2.layer]).contains(1) as usize;
+                    tot += 1;
+                }
+            }
+            print!("  α={alpha}: layer-cov {:.2} |", det as f64 / tot.max(1) as f64);
+        }
+        println!();
+    }
+
+    // Full mBPP coverage/EAR across α.
+    for alpha in [0.02, 0.05, 0.1, 0.2, 0.3] {
+        let m = mbpp.with_alpha(alpha);
+        let mut rng = SplitMix64::new(1);
+        let mut flags = Vec::new();
+        for inst in bench.split.dev.iter() {
+            let mut vocab = Vocab::new();
+            let trace = model.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+            for (p, s) in m.flag_trace(&trace, &mut rng).iter().zip(&trace.steps) {
+                flags.push((*p, s.is_branch));
+            }
+        }
+        let cov = rts_core::metrics::coverage_metrics(&flags);
+        println!(
+            "mBPP α={alpha}: coverage {:.3} EAR {:.4} branches {}",
+            cov.coverage, cov.ear, cov.n_branches
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Runs the ablation suite (probe depth, conformal variant, layer
+//! selection, merge-set sizes).
+use rts_bench::experiments::ablation::*;
+use rts_bench::{Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    for report in [
+        ablation_probe_depth(&ctx),
+        ablation_conformal(&ctx),
+        ablation_layer_selection(&ctx),
+        ablation_merge_sets(&ctx),
+    ] {
+        print!("{}", report.render());
+        report.save(std::path::Path::new("results")).expect("save report");
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: softmax over-confidence (a) and branching-point
+//! counts per erroneous generation (b).
+use rts_bench::experiments::figure3::{figure3a, figure3b};
+use rts_bench::{Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    for report in [figure3a(&ctx), figure3b(&ctx)] {
+        print!("{}", report.render());
+        report.save(std::path::Path::new("results")).expect("save report");
+    }
+}

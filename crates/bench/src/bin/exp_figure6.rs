@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: coverage vs EAR across error levels.
+use rts_bench::{experiments::sweeps::figure6, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = figure6(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: coverage vs EAR across k for both merges.
+use rts_bench::{experiments::sweeps::figure7, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = figure7(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

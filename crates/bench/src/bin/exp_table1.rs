@@ -1,0 +1,9 @@
+//! Regenerates Table 1: EX by schema configuration on BIRD dev.
+use rts_bench::{experiments::ex::table1, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table1(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

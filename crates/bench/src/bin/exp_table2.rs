@@ -1,0 +1,9 @@
+//! Regenerates Table 2: schema linking EM / precision / recall.
+use rts_bench::{experiments::linking::table2, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table2(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

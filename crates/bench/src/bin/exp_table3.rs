@@ -1,0 +1,9 @@
+//! Regenerates Table 3: average sBPP AUC.
+use rts_bench::{experiments::linking::table3, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table3(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

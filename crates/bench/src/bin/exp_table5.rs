@@ -1,0 +1,10 @@
+//! Regenerates Table 5: RTS linking with mBPP abstention and the
+//! surrogate filter (EM / TAR / FAR).
+use rts_bench::{experiments::abstain::table5, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table5(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

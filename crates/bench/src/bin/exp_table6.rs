@@ -1,0 +1,9 @@
+//! Regenerates Table 6: schema linking with human feedback.
+use rts_bench::{experiments::abstain::table6, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table6(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 7: downstream EX under golden / RTS / baseline
+//! schemas for both generator classes.
+use rts_bench::{experiments::ex::table7, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table7(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 8: schema linking EM by participant expertise.
+use rts_bench::{experiments::userstudy::table8, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table8(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

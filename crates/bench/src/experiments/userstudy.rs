@@ -1,0 +1,131 @@
+//! Tables 8 and 9: the user study — schema-linking EM by participant
+//! expertise, and raw answer accuracy by expertise × difficulty.
+//!
+//! Protocol per §4.3: 100 questions sampled across the three difficulty
+//! levels, two groups of 10 participants (beginners: no SQL experience;
+//! experts: SQL-proficient), each participant drives the RTS
+//! human-feedback loop on every question.
+
+use super::abstain::{joint_outcomes, summarise_joint};
+use crate::context::Context;
+use crate::report::Report;
+use benchgen::{Difficulty, Instance};
+use rts_core::human::{Expertise, HumanOracle};
+
+/// Deterministically sample ~100 questions stratified by difficulty.
+pub fn sample_questions(instances: &[Instance], per_level: usize) -> Vec<Instance> {
+    let mut out = Vec::with_capacity(per_level * 3);
+    for d in Difficulty::ALL {
+        out.extend(instances.iter().filter(|i| i.difficulty == d).take(per_level).cloned());
+    }
+    out
+}
+
+/// Table 8: final schema-linking EM by expertise group.
+pub fn table8(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "table8",
+        "Schema Linking Performance by Expertise (BIRD, 100 questions × 10 participants)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let questions = sample_questions(&arts.bench.split.dev, 34);
+    let paper = [(96.2, 93.3), (98.3, 95.8)]; // (table EM, column EM)
+    for (gi, expertise) in [Expertise::Beginner, Expertise::Expert].into_iter().enumerate() {
+        let mut em_t = 0.0;
+        let mut em_c = 0.0;
+        const N_PARTICIPANTS: u64 = 10;
+        for participant in 0..N_PARTICIPANTS {
+            let oracle = HumanOracle::new(expertise, ctx.seed ^ (participant * 7919 + 13));
+            let outcomes = joint_outcomes(arts, &questions, &oracle, ctx.seed ^ participant);
+            let s = summarise_joint(&outcomes);
+            em_t += s.em_tables;
+            em_c += s.em_columns;
+        }
+        em_t /= N_PARTICIPANTS as f64;
+        em_c /= N_PARTICIPANTS as f64;
+        let label = if gi == 0 { "Beginner" } else { "Expert" };
+        r.push(format!("{label} Table EM"), Some(paper[gi].0), Some(em_t * 100.0), "%");
+        r.push(format!("{label} Column EM"), Some(paper[gi].1), Some(em_c * 100.0), "%");
+    }
+    r.note("Each participant is an independent oracle seed; EM averaged over the 10 participants per group.");
+    r
+}
+
+/// Table 9: accuracy answering RTS-generated relevance questions by
+/// expertise and difficulty.
+pub fn table9(ctx: &Context) -> Report {
+    let arts = ctx.bird();
+    let mut r = Report::new(
+        "table9",
+        "Accuracy on RTS questions by expertise × difficulty (%)",
+        ctx.scale,
+        ctx.seed,
+    );
+    let questions = sample_questions(&arts.bench.split.dev, 34);
+    // Paper: (table acc, column acc) per difficulty, beginner then expert.
+    let paper_beginner = [(100.0, 100.0), (96.0, 92.0), (93.0, 89.0)];
+    let paper_expert = [(100.0, 100.0), (100.0, 97.0), (99.0, 94.0)];
+    for (expertise, label, paper) in [
+        (Expertise::Beginner, "Beginner", paper_beginner),
+        (Expertise::Expert, "Expert", paper_expert),
+    ] {
+        for (di, difficulty) in Difficulty::ALL.into_iter().enumerate() {
+            let mut table_correct = 0usize;
+            let mut table_total = 0usize;
+            let mut col_correct = 0usize;
+            let mut col_total = 0usize;
+            for participant in 0..10u64 {
+                let oracle = HumanOracle::new(expertise, ctx.seed ^ (participant * 7919 + 13));
+                for inst in questions.iter().filter(|q| q.difficulty == difficulty) {
+                    // Relevance probes exactly as the study posed them:
+                    // a gold element (true answer: relevant) and one
+                    // confusable (true answer: irrelevant) per link.
+                    for link in &inst.links {
+                        let is_table = link.element.is_table();
+                        let gold = link.element.to_string();
+                        let ok = oracle.judge_relevance(inst, &gold, is_table, true);
+                        if is_table {
+                            table_total += 1;
+                            table_correct += ok as usize;
+                        } else {
+                            col_total += 1;
+                            col_correct += ok as usize;
+                        }
+                        if let Some(c) = link.confusables.first() {
+                            let truly = if c.alt.is_table() {
+                                inst.gold_tables.contains(&c.alt.table)
+                            } else {
+                                inst.gold_columns.iter().any(|(t, col)| {
+                                    *t == c.alt.table && Some(col) == c.alt.column.as_ref()
+                                })
+                            };
+                            let answer = oracle.judge_relevance(
+                                inst,
+                                &c.alt.to_string(),
+                                c.alt.is_table(),
+                                truly,
+                            );
+                            let ok = answer == truly;
+                            if c.alt.is_table() {
+                                table_total += 1;
+                                table_correct += ok as usize;
+                            } else {
+                                col_total += 1;
+                                col_correct += ok as usize;
+                            }
+                        }
+                    }
+                }
+            }
+            let acc_t = table_correct as f64 / table_total.max(1) as f64 * 100.0;
+            let acc_c = col_correct as f64 / col_total.max(1) as f64 * 100.0;
+            let d = difficulty.label();
+            r.push(format!("{label} Table {d}"), Some(paper[di].0), Some(acc_t), "%");
+            r.push(format!("{label} Column {d}"), Some(paper[di].1), Some(acc_c), "%");
+        }
+    }
+    r.note("Answer accuracy gap between groups widens with difficulty, and columns are harder than tables.");
+    r
+}

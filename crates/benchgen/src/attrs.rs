@@ -1,0 +1,249 @@
+//! Attribute lexicon: the column-name building blocks, their natural
+//! language phrases, and the "dirty name" abbreviation machinery.
+//!
+//! Two properties of this lexicon drive the whole reproduction:
+//!
+//! 1. **Phrase overlap** — several attributes answer to the same natural
+//!    language phrase ("type" fits `type`, `category` and `kind`
+//!    columns). When a question uses an overlapping phrase, every other
+//!    in-scope attribute sharing it becomes a *confusable*: exactly the
+//!    Figure 1(a) ambiguity.
+//! 2. **Abbreviation** — BIRD-style dirty names (`EdOps` for "education
+//!    operations", `Rtype` for "resource type") are produced by
+//!    [`abbreviate`]. A dirty name whose description is also missing is
+//!    *underspecified*: the question's phrase cannot be mapped back by
+//!    lexical means, the Figure 1(b) failure.
+
+use nanosql::DataType;
+
+/// One attribute template from the shared pool.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrSpec {
+    /// snake_case base column name.
+    pub base: &'static str,
+    pub ty: DataType,
+    /// Natural-language phrases a question may use for this attribute.
+    /// The *first* phrase is the canonical one.
+    pub phrases: &'static [&'static str],
+    /// Is this attribute a plausible aggregate target (numeric measure)?
+    pub measure: bool,
+}
+
+/// The shared attribute pool. Text attributes carry deliberately
+/// overlapping phrase sets; numeric measures power aggregates.
+pub const ATTR_POOL: &[AttrSpec] = &[
+    AttrSpec { base: "name", ty: DataType::Text, phrases: &["name", "title"], measure: false },
+    AttrSpec { base: "title", ty: DataType::Text, phrases: &["title", "name"], measure: false },
+    AttrSpec { base: "code", ty: DataType::Text, phrases: &["code", "identifier"], measure: false },
+    AttrSpec {
+        base: "category",
+        ty: DataType::Text,
+        phrases: &["category", "type", "kind"],
+        measure: false,
+    },
+    AttrSpec { base: "type", ty: DataType::Text, phrases: &["type", "kind", "category"], measure: false },
+    AttrSpec {
+        base: "status",
+        ty: DataType::Text,
+        phrases: &["status", "state", "condition"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "state",
+        ty: DataType::Text,
+        phrases: &["state", "status", "region"],
+        measure: false,
+    },
+    AttrSpec { base: "city", ty: DataType::Text, phrases: &["city", "town"], measure: false },
+    AttrSpec { base: "country", ty: DataType::Text, phrases: &["country", "nation"], measure: false },
+    AttrSpec { base: "region", ty: DataType::Text, phrases: &["region", "area", "zone"], measure: false },
+    AttrSpec {
+        base: "description",
+        ty: DataType::Text,
+        phrases: &["description", "details"],
+        measure: false,
+    },
+    AttrSpec { base: "grade", ty: DataType::Text, phrases: &["grade", "level", "rank"], measure: false },
+    AttrSpec { base: "level", ty: DataType::Text, phrases: &["level", "grade", "tier"], measure: false },
+    AttrSpec {
+        base: "year",
+        ty: DataType::Int,
+        phrases: &["year", "season"],
+        measure: false,
+    },
+    AttrSpec { base: "month", ty: DataType::Int, phrases: &["month"], measure: false },
+    AttrSpec { base: "amount", ty: DataType::Float, phrases: &["amount", "total", "sum"], measure: true },
+    AttrSpec { base: "total", ty: DataType::Float, phrases: &["total", "amount", "sum"], measure: true },
+    AttrSpec { base: "price", ty: DataType::Float, phrases: &["price", "cost", "value"], measure: true },
+    AttrSpec { base: "cost", ty: DataType::Float, phrases: &["cost", "price", "expense"], measure: true },
+    AttrSpec { base: "score", ty: DataType::Float, phrases: &["score", "points", "rating"], measure: true },
+    AttrSpec { base: "rating", ty: DataType::Float, phrases: &["rating", "score", "stars"], measure: true },
+    AttrSpec { base: "rate", ty: DataType::Float, phrases: &["rate", "ratio", "percentage"], measure: true },
+    AttrSpec { base: "ratio", ty: DataType::Float, phrases: &["ratio", "rate", "proportion"], measure: true },
+    AttrSpec { base: "duration", ty: DataType::Float, phrases: &["duration", "time", "length"], measure: true },
+    AttrSpec { base: "time", ty: DataType::Float, phrases: &["time", "duration"], measure: true },
+    AttrSpec { base: "distance", ty: DataType::Float, phrases: &["distance", "length"], measure: true },
+    AttrSpec { base: "weight", ty: DataType::Float, phrases: &["weight", "mass"], measure: true },
+    AttrSpec { base: "height", ty: DataType::Float, phrases: &["height"], measure: true },
+    AttrSpec { base: "age", ty: DataType::Int, phrases: &["age"], measure: true },
+    AttrSpec { base: "quantity", ty: DataType::Int, phrases: &["quantity", "count", "number"], measure: true },
+    AttrSpec { base: "population", ty: DataType::Int, phrases: &["population", "count", "size"], measure: true },
+    AttrSpec { base: "capacity", ty: DataType::Int, phrases: &["capacity", "size", "limit"], measure: true },
+    AttrSpec { base: "size", ty: DataType::Int, phrases: &["size", "capacity"], measure: true },
+    AttrSpec { base: "salary", ty: DataType::Float, phrases: &["salary", "pay", "income"], measure: true },
+    AttrSpec { base: "revenue", ty: DataType::Float, phrases: &["revenue", "income", "earnings"], measure: true },
+    AttrSpec { base: "budget", ty: DataType::Float, phrases: &["budget", "funding"], measure: true },
+    AttrSpec { base: "active", ty: DataType::Bool, phrases: &["active", "enabled"], measure: false },
+    AttrSpec { base: "verified", ty: DataType::Bool, phrases: &["verified", "approved"], measure: false },
+    AttrSpec {
+        base: "operations_type",
+        ty: DataType::Text,
+        phrases: &["type of operations", "operations", "type"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "resource_type",
+        ty: DataType::Text,
+        phrases: &["type of resource", "resource", "type"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "funding_type",
+        ty: DataType::Text,
+        phrases: &["type of funding", "funding", "type"],
+        measure: false,
+    },
+];
+
+/// Abbreviate a snake_case name BIRD-style: first fragment keeps its
+/// first two letters (capitalised), later fragments contribute their
+/// first letter plus following consonants up to 3 chars — producing
+/// `education_operations` → `EdOps`-like shapes.
+pub fn abbreviate(base: &str) -> String {
+    let frags: Vec<&str> = base.split('_').filter(|f| !f.is_empty()).collect();
+    if frags.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::new();
+    for (i, frag) in frags.iter().enumerate() {
+        let keep = if i == 0 { 2 } else { 3 };
+        let mut piece = String::new();
+        for (j, ch) in frag.chars().enumerate() {
+            if j == 0 {
+                piece.push(ch.to_ascii_uppercase());
+            } else if i == 0 && j == 1 {
+                // First fragment keeps its second letter verbatim
+                // ("education" → "Ed", "resource" → "Re").
+                piece.push(ch);
+            } else if piece.len() < keep && !"aeiou".contains(ch) {
+                piece.push(ch);
+            }
+            if piece.len() >= keep {
+                break;
+            }
+        }
+        out.push_str(&piece);
+    }
+    out
+}
+
+/// Human description of an attribute (used as the BIRD-style column
+/// description when metadata is present).
+pub fn describe(spec: &AttrSpec, entity_noun: &str) -> String {
+    format!("the {} of the {}", spec.phrases[0], singular(entity_noun))
+}
+
+/// Cheap singularisation for entity nouns (only used in prose).
+pub fn singular(noun: &str) -> String {
+    if let Some(stem) = noun.strip_suffix("ies") {
+        format!("{stem}y")
+    } else if let Some(stem) = noun.strip_suffix('s') {
+        stem.to_string()
+    } else {
+        noun.to_string()
+    }
+}
+
+/// Do two attributes share any phrase? (The lexical-confusability test.)
+pub fn phrases_overlap(a: &AttrSpec, b: &AttrSpec) -> bool {
+    a.phrases.iter().any(|p| b.phrases.contains(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_nonempty_and_well_formed() {
+        assert!(ATTR_POOL.len() >= 30);
+        for spec in ATTR_POOL {
+            assert!(!spec.phrases.is_empty(), "{} has no phrases", spec.base);
+            assert!(!spec.base.is_empty());
+        }
+    }
+
+    #[test]
+    fn pool_has_measures_and_dimensions() {
+        assert!(ATTR_POOL.iter().filter(|a| a.measure).count() >= 10);
+        assert!(ATTR_POOL.iter().filter(|a| !a.measure).count() >= 10);
+    }
+
+    #[test]
+    fn pool_contains_deliberate_phrase_collisions() {
+        // "type" must be claimable by at least three different attributes
+        // — the engine of Figure 1(b) style confusion.
+        let claimants = ATTR_POOL
+            .iter()
+            .filter(|a| a.phrases.contains(&"type"))
+            .count();
+        assert!(claimants >= 3, "only {claimants} attributes answer to \"type\"");
+    }
+
+    #[test]
+    fn abbreviate_produces_bird_style_names() {
+        let a = abbreviate("education_operations");
+        assert!(a.starts_with("Ed"), "{a}");
+        assert!(a.len() <= 6, "{a}");
+        let b = abbreviate("resource_type");
+        assert!(b.starts_with("Re"), "{b}");
+        // Abbreviation loses the vowels that made the name readable.
+        assert!(!b.to_lowercase().contains("resource"));
+    }
+
+    #[test]
+    fn abbreviate_single_fragment() {
+        let a = abbreviate("status");
+        assert_eq!(a, "St");
+    }
+
+    #[test]
+    fn abbreviation_collisions_exist_in_pool() {
+        // Different bases may abbreviate to similar opaque tokens; at
+        // minimum the mapping is non-injective on readability: no dirty
+        // name contains its own canonical phrase.
+        for spec in ATTR_POOL {
+            let dirty = abbreviate(spec.base);
+            assert!(
+                !dirty.to_lowercase().contains(spec.phrases[0]),
+                "{dirty} still readable as {}",
+                spec.phrases[0]
+            );
+        }
+    }
+
+    #[test]
+    fn singular_rules() {
+        assert_eq!(singular("races"), "race");
+        assert_eq!(singular("countries"), "country");
+        assert_eq!(singular("staff"), "staff");
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        for a in ATTR_POOL {
+            for b in ATTR_POOL {
+                assert_eq!(phrases_overlap(a, b), phrases_overlap(b, a));
+            }
+        }
+    }
+}

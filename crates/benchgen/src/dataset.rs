@@ -1,0 +1,195 @@
+//! Benchmark assembly: databases + train/dev/test splits.
+
+use crate::instance::Instance;
+use crate::intent::generate_instance;
+use crate::profile::BenchmarkProfile;
+use crate::schemagen::{generate_db, DbMeta, GeneratedDb};
+use crate::domains::pick_domains;
+use nanosql::Database;
+use tinynn::rng::SplitMix64;
+
+/// Train/dev/test instance splits.
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    pub train: Vec<Instance>,
+    pub dev: Vec<Instance>,
+    pub test: Vec<Instance>,
+}
+
+impl Split {
+    pub fn total(&self) -> usize {
+        self.train.len() + self.dev.len() + self.test.len()
+    }
+}
+
+/// A fully generated benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    pub profile: BenchmarkProfile,
+    pub databases: Vec<Database>,
+    pub metas: Vec<DbMeta>,
+    pub split: Split,
+    pub seed: u64,
+}
+
+impl Benchmark {
+    pub fn database(&self, name: &str) -> Option<&Database> {
+        self.databases.iter().find(|d| d.name == name)
+    }
+
+    pub fn meta(&self, name: &str) -> Option<&DbMeta> {
+        self.metas.iter().find(|m| m.name == name)
+    }
+
+    /// All instances across splits (train, dev, test order).
+    pub fn all_instances(&self) -> impl Iterator<Item = &Instance> {
+        self.split.train.iter().chain(self.split.dev.iter()).chain(self.split.test.iter())
+    }
+}
+
+/// Generate the benchmark for a profile. Deterministic in `seed`.
+///
+/// Databases are split disjointly across train/dev/test (cross-database
+/// generalisation, as in the real benchmarks): 70% of databases host
+/// training questions, 15% dev, 15% test.
+pub fn generate_benchmark(profile: &BenchmarkProfile, seed: u64) -> Benchmark {
+    let mut rng = SplitMix64::new(seed);
+    let domains = pick_domains(profile.n_domains);
+
+    // Generate databases round-robin over domains.
+    let mut gdbs: Vec<GeneratedDb> = Vec::with_capacity(profile.n_databases);
+    for i in 0..profile.n_databases {
+        let domain = domains[i % domains.len()];
+        let db_index = i / domains.len();
+        let mut db_rng = rng.fork(i as u64);
+        gdbs.push(generate_db(domain, db_index, profile, &mut db_rng));
+    }
+
+    // Partition database indices across splits. Every split must own at
+    // least one database, train keeps the remainder (≥ 1 requires n ≥ 3).
+    let n = gdbs.len();
+    assert!(n >= 3, "need at least 3 databases to split train/dev/test");
+    let n_dev_dbs = (((n as f64) * 0.15).floor() as usize).max(1);
+    let n_test_dbs = (((n as f64) * 0.15).floor() as usize).max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    tinynn::rng::shuffle(&mut order, &mut rng);
+    let dev_dbs: Vec<usize> = order[..n_dev_dbs].to_vec();
+    let test_dbs: Vec<usize> = order[n_dev_dbs..n_dev_dbs + n_test_dbs].to_vec();
+    let train_dbs: Vec<usize> = order[n_dev_dbs + n_test_dbs..].to_vec();
+
+    let mut next_id = 0u64;
+    let mut fill = |db_indices: &[usize], target: usize, rng: &mut SplitMix64| -> Vec<Instance> {
+        let mut out = Vec::with_capacity(target);
+        let mut attempts = 0usize;
+        // Hard cap: an intent can be unrealisable on a tiny schema; 50×
+        // oversampling is far beyond what generation ever needs.
+        let max_attempts = target * 50 + 1000;
+        while out.len() < target && attempts < max_attempts {
+            let gdb = &gdbs[db_indices[attempts % db_indices.len()]];
+            let mut inst_rng = rng.fork(next_id ^ (attempts as u64) << 20);
+            if let Some(inst) = generate_instance(gdb, next_id, profile, &mut inst_rng) {
+                next_id += 1;
+                out.push(inst);
+            }
+            attempts += 1;
+        }
+        assert_eq!(out.len(), target, "instance generation starved");
+        out
+    };
+
+    let train = fill(&train_dbs, profile.n_train, &mut rng);
+    let dev = fill(&dev_dbs, profile.n_dev, &mut rng);
+    let test = fill(&test_dbs, profile.n_test, &mut rng);
+
+    let (databases, metas): (Vec<Database>, Vec<DbMeta>) =
+        gdbs.into_iter().map(|g| (g.db, g.meta)).unzip();
+
+    Benchmark {
+        profile: profile.clone(),
+        databases,
+        metas,
+        split: Split { train, dev, test },
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bird() -> Benchmark {
+        BenchmarkProfile::bird_like().scaled(0.01).generate(123)
+    }
+
+    #[test]
+    fn split_sizes_match_profile() {
+        let b = small_bird();
+        assert_eq!(b.split.train.len(), b.profile.n_train);
+        assert_eq!(b.split.dev.len(), b.profile.n_dev);
+        assert_eq!(b.split.test.len(), b.profile.n_test);
+    }
+
+    #[test]
+    fn databases_are_split_disjointly() {
+        let b = small_bird();
+        let train_dbs: std::collections::HashSet<&str> =
+            b.split.train.iter().map(|i| i.db_name.as_str()).collect();
+        let dev_dbs: std::collections::HashSet<&str> =
+            b.split.dev.iter().map(|i| i.db_name.as_str()).collect();
+        let test_dbs: std::collections::HashSet<&str> =
+            b.split.test.iter().map(|i| i.db_name.as_str()).collect();
+        assert!(train_dbs.is_disjoint(&dev_dbs), "train/dev DB overlap");
+        assert!(train_dbs.is_disjoint(&test_dbs), "train/test DB overlap");
+        assert!(dev_dbs.is_disjoint(&test_dbs), "dev/test DB overlap");
+    }
+
+    #[test]
+    fn every_instance_resolves_and_executes() {
+        let b = small_bird();
+        for inst in b.all_instances() {
+            let db = b.database(&inst.db_name).expect("instance DB exists");
+            nanosql::exec::execute(db, &inst.gold_sql).expect("gold SQL executes");
+            let meta = b.meta(&inst.db_name).expect("meta exists");
+            for t in &inst.gold_tables {
+                assert!(meta.table(t).is_some(), "gold table {t} missing from meta");
+            }
+        }
+    }
+
+    #[test]
+    fn instance_ids_are_unique() {
+        let b = small_bird();
+        let mut ids: Vec<u64> = b.all_instances().map(|i| i.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BenchmarkProfile::spider_like().scaled(0.01).generate(7);
+        let b = BenchmarkProfile::spider_like().scaled(0.01).generate(7);
+        assert_eq!(a.split.dev.len(), b.split.dev.len());
+        for (x, y) in a.split.dev.iter().zip(&b.split.dev) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.gold_sql.to_string(), y.gold_sql.to_string());
+        }
+    }
+
+    #[test]
+    fn bird_is_harder_than_spider() {
+        let bird = BenchmarkProfile::bird_like().scaled(0.02).generate(99);
+        let spider = BenchmarkProfile::spider_like().scaled(0.02).generate(99);
+        let mean_hardness = |b: &Benchmark| {
+            let xs: Vec<f64> = b.split.dev.iter().map(|i| i.hardness).collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            mean_hardness(&bird) > mean_hardness(&spider),
+            "bird {} vs spider {}",
+            mean_hardness(&bird),
+            mean_hardness(&spider)
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Domain catalog: 40 professional domains (BIRD spans 37) with entity
+//! vocabularies. Each domain contributes table names and question
+//! flavour; schemas are assembled from these entities plus the shared
+//! attribute pool.
+
+/// A professional domain.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// snake_case domain tag (doubles as database-name prefix).
+    pub name: &'static str,
+    /// Entity nouns usable as table names (plural).
+    pub entities: &'static [&'static str],
+}
+
+/// The catalog. Entities within a domain are distinct; across domains
+/// they may repeat (as in the real benchmarks).
+pub const DOMAINS: &[DomainSpec] = &[
+    DomainSpec {
+        name: "formula_1",
+        entities: &["races", "drivers", "circuits", "lapTimes", "pitStops", "constructors", "results", "seasons"],
+    },
+    DomainSpec {
+        name: "california_schools",
+        entities: &["schools", "districts", "satscores", "enrollments", "frpm", "staff"],
+    },
+    DomainSpec {
+        name: "card_games",
+        entities: &["cards", "sets", "rulings", "legalities", "artists", "tournaments"],
+    },
+    DomainSpec {
+        name: "european_football",
+        entities: &["matches", "teams", "players", "leagues", "stadiums", "transfers", "managers"],
+    },
+    DomainSpec {
+        name: "financial",
+        entities: &["accounts", "loans", "transactions", "clients", "cards", "orders", "branches"],
+    },
+    DomainSpec {
+        name: "thrombosis_prediction",
+        entities: &["patients", "examinations", "laboratory", "admissions", "diagnoses"],
+    },
+    DomainSpec {
+        name: "debit_card",
+        entities: &["customers", "gasstations", "products", "transactions", "yearmonth"],
+    },
+    DomainSpec {
+        name: "codebase_community",
+        entities: &["posts", "users", "comments", "badges", "votes", "tags", "postlinks"],
+    },
+    DomainSpec {
+        name: "superhero",
+        entities: &["heroes", "powers", "publishers", "alignments", "attributes", "colours"],
+    },
+    DomainSpec {
+        name: "student_club",
+        entities: &["members", "events", "attendances", "budgets", "expenses", "zipcodes", "majors"],
+    },
+    DomainSpec {
+        name: "toxicology",
+        entities: &["molecules", "atoms", "bonds", "connections", "labels"],
+    },
+    DomainSpec {
+        name: "airlines",
+        entities: &["flights", "airports", "aircrafts", "passengers", "bookings", "crews", "routes"],
+    },
+    DomainSpec {
+        name: "retail_world",
+        entities: &["products", "suppliers", "categories", "orders", "customers", "shippers", "employees"],
+    },
+    DomainSpec {
+        name: "hockey",
+        entities: &["goalies", "skaters", "teams", "coaches", "awards", "seasons", "scoring"],
+    },
+    DomainSpec {
+        name: "movies",
+        entities: &["movies", "actors", "directors", "ratings", "genres", "studios", "reviews"],
+    },
+    DomainSpec {
+        name: "music_platform",
+        entities: &["tracks", "albums", "artists", "playlists", "genres", "subscribers", "streams"],
+    },
+    DomainSpec {
+        name: "olympics",
+        entities: &["athletes", "games", "medals", "countries", "events", "venues"],
+    },
+    DomainSpec {
+        name: "university_rankings",
+        entities: &["universities", "rankings", "criteria", "countries", "years"],
+    },
+    DomainSpec {
+        name: "restaurants",
+        entities: &["restaurants", "inspections", "violations", "cuisines", "neighborhoods"],
+    },
+    DomainSpec {
+        name: "shipping_logistics",
+        entities: &["shipments", "drivers", "trucks", "warehouses", "cities", "customers"],
+    },
+    DomainSpec {
+        name: "public_review",
+        entities: &["businesses", "reviews", "checkins", "tips", "categories", "attributes"],
+    },
+    DomainSpec {
+        name: "cookbook",
+        entities: &["recipes", "ingredients", "nutrition", "quantities", "cuisines"],
+    },
+    DomainSpec {
+        name: "computer_stores",
+        entities: &["stores", "computers", "monitors", "printers", "sales", "makers"],
+    },
+    DomainSpec {
+        name: "mental_health",
+        entities: &["surveys", "questions", "answers", "respondents", "conditions"],
+    },
+    DomainSpec {
+        name: "legislators",
+        entities: &["legislators", "terms", "committees", "bills", "parties", "states"],
+    },
+    DomainSpec {
+        name: "trains",
+        entities: &["trains", "cars", "stations", "schedules", "routes"],
+    },
+    DomainSpec {
+        name: "bike_share",
+        entities: &["trips", "stations", "bikes", "weather", "subscriptions"],
+    },
+    DomainSpec {
+        name: "book_publishing",
+        entities: &["books", "authors", "publishers", "editions", "sales", "stores"],
+    },
+    DomainSpec {
+        name: "crime_reports",
+        entities: &["incidents", "districts", "officers", "arrests", "wards", "iucr"],
+    },
+    DomainSpec {
+        name: "beer_factory",
+        entities: &["breweries", "beers", "styles", "reviews", "customers", "shipments"],
+    },
+    DomainSpec {
+        name: "hospital_system",
+        entities: &["patients", "doctors", "appointments", "wards", "prescriptions", "treatments"],
+    },
+    DomainSpec {
+        name: "insurance_claims",
+        entities: &["policies", "claims", "holders", "adjusters", "payments", "incidents"],
+    },
+    DomainSpec {
+        name: "real_estate",
+        entities: &["listings", "agents", "properties", "offers", "neighborhoods", "sales"],
+    },
+    DomainSpec {
+        name: "energy_grid",
+        entities: &["plants", "meters", "readings", "outages", "regions", "tariffs"],
+    },
+    DomainSpec {
+        name: "telecom_network",
+        entities: &["subscribers", "plans", "calls", "towers", "invoices", "complaints"],
+    },
+    DomainSpec {
+        name: "agriculture",
+        entities: &["farms", "crops", "harvests", "fields", "equipment", "yields"],
+    },
+    DomainSpec {
+        name: "video_games",
+        entities: &["games", "platforms", "publishers", "sales", "genres", "developers"],
+    },
+    DomainSpec {
+        name: "social_network",
+        entities: &["profiles", "friendships", "messages", "groups", "likes", "photos"],
+    },
+    DomainSpec {
+        name: "museum_collections",
+        entities: &["artifacts", "exhibits", "curators", "loans", "galleries", "donors"],
+    },
+    DomainSpec {
+        name: "weather_stations",
+        entities: &["stations", "observations", "sensors", "alerts", "regions"],
+    },
+];
+
+/// Pick `n` domains deterministically (cycling if `n > DOMAINS.len()`).
+pub fn pick_domains(n: usize) -> Vec<&'static DomainSpec> {
+    (0..n).map(|i| &DOMAINS[i % DOMAINS.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_size_covers_bird() {
+        assert!(DOMAINS.len() >= 37, "need ≥37 domains, have {}", DOMAINS.len());
+    }
+
+    #[test]
+    fn entities_are_distinct_within_domain() {
+        for d in DOMAINS {
+            let mut names: Vec<_> = d.entities.to_vec();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate entity in {}", d.name);
+            assert!(d.entities.len() >= 4, "{} too small", d.name);
+        }
+    }
+
+    #[test]
+    fn domain_names_are_unique() {
+        let mut names: Vec<_> = DOMAINS.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn pick_domains_cycles() {
+        let picked = pick_domains(DOMAINS.len() + 3);
+        assert_eq!(picked.len(), DOMAINS.len() + 3);
+        assert_eq!(picked[0].name, picked[DOMAINS.len()].name);
+    }
+}

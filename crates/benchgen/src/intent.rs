@@ -1,0 +1,747 @@
+//! Query-intent sampling: gold SQL, natural-language question, and gold
+//! schema links with confusion sets.
+//!
+//! Intents are stratified by the profile's difficulty mix:
+//!
+//! * **simple** — single-table lookup / count / top-1,
+//! * **moderate** — one FK join lookup, filtered aggregate, group-count,
+//! * **challenging** — join + group + HAVING/ORDER, two-hop join chains
+//!   (the Figure 1a "race with the minimum first lap time" shape lives
+//!   here).
+//!
+//! Every gold query references only columns whose predicate constants
+//! exist in the generated data, so gold SQL always executes.
+
+use crate::attrs::singular;
+use crate::instance::{Confusable, Difficulty, GoldLink, Instance, SchemaElementRef};
+use crate::profile::BenchmarkProfile;
+use crate::schemagen::{ColumnMeta, ColumnRole, DbMeta, GeneratedDb, TableMeta};
+use nanosql::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, JoinClause, JoinKind, OrderByItem, SelectItem, SelectStmt,
+};
+use nanosql::{DataType, Value};
+use tinynn::rng::SplitMix64;
+
+/// Sample a difficulty according to the profile mix.
+fn sample_difficulty(profile: &BenchmarkProfile, rng: &mut SplitMix64) -> Difficulty {
+    let x = rng.next_f64();
+    if x < profile.difficulty_mix[0] {
+        Difficulty::Simple
+    } else if x < profile.difficulty_mix[0] + profile.difficulty_mix[1] {
+        Difficulty::Moderate
+    } else {
+        Difficulty::Challenging
+    }
+}
+
+fn pick<'a, T>(items: &[&'a T], rng: &mut SplitMix64) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.next_below(items.len())])
+    }
+}
+
+/// An equality predicate on a text attribute whose constant is drawn
+/// from the column's value pool (guaranteed present in the data).
+fn text_filter(table: &TableMeta, col: &ColumnMeta, rng: &mut SplitMix64) -> (Expr, Value) {
+    let v = col.value_pool[rng.next_below(col.value_pool.len())].clone();
+    (Expr::eq(Expr::col(&table.name, &col.name), Expr::lit(v.clone())), v)
+}
+
+/// A comparison predicate on a numeric measure.
+fn measure_filter(table: &TableMeta, col: &ColumnMeta, rng: &mut SplitMix64) -> (Expr, Value, BinOp) {
+    let (constant, op) = match col.spec.map(|s| s.base) {
+        Some("year") => (Value::Int(1995 + rng.next_below(20) as i64), BinOp::Ge),
+        Some("age") => (Value::Int(25 + rng.next_below(40) as i64), BinOp::Lt),
+        _ => {
+            let op = if rng.next_bool(0.5) { BinOp::Gt } else { BinOp::Lt };
+            match col.ty {
+                DataType::Int => (Value::Int(100 + rng.next_below(700) as i64), op),
+                _ => (Value::Float((100 + rng.next_below(700)) as f64), op),
+            }
+        }
+    };
+    (
+        Expr::binary(op, Expr::col(&table.name, &col.name), Expr::lit(constant.clone())),
+        constant,
+        op,
+    )
+}
+
+fn cmp_phrase(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Gt | BinOp::Ge => "greater than",
+        _ => "below",
+    }
+}
+
+fn agg_phrase(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Avg => "average",
+        AggFunc::Sum => "total",
+        AggFunc::Min => "minimum",
+        AggFunc::Max => "maximum",
+        AggFunc::Count => "number of",
+    }
+}
+
+/// The phrase a question uses for a column, plus whether the choice was
+/// deliberately ambiguous (a phrase shared with other attributes).
+fn choose_mention(col: &ColumnMeta, profile: &BenchmarkProfile, rng: &mut SplitMix64) -> (String, bool) {
+    match col.spec {
+        Some(spec) => {
+            if spec.phrases.len() > 1 && rng.next_bool(profile.p_ambiguous) {
+                // Deliberately pick a non-canonical, shareable phrase.
+                let alt = spec.phrases[1 + rng.next_below(spec.phrases.len() - 1)];
+                (alt.to_string(), true)
+            } else {
+                (spec.phrases[0].to_string(), false)
+            }
+        }
+        None => (col.name.clone(), false),
+    }
+}
+
+/// Build the gold link for a table reference.
+fn table_link(
+    meta: &DbMeta,
+    table: &TableMeta,
+    profile: &BenchmarkProfile,
+    rng: &mut SplitMix64,
+) -> GoldLink {
+    let mention = singular(table.entity);
+    let ambiguous_phrasing = rng.next_bool(profile.p_ambiguous);
+    let damp = if ambiguous_phrasing { 1.0 } else { 0.4 };
+    let mut confusables = Vec::new();
+    for other in &meta.tables {
+        if other.name == table.name {
+            continue;
+        }
+        // Figure 1a: a table whose FK column carries this entity's name
+        // ("race" could mean `races` or `lapTimes.raceId`).
+        if other.fk_to(&table.name).is_some() {
+            confusables.push(Confusable {
+                alt: SchemaElementRef::table(&other.name),
+                weight: 0.45 * damp,
+            });
+        } else if table.parent.as_deref() == Some(other.name.as_str()) {
+            // Structural: the parent is topically adjacent.
+            confusables.push(Confusable {
+                alt: SchemaElementRef::table(&other.name),
+                weight: 0.20 * damp,
+            });
+        } else if other.entity.starts_with(&mention[..mention.len().min(4)]) {
+            // Lexical prefix overlap ("scoring" vs "scores").
+            confusables.push(Confusable {
+                alt: SchemaElementRef::table(&other.name),
+                weight: 0.30 * damp,
+            });
+        }
+    }
+    let ambiguous = ambiguous_phrasing && !confusables.is_empty();
+    GoldLink {
+        element: SchemaElementRef::table(&table.name),
+        mention,
+        confusables,
+        ambiguous,
+        underspecified: false,
+    }
+}
+
+/// Build the gold link for a column reference.
+fn column_link(
+    scope: &[&TableMeta],
+    table: &TableMeta,
+    col: &ColumnMeta,
+    profile: &BenchmarkProfile,
+    rng: &mut SplitMix64,
+) -> GoldLink {
+    let (mention, ambiguous_phrasing) = choose_mention(col, profile, rng);
+    let mut confusables = Vec::new();
+
+    match &col.role {
+        ColumnRole::PrimaryKey | ColumnRole::ForeignKey(_) => {
+            // Key columns confuse with their same-named twins in other
+            // scope tables (raceId lives in both `races` and `lapTimes`).
+            for other in scope {
+                if other.name == table.name {
+                    continue;
+                }
+                if let Some(twin) = other.column(&col.name) {
+                    confusables.push(Confusable {
+                        alt: SchemaElementRef::column(&other.name, &twin.name),
+                        weight: 0.40,
+                    });
+                }
+            }
+        }
+        ColumnRole::Attribute => {
+            let spec = col.spec.expect("attributes have specs");
+            // Phrase collisions across the scope.
+            for other in scope {
+                for oc in other.attributes() {
+                    if other.name == table.name && oc.name == col.name {
+                        continue;
+                    }
+                    let Some(ospec) = oc.spec else { continue };
+                    if ospec.phrases.contains(&mention.as_str()) {
+                        let mut w = 0.50;
+                        if oc.underspecified() {
+                            w += 0.15;
+                        }
+                        if other.name != table.name {
+                            w -= 0.10; // cross-table confusion slightly less sticky
+                        }
+                        confusables.push(Confusable {
+                            alt: SchemaElementRef::column(&other.name, &oc.name),
+                            weight: w,
+                        });
+                    }
+                }
+            }
+            // Figure 1b: an underspecified gold column makes every
+            // same-typed sibling in its own table a live candidate
+            // (EdOps vs Rtype — nothing lexical separates them).
+            if col.underspecified() {
+                let mut added = 0;
+                for oc in table.attributes() {
+                    if oc.name == col.name || oc.ty != spec.ty {
+                        continue;
+                    }
+                    if confusables
+                        .iter()
+                        .any(|c| c.alt == SchemaElementRef::column(&table.name, &oc.name))
+                    {
+                        continue;
+                    }
+                    confusables.push(Confusable {
+                        alt: SchemaElementRef::column(&table.name, &oc.name),
+                        weight: 0.35,
+                    });
+                    added += 1;
+                    if added >= 4 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let ambiguous = (ambiguous_phrasing || confusables.iter().any(|c| c.weight >= 0.5))
+        && !confusables.is_empty();
+    GoldLink {
+        element: SchemaElementRef::column(&table.name, &col.name),
+        mention,
+        confusables,
+        ambiguous,
+        underspecified: col.underspecified(),
+    }
+}
+
+/// Extract gold tables/columns from a statement and assemble all links.
+fn build_links(
+    meta: &DbMeta,
+    stmt: &SelectStmt,
+    profile: &BenchmarkProfile,
+    rng: &mut SplitMix64,
+) -> (Vec<String>, Vec<(String, String)>, Vec<GoldLink>) {
+    let mut gold_tables: Vec<String> = stmt.tables().iter().map(|t| t.to_string()).collect();
+    gold_tables.sort();
+    gold_tables.dedup();
+
+    let mut gold_columns: Vec<(String, String)> = stmt
+        .referenced_columns()
+        .into_iter()
+        .map(|c| (c.table.expect("generated SQL is fully qualified"), c.column))
+        .collect();
+    gold_columns.sort();
+    gold_columns.dedup();
+
+    let scope: Vec<&TableMeta> =
+        gold_tables.iter().filter_map(|t| meta.table(t)).collect();
+
+    let mut links = Vec::with_capacity(gold_tables.len() + gold_columns.len());
+    for t in &gold_tables {
+        let tm = meta.table(t).expect("gold table exists in meta");
+        links.push(table_link(meta, tm, profile, rng));
+    }
+    for (t, c) in &gold_columns {
+        let tm = meta.table(t).expect("gold table exists in meta");
+        let cm = tm.column(c).expect("gold column exists in meta");
+        links.push(column_link(&scope, tm, cm, profile, rng));
+    }
+    (gold_tables, gold_columns, links)
+}
+
+/// Latent hardness: saturating function of confusion mass, difficulty
+/// and schema size. Drives the simulator's instance-level error rate.
+fn hardness(links: &[GoldLink], difficulty: Difficulty, meta: &DbMeta) -> f64 {
+    let mass: f64 = links.iter().map(GoldLink::confusion_mass).sum();
+    let base = match difficulty {
+        Difficulty::Simple => 0.10,
+        Difficulty::Moderate => 0.22,
+        Difficulty::Challenging => 0.38,
+    };
+    let size_bump = (meta.total_columns() as f64 / 120.0).min(0.15);
+    (base + 0.55 * (1.0 - (-0.45 * mass).exp()) + size_bump).min(1.0)
+}
+
+/// One sampled intent, pre-question-rendering.
+struct Built {
+    stmt: SelectStmt,
+    question: String,
+}
+
+fn join_clause(child: &TableMeta, parent: &TableMeta) -> JoinClause {
+    let fk = child.fk_to(&parent.name).expect("child has fk to parent");
+    JoinClause {
+        kind: JoinKind::Inner,
+        table: parent.name.clone(),
+        left: ColumnRef::new(&child.name, &fk.name),
+        right: ColumnRef::new(&parent.name, parent.pk()),
+    }
+}
+
+fn try_simple(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
+    let tables: Vec<&TableMeta> = meta.tables.iter().collect();
+    let t = pick(&tables, rng)?;
+    let attrs: Vec<&ColumnMeta> = t.attributes().collect();
+    let texts: Vec<&ColumnMeta> = t.text_attrs().collect();
+    let measures: Vec<&ColumnMeta> = t.measures().collect();
+    match rng.next_below(3) {
+        0 => {
+            // Lookup: SELECT attr FROM t WHERE text = v
+            let proj = pick(&attrs, rng)?;
+            let filt_candidates: Vec<&ColumnMeta> =
+                texts.iter().copied().filter(|c| c.name != proj.name).collect();
+            let filt = pick(&filt_candidates, rng)?;
+            let (pred, v) = text_filter(t, filt, rng);
+            let mut stmt = SelectStmt::from_table(&t.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
+            stmt.where_clause = Some(pred);
+            let question = format!(
+                "What is the {} of the {} whose {} is {}?",
+                proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
+                singular(t.entity),
+                filt.spec.map_or(filt.name.as_str(), |s| s.phrases[0]),
+                v
+            );
+            Some(Built { stmt, question })
+        }
+        1 => {
+            // CountRows: SELECT COUNT(*) FROM t WHERE text = v
+            let filt = pick(&texts, rng)?;
+            let (pred, v) = text_filter(t, filt, rng);
+            let mut stmt = SelectStmt::from_table(&t.name);
+            stmt.projections.push(SelectItem::plain(Expr::count_star()));
+            stmt.where_clause = Some(pred);
+            let question = format!(
+                "How many {} have a {} of {}?",
+                t.entity,
+                filt.spec.map_or(filt.name.as_str(), |s| s.phrases[0]),
+                v
+            );
+            Some(Built { stmt, question })
+        }
+        _ => {
+            // TopOne: SELECT attr FROM t ORDER BY measure DESC LIMIT 1
+            let proj = pick(&attrs, rng)?;
+            let by_candidates: Vec<&ColumnMeta> =
+                measures.iter().copied().filter(|c| c.name != proj.name).collect();
+            let by = pick(&by_candidates, rng)?;
+            let desc = rng.next_bool(0.5);
+            let mut stmt = SelectStmt::from_table(&t.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
+            stmt.order_by.push(OrderByItem { expr: Expr::col(&t.name, &by.name), desc });
+            stmt.limit = Some(1);
+            let question = format!(
+                "Which {} has the {} {}? Give its {}.",
+                singular(t.entity),
+                if desc { "highest" } else { "lowest" },
+                by.spec.map_or(by.name.as_str(), |s| s.phrases[0]),
+                proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
+            );
+            Some(Built { stmt, question })
+        }
+    }
+}
+
+fn try_moderate(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
+    match rng.next_below(3) {
+        0 => {
+            // JoinLookup: SELECT parent.attr FROM child JOIN parent WHERE child.text = v
+            let edges = meta.join_edges();
+            let edge_refs: Vec<&(&TableMeta, &TableMeta)> = edges.iter().collect();
+            let (child, parent) = *pick(&edge_refs, rng)?;
+            let pattrs: Vec<&ColumnMeta> = parent.attributes().collect();
+            let proj = pick(&pattrs, rng)?;
+            let ctexts: Vec<&ColumnMeta> = child.text_attrs().collect();
+            let filt = pick(&ctexts, rng)?;
+            let (pred, v) = text_filter(child, filt, rng);
+            let mut stmt = SelectStmt::from_table(&child.name);
+            stmt.distinct = true;
+            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
+            stmt.joins.push(join_clause(child, parent));
+            stmt.where_clause = Some(pred);
+            let question = format!(
+                "List the distinct {} of the {} linked to {} whose {} is {}.",
+                proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
+                singular(parent.entity),
+                child.entity,
+                filt.spec.map_or(filt.name.as_str(), |s| s.phrases[0]),
+                v
+            );
+            Some(Built { stmt, question })
+        }
+        1 => {
+            // AggMeasure: SELECT AVG(measure) FROM t WHERE text = v
+            let tables: Vec<&TableMeta> = meta.tables.iter().collect();
+            let t = pick(&tables, rng)?;
+            let measures: Vec<&ColumnMeta> = t.measures().collect();
+            let m = pick(&measures, rng)?;
+            let texts: Vec<&ColumnMeta> = t.text_attrs().collect();
+            let filt = pick(&texts, rng)?;
+            let func = *[AggFunc::Avg, AggFunc::Sum, AggFunc::Max, AggFunc::Min]
+                .get(rng.next_below(4))
+                .unwrap();
+            let (pred, v) = text_filter(t, filt, rng);
+            let mut stmt = SelectStmt::from_table(&t.name);
+            stmt.projections
+                .push(SelectItem::plain(Expr::agg(func, Expr::col(&t.name, &m.name))));
+            stmt.where_clause = Some(pred);
+            let question = format!(
+                "What is the {} {} of {} with {} {}?",
+                agg_phrase(func),
+                m.spec.map_or(m.name.as_str(), |s| s.phrases[0]),
+                t.entity,
+                filt.spec.map_or(filt.name.as_str(), |s| s.phrases[0]),
+                v
+            );
+            Some(Built { stmt, question })
+        }
+        _ => {
+            // GroupCount: SELECT text, COUNT(*) FROM t GROUP BY text
+            let tables: Vec<&TableMeta> = meta.tables.iter().collect();
+            let t = pick(&tables, rng)?;
+            let texts: Vec<&ColumnMeta> = t.text_attrs().collect();
+            let g = pick(&texts, rng)?;
+            let mut stmt = SelectStmt::from_table(&t.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &g.name)));
+            stmt.projections.push(SelectItem::plain(Expr::count_star()));
+            stmt.group_by.push(Expr::col(&t.name, &g.name));
+            let question = format!(
+                "For each {}, how many {} are there?",
+                g.spec.map_or(g.name.as_str(), |s| s.phrases[0]),
+                t.entity
+            );
+            Some(Built { stmt, question })
+        }
+    }
+}
+
+fn try_challenging(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
+    match rng.next_below(3) {
+        0 => {
+            // JoinGroupAgg with HAVING + ORDER + LIMIT.
+            let edges = meta.join_edges();
+            let edge_refs: Vec<&(&TableMeta, &TableMeta)> = edges.iter().collect();
+            let (child, parent) = *pick(&edge_refs, rng)?;
+            let ptexts: Vec<&ColumnMeta> = parent.text_attrs().collect();
+            let g = pick(&ptexts, rng)?;
+            let cmeasures: Vec<&ColumnMeta> = child.measures().collect();
+            let m = pick(&cmeasures, rng)?;
+            let func = *[AggFunc::Avg, AggFunc::Sum, AggFunc::Max].get(rng.next_below(3)).unwrap();
+            let min_count = 1 + rng.next_below(3) as i64;
+            let agg_expr = Expr::agg(func, Expr::col(&child.name, &m.name));
+            let mut stmt = SelectStmt::from_table(&child.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &g.name)));
+            stmt.projections.push(SelectItem::plain(agg_expr.clone()));
+            stmt.joins.push(join_clause(child, parent));
+            stmt.group_by.push(Expr::col(&parent.name, &g.name));
+            stmt.having =
+                Some(Expr::binary(BinOp::Gt, Expr::count_star(), Expr::lit(Value::Int(min_count))));
+            stmt.order_by.push(OrderByItem { expr: agg_expr, desc: true });
+            stmt.limit = Some(3);
+            let question = format!(
+                "Among {} of each {} {} with more than {} {}, list the top 3 {} by {} {}.",
+                child.entity,
+                singular(parent.entity),
+                g.spec.map_or(g.name.as_str(), |s| s.phrases[0]),
+                min_count,
+                child.entity,
+                g.spec.map_or(g.name.as_str(), |s| s.phrases[0]),
+                agg_phrase(func),
+                m.spec.map_or(m.name.as_str(), |s| s.phrases[0]),
+            );
+            Some(Built { stmt, question })
+        }
+        1 => {
+            // Figure 1a shape: parent attr of the row with extreme
+            // measure under a filter.
+            let edges = meta.join_edges();
+            let edge_refs: Vec<&(&TableMeta, &TableMeta)> = edges.iter().collect();
+            let (child, parent) = *pick(&edge_refs, rng)?;
+            let pattrs: Vec<&ColumnMeta> = parent.attributes().collect();
+            let proj = pick(&pattrs, rng)?;
+            let cmeasures: Vec<&ColumnMeta> = child.measures().collect();
+            let by = pick(&cmeasures, rng)?;
+            let filt_candidates: Vec<&ColumnMeta> =
+                child.measures().filter(|c| c.name != by.name).collect();
+            let mut stmt = SelectStmt::from_table(&child.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
+            stmt.joins.push(join_clause(child, parent));
+            let mut question = format!(
+                "Which {} has the minimum {}? Give its {}.",
+                singular(parent.entity),
+                by.spec.map_or(by.name.as_str(), |s| s.phrases[0]),
+                proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
+            );
+            if let Some(filt) = pick(&filt_candidates, rng) {
+                let (pred, constant, op) = measure_filter(child, filt, rng);
+                stmt.where_clause = Some(pred);
+                question = format!(
+                    "Among {} with {} {} {}, which {} has the minimum {}? Give its {}.",
+                    child.entity,
+                    filt.spec.map_or(filt.name.as_str(), |s| s.phrases[0]),
+                    cmp_phrase(op),
+                    constant,
+                    singular(parent.entity),
+                    by.spec.map_or(by.name.as_str(), |s| s.phrases[0]),
+                    proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
+                );
+            }
+            stmt.order_by
+                .push(OrderByItem { expr: Expr::col(&child.name, &by.name), desc: false });
+            stmt.limit = Some(1);
+            Some(Built { stmt, question })
+        }
+        _ => {
+            // Two-hop chain: grandchild → child → parent.
+            let chain = meta.tables.iter().find_map(|gc| {
+                let mid = gc.parent.as_deref().and_then(|p| meta.table(p))?;
+                let top = mid.parent.as_deref().and_then(|p| meta.table(p))?;
+                Some((gc, mid, top))
+            })?;
+            let (gc, mid, top) = chain;
+            let ttexts: Vec<&ColumnMeta> = top.text_attrs().collect();
+            let g = pick(&ttexts, rng)?;
+            let mut stmt = SelectStmt::from_table(&gc.name);
+            stmt.projections.push(SelectItem::plain(Expr::col(&top.name, &g.name)));
+            stmt.projections.push(SelectItem::plain(Expr::count_star()));
+            stmt.joins.push(join_clause(gc, mid));
+            stmt.joins.push(join_clause(mid, top));
+            stmt.group_by.push(Expr::col(&top.name, &g.name));
+            stmt.order_by.push(OrderByItem { expr: Expr::count_star(), desc: true });
+            let question = format!(
+                "Count {} per {} of the {} reached through {}.",
+                gc.entity,
+                g.spec.map_or(g.name.as_str(), |s| s.phrases[0]),
+                singular(top.entity),
+                mid.entity
+            );
+            Some(Built { stmt, question })
+        }
+    }
+}
+
+/// Generate one instance on `gdb`, or `None` if the sampled intent is
+/// not realisable on this database (caller retries).
+pub fn generate_instance(
+    gdb: &GeneratedDb,
+    id: u64,
+    profile: &BenchmarkProfile,
+    rng: &mut SplitMix64,
+) -> Option<Instance> {
+    let difficulty = sample_difficulty(profile, rng);
+    let built = match difficulty {
+        Difficulty::Simple => try_simple(&gdb.meta, rng),
+        Difficulty::Moderate => try_moderate(&gdb.meta, rng),
+        Difficulty::Challenging => try_challenging(&gdb.meta, rng),
+    }?;
+
+    let (gold_tables, gold_columns, mut links) =
+        build_links(&gdb.meta, &built.stmt, profile, rng);
+
+    // External knowledge, when granted, de-fangs underspecified links:
+    // the hint explains what the abbreviation means (BIRD's evidence
+    // strings play exactly this role).
+    let external_knowledge = if rng.next_bool(profile.p_external_knowledge) {
+        let hint = links.iter().find(|l| l.underspecified).map(|l| {
+            format!(
+                "In this database, column `{}` stands for \"{}\".",
+                l.element, l.mention
+            )
+        });
+        if let Some(h) = hint {
+            for l in &mut links {
+                if l.underspecified {
+                    for c in &mut l.confusables {
+                        c.weight *= 0.5;
+                    }
+                }
+            }
+            Some(h)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let hardness = hardness(&links, difficulty, &gdb.meta);
+    let mut question = built.question;
+    if let Some(ek) = &external_knowledge {
+        question.push_str(" (Hint: ");
+        question.push_str(ek);
+        question.push(')');
+    }
+
+    Some(Instance {
+        id,
+        db_name: gdb.meta.name.clone(),
+        question,
+        difficulty,
+        gold_sql: built.stmt,
+        gold_tables,
+        gold_columns,
+        links,
+        external_knowledge,
+        hardness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::DOMAINS;
+    use crate::schemagen::generate_db;
+
+    fn gdb(seed: u64) -> GeneratedDb {
+        let mut rng = SplitMix64::new(seed);
+        let profile = BenchmarkProfile { rows_per_table: (20, 40), ..BenchmarkProfile::bird_like() };
+        generate_db(&DOMAINS[0], 0, &profile, &mut rng)
+    }
+
+    fn many_instances(seed: u64, n: usize) -> (GeneratedDb, Vec<Instance>) {
+        let g = gdb(seed);
+        let profile = BenchmarkProfile::bird_like();
+        let mut rng = SplitMix64::new(seed ^ 0xABCD);
+        let mut out = Vec::new();
+        let mut id = 0;
+        while out.len() < n {
+            if let Some(inst) = generate_instance(&g, id, &profile, &mut rng) {
+                out.push(inst);
+            }
+            id += 1;
+            assert!(id < (n as u64) * 100, "instance generation starved");
+        }
+        (g, out)
+    }
+
+    #[test]
+    fn gold_sql_always_executes() {
+        let (g, instances) = many_instances(1, 60);
+        for inst in &instances {
+            let result = nanosql::exec::execute(&g.db, &inst.gold_sql)
+                .unwrap_or_else(|e| panic!("gold SQL failed: {} — {e}", inst.gold_sql));
+            // Results may legitimately be empty, but execution must succeed.
+            let _ = result;
+        }
+    }
+
+    #[test]
+    fn gold_links_cover_tables_and_columns() {
+        let (_, instances) = many_instances(2, 40);
+        for inst in &instances {
+            assert!(!inst.gold_tables.is_empty());
+            assert!(!inst.gold_columns.is_empty());
+            let table_links: Vec<_> = inst.table_links().collect();
+            let column_links: Vec<_> = inst.column_links().collect();
+            assert_eq!(table_links.len(), inst.gold_tables.len());
+            assert_eq!(column_links.len(), inst.gold_columns.len());
+            // Every gold column's table is a gold table.
+            for (t, _) in &inst.gold_columns {
+                assert!(inst.gold_tables.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn difficulty_mix_is_respected() {
+        let (_, instances) = many_instances(3, 300);
+        let simple =
+            instances.iter().filter(|i| i.difficulty == Difficulty::Simple).count() as f64;
+        let frac = simple / instances.len() as f64;
+        assert!((frac - 0.4).abs() < 0.12, "simple fraction {frac}");
+    }
+
+    #[test]
+    fn challenging_instances_join() {
+        let (_, instances) = many_instances(4, 200);
+        let challenging: Vec<_> =
+            instances.iter().filter(|i| i.difficulty == Difficulty::Challenging).collect();
+        assert!(!challenging.is_empty());
+        let joined = challenging.iter().filter(|i| i.gold_tables.len() >= 2).count();
+        assert!(
+            joined * 10 >= challenging.len() * 8,
+            "most challenging instances should join tables"
+        );
+    }
+
+    #[test]
+    fn ambiguity_produces_confusables() {
+        let (_, instances) = many_instances(5, 200);
+        let ambiguous_links: usize = instances
+            .iter()
+            .flat_map(|i| i.links.iter())
+            .filter(|l| l.ambiguous)
+            .count();
+        assert!(ambiguous_links > 0, "no ambiguous links generated");
+        // Every ambiguous link must offer at least one confusable.
+        for inst in &instances {
+            for l in &inst.links {
+                if l.ambiguous {
+                    assert!(!l.confusables.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardness_is_bounded_and_monotone_in_difficulty() {
+        let (_, instances) = many_instances(6, 300);
+        for inst in &instances {
+            assert!((0.0..=1.0).contains(&inst.hardness));
+        }
+        let mean = |d: Difficulty| {
+            let xs: Vec<f64> = instances
+                .iter()
+                .filter(|i| i.difficulty == d)
+                .map(|i| i.hardness)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
+        assert!(mean(Difficulty::Challenging) > mean(Difficulty::Simple));
+    }
+
+    #[test]
+    fn external_knowledge_weakens_confusables() {
+        let (_, instances) = many_instances(7, 400);
+        let with_ek = instances.iter().filter(|i| i.external_knowledge.is_some()).count();
+        assert!(with_ek > 0, "no external knowledge generated at p=0.3");
+        for inst in instances.iter().filter(|i| i.external_knowledge.is_some()) {
+            assert!(inst.question.contains("Hint:"));
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let (_, a) = many_instances(9, 20);
+        let (_, b) = many_instances(9, 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.gold_sql, y.gold_sql);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # benchgen — synthetic BIRD/Spider-like text-to-SQL workloads
+//!
+//! The RTS paper evaluates on BIRD (95 databases, 37 professional
+//! domains, "dirty" abbreviated column names, external knowledge) and
+//! Spider (200 cleaner databases). Those datasets are not redistributable
+//! here, so this crate generates *structurally equivalent* workloads: the
+//! phenomena RTS exploits — ambiguous mentions that map to several schema
+//! elements (Fig. 1a), abbreviated columns with missing descriptions
+//! (Fig. 1b: `EdOps`, `Rtype`), schema size, join structure — are all
+//! reproduced with controllable rates.
+//!
+//! A generated [`Benchmark`] contains:
+//!
+//! * fully populated [`nanosql::Database`]s (schemas, foreign keys, rows),
+//! * train/dev/test splits of [`Instance`]s, each with a natural-language
+//!   question, an *executable* gold SQL AST, gold table/column link sets,
+//!   a difficulty label and, crucially for the LLM simulator, per-link
+//!   **confusion sets**: the plausible wrong schema elements a model
+//!   could link to, with weights derived from lexical overlap and
+//!   metadata quality.
+//!
+//! Presets [`profile::BenchmarkProfile::bird_like`] and
+//! [`profile::BenchmarkProfile::spider_like`] match the published scale
+//! and difficulty of the two benchmarks. Everything is deterministic in
+//! the seed.
+//!
+//! ```
+//! use benchgen::profile::BenchmarkProfile;
+//!
+//! let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(42);
+//! assert!(bench.databases.len() >= 2);
+//! let inst = &bench.split.dev[0];
+//! assert!(!inst.gold_tables.is_empty());
+//! // Gold SQL always executes on its database.
+//! let db = bench.database(&inst.db_name).unwrap();
+//! nanosql::exec::execute(db, &inst.gold_sql).unwrap();
+//! ```
+
+pub mod attrs;
+pub mod dataset;
+pub mod domains;
+pub mod instance;
+pub mod intent;
+pub mod profile;
+pub mod schemagen;
+
+pub use dataset::{Benchmark, Split};
+pub use instance::{Confusable, Difficulty, GoldLink, Instance, SchemaElementRef};
+pub use profile::BenchmarkProfile;

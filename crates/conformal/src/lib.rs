@@ -1,0 +1,45 @@
+//! # conformal — distribution-free prediction sets
+//!
+//! A from-scratch implementation of the conformal-prediction machinery the
+//! RTS paper builds its Branching Point Predictor on (§3.2):
+//!
+//! * **Split (inductive) conformal prediction** ([`split`]): given a
+//!   held-out calibration set of nonconformity scores, build prediction
+//!   sets `C(x)` with the finite-sample marginal guarantee
+//!   `P(y* ∈ C(x)) ≥ 1 − α` (Vovk et al. 2005; Papadopoulos et al. 2002).
+//! * **Non-exchangeable conformal prediction** ([`nonx`]): the
+//!   KNN-weighted variant of Barber et al. (2023) used by the paper when
+//!   calibration and test distributions may drift — weights
+//!   `w_k = exp(−‖h − h_k‖² / τ)` localise the calibration quantile.
+//! * **Set merging** ([`merge`]): aggregating per-layer prediction sets
+//!   via the θ-majority vote of Theorem 1 (coverage ≥ 1 − α/(1−θ), size
+//!   bound of Theorem 2) and the random-permutation merge of Algorithm 1 /
+//!   Theorem 3 (coverage ≥ 1 − 2α with sets never larger than the
+//!   majority vote at θ = ½), after Gasparin & Ramdas (2024).
+//!
+//! Label spaces are small (`≤ 64` labels, the RTS case is binary), so
+//! prediction sets are a single-word bitmask ([`set::LabelSet`]).
+//!
+//! ```
+//! use conformal::split::SplitConformal;
+//!
+//! // A perfectly informative binary classifier on the calibration set:
+//! // scores are 1 − p(true class), here all tiny. (With n calibration
+//! // points the threshold is the ⌈(n+1)(1−α)⌉-th smallest score, so n
+//! // must satisfy (n+1)(1−α) ≤ n for a finite threshold.)
+//! let scores: Vec<f64> = (0..20).map(|i| 0.01 + 0.001 * i as f64).collect();
+//! let cp = SplitConformal::from_scores(scores, 0.1);
+//! // At test time a confident p(y=1) = 0.99 yields the singleton {1}.
+//! let set = cp.predict_binary(0.99);
+//! assert!(set.contains(1) && !set.contains(0));
+//! ```
+
+pub mod merge;
+pub mod nonx;
+pub mod set;
+pub mod split;
+
+pub use merge::{majority_vote, random_permutation_merge};
+pub use nonx::NonExchangeableConformal;
+pub use set::LabelSet;
+pub use split::SplitConformal;

@@ -1,0 +1,272 @@
+//! Merging prediction sets from several conformal predictors.
+//!
+//! The multi-layer BPP (§3.2.3 of the paper) runs one conformal predictor
+//! per LLM hidden layer and must combine their prediction sets into a
+//! single decision. Two merges are implemented:
+//!
+//! * [`majority_vote`] — the θ-fraction vote of **Theorem 1**:
+//!   `C_θ = { c : (1/n) Σ_i 1{c ∈ C_i} > θ }`, with coverage
+//!   `P(c* ∈ C_θ) ≥ 1 − α/(1−θ)` (Markov) and the size bound of
+//!   **Theorem 2**: `|C_θ| ≤ (1/nθ) Σ_i |C_i|`.
+//! * [`random_permutation_merge`] — **Algorithm 1** (after Gasparin &
+//!   Ramdas 2024): visit the sets in a uniformly random order and keep
+//!   only labels that hold a ≥ ½ majority in *every* prefix. **Theorem 3**
+//!   (via the exchangeable Markov inequality): coverage ≥ 1 − 2α and
+//!   `|C_π| ≤ |C_{θ=½}|` — same worst-case guarantee as the θ=½ vote but
+//!   with never-larger (often smaller) sets.
+
+use crate::set::LabelSet;
+use tinynn::rng::SplitMix64;
+
+/// θ-majority vote over prediction sets (Theorem 1).
+///
+/// A label enters the merged set iff it appears in *strictly more* than a
+/// θ fraction of the inputs. `θ = 0.5` is the plain majority vote with
+/// coverage ≥ 1 − 2α.
+pub fn majority_vote(sets: &[LabelSet], theta: f64, n_labels: usize) -> LabelSet {
+    assert!(!sets.is_empty(), "no sets to merge");
+    assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+    let n = sets.len() as f64;
+    let mut merged = LabelSet::EMPTY;
+    for label in 0..n_labels {
+        let count = sets.iter().filter(|s| s.contains(label)).count() as f64;
+        if count / n > theta {
+            merged.insert(label);
+        }
+    }
+    merged
+}
+
+/// Prefix-majority vote with the `count ≥ i/2` (inclusive) rule used by
+/// each step of Algorithm 1.
+fn prefix_majority(counts: &[usize], i: usize, n_labels: usize) -> LabelSet {
+    let mut set = LabelSet::EMPTY;
+    for label in 0..n_labels {
+        // count ≥ i/2 without floating point: 2·count ≥ i.
+        if 2 * counts[label] >= i {
+            set.insert(label);
+        }
+    }
+    set
+}
+
+/// Algorithm 1: random-permutation merge.
+///
+/// Iterates the sets in a random order and intersects the running result
+/// with the inclusive-majority set of every prefix. (The paper's
+/// pseudo-code initialises `C_π ← ∅` before intersecting, which would
+/// always produce ∅; the intent — and what Gasparin & Ramdas define — is
+/// to intersect across prefixes, so we initialise with the full label
+/// set; the first prefix then reduces it to `C_{π₁}`.)
+///
+/// Randomness comes from the supplied deterministic generator so the
+/// merge is reproducible; Theorem 3's guarantee is marginal over this
+/// permutation draw.
+pub fn random_permutation_merge(
+    sets: &[LabelSet],
+    n_labels: usize,
+    rng: &mut SplitMix64,
+) -> LabelSet {
+    assert!(!sets.is_empty(), "no sets to merge");
+    let n = sets.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    tinynn::rng::shuffle(&mut order, rng);
+
+    let mut counts = vec![0usize; n_labels];
+    let mut merged = LabelSet::full(n_labels);
+    for (i, &idx) in order.iter().enumerate() {
+        for label in sets[idx].iter() {
+            if label < n_labels {
+                counts[label] += 1;
+            }
+        }
+        merged = merged.intersect(prefix_majority(&counts, i + 1, n_labels));
+        if merged.is_empty() {
+            break; // intersection can only shrink; nothing left to do
+        }
+    }
+    merged
+}
+
+/// Inclusive (≥ n/2) majority vote over all sets — the final prefix of
+/// Algorithm 1, exposed for the size-bound comparison tests and the
+/// ablation benches.
+pub fn majority_vote_inclusive(sets: &[LabelSet], n_labels: usize) -> LabelSet {
+    assert!(!sets.is_empty(), "no sets to merge");
+    let mut counts = vec![0usize; n_labels];
+    for s in sets {
+        for label in s.iter() {
+            if label < n_labels {
+                counts[label] += 1;
+            }
+        }
+    }
+    prefix_majority(&counts, sets.len(), n_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(labels: &[usize]) -> LabelSet {
+        labels.iter().copied().collect()
+    }
+
+    #[test]
+    fn majority_vote_basic() {
+        let sets = [ls(&[1]), ls(&[1]), ls(&[0])];
+        assert_eq!(majority_vote(&sets, 0.5, 2), ls(&[1]));
+    }
+
+    #[test]
+    fn majority_vote_strictness() {
+        // Label 0 in exactly half the sets: strict > θ=0.5 excludes it.
+        let sets = [ls(&[0]), ls(&[0]), ls(&[1]), ls(&[1])];
+        assert_eq!(majority_vote(&sets, 0.5, 2), LabelSet::EMPTY);
+        // Inclusive vote keeps both.
+        assert_eq!(majority_vote_inclusive(&sets, 2), LabelSet::BOTH);
+    }
+
+    #[test]
+    fn theta_zero_is_union() {
+        let sets = [ls(&[0]), ls(&[1])];
+        assert_eq!(majority_vote(&sets, 0.0, 2), LabelSet::BOTH);
+    }
+
+    #[test]
+    fn unanimous_sets_pass_any_theta() {
+        let sets = [ls(&[1]); 7];
+        for theta in [0.0, 0.25, 0.5, 0.9] {
+            assert_eq!(majority_vote(&sets, theta, 2), ls(&[1]));
+        }
+    }
+
+    /// Theorem 2: |C_θ| ≤ (1/(nθ)) Σ |C_i| for randomly generated sets.
+    #[test]
+    fn theorem2_size_bound() {
+        let mut rng = SplitMix64::new(99);
+        for trial in 0..200 {
+            let n = 3 + (trial % 8);
+            let n_labels = 6;
+            let sets: Vec<LabelSet> = (0..n)
+                .map(|_| {
+                    (0..n_labels).filter(|_| rng.next_bool(0.4)).collect::<LabelSet>()
+                })
+                .collect();
+            for &theta in &[0.3, 0.5, 0.7] {
+                let merged = majority_vote(&sets, theta, n_labels);
+                let sum: usize = sets.iter().map(|s| s.len()).sum();
+                let bound = sum as f64 / (n as f64 * theta);
+                assert!(
+                    merged.len() as f64 <= bound + 1e-9,
+                    "trial {trial}: |C_θ|={} > bound {bound}",
+                    merged.len()
+                );
+            }
+        }
+    }
+
+    /// Theorem 3 (second part): |C_π| ≤ |C_{θ=½}| — the permutation merge
+    /// never yields a larger set than the inclusive majority vote (its
+    /// own final prefix), and for odd n also never larger than the strict
+    /// vote of Theorem 1.
+    #[test]
+    fn theorem3_size_never_exceeds_majority() {
+        let mut rng = SplitMix64::new(4242);
+        for trial in 0..300 {
+            let n = 3 + (trial % 9);
+            let n_labels = 4;
+            let sets: Vec<LabelSet> = (0..n)
+                .map(|_| (0..n_labels).filter(|_| rng.next_bool(0.5)).collect::<LabelSet>())
+                .collect();
+            let merged = random_permutation_merge(&sets, n_labels, &mut rng);
+            let inclusive = majority_vote_inclusive(&sets, n_labels);
+            assert!(
+                merged.is_subset_of(inclusive),
+                "trial {trial}: C_π {merged} ⊄ C_inclusive {inclusive}"
+            );
+            if n % 2 == 1 {
+                let strict = majority_vote(&sets, 0.5, n_labels);
+                // For odd n the inclusive and strict votes coincide.
+                assert_eq!(strict, inclusive, "odd-n vote mismatch");
+            }
+        }
+    }
+
+    /// Theorem 1 coverage: simulate predictors with per-set miss rate α
+    /// and confirm the merged miss rate stays below α/(1−θ).
+    #[test]
+    fn theorem1_coverage_bound_empirically() {
+        let alpha = 0.1;
+        let theta = 0.5;
+        let mut rng = SplitMix64::new(31337);
+        let trials = 20_000;
+        let mut misses = 0usize;
+        for _ in 0..trials {
+            // True label 1. Each of 5 predictors covers it w.p. 1−α and
+            // adds the other label w.p. 0.3 (independent noise).
+            let sets: Vec<LabelSet> = (0..5)
+                .map(|_| {
+                    let mut s = LabelSet::EMPTY;
+                    if rng.next_bool(1.0 - alpha) {
+                        s.insert(1);
+                    }
+                    if rng.next_bool(0.3) {
+                        s.insert(0);
+                    }
+                    s
+                })
+                .collect();
+            if !majority_vote(&sets, theta, 2).contains(1) {
+                misses += 1;
+            }
+        }
+        let miss_rate = misses as f64 / trials as f64;
+        let bound = alpha / (1.0 - theta);
+        assert!(miss_rate <= bound, "miss rate {miss_rate} > bound {bound}");
+    }
+
+    /// Theorem 3 coverage: the permutation merge misses the true label at
+    /// most 2α of the time (marginally over the permutation draw).
+    #[test]
+    fn theorem3_coverage_bound_empirically() {
+        let alpha = 0.1;
+        let mut rng = SplitMix64::new(777);
+        let trials = 20_000;
+        let mut misses = 0usize;
+        for _ in 0..trials {
+            let sets: Vec<LabelSet> = (0..5)
+                .map(|_| {
+                    let mut s = LabelSet::EMPTY;
+                    if rng.next_bool(1.0 - alpha) {
+                        s.insert(1);
+                    }
+                    if rng.next_bool(0.3) {
+                        s.insert(0);
+                    }
+                    s
+                })
+                .collect();
+            if !random_permutation_merge(&sets, 2, &mut rng).contains(1) {
+                misses += 1;
+            }
+        }
+        let miss_rate = misses as f64 / trials as f64;
+        assert!(miss_rate <= 2.0 * alpha, "miss rate {miss_rate} > 2α");
+    }
+
+    #[test]
+    fn permutation_merge_is_deterministic_given_rng() {
+        let sets = [ls(&[0, 1]), ls(&[1]), ls(&[1]), ls(&[0]), ls(&[0, 1])];
+        let a = random_permutation_merge(&sets, 2, &mut SplitMix64::new(5));
+        let b = random_permutation_merge(&sets, 2, &mut SplitMix64::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_set_passes_through() {
+        let sets = [ls(&[1])];
+        assert_eq!(random_permutation_merge(&sets, 2, &mut SplitMix64::new(1)), ls(&[1]));
+        assert_eq!(majority_vote(&sets, 0.5, 2), ls(&[1]));
+    }
+}

@@ -1,0 +1,215 @@
+//! Non-exchangeable conformal prediction (Barber et al., 2023), in the
+//! KNN-weighted form the RTS paper describes in §3.2.2.
+//!
+//! The calibration set is stored as pairs `(h_i, σ_i)` of feature vectors
+//! and nonconformity scores. For a test point `h*` we find its `K`
+//! nearest calibration neighbours, weight them by
+//! `w_k = exp(−‖h* − h_k‖²₂ / τ)`, normalise
+//! `ŵ_i = w_i / (1 + Σ_k w_k)`, and use the *weighted* quantile
+//!
+//! ```text
+//! ε̂ = inf { ε : Σ_i ŵ_i · 1{σ_i < ε} ≥ 1 − α }
+//! ```
+//!
+//! Because the normaliser includes the `+1` term (mass reserved for the
+//! test point, exactly as in Barber et al.), the total weight is < 1; if
+//! it cannot reach `1 − α` the threshold is `+∞` and the prediction set
+//! is the full label set — validity is preserved by vacuity. The coverage
+//! bound in the non-exchangeable case carries an additional drift term
+//! (Σ ŵ_i · d_TV(P_i, P_test)); with localised weights this term is small
+//! whenever similar calibration points are plentiful.
+
+use crate::set::LabelSet;
+
+/// KNN-weighted non-exchangeable conformal predictor.
+#[derive(Debug, Clone)]
+pub struct NonExchangeableConformal {
+    points: Vec<Vec<f32>>,
+    scores: Vec<f64>,
+    k: usize,
+    tau: f64,
+    alpha: f64,
+}
+
+impl NonExchangeableConformal {
+    /// Store the transformed calibration set `D' = {(h_i, σ_i)}`.
+    ///
+    /// * `k` — number of neighbours consulted per test point,
+    /// * `tau` — kernel bandwidth (larger ⇒ flatter weights ⇒ behaviour
+    ///   approaches unweighted split conformal on the K neighbours).
+    pub fn new(points: Vec<Vec<f32>>, scores: Vec<f64>, k: usize, tau: f64, alpha: f64) -> Self {
+        assert_eq!(points.len(), scores.len(), "points/scores length mismatch");
+        assert!(!points.is_empty(), "empty calibration set");
+        assert!(k > 0, "k must be positive");
+        assert!(tau > 0.0, "tau must be positive");
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "ragged calibration points");
+        let k = k.min(points.len());
+        Self { points, scores, k, tau, alpha }
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub fn n_calibration(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The locally weighted threshold ε̂ for a test feature vector.
+    pub fn threshold_for(&self, h: &[f32]) -> f64 {
+        assert_eq!(h.len(), self.points[0].len(), "dimension mismatch");
+        // Brute-force KNN: calibration sets here are ≤ a few thousand
+        // points and queried once per generated token, so O(n·d) scan +
+        // partial select is faster than building an index.
+        let mut dist_idx: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d2: f64 = p
+                    .iter()
+                    .zip(h.iter())
+                    .map(|(&a, &b)| {
+                        let d = (a - b) as f64;
+                        d * d
+                    })
+                    .sum();
+                (d2, i)
+            })
+            .collect();
+        let k = self.k.min(dist_idx.len());
+        dist_idx.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbours = &dist_idx[..k];
+
+        // Kernel weights, normalised with the +1 reserved-mass term.
+        let weights: Vec<f64> = neighbours.iter().map(|(d2, _)| (-d2 / self.tau).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let norm = 1.0 + total;
+
+        // Weighted quantile over (σ, ŵ) sorted by score.
+        let mut pairs: Vec<(f64, f64)> = neighbours
+            .iter()
+            .zip(weights.iter())
+            .map(|(&(_, i), &w)| (self.scores[i], w / norm))
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let target = 1.0 - self.alpha;
+        let mut cum = 0.0;
+        for &(score, w) in &pairs {
+            cum += w;
+            if cum >= target {
+                return score;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Prediction set for a test point with per-label probabilities.
+    pub fn predict(&self, h: &[f32], probs: &[f64]) -> LabelSet {
+        let eps = self.threshold_for(h);
+        let cut = 1.0 - eps;
+        let mut set = LabelSet::EMPTY;
+        for (label, &p) in probs.iter().enumerate() {
+            if p >= cut {
+                set.insert(label);
+            }
+        }
+        set
+    }
+
+    /// Binary shortcut.
+    pub fn predict_binary(&self, h: &[f32], p1: f64) -> LabelSet {
+        self.predict(h, &[1.0 - p1, p1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::rng::SplitMix64;
+
+    /// Two clusters: cluster A has tiny scores (classifier reliable
+    /// there), cluster B has large scores. The local threshold must be
+    /// small near A and large near B — the whole point of weighting.
+    #[test]
+    fn threshold_localises_to_neighbourhood() {
+        let mut points = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..50 {
+            points.push(vec![0.0 + (i as f32) * 1e-3, 0.0]);
+            scores.push(0.02);
+            points.push(vec![10.0 + (i as f32) * 1e-3, 10.0]);
+            scores.push(0.8);
+        }
+        let cp = NonExchangeableConformal::new(points, scores, 20, 1.0, 0.1);
+        let eps_a = cp.threshold_for(&[0.0, 0.0]);
+        let eps_b = cp.threshold_for(&[10.0, 10.0]);
+        assert!(eps_a < 0.1, "eps near reliable cluster: {eps_a}");
+        assert!(eps_b > 0.5, "eps near unreliable cluster: {eps_b}");
+    }
+
+    #[test]
+    fn far_test_point_gets_vacuous_set() {
+        // All neighbours are very far → weights ≈ 0 → Σŵ < 1−α → ∞.
+        let points = vec![vec![0.0_f32, 0.0]; 30];
+        let scores = vec![0.05; 30];
+        let cp = NonExchangeableConformal::new(points, scores, 10, 0.5, 0.1);
+        let eps = cp.threshold_for(&[100.0, 100.0]);
+        assert!(eps.is_infinite());
+        assert_eq!(cp.predict_binary(&[100.0, 100.0], 0.99), LabelSet::BOTH);
+    }
+
+    #[test]
+    fn reduces_to_quantile_with_flat_kernel() {
+        // With τ → ∞ and all points equidistant, weights are uniform and
+        // the threshold is the smallest score whose cumulative uniform
+        // weight reaches (1−α)(n+1)/n — slightly above the plain quantile.
+        let points: Vec<Vec<f32>> = (0..99).map(|_| vec![0.0, 0.0]).collect();
+        let scores: Vec<f64> = (1..=99).map(|i| i as f64 / 100.0).collect();
+        let cp = NonExchangeableConformal::new(points, scores, 99, 1e12, 0.1);
+        let eps = cp.threshold_for(&[0.0, 0.0]);
+        // target = 0.9, each ŵ = 1/100 → need 90 scores < ε → ε = 0.90.
+        assert!((eps - 0.90).abs() < 1e-9, "eps {eps}");
+    }
+
+    #[test]
+    fn empirical_coverage_on_exchangeable_data() {
+        // When data actually are exchangeable the weighted method must
+        // still cover (it is conservative vs. split conformal).
+        let alpha = 0.1;
+        let mut rng = SplitMix64::new(7);
+        let mut covered = 0;
+        let mut total = 0;
+        for _ in 0..100 {
+            let mut points = Vec::new();
+            let mut scores = Vec::new();
+            for _ in 0..150 {
+                let x = rng.next_gaussian() as f32;
+                let p1 = 1.0 / (1.0 + (-x as f64).exp());
+                let y = rng.next_bool(p1);
+                points.push(vec![x]);
+                scores.push(1.0 - if y { p1 } else { 1.0 - p1 });
+            }
+            let cp = NonExchangeableConformal::new(points, scores, 50, 10.0, alpha);
+            for _ in 0..10 {
+                let x = rng.next_gaussian() as f32;
+                let p1 = 1.0 / (1.0 + (-x as f64).exp());
+                let y = rng.next_bool(p1) as usize;
+                if cp.predict_binary(&[x], p1).contains(y) {
+                    covered += 1;
+                }
+                total += 1;
+            }
+        }
+        let cov = covered as f64 / total as f64;
+        assert!(cov >= 1.0 - alpha - 0.03, "coverage {cov}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = NonExchangeableConformal::new(vec![vec![0.0]], vec![0.1, 0.2], 1, 1.0, 0.1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Prediction sets over small label spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A subset of labels `0..64` packed into one machine word.
+///
+/// The RTS label space is binary (`0` = not a branching point, `1` =
+/// branching point), but the merge theorems are label-count agnostic, so
+/// the bitmask keeps the library general without costing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LabelSet(u64);
+
+impl LabelSet {
+    /// The empty set.
+    pub const EMPTY: LabelSet = LabelSet(0);
+
+    /// Set containing a single label.
+    #[inline]
+    pub fn singleton(label: usize) -> Self {
+        debug_assert!(label < 64);
+        LabelSet(1 << label)
+    }
+
+    /// Set containing every label in `0..n`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            LabelSet(u64::MAX)
+        } else {
+            LabelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Both binary labels — the "uninformative" set.
+    pub const BOTH: LabelSet = LabelSet(0b11);
+
+    #[inline]
+    pub fn insert(&mut self, label: usize) {
+        debug_assert!(label < 64);
+        self.0 |= 1 << label;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, label: usize) {
+        debug_assert!(label < 64);
+        self.0 &= !(1 << label);
+    }
+
+    #[inline]
+    pub fn contains(self, label: usize) -> bool {
+        debug_assert!(label < 64);
+        self.0 & (1 << label) != 0
+    }
+
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn union(self, other: LabelSet) -> LabelSet {
+        LabelSet(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn intersect(self, other: LabelSet) -> LabelSet {
+        LabelSet(self.0 & other.0)
+    }
+
+    #[inline]
+    pub fn is_subset_of(self, other: LabelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over member labels in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let label = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(label)
+            }
+        })
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for l in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = LabelSet::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = LabelSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(5);
+        assert!(s.contains(0) && s.contains(5) && !s.contains(1));
+        assert_eq!(s.len(), 2);
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: LabelSet = [0usize, 1, 2].into_iter().collect();
+        let b: LabelSet = [1usize, 3].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b), LabelSet::singleton(1));
+        assert!(LabelSet::singleton(1).is_subset_of(a));
+        assert!(!b.is_subset_of(a));
+    }
+
+    #[test]
+    fn full_and_both() {
+        assert_eq!(LabelSet::full(2), LabelSet::BOTH);
+        assert_eq!(LabelSet::full(64).len(), 64);
+        assert_eq!(LabelSet::full(0), LabelSet::EMPTY);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: LabelSet = [7usize, 2, 40].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 7, 40]);
+    }
+
+    #[test]
+    fn display() {
+        let s: LabelSet = [0usize, 1].into_iter().collect();
+        assert_eq!(s.to_string(), "{0,1}");
+        assert_eq!(LabelSet::EMPTY.to_string(), "{}");
+    }
+}

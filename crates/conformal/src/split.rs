@@ -1,0 +1,188 @@
+//! Split (inductive) conformal prediction.
+//!
+//! Given a trained classifier and a held-out calibration set, the
+//! nonconformity score of a calibration pair `(x_i, y_i)` is
+//! `σ_i = 1 − p(y_i | x_i)` (the paper's choice, §3.2.2). The threshold
+//!
+//! ```text
+//! ε = the ⌈(n+1)(1−α)⌉-th smallest calibration score   (n = |D_c|)
+//! ```
+//!
+//! yields the prediction set `C(x) = { y : p(y|x) ≥ 1 − ε }`, which under
+//! exchangeability satisfies `P(y* ∈ C(x)) ≥ 1 − α` *marginally* over the
+//! draw of calibration data and test point.
+
+use crate::set::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// A calibrated split-conformal predictor for classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitConformal {
+    threshold: f64,
+    alpha: f64,
+    n_calibration: usize,
+}
+
+impl SplitConformal {
+    /// Calibrate from nonconformity scores `σ_i = 1 − p(y_i | x_i)`.
+    ///
+    /// If `⌈(n+1)(1−α)⌉ > n` (tiny calibration sets / tiny α) the
+    /// threshold is `+∞` and every prediction set is the full label set —
+    /// the vacuous-but-valid degenerate case.
+    pub fn from_scores(mut scores: Vec<f64>, alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
+        assert!(!scores.is_empty(), "empty calibration set");
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "nonconformity scores must be finite"
+        );
+        let n = scores.len();
+        let rank = ((n as f64 + 1.0) * (1.0 - alpha)).ceil() as usize;
+        let threshold = if rank > n {
+            f64::INFINITY
+        } else {
+            // rank is 1-based; select the (rank-1)-th order statistic.
+            let (_, t, _) = scores.select_nth_unstable_by(rank - 1, f64::total_cmp);
+            *t
+        };
+        Self { threshold, alpha, n_calibration: n }
+    }
+
+    /// The calibrated quantile ε.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The nominal error level this predictor was calibrated at.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of calibration points used.
+    pub fn n_calibration(&self) -> usize {
+        self.n_calibration
+    }
+
+    /// Prediction set over an arbitrary label space given per-label
+    /// probabilities: `C = { y : p(y|x) ≥ 1 − ε }`.
+    pub fn predict(&self, probs: &[f64]) -> LabelSet {
+        assert!(probs.len() <= 64, "label space too large for LabelSet");
+        let cut = 1.0 - self.threshold;
+        let mut set = LabelSet::EMPTY;
+        for (label, &p) in probs.iter().enumerate() {
+            if p >= cut {
+                set.insert(label);
+            }
+        }
+        set
+    }
+
+    /// Binary shortcut: `p1 = p(y=1 | x)`, `p0 = 1 − p1`.
+    pub fn predict_binary(&self, p1: f64) -> LabelSet {
+        self.predict(&[1.0 - p1, p1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinynn::rng::SplitMix64;
+
+    #[test]
+    fn threshold_is_correct_order_statistic() {
+        // n = 9, alpha = 0.1 → rank = ceil(10 * 0.9) = 9 → the maximum.
+        let scores: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        let cp = SplitConformal::from_scores(scores, 0.1);
+        assert!((cp.threshold() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_calibration_gives_infinite_threshold() {
+        // n = 3, alpha = 0.1 → rank = ceil(4 * 0.9) = 4 > 3 → ∞.
+        let cp = SplitConformal::from_scores(vec![0.1, 0.2, 0.3], 0.1);
+        assert!(cp.threshold().is_infinite());
+        // Full set regardless of probability.
+        assert_eq!(cp.predict_binary(0.999), LabelSet::BOTH);
+    }
+
+    #[test]
+    fn confident_correct_classifier_gives_singletons() {
+        let scores = vec![0.01; 99];
+        let cp = SplitConformal::from_scores(scores, 0.1);
+        let set = cp.predict_binary(0.995);
+        assert_eq!(set, LabelSet::singleton(1));
+        let set = cp.predict_binary(0.005);
+        assert_eq!(set, LabelSet::singleton(0));
+    }
+
+    #[test]
+    fn uncertain_classifier_gives_both_labels() {
+        // Large calibration scores → large ε → wide sets.
+        let scores = vec![0.6; 99];
+        let cp = SplitConformal::from_scores(scores, 0.1);
+        assert_eq!(cp.predict_binary(0.5), LabelSet::BOTH);
+    }
+
+    #[test]
+    fn multiclass_prediction_set() {
+        let cp = SplitConformal::from_scores(vec![0.3; 99], 0.1);
+        // cut = 0.7: only labels with p >= 0.7 enter.
+        let set = cp.predict(&[0.75, 0.2, 0.05]);
+        assert_eq!(set, LabelSet::singleton(0));
+        let set = cp.predict(&[0.1, 0.1, 0.8]);
+        assert_eq!(set, LabelSet::singleton(2));
+    }
+
+    /// Empirical check of the 1−α marginal coverage guarantee.
+    ///
+    /// Model: p(y=1|x) is well calibrated (the true label is Bernoulli of
+    /// the predicted probability). Scores on calibration and test are then
+    /// exchangeable, so coverage must be ≥ 1 − α up to simulation noise.
+    #[test]
+    fn marginal_coverage_holds_empirically() {
+        let alpha = 0.1;
+        let mut rng = SplitMix64::new(2024);
+        let trials = 300;
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            // Fresh calibration draw each trial (the guarantee is marginal
+            // over calibration + test randomness).
+            let cal: Vec<f64> = (0..200)
+                .map(|_| {
+                    let p1 = rng.next_f64();
+                    let y = rng.next_bool(p1);
+                    1.0 - if y { p1 } else { 1.0 - p1 }
+                })
+                .collect();
+            let cp = SplitConformal::from_scores(cal, alpha);
+            for _ in 0..20 {
+                let p1 = rng.next_f64();
+                let y = rng.next_bool(p1) as usize;
+                if cp.predict_binary(p1).contains(y) {
+                    covered += 1;
+                }
+                total += 1;
+            }
+        }
+        let coverage = covered as f64 / total as f64;
+        assert!(
+            coverage >= 1.0 - alpha - 0.02,
+            "empirical coverage {coverage} below guarantee"
+        );
+        // Also not absurdly conservative for a calibrated model.
+        assert!(coverage <= 1.0, "coverage {coverage}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty calibration set")]
+    fn empty_calibration_panics() {
+        let _ = SplitConformal::from_scores(vec![], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn bad_alpha_panics() {
+        let _ = SplitConformal::from_scores(vec![0.1], 1.5);
+    }
+}

@@ -1,0 +1,507 @@
+//! The Branching Point Predictor (§3.2).
+//!
+//! **sBPP** (§3.2.2): one two-layer MLP probe per hidden layer, trained
+//! on `D_branch` and wrapped in split conformal prediction with
+//! nonconformity score `1 − p(y* | x)`. Each probe yields a prediction
+//! set over `{0 = ordinary, 1 = branching point}` with marginal coverage
+//! ≥ 1 − α. The non-exchangeable KNN-weighted variant of Barber et al.
+//! is available behind [`ConformalKind::Knn`].
+//!
+//! **mBPP** (§3.2.3): the `k` probes with the best calibration AUC are
+//! selected (the paper's `k = 5` default) and their prediction sets are
+//! merged by either the θ-majority vote of Theorem 1 or the
+//! random-permutation merge of Algorithm 1 / Theorem 3. A token is
+//! declared a branching point iff label `1` survives in the merged set.
+
+use crate::branching::BranchDataset;
+use conformal::{LabelSet, NonExchangeableConformal, SplitConformal};
+use serde::{Deserialize, Serialize};
+use simlm::GenerationTrace;
+use tinynn::rng::SplitMix64;
+use tinynn::{Dataset, Mlp, MlpConfig, StandardScaler};
+
+/// Which conformal wrapper an sBPP uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConformalKind {
+    /// Standard split conformal (exchangeable calibration).
+    Split,
+    /// Non-exchangeable, KNN-weighted (Barber et al. 2023).
+    Knn { k: usize, tau: f64 },
+}
+
+/// How per-layer prediction sets are merged into the mBPP decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MergeMethod {
+    /// Theorem 1: keep labels in strictly more than θ of the sets.
+    MajorityVote { theta: f64 },
+    /// Algorithm 1 / Theorem 3.
+    RandomPermutation,
+}
+
+/// A single-layer branching point predictor.
+#[derive(Debug, Clone)]
+pub struct Sbpp {
+    pub layer: usize,
+    pub alpha: f64,
+    /// AUC of the probe on its calibration split (the layer-selection
+    /// criterion and the Table 3 statistic).
+    pub auc: f64,
+    /// Probe failed validation and was replaced by the constant prior.
+    pub degenerate: bool,
+    probe: Mlp,
+    scaler: StandardScaler,
+    /// Calibration nonconformity scores (kept so α can be re-chosen
+    /// without re-training — the Figure 6 sweep).
+    cal_scores: Vec<f64>,
+    conformal: SplitConformal,
+    /// Present only for the non-exchangeable variant.
+    knn: Option<NonExchangeableConformal>,
+}
+
+/// Training configuration for the probes.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Hidden widths of the probe MLP (paper: one hidden layer).
+    pub hidden: Vec<usize>,
+    pub epochs: usize,
+    pub lr: f32,
+    /// Fraction of `D_branch` rows held out for calibration.
+    pub calibration_frac: f64,
+    pub conformal: ConformalKind,
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![16],
+            epochs: 20,
+            lr: 5e-3,
+            calibration_frac: 0.35,
+            conformal: ConformalKind::Split,
+            seed: 0,
+        }
+    }
+}
+
+impl Sbpp {
+    /// Train the probe for one layer of `D_branch`.
+    pub fn train(ds: &BranchDataset, layer: usize, alpha: f64, cfg: &ProbeConfig) -> Sbpp {
+        let features = &ds.layers[layer];
+        let n = features.rows();
+        assert!(n >= 50, "too few tokens ({n}) to train a probe");
+
+        let full = Dataset::from_matrix(features.clone(), ds.labels.clone());
+        let (train, cal) = full.split(cfg.calibration_frac, cfg.seed ^ (layer as u64) << 7);
+        // Cap the probe-training set: past a few thousand rows extra data
+        // only sharpens the sigmoid into saturation, which degenerates
+        // the conformal quantiles (ε stops responding to α). The
+        // calibration split is never capped — quantile resolution wants
+        // every point.
+        let train = if train.len() > 6000 {
+            let idx: Vec<usize> = (0..6000).collect();
+            let (shuffled, _) = train.split(0.0, cfg.seed ^ 0x5b5b);
+            shuffled.subset(&idx)
+        } else {
+            train
+        };
+
+        // Standardise on the probe-training split only; the scaler is
+        // part of the fixed predictor, preserving exchangeability of the
+        // calibration scores.
+        let train_rows: Vec<&[f32]> = (0..train.len()).map(|i| train.row(i)).collect();
+        let scaler = StandardScaler::fit(&train_rows);
+        let scale_ds = |d: &Dataset| {
+            let rows: Vec<Vec<f32>> = (0..d.len()).map(|i| scaler.transform(d.row(i))).collect();
+            Dataset::from_rows(&rows, d.targets())
+        };
+        let train_s = scale_ds(&train);
+        let cal_s = scale_ds(&cal);
+
+        // Branching points are ~2% of tokens: oversample positives to a
+        // 1:1 class balance so every Adam batch sees them. Duplicated
+        // copies are jittered (Gaussian, σ = 0.6 in standardised
+        // units), which blocks a signal-free probe from memorising the
+        // handful of unique positives — a blind layer's probe then
+        // honestly outputs p ≈ 0.5 and its conformal sets become the
+        // wide {0,1} of a clueless expert. That regime is what the
+        // merge comparison of Fig. 7 lives in: wide sets pollute the
+        // θ-majority vote at large k while the permutation merge prunes
+        // them.
+        let pos_idx: Vec<usize> =
+            (0..train_s.len()).filter(|&i| train_s.targets()[i] > 0.5).collect();
+        let neg_count = train_s.len() - pos_idx.len();
+        let train_s = if pos_idx.is_empty() {
+            train_s
+        } else {
+            let copies = (neg_count / pos_idx.len()).clamp(1, 120);
+            let mut jitter_rng =
+                SplitMix64::new(cfg.seed ^ 0x7177 ^ ((layer as u64) << 3));
+            let mut rows: Vec<Vec<f32>> = Vec::with_capacity(train_s.len() + (copies - 1) * pos_idx.len());
+            let mut labels: Vec<f32> = Vec::with_capacity(rows.capacity());
+            for i in 0..train_s.len() {
+                rows.push(train_s.row(i).to_vec());
+                labels.push(train_s.targets()[i]);
+            }
+            for _ in 1..copies {
+                for &i in &pos_idx {
+                    let jittered: Vec<f32> = train_s
+                        .row(i)
+                        .iter()
+                        .map(|&x| x + 0.60 * jitter_rng.next_gaussian() as f32)
+                        .collect();
+                    rows.push(jittered);
+                    labels.push(1.0);
+                }
+            }
+            Dataset::from_rows(&rows, &labels)
+        };
+        let pos_rate = train_s.positive_rate().max(1e-4);
+        let pos_weight = (((1.0 - pos_rate) / pos_rate) as f32).min(4.0);
+        let mut probe = Mlp::new(MlpConfig {
+            input_dim: ds.hidden_dim,
+            hidden_dims: cfg.hidden.clone(),
+            lr: cfg.lr,
+            epochs: cfg.epochs,
+            batch_size: 64,
+            pos_weight,
+            weight_decay: 1e-4,
+            seed: cfg.seed ^ 0xBB90 ^ (layer as u64),
+            ..MlpConfig::default()
+        });
+        probe.fit(&train_s);
+
+        // Calibration scores + AUC.
+        let probs = probe.predict_proba_batch(cal_s.features());
+        let mut cal_scores = Vec::with_capacity(cal_s.len());
+        let mut auc_scores = Vec::with_capacity(cal_s.len());
+        let mut auc_labels = Vec::with_capacity(cal_s.len());
+        for (i, &p) in probs.iter().enumerate() {
+            let y = cal_s.targets()[i] > 0.5;
+            let p_true = if y { p as f64 } else { 1.0 - p as f64 };
+            cal_scores.push(1.0 - p_true);
+            auc_scores.push(p as f64);
+            auc_labels.push(y);
+        }
+        let auc = tinynn::metrics::auc(&auc_scores, &auc_labels);
+        // Probe validation: a layer whose probe cannot beat chance on
+        // calibration is replaced by the constant-prior predictor
+        // (p = 0.5). Its nonconformity scores are then all 0.5, every
+        // prediction set is the honest {0,1} of a clueless expert, and
+        // the layer is naturally down-ranked by AUC selection.
+        let degenerate = auc < 0.65;
+        let cal_scores = if degenerate { vec![0.5; cal_scores.len()] } else { cal_scores };
+        let conformal = SplitConformal::from_scores(cal_scores.clone(), alpha);
+        let knn = match cfg.conformal {
+            ConformalKind::Split => None,
+            ConformalKind::Knn { k, tau } => {
+                let points: Vec<Vec<f32>> =
+                    (0..cal_s.len()).map(|i| cal_s.row(i).to_vec()).collect();
+                Some(NonExchangeableConformal::new(points, cal_scores.clone(), k, tau, alpha))
+            }
+        };
+        Sbpp { layer, alpha, auc, degenerate, probe, scaler, cal_scores, conformal, knn }
+    }
+
+    /// Probe score p(branch | h) for a raw hidden-state vector.
+    pub fn score(&self, h: &[f32]) -> f64 {
+        if self.degenerate {
+            return 0.5;
+        }
+        self.probe.predict_proba(&self.scaler.transform(h)) as f64
+    }
+
+    /// The conformal prediction set for a raw hidden-state vector.
+    ///
+    /// The set may be empty (`max(p₀, p₁) < 1 − ε`): the probe conforms
+    /// to neither label. The mBPP merge treats an empty set as an
+    /// *abstaining layer* and drops it — the prefix-majority of
+    /// Algorithm 1 is only meaningful over layers that voted.
+    pub fn predict_set(&self, h: &[f32]) -> LabelSet {
+        let hs = self.scaler.transform(h);
+        let p1 = self.score(h);
+        match &self.knn {
+            Some(knn) => knn.predict_binary(&hs, p1),
+            None => self.conformal.predict_binary(p1),
+        }
+    }
+
+    /// Re-calibrate to a different error level without re-training.
+    pub fn with_alpha(&self, alpha: f64) -> Sbpp {
+        let mut out = self.clone();
+        out.alpha = alpha;
+        out.conformal = SplitConformal::from_scores(self.cal_scores.clone(), alpha);
+        // The KNN variant re-reads alpha lazily; rebuild if present.
+        if let Some(_knn) = &self.knn {
+            // Rebuilding requires the calibration points, which the KNN
+            // wrapper owns; cheapest correct path is to keep split CP for
+            // sweeps (the ablation constructs KNN variants per α).
+            out.knn = None;
+        }
+        out
+    }
+}
+
+/// The multi-layer branching point predictor.
+#[derive(Debug, Clone)]
+pub struct Mbpp {
+    /// One probe per LLM layer (all trained; selection picks `k`).
+    pub sbpps: Vec<Sbpp>,
+    /// Indices (into `sbpps`) of the k best-AUC layers.
+    pub selected: Vec<usize>,
+    pub method: MergeMethod,
+    pub alpha: f64,
+}
+
+/// mBPP training configuration.
+#[derive(Debug, Clone)]
+pub struct MbppConfig {
+    pub alpha: f64,
+    /// Number of sBPPs aggregated (paper default: 5).
+    pub k: usize,
+    pub method: MergeMethod,
+    pub probe: ProbeConfig,
+}
+
+impl Default for MbppConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            k: 5,
+            method: MergeMethod::RandomPermutation,
+            probe: ProbeConfig::default(),
+        }
+    }
+}
+
+impl Mbpp {
+    /// Train probes for every layer, rank them by calibration AUC and
+    /// select the top `k`.
+    pub fn train(ds: &BranchDataset, cfg: &MbppConfig) -> Mbpp {
+        assert!(cfg.k >= 1 && cfg.k <= ds.n_layers, "k out of range");
+        // Per-layer probes are independent; train them in parallel.
+        let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let slots: Vec<parking_lot::Mutex<Option<Sbpp>>> =
+            (0..ds.n_layers).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            let slots = &slots;
+            let next = &next;
+            for _ in 0..n_workers.min(ds.n_layers) {
+                scope.spawn(move |_| loop {
+                    let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if j >= ds.n_layers {
+                        break;
+                    }
+                    let trained = Sbpp::train(ds, j, cfg.alpha, &cfg.probe);
+                    *slots[j].lock() = Some(trained);
+                });
+            }
+        })
+        .expect("probe training threads panicked");
+        let sbpps: Vec<Sbpp> =
+            slots.into_iter().map(|s| s.into_inner().expect("probe trained")).collect();
+        let selected = Self::top_k(&sbpps, cfg.k);
+        Mbpp { sbpps, selected, method: cfg.method, alpha: cfg.alpha }
+    }
+
+    fn top_k(sbpps: &[Sbpp], k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..sbpps.len()).collect();
+        order.sort_by(|&a, &b| sbpps[b].auc.total_cmp(&sbpps[a].auc));
+        order.truncate(k);
+        order
+    }
+
+    /// Mean AUC over the *selected* probes (what Table 3 reports for the
+    /// sBPPs used in conformal prediction).
+    pub fn mean_selected_auc(&self) -> f64 {
+        self.selected.iter().map(|&i| self.sbpps[i].auc).sum::<f64>()
+            / self.selected.len() as f64
+    }
+
+    /// Mean AUC over all layers (diagnostic).
+    pub fn mean_auc_all(&self) -> f64 {
+        self.sbpps.iter().map(|s| s.auc).sum::<f64>() / self.sbpps.len() as f64
+    }
+
+    /// Is this token (its per-layer hidden stack) a branching point?
+    ///
+    /// Empty per-layer sets are abstentions and are excluded from the
+    /// merge; a token every layer abstains on is not flagged.
+    pub fn is_branch(&self, hidden: &[Vec<f32>], rng: &mut SplitMix64) -> bool {
+        let sets: Vec<LabelSet> = self
+            .selected
+            .iter()
+            .map(|&i| self.sbpps[i].predict_set(&hidden[self.sbpps[i].layer]))
+            .filter(|s| !s.is_empty())
+            .collect();
+        if sets.is_empty() {
+            return false;
+        }
+        let merged = match self.method {
+            MergeMethod::MajorityVote { theta } => conformal::majority_vote(&sets, theta, 2),
+            MergeMethod::RandomPermutation => {
+                conformal::random_permutation_merge(&sets, 2, rng)
+            }
+        };
+        merged.contains(1)
+    }
+
+    /// Flag every token of a trace. Returns the per-token decisions.
+    pub fn flag_trace(&self, trace: &GenerationTrace, rng: &mut SplitMix64) -> Vec<bool> {
+        trace.steps.iter().map(|s| self.is_branch(&s.hidden, rng)).collect()
+    }
+
+    /// Clone with a different error level (cheap: reuses probes).
+    pub fn with_alpha(&self, alpha: f64) -> Mbpp {
+        Mbpp {
+            sbpps: self.sbpps.iter().map(|s| s.with_alpha(alpha)).collect(),
+            selected: self.selected.clone(),
+            method: self.method,
+            alpha,
+        }
+    }
+
+    /// Clone with a different k (cheap: reuses probes).
+    pub fn with_k(&self, k: usize) -> Mbpp {
+        assert!(k >= 1 && k <= self.sbpps.len());
+        Mbpp {
+            sbpps: self.sbpps.clone(),
+            selected: Self::top_k(&self.sbpps, k),
+            method: self.method,
+            alpha: self.alpha,
+        }
+    }
+
+    /// Clone with a different merge method.
+    pub fn with_method(&self, method: MergeMethod) -> Mbpp {
+        Mbpp { method, ..self.clone() }
+    }
+
+    /// Clone selecting *random* layers instead of top-AUC (ablation).
+    pub fn with_random_layers(&self, k: usize, seed: u64) -> Mbpp {
+        let mut order: Vec<usize> = (0..self.sbpps.len()).collect();
+        let mut rng = SplitMix64::new(seed);
+        tinynn::rng::shuffle(&mut order, &mut rng);
+        order.truncate(k);
+        Mbpp { selected: order, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::BenchmarkProfile;
+    use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+
+    fn setup() -> (benchgen::Benchmark, SchemaLinker, BranchDataset) {
+        let bench = BenchmarkProfile::bird_like().scaled(0.03).generate(31);
+        let model = SchemaLinker::new("bird", 5);
+        let ds = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 250);
+        (bench, model, ds)
+    }
+
+    #[test]
+    fn probes_learn_the_risk_direction() {
+        let (_, _, ds) = setup();
+        // Train only a mid-depth layer (cheap test): it must beat 0.85
+        // AUC; an early layer must be clearly worse.
+        let cfg = ProbeConfig { epochs: 15, ..ProbeConfig::default() };
+        let late = Sbpp::train(&ds, 21, 0.1, &cfg);
+        let early = Sbpp::train(&ds, 0, 0.1, &cfg);
+        assert!(late.auc > 0.85, "late-layer AUC {}", late.auc);
+        assert!(early.auc < late.auc, "early {} vs late {}", early.auc, late.auc);
+    }
+
+    #[test]
+    fn mbpp_selects_informative_layers() {
+        let (_, model, ds) = setup();
+        let cfg = MbppConfig { probe: ProbeConfig { epochs: 12, ..Default::default() }, ..Default::default() };
+        let mbpp = Mbpp::train(&ds, &cfg);
+        assert_eq!(mbpp.selected.len(), 5);
+        // Selected layers should sit in the gainful region of the
+        // simulated network.
+        let gains = model.layer_gains();
+        for &i in &mbpp.selected {
+            assert!(gains[mbpp.sbpps[i].layer] > 0.2, "selected weak layer {i}");
+        }
+        assert!(mbpp.mean_selected_auc() > 0.9, "selected AUC {}", mbpp.mean_selected_auc());
+        assert!(mbpp.mean_selected_auc() > mbpp.mean_auc_all());
+    }
+
+    #[test]
+    fn mbpp_detects_branches_on_dev() {
+        let (bench, model, ds) = setup();
+        let cfg = MbppConfig { probe: ProbeConfig { epochs: 12, ..Default::default() }, ..Default::default() };
+        let mbpp = Mbpp::train(&ds, &cfg);
+        let mut rng = SplitMix64::new(99);
+        let mut flags = Vec::new();
+        for inst in bench.split.dev.iter().take(60) {
+            let mut vocab = Vocab::new();
+            let trace = model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            let predicted = mbpp.flag_trace(&trace, &mut rng);
+            for (p, s) in predicted.iter().zip(&trace.steps) {
+                flags.push((*p, s.is_branch));
+            }
+        }
+        let m = crate::metrics::coverage_metrics(&flags);
+        assert!(m.n_branches > 0, "no branches in dev sample");
+        assert!(m.coverage >= 0.8, "coverage {}", m.coverage);
+        assert!(m.ear <= 0.2, "EAR {}", m.ear);
+    }
+
+    #[test]
+    fn alpha_recalibration_moves_coverage() {
+        let (bench, model, ds) = setup();
+        let cfg = MbppConfig { probe: ProbeConfig { epochs: 10, ..Default::default() }, ..Default::default() };
+        let mbpp_tight = Mbpp::train(&ds, &cfg); // α = 0.1
+        let mbpp_loose = mbpp_tight.with_alpha(0.4);
+        let run = |mbpp: &Mbpp| {
+            let mut rng = SplitMix64::new(7);
+            let mut flags = Vec::new();
+            for inst in bench.split.dev.iter().take(40) {
+                let mut vocab = Vocab::new();
+                let trace =
+                    model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+                for (p, s) in mbpp.flag_trace(&trace, &mut rng).iter().zip(&trace.steps) {
+                    flags.push((*p, s.is_branch));
+                }
+            }
+            crate::metrics::coverage_metrics(&flags)
+        };
+        let tight = run(&mbpp_tight);
+        let loose = run(&mbpp_loose);
+        // Larger α ⇒ tighter sets ⇒ lower EAR (and usually lower coverage).
+        assert!(loose.ear <= tight.ear + 1e-9, "loose {} vs tight {}", loose.ear, tight.ear);
+    }
+
+    #[test]
+    fn with_k_changes_selection_size() {
+        let (_, _, ds) = setup();
+        let cfg = MbppConfig { probe: ProbeConfig { epochs: 4, ..Default::default() }, ..Default::default() };
+        let mbpp = Mbpp::train(&ds, &cfg);
+        assert_eq!(mbpp.with_k(1).selected.len(), 1);
+        assert_eq!(mbpp.with_k(9).selected.len(), 9);
+        // Top-1 is the best-AUC probe.
+        let best = mbpp.with_k(1).selected[0];
+        assert!(mbpp
+            .sbpps
+            .iter()
+            .all(|s| s.auc <= mbpp.sbpps[best].auc + 1e-12));
+    }
+
+    #[test]
+    fn knn_conformal_variant_trains() {
+        let (_, _, ds) = setup();
+        let cfg = ProbeConfig {
+            epochs: 4,
+            conformal: ConformalKind::Knn { k: 50, tau: 50.0 },
+            ..Default::default()
+        };
+        let sbpp = Sbpp::train(&ds, 21, 0.1, &cfg);
+        // Must produce valid sets.
+        let h = vec![0.0_f32; ds.hidden_dim];
+        let set = sbpp.predict_set(&h);
+        assert!(!set.is_empty() || set == LabelSet::EMPTY);
+    }
+}

@@ -1,0 +1,114 @@
+//! Building `D_branch` (§3.1): trace teacher-forced generations over
+//! labelled instances and collect, for every generated token, its
+//! per-layer hidden-state vectors together with the branching-point
+//! label `s_i ∈ {0, 1}`.
+
+use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+use tinynn::Matrix;
+
+/// The branching-point dataset: per-layer feature matrices sharing one
+/// label vector (a token contributes one row to *every* layer).
+#[derive(Debug, Clone)]
+pub struct BranchDataset {
+    pub n_layers: usize,
+    pub hidden_dim: usize,
+    /// `layers[j]` is an `(n_tokens × hidden_dim)` feature matrix.
+    pub layers: Vec<Matrix>,
+    /// `labels[i] = 1.0` iff token `i` is a branching point.
+    pub labels: Vec<f32>,
+    /// Instance count that produced the dataset.
+    pub n_instances: usize,
+}
+
+impl BranchDataset {
+    /// Trace `instances` with teacher forcing and collect `D_branch`.
+    ///
+    /// `max_instances` caps the cost (the paper uses ~10% of the
+    /// training split); `0` means no cap.
+    pub fn build(
+        model: &SchemaLinker,
+        instances: &[benchgen::Instance],
+        target: LinkTarget,
+        max_instances: usize,
+    ) -> Self {
+        let take = if max_instances == 0 { instances.len() } else { max_instances.min(instances.len()) };
+        assert!(take > 0, "no instances to trace");
+        let mut rows_per_layer: Vec<Vec<f32>> = vec![Vec::new(); model.n_layers];
+        let mut labels: Vec<f32> = Vec::new();
+        for inst in &instances[..take] {
+            let mut vocab = Vocab::new();
+            let trace = model.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+            for step in &trace.steps {
+                labels.push(step.is_branch as u8 as f32);
+                for (j, h) in step.hidden.iter().enumerate() {
+                    rows_per_layer[j].extend_from_slice(h);
+                }
+            }
+        }
+        let n_tokens = labels.len();
+        let layers: Vec<Matrix> = rows_per_layer
+            .into_iter()
+            .map(|data| Matrix::from_vec(n_tokens, model.hidden_dim, data))
+            .collect();
+        BranchDataset {
+            n_layers: model.n_layers,
+            hidden_dim: model.hidden_dim,
+            layers,
+            labels,
+            n_instances: take,
+        }
+    }
+
+    pub fn n_tokens(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Fraction of positive (branching) tokens.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l > 0.5).count() as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::BenchmarkProfile;
+
+    #[test]
+    fn dataset_shape_and_labels() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.005).generate(11);
+        let model = SchemaLinker::new("bird", 3);
+        let ds = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 40);
+        assert_eq!(ds.layers.len(), model.n_layers);
+        assert!(ds.n_tokens() > 100);
+        for layer in &ds.layers {
+            assert_eq!(layer.rows(), ds.n_tokens());
+            assert_eq!(layer.cols(), model.hidden_dim);
+        }
+        // Branching points are rare but present.
+        let rate = ds.positive_rate();
+        assert!(rate > 0.0 && rate < 0.2, "positive rate {rate}");
+    }
+
+    #[test]
+    fn cap_limits_instances() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.005).generate(12);
+        let model = SchemaLinker::new("bird", 3);
+        let small = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 5);
+        let large = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 20);
+        assert_eq!(small.n_instances, 5);
+        assert!(large.n_tokens() > small.n_tokens());
+    }
+
+    #[test]
+    fn columns_dataset_is_larger_than_tables() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.005).generate(13);
+        let model = SchemaLinker::new("bird", 3);
+        let t = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 20);
+        let c = BranchDataset::build(&model, &bench.split.train, LinkTarget::Columns, 20);
+        assert!(c.n_tokens() > t.n_tokens(), "column streams are longer");
+    }
+}

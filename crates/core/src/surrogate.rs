@@ -1,0 +1,249 @@
+//! The surrogate relevance filter (§3.3).
+//!
+//! The paper fine-tunes a Deepseek-7B to answer *"Is `T_b` relevant to
+//! the question: (A) True (B) False"* and uses it as a stand-in for a
+//! human when a branching point fires. We simulate the fine-tuned
+//! model's *semantic knowledge* with a noisy-oracle feature — the true
+//! relevance bit flipped at a rate that grows with instance hardness —
+//! and train a real `tinynn` classifier on that feature plus observable
+//! structure (confusion weight, hardness, element kind, link
+//! underspecification). The resulting accuracy lands at the paper's
+//! Table 4 operating points (92–96%) and, crucially, errs exactly where
+//! a real model errs: on hard, ambiguous instances.
+
+use benchgen::{Benchmark, Instance};
+use tinynn::rng::{stable_hash, SplitMix64};
+use tinynn::{Dataset, Mlp, MlpConfig, StandardScaler};
+
+/// Per-benchmark semantic-noise rate (the only free knob; see Table 4).
+fn noise_rate(benchmark: &str) -> f64 {
+    match benchmark {
+        "bird" => 0.062,
+        "spider" => 0.033,
+        other => panic!("no surrogate noise profile for {other}"),
+    }
+}
+
+/// The trained surrogate filter.
+#[derive(Debug, Clone)]
+pub struct SurrogateModel {
+    mlp: Mlp,
+    scaler: StandardScaler,
+    noise: f64,
+    seed: u64,
+}
+
+const N_FEATURES: usize = 6;
+
+impl SurrogateModel {
+    /// Assemble features for one (instance, element) relevance query.
+    ///
+    /// `truly_relevant` feeds the *noisy* semantic-oracle feature — the
+    /// stand-in for what a fine-tuned LLM knows about the question; the
+    /// flip noise is deterministic per (model, instance, element).
+    fn features(&self, inst: &Instance, element: &str, is_table: bool, truly_relevant: bool) -> Vec<f32> {
+        Self::features_with(self.noise, self.seed, inst, element, is_table, truly_relevant)
+    }
+
+    fn features_with(
+        noise: f64,
+        seed: u64,
+        inst: &Instance,
+        element: &str,
+        is_table: bool,
+        truly_relevant: bool,
+    ) -> Vec<f32> {
+        let mut rng = SplitMix64::new(
+            seed ^ stable_hash(element.as_bytes()) ^ inst.id.wrapping_mul(0xA3C5_9AC3),
+        );
+        // Hardness-modulated flip: hard instances confuse the surrogate
+        // more, like they confuse the linker.
+        let p_flip = (noise * (0.55 + 0.9 * inst.hardness)).min(0.5);
+        let semantic = if rng.next_bool(p_flip) { !truly_relevant } else { truly_relevant };
+
+        // How strongly the workload's confusion structure pulls toward
+        // this element (max confusable weight across links).
+        let pull = inst
+            .links
+            .iter()
+            .flat_map(|l| l.confusables.iter())
+            .filter(|c| c.alt.to_string() == element)
+            .map(|c| c.weight)
+            .fold(0.0_f64, f64::max);
+        // Is the element one of the question's gold mentions' *lexical
+        // neighbourhood* (gold or confusable)?
+        let in_neighbourhood = truly_relevant
+            || inst.links.iter().any(|l| {
+                l.confusables.iter().any(|c| c.alt.to_string() == element)
+            });
+        vec![
+            semantic as u8 as f32,
+            pull as f32,
+            inst.hardness as f32,
+            is_table as u8 as f32,
+            in_neighbourhood as u8 as f32,
+            inst.risk_count() as f32,
+        ]
+    }
+
+    /// Fine-tune the surrogate on the benchmark's training split:
+    /// positives are gold elements, negatives are their confusables.
+    pub fn train(bench: &Benchmark, seed: u64) -> SurrogateModel {
+        let noise = noise_rate(&bench.profile.name);
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut labels: Vec<f32> = Vec::new();
+        for inst in bench.split.train.iter().take(1200) {
+            for link in &inst.links {
+                let is_table = link.element.is_table();
+                let gold = link.element.to_string();
+                rows.push(Self::features_with(noise, seed, inst, &gold, is_table, true));
+                labels.push(1.0);
+                for c in link.confusables.iter().take(2) {
+                    let alt = c.alt.to_string();
+                    // A confusable may coincidentally be another gold
+                    // element; label truthfully.
+                    let truly = if c.alt.is_table() {
+                        inst.gold_tables.contains(&c.alt.table)
+                    } else {
+                        inst.gold_columns.iter().any(|(t, col)| {
+                            *t == c.alt.table && Some(col) == c.alt.column.as_ref()
+                        })
+                    };
+                    rows.push(Self::features_with(noise, seed, inst, &alt, c.alt.is_table(), truly));
+                    labels.push(truly as u8 as f32);
+                }
+            }
+        }
+        assert!(rows.len() > 200, "too little surrogate training data");
+        let row_refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&row_refs);
+        let scaled: Vec<Vec<f32>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        let ds = Dataset::from_rows(&scaled, &labels);
+        let mut mlp = Mlp::new(MlpConfig {
+            input_dim: N_FEATURES,
+            hidden_dims: vec![16],
+            lr: 5e-3,
+            epochs: 12,
+            batch_size: 64,
+            seed: seed ^ 0x5A11,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&ds);
+        SurrogateModel { mlp, scaler, noise, seed }
+    }
+
+    /// Answer the §3.3 prompt: is `element` relevant to the question?
+    pub fn is_relevant(&self, inst: &Instance, element: &str, is_table: bool) -> bool {
+        let truly = if is_table {
+            inst.gold_tables.iter().any(|t| t == element)
+        } else {
+            inst.gold_columns.iter().any(|(t, c)| format!("{t}.{c}") == element)
+        };
+        let f = self.features(inst, element, is_table, truly);
+        self.mlp.predict(&self.scaler.transform(&f))
+    }
+
+    /// Classification accuracy on an evaluation split (Table 4): for
+    /// each link, one positive (gold) and up to two negative
+    /// (confusable) queries, restricted to the requested element kind.
+    pub fn accuracy(&self, instances: &[Instance], tables: bool) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for inst in instances {
+            for link in &inst.links {
+                if link.element.is_table() != tables {
+                    continue;
+                }
+                let gold = link.element.to_string();
+                if self.is_relevant(inst, &gold, tables) {
+                    correct += 1;
+                }
+                total += 1;
+                for c in link.confusables.iter().take(2) {
+                    if c.alt.is_table() != tables {
+                        continue;
+                    }
+                    let alt = c.alt.to_string();
+                    let truly = if tables {
+                        inst.gold_tables.contains(&c.alt.table)
+                    } else {
+                        inst.gold_columns.iter().any(|(t, col)| {
+                            *t == c.alt.table && Some(col) == c.alt.column.as_ref()
+                        })
+                    };
+                    if self.is_relevant(inst, &alt, tables) == truly {
+                        correct += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchgen::BenchmarkProfile;
+
+    #[test]
+    fn surrogate_accuracy_lands_near_table4() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.015).generate(50);
+        let surrogate = SurrogateModel::train(&bench, 7);
+        let acc_t = surrogate.accuracy(&bench.split.dev, true);
+        let acc_c = surrogate.accuracy(&bench.split.dev, false);
+        // Paper (BIRD): 92.37 tables / 94.06 columns. Allow ±5pp at this
+        // reduced scale.
+        assert!((0.86..=0.99).contains(&acc_t), "table accuracy {acc_t}");
+        assert!((0.86..=0.99).contains(&acc_c), "column accuracy {acc_c}");
+    }
+
+    #[test]
+    fn spider_surrogate_beats_bird() {
+        // Averaged over both element kinds to tame small-sample noise.
+        let bird = BenchmarkProfile::bird_like().scaled(0.03).generate(51);
+        let spider = BenchmarkProfile::spider_like().scaled(0.03).generate(51);
+        let sb = SurrogateModel::train(&bird, 3);
+        let ss = SurrogateModel::train(&spider, 3);
+        let acc_bird =
+            (sb.accuracy(&bird.split.dev, true) + sb.accuracy(&bird.split.dev, false)) / 2.0;
+        let acc_spider =
+            (ss.accuracy(&spider.split.dev, true) + ss.accuracy(&spider.split.dev, false)) / 2.0;
+        assert!(
+            acc_spider > acc_bird - 0.03,
+            "spider {acc_spider} should be ≥ bird {acc_bird}"
+        );
+    }
+
+    #[test]
+    fn answers_are_deterministic() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(52);
+        let surrogate = SurrogateModel::train(&bench, 9);
+        let inst = &bench.split.dev[0];
+        let t = &inst.gold_tables[0];
+        assert_eq!(
+            surrogate.is_relevant(inst, t, true),
+            surrogate.is_relevant(inst, t, true)
+        );
+    }
+
+    #[test]
+    fn gold_elements_usually_judged_relevant() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(53);
+        let surrogate = SurrogateModel::train(&bench, 11);
+        let mut yes = 0usize;
+        let mut total = 0usize;
+        for inst in &bench.split.dev {
+            for t in &inst.gold_tables {
+                yes += surrogate.is_relevant(inst, t, true) as usize;
+                total += 1;
+            }
+        }
+        let rate = yes as f64 / total as f64;
+        assert!(rate > 0.85, "gold affirmation rate {rate}");
+    }
+}

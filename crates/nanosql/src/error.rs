@@ -1,0 +1,56 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Engine-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong while parsing, planning or executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Tokeniser/parser failure with a human-readable message.
+    Parse(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist (or is ambiguous).
+    UnknownColumn(String),
+    /// A column reference matches more than one table in scope.
+    AmbiguousColumn(String),
+    /// Catalog manipulation errors (duplicate table, arity mismatch…).
+    Catalog(String),
+    /// Type errors during planning or evaluation.
+    Type(String),
+    /// Anything else the executor cannot handle.
+    Execution(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Error::UnknownTable("t".into()).to_string(), "unknown table: t");
+        assert_eq!(Error::Parse("x".into()).to_string(), "parse error: x");
+        assert_eq!(
+            Error::AmbiguousColumn("c".into()).to_string(),
+            "ambiguous column: c"
+        );
+    }
+}

@@ -1,0 +1,766 @@
+//! Query execution.
+//!
+//! The executor is a straight-line materialising pipeline over the bound
+//! plan: scan → hash-join* → filter → (group/aggregate → having) →
+//! project → distinct → sort → limit. Joins build a hash table on the
+//! newly joined table and probe with the accumulated rows; NULL join
+//! keys never match (SQL semantics), and LEFT JOIN pads non-matching
+//! probe rows with NULLs.
+
+use crate::ast::SelectStmt;
+use crate::error::{Error, Result};
+use crate::parser::parse;
+use crate::plan::{bind, AggregatePlan, BoundAgg, BoundExpr, JoinStep, Plan};
+use crate::result::QueryResult;
+use crate::schema::Database;
+use crate::value::{GroupKey, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Evaluation context: the joined input row, and (in the output phase)
+/// the group keys and aggregate results.
+struct EvalCtx<'a> {
+    row: &'a [Value],
+    group_keys: &'a [Value],
+    agg_values: &'a [Value],
+}
+
+impl<'a> EvalCtx<'a> {
+    fn row(row: &'a [Value]) -> Self {
+        EvalCtx { row, group_keys: &[], agg_values: &[] }
+    }
+
+    fn group(group_keys: &'a [Value], agg_values: &'a [Value]) -> Self {
+        EvalCtx { row: &[], group_keys, agg_values }
+    }
+}
+
+/// Truth value under SQL three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    fn from_value(v: &Value) -> Result<Truth> {
+        match v {
+            Value::Null => Ok(Truth::Unknown),
+            Value::Bool(true) => Ok(Truth::True),
+            Value::Bool(false) => Ok(Truth::False),
+            // Numeric truthiness (SQLite-style): nonzero = true.
+            Value::Int(i) => Ok(if *i != 0 { Truth::True } else { Truth::False }),
+            Value::Float(f) => Ok(if *f != 0.0 { Truth::True } else { Truth::False }),
+            Value::Text(_) => Err(Error::Type("text value used as boolean".into())),
+        }
+    }
+
+    fn to_value(self) -> Value {
+        match self {
+            Truth::True => Value::Bool(true),
+            Truth::False => Value::Bool(false),
+            Truth::Unknown => Value::Null,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any single char), case sensitive.
+fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'%') => {
+                // Try every split point, including the empty one.
+                (0..=t.len()).any(|i| rec(&t[i..], &p[1..]))
+            }
+            Some(b'_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(&c) => t.first() == Some(&c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    rec(text.as_bytes(), pattern.as_bytes())
+}
+
+fn eval(expr: &BoundExpr, ctx: &EvalCtx) -> Result<Value> {
+    use crate::ast::BinOp::*;
+    Ok(match expr {
+        BoundExpr::Literal(v) => v.clone(),
+        BoundExpr::ColumnIdx(i) => ctx.row[*i].clone(),
+        BoundExpr::GroupKeyRef(i) => ctx.group_keys[*i].clone(),
+        BoundExpr::AggRef(i) => ctx.agg_values[*i].clone(),
+        BoundExpr::Not(inner) => Truth::from_value(&eval(inner, ctx)?)?.not().to_value(),
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx)?;
+            Value::Bool(v.is_null() != *negated)
+        }
+        BoundExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, ctx)?;
+            match v {
+                Value::Null => Value::Null,
+                Value::Text(s) => Value::Bool(like_match(&s, pattern) != *negated),
+                other => return Err(Error::Type(format!("LIKE on non-text value {other}"))),
+            }
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            let mut found = false;
+            for item in list {
+                match v.sql_eq(item) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if found {
+                Value::Bool(!*negated)
+            } else if saw_null {
+                Value::Null // x IN (…, NULL) is unknown when no match
+            } else {
+                Value::Bool(*negated)
+            }
+        }
+        BoundExpr::Binary { op, left, right } => {
+            match op {
+                And => {
+                    // Short-circuit-aware three-valued AND/OR.
+                    let l = Truth::from_value(&eval(left, ctx)?)?;
+                    if l == Truth::False {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = Truth::from_value(&eval(right, ctx)?)?;
+                    return Ok(l.and(r).to_value());
+                }
+                Or => {
+                    let l = Truth::from_value(&eval(left, ctx)?)?;
+                    if l == Truth::True {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = Truth::from_value(&eval(right, ctx)?)?;
+                    return Ok(l.or(r).to_value());
+                }
+                _ => {}
+            }
+            let l = eval(left, ctx)?;
+            let r = eval(right, ctx)?;
+            match op {
+                Eq | Ne | Lt | Le | Gt | Ge => match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => {
+                        let b = match op {
+                            Eq => ord.is_eq(),
+                            Ne => !ord.is_eq(),
+                            Lt => ord.is_lt(),
+                            Le => ord.is_le(),
+                            Gt => ord.is_gt(),
+                            Ge => ord.is_ge(),
+                            _ => unreachable!(),
+                        };
+                        Value::Bool(b)
+                    }
+                },
+                Add | Sub | Mul | Div => {
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    // Integer arithmetic stays integral except division.
+                    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                        return Ok(match op {
+                            Add => Value::Int(a.wrapping_add(*b)),
+                            Sub => Value::Int(a.wrapping_sub(*b)),
+                            Mul => Value::Int(a.wrapping_mul(*b)),
+                            Div => {
+                                if *b == 0 {
+                                    Value::Null // SQLite: x/0 is NULL
+                                } else {
+                                    Value::Float(*a as f64 / *b as f64)
+                                }
+                            }
+                            _ => unreachable!(),
+                        });
+                    }
+                    let (af, bf) = match (l.as_f64(), r.as_f64()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => return Err(Error::Type("arithmetic on non-numeric value".into())),
+                    };
+                    match op {
+                        Add => Value::Float(af + bf),
+                        Sub => Value::Float(af - bf),
+                        Mul => Value::Float(af * bf),
+                        Div => {
+                            if bf == 0.0 {
+                                Value::Null
+                            } else {
+                                Value::Float(af / bf)
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                And | Or => unreachable!("handled above"),
+            }
+        }
+    })
+}
+
+/// Evaluate a predicate; NULL/unknown filters the row out (SQL WHERE).
+fn eval_predicate(expr: &BoundExpr, ctx: &EvalCtx) -> Result<bool> {
+    Ok(Truth::from_value(&eval(expr, ctx)?)? == Truth::True)
+}
+
+/// Materialise the FROM table and fold in each join.
+fn scan_and_join(db: &Database, plan: &Plan) -> Result<Vec<Vec<Value>>> {
+    let base = &db.tables()[plan.base_table_idx];
+    let data = db
+        .table_data(&base.name)
+        .ok_or_else(|| Error::Execution(format!("missing data for {}", base.name)))?;
+    let mut rows: Vec<Vec<Value>> = data.rows().to_vec();
+
+    for step in &plan.joins {
+        rows = hash_join(db, rows, step)?;
+    }
+    Ok(rows)
+}
+
+fn hash_join(db: &Database, probe: Vec<Vec<Value>>, step: &JoinStep) -> Result<Vec<Vec<Value>>> {
+    let build_schema = &db.tables()[step.table_idx];
+    let build_data = db
+        .table_data(&build_schema.name)
+        .ok_or_else(|| Error::Execution(format!("missing data for {}", build_schema.name)))?;
+
+    // Build side: key → row indices. NULL keys excluded (never match).
+    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::with_capacity(build_data.len());
+    for (i, row) in build_data.iter().enumerate() {
+        let key = &row[step.build_key];
+        if !key.is_null() {
+            table.entry(key.group_key()).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::with_capacity(probe.len());
+    for row in probe {
+        let key = &row[step.probe_key];
+        let matches = if key.is_null() { None } else { table.get(&key.group_key()) };
+        match matches {
+            Some(idxs) => {
+                for &i in idxs {
+                    let mut joined = row.clone();
+                    joined.extend_from_slice(&build_data.rows()[i]);
+                    out.push(joined);
+                }
+            }
+            None => {
+                if step.kind == crate::ast::JoinKind::Left {
+                    let mut joined = row.clone();
+                    joined.extend(std::iter::repeat_with(|| Value::Null).take(step.table_arity));
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate accumulator for one (group, aggregate) pair.
+struct AggState {
+    count: u64,
+    sum: f64,
+    saw_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct_seen: Option<HashSet<GroupKey>>,
+}
+
+impl AggState {
+    fn new(distinct: bool) -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            saw_float: false,
+            min: None,
+            max: None,
+            distinct_seen: distinct.then(HashSet::new),
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return; // aggregates skip NULLs
+        }
+        if let Some(seen) = &mut self.distinct_seen {
+            if !seen.insert(v.group_key()) {
+                return;
+            }
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+            if matches!(v, Value::Float(_)) {
+                self.saw_float = true;
+            }
+        }
+        let replace_min = self.min.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less));
+        if replace_min {
+            self.min = Some(v.clone());
+        }
+        let replace_max = self.max.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
+        if replace_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, agg: &BoundAgg) -> Value {
+        use crate::ast::AggFunc::*;
+        match agg.func {
+            Count => Value::Int(self.count as i64),
+            Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float(self.sum)
+                } else {
+                    Value::Int(self.sum as i64)
+                }
+            }
+            Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            Min => self.min.clone().unwrap_or(Value::Null),
+            Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn run_aggregation(
+    rows: &[Vec<Value>],
+    agg_plan: &AggregatePlan,
+) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+    // Group rows. Key = evaluated GROUP BY expressions.
+    let mut groups: HashMap<Vec<GroupKey>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<Vec<GroupKey>> = Vec::new(); // first-seen order, deterministic
+
+    for row in rows {
+        let ctx = EvalCtx::row(row);
+        let mut key_vals = Vec::with_capacity(agg_plan.group_by.len());
+        for g in &agg_plan.group_by {
+            key_vals.push(eval(g, &ctx)?);
+        }
+        let key: Vec<GroupKey> = key_vals.iter().map(Value::group_key).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (key_vals.clone(), agg_plan.aggs.iter().map(|a| AggState::new(a.distinct)).collect())
+        });
+        for (agg, state) in agg_plan.aggs.iter().zip(entry.1.iter_mut()) {
+            match &agg.arg {
+                None => {
+                    // COUNT(*): every row counts, including NULL-heavy ones.
+                    state.count += 1;
+                }
+                Some(arg) => {
+                    let v = eval(arg, &ctx)?;
+                    state.update(&v);
+                }
+            }
+        }
+    }
+
+    // Global aggregate over an empty input still yields one group.
+    if groups.is_empty() && agg_plan.group_by.is_empty() {
+        let states: Vec<AggState> =
+            agg_plan.aggs.iter().map(|a| AggState::new(a.distinct)).collect();
+        let agg_values: Vec<Value> =
+            agg_plan.aggs.iter().zip(&states).map(|(a, s)| s.finish(a)).collect();
+        return Ok(vec![(Vec::new(), agg_values)]);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let (key_vals, states) = groups.remove(&key).expect("group vanished");
+        let agg_values: Vec<Value> =
+            agg_plan.aggs.iter().zip(&states).map(|(a, s)| s.finish(a)).collect();
+        out.push((key_vals, agg_values));
+    }
+    Ok(out)
+}
+
+/// Execute a bound plan.
+pub fn execute_plan(db: &Database, plan: &Plan) -> Result<QueryResult> {
+    let rows = scan_and_join(db, plan)?;
+
+    // Filter.
+    let mut filtered: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    match &plan.filter {
+        Some(f) => {
+            for row in rows {
+                if eval_predicate(f, &EvalCtx::row(&row))? {
+                    filtered.push(row);
+                }
+            }
+        }
+        None => filtered = rows,
+    }
+
+    // Project (+aggregate) into (output row, sort key) pairs.
+    let mut produced: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    match &plan.aggregate {
+        Some(agg_plan) => {
+            for (key_vals, agg_values) in run_aggregation(&filtered, agg_plan)? {
+                let ctx = EvalCtx::group(&key_vals, &agg_values);
+                if let Some(h) = &agg_plan.having {
+                    if !eval_predicate(h, &ctx)? {
+                        continue;
+                    }
+                }
+                let mut out_row = Vec::with_capacity(plan.projections.len());
+                for p in &plan.projections {
+                    out_row.push(eval(p, &ctx)?);
+                }
+                let mut sort_key = Vec::with_capacity(plan.order_by.len());
+                for (o, _) in &plan.order_by {
+                    sort_key.push(eval(o, &ctx)?);
+                }
+                produced.push((out_row, sort_key));
+            }
+        }
+        None => {
+            for row in &filtered {
+                let ctx = EvalCtx::row(row);
+                let mut out_row = Vec::with_capacity(plan.projections.len());
+                for p in &plan.projections {
+                    out_row.push(eval(p, &ctx)?);
+                }
+                let mut sort_key = Vec::with_capacity(plan.order_by.len());
+                for (o, _) in &plan.order_by {
+                    sort_key.push(eval(o, &ctx)?);
+                }
+                produced.push((out_row, sort_key));
+            }
+        }
+    }
+
+    // DISTINCT on the projected row.
+    if plan.distinct {
+        let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(produced.len());
+        produced.retain(|(row, _)| seen.insert(row.iter().map(Value::group_key).collect()));
+    }
+
+    // ORDER BY: stable sort on the evaluated keys, NULLs first.
+    if !plan.order_by.is_empty() {
+        let descs: Vec<bool> = plan.order_by.iter().map(|(_, d)| *d).collect();
+        produced.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), desc) in ka.iter().zip(kb.iter()).zip(&descs) {
+                let ord = a.total_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // LIMIT.
+    if let Some(limit) = plan.limit {
+        produced.truncate(limit as usize);
+    }
+
+    Ok(QueryResult {
+        columns: plan.output_names.clone(),
+        rows: produced.into_iter().map(|(row, _)| row).collect(),
+        ordered: !plan.order_by.is_empty(),
+    })
+}
+
+/// Bind and execute a parsed statement.
+pub fn execute(db: &Database, stmt: &SelectStmt) -> Result<QueryResult> {
+    let plan = bind(db, stmt)?;
+    execute_plan(db, &plan)
+}
+
+/// Parse, bind and execute SQL text.
+pub fn execute_sql(db: &Database, sql: &str) -> Result<QueryResult> {
+    execute(db, &parse(sql)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+
+    /// Small Formula-1 flavoured database echoing the paper's Figure 1a.
+    fn f1_db() -> Database {
+        let mut db = Database::new("formula_1");
+        db.create_table(
+            TableSchema::new("races")
+                .column(ColumnDef::new("raceId", DataType::Int).primary_key())
+                .column(ColumnDef::new("name", DataType::Text))
+                .column(ColumnDef::new("year", DataType::Int)),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("lapTimes")
+                .column(ColumnDef::new("raceId", DataType::Int))
+                .column(ColumnDef::new("lap", DataType::Int))
+                .column(ColumnDef::new("time", DataType::Float)),
+        )
+        .unwrap();
+        for (id, name, year) in
+            [(1, "Monaco GP", 2021), (2, "Suzuka GP", 2021), (3, "Monza GP", 2022)]
+        {
+            db.insert("races", vec![Value::Int(id), Value::text(name), Value::Int(year)]).unwrap();
+        }
+        for (rid, lap, time) in [
+            (1, 1, 92.3),
+            (1, 2, 91.1),
+            (2, 1, 88.4),
+            (2, 2, 89.0),
+            (3, 1, 85.2),
+        ] {
+            db.insert("lapTimes", vec![Value::Int(rid), Value::Int(lap), Value::Float(time)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> QueryResult {
+        execute_sql(db, sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn select_filter_project() {
+        let db = f1_db();
+        let r = run(&db, "SELECT name FROM races WHERE year = 2021");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = f1_db();
+        let r = run(&db, "SELECT name FROM races ORDER BY year DESC, name LIMIT 1");
+        assert_eq!(r.rows, vec![vec![Value::text("Monza GP")]]);
+    }
+
+    #[test]
+    fn paper_figure1a_query() {
+        // "the race with the minimum first lap time" — the gold query of
+        // Figure 1(a).
+        let db = f1_db();
+        let r = run(
+            &db,
+            "SELECT races.name FROM lapTimes JOIN races ON lapTimes.raceId = races.raceId \
+             WHERE lapTimes.lap = 1 ORDER BY lapTimes.time LIMIT 1",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("Monza GP")]]);
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let mut db = f1_db();
+        db.insert("races", vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)])
+            .unwrap();
+        let r = run(
+            &db,
+            "SELECT DISTINCT races.name FROM races JOIN lapTimes ON races.raceId = lapTimes.raceId",
+        );
+        assert_eq!(r.rows.len(), 3, "Ghost GP has no laps");
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut db = f1_db();
+        db.insert("races", vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)])
+            .unwrap();
+        let r = run(
+            &db,
+            "SELECT races.name FROM races LEFT JOIN lapTimes ON races.raceId = lapTimes.raceId \
+             WHERE lapTimes.raceId IS NULL",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("Ghost GP")]]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let db = f1_db();
+        let r = run(
+            &db,
+            "SELECT races.name, COUNT(*), MIN(lapTimes.time) FROM races \
+             JOIN lapTimes ON races.raceId = lapTimes.raceId \
+             GROUP BY races.name ORDER BY races.name",
+        );
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::text("Monaco GP"));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2], Value::Float(91.1));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = f1_db();
+        let r = run(
+            &db,
+            "SELECT races.name FROM races JOIN lapTimes ON races.raceId = lapTimes.raceId \
+             GROUP BY races.name HAVING COUNT(*) > 1 ORDER BY races.name",
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let db = f1_db();
+        let r = run(&db, "SELECT COUNT(*), AVG(time), MAX(lap) FROM lapTimes");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        let avg = r.rows[0][1].as_f64().unwrap();
+        assert!((avg - 89.2).abs() < 1e-9, "avg {avg}");
+        assert_eq!(r.rows[0][2], Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let db = f1_db();
+        let r = run(&db, "SELECT COUNT(*), MIN(time) FROM lapTimes WHERE lap > 99");
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = f1_db();
+        let r = run(&db, "SELECT COUNT(DISTINCT raceId) FROM lapTimes");
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let mut db = f1_db();
+        db.insert("lapTimes", vec![Value::Int(1), Value::Int(3), Value::Null]).unwrap();
+        let r = run(&db, "SELECT COUNT(time), COUNT(*) FROM lapTimes");
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        assert_eq!(r.rows[0][1], Value::Int(6));
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let db = f1_db();
+        let r = run(&db, "SELECT DISTINCT year FROM races");
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn where_null_comparison_filters_out() {
+        let mut db = f1_db();
+        db.insert("lapTimes", vec![Value::Int(1), Value::Int(4), Value::Null]).unwrap();
+        // NULL time fails both time > 90 and NOT(time > 90).
+        let a = run(&db, "SELECT COUNT(*) FROM lapTimes WHERE time > 90");
+        let b = run(&db, "SELECT COUNT(*) FROM lapTimes WHERE NOT time > 90");
+        let total = run(&db, "SELECT COUNT(*) FROM lapTimes");
+        let a = a.rows[0][0].as_f64().unwrap();
+        let b = b.rows[0][0].as_f64().unwrap();
+        let total = total.rows[0][0].as_f64().unwrap();
+        assert_eq!(a + b + 1.0, total, "NULL row must fall through both predicates");
+    }
+
+    #[test]
+    fn arithmetic_and_division() {
+        let db = f1_db();
+        let r = run(&db, "SELECT time * 2 + 1 FROM lapTimes WHERE raceId = 3");
+        assert_eq!(r.rows[0][0], Value::Float(171.4));
+        let r = run(&db, "SELECT lap / 0 FROM lapTimes WHERE raceId = 3");
+        assert_eq!(r.rows[0][0], Value::Null, "division by zero yields NULL");
+    }
+
+    #[test]
+    fn like_and_in() {
+        let db = f1_db();
+        let r = run(&db, "SELECT name FROM races WHERE name LIKE 'Mon%' ORDER BY name");
+        assert_eq!(r.rows.len(), 2);
+        let r = run(&db, "SELECT name FROM races WHERE raceId IN (1, 3) ORDER BY raceId");
+        assert_eq!(r.rows[0][0], Value::text("Monaco GP"));
+        assert_eq!(r.rows.len(), 2);
+        let r = run(&db, "SELECT name FROM races WHERE name LIKE '_onaco GP'");
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut db = f1_db();
+        db.create_table(
+            TableSchema::new("circuits")
+                .column(ColumnDef::new("circuitId", DataType::Int).primary_key())
+                .column(ColumnDef::new("country", DataType::Text)),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("raceCircuits")
+                .column(ColumnDef::new("raceId", DataType::Int))
+                .column(ColumnDef::new("circuitId", DataType::Int)),
+        )
+        .unwrap();
+        db.insert("circuits", vec![Value::Int(10), Value::text("Italy")]).unwrap();
+        db.insert("raceCircuits", vec![Value::Int(3), Value::Int(10)]).unwrap();
+        let r = run(
+            &db,
+            "SELECT circuits.country FROM races \
+             JOIN raceCircuits ON races.raceId = raceCircuits.raceId \
+             JOIN circuits ON raceCircuits.circuitId = circuits.circuitId",
+        );
+        assert_eq!(r.rows, vec![vec![Value::text("Italy")]]);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut db = f1_db();
+        db.insert("lapTimes", vec![Value::Null, Value::Int(1), Value::Float(80.0)]).unwrap();
+        let r = run(
+            &db,
+            "SELECT COUNT(*) FROM lapTimes JOIN races ON lapTimes.raceId = races.raceId",
+        );
+        assert_eq!(r.rows[0][0], Value::Int(5), "NULL raceId row must not join");
+    }
+
+    #[test]
+    fn like_matcher_unit() {
+        assert!(like_match("Monaco GP", "Mon%"));
+        assert!(like_match("Monaco GP", "%GP"));
+        assert!(like_match("Monaco GP", "%aco%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("x%y", "x%y"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Answer linearization and decoding.
+//!
+//! The schema-linking model's answer is a token stream:
+//!
+//! ```text
+//! tables : races , lapTimes ;
+//! columns : lapTimes . lap , lapTimes . time , races . name ;
+//! ```
+//!
+//! Elements appear in canonical (sorted) order — the order the gold
+//! annotations are stored in — so teacher-forced comparison against the
+//! gold stream is positional. `decode_elements` is the paper's `decode`:
+//! it folds a token stream back into the set of complete element names,
+//! tolerating a trailing partial element (returned separately, since
+//! Algorithm 2 needs to complete it).
+
+use crate::vocab::{TokenId, Vocab, TOK_COLON, TOK_COLUMNS, TOK_COMMA, TOK_DOT, TOK_END, TOK_TABLES};
+
+/// Tokenize one element name. Table elements are identifiers; column
+/// elements are `table.column` (the dot becomes its own token).
+pub fn element_tokens(vocab: &mut Vocab, element: &str) -> Vec<TokenId> {
+    match element.split_once('.') {
+        Some((t, c)) => {
+            let mut out = vocab.encode_identifier(t);
+            out.push(vocab.intern(TOK_DOT));
+            out.extend(vocab.encode_identifier(c));
+            out
+        }
+        None => vocab.encode_identifier(element),
+    }
+}
+
+fn linearize(vocab: &mut Vocab, header: &str, elements: &[String]) -> Vec<TokenId> {
+    let mut out = Vec::with_capacity(2 + elements.len() * 4);
+    out.push(vocab.intern(header));
+    out.push(vocab.intern(TOK_COLON));
+    for (i, e) in elements.iter().enumerate() {
+        if i > 0 {
+            out.push(vocab.intern(TOK_COMMA));
+        }
+        out.extend(element_tokens(vocab, e));
+    }
+    out.push(vocab.intern(TOK_END));
+    out
+}
+
+/// `tables : t1 , t2 ;`
+pub fn linearize_tables(vocab: &mut Vocab, tables: &[String]) -> Vec<TokenId> {
+    linearize(vocab, TOK_TABLES, tables)
+}
+
+/// `columns : t1 . c1 , t2 . c2 ;` — input pairs `(table, column)`.
+pub fn linearize_columns(vocab: &mut Vocab, columns: &[(String, String)]) -> Vec<TokenId> {
+    let elements: Vec<String> = columns.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+    linearize(vocab, TOK_COLUMNS, &elements)
+}
+
+/// Decode a token stream into complete element names plus the trailing
+/// partial element's tokens (empty when the stream ends cleanly).
+///
+/// The stream may or may not include the `header :` prefix and the
+/// terminating `;` — Algorithm 2 calls decode on arbitrary prefixes.
+pub fn decode_elements(vocab: &Vocab, tokens: &[TokenId]) -> (Vec<String>, Vec<TokenId>) {
+    let comma = vocab.get(TOK_COMMA);
+    let end = vocab.get(TOK_END);
+    let colon = vocab.get(TOK_COLON);
+    let header_tables = vocab.get(TOK_TABLES);
+    let header_columns = vocab.get(TOK_COLUMNS);
+
+    let mut elements = Vec::new();
+    let mut current: Vec<TokenId> = Vec::new();
+    let mut iter = tokens.iter().copied().peekable();
+
+    // Optional header.
+    if let Some(&first) = tokens.first() {
+        if Some(first) == header_tables || Some(first) == header_columns {
+            iter.next();
+            if iter.peek().copied() == colon.as_ref().copied().map(Some).flatten() {
+                iter.next();
+            }
+        }
+    }
+
+    for t in iter {
+        if Some(t) == comma || Some(t) == end {
+            if !current.is_empty() {
+                elements.push(vocab.concat(&current));
+                current.clear();
+            }
+            continue;
+        }
+        if Some(t) == colon {
+            continue; // stray colon (robustness)
+        }
+        current.push(t);
+    }
+    (elements, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_roundtrip() {
+        let mut v = Vocab::new();
+        let tables = vec!["lapTimes".to_string(), "races".to_string()];
+        let toks = linearize_tables(&mut v, &tables);
+        let (decoded, partial) = decode_elements(&v, &toks);
+        assert_eq!(decoded, tables);
+        assert!(partial.is_empty());
+    }
+
+    #[test]
+    fn columns_roundtrip() {
+        let mut v = Vocab::new();
+        let cols = vec![
+            ("lapTimes".to_string(), "time".to_string()),
+            ("races".to_string(), "name".to_string()),
+        ];
+        let toks = linearize_columns(&mut v, &cols);
+        let (decoded, partial) = decode_elements(&v, &toks);
+        assert_eq!(decoded, vec!["lapTimes.time", "races.name"]);
+        assert!(partial.is_empty());
+    }
+
+    #[test]
+    fn decode_handles_partial_suffix() {
+        let mut v = Vocab::new();
+        let tables = vec!["lapTimes".to_string(), "raceDays".to_string()];
+        let toks = linearize_tables(&mut v, &tables);
+        // Drop the final ";" and the trailing "Days" token: the stream
+        // ends mid-element with the bare "race" subword.
+        let cut = &toks[..toks.len() - 2];
+        let (decoded, partial) = decode_elements(&v, cut);
+        assert_eq!(decoded, vec!["lapTimes"]);
+        assert_eq!(v.concat(&partial), "race");
+    }
+
+    #[test]
+    fn decode_without_header() {
+        let mut v = Vocab::new();
+        let ids = element_tokens(&mut v, "races");
+        let (decoded, partial) = decode_elements(&v, &ids);
+        assert!(decoded.is_empty(), "no separator yet → still partial");
+        assert_eq!(v.concat(&partial), "races");
+    }
+
+    #[test]
+    fn empty_list_linearizes_to_header_and_end() {
+        let mut v = Vocab::new();
+        let toks = linearize_tables(&mut v, &[]);
+        let (decoded, partial) = decode_elements(&v, &toks);
+        assert!(decoded.is_empty());
+        assert!(partial.is_empty());
+        assert_eq!(toks.len(), 3); // tables : ;
+    }
+
+    #[test]
+    fn column_elements_tokenize_with_dot() {
+        let mut v = Vocab::new();
+        let ids = element_tokens(&mut v, "lapTimes.raceId");
+        let texts: Vec<&str> = ids.iter().map(|&i| v.text(i)).collect();
+        assert_eq!(texts, vec!["lap", "Times", ".", "race", "Id"]);
+    }
+}

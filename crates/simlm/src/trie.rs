@@ -1,0 +1,209 @@
+//! Constrained-decoding trie.
+//!
+//! The paper constrains token-level generation so that only tokens
+//! forming valid schema-element names are generable (§2.3, citing
+//! guided-decoding work). The trie stores every candidate element's
+//! token sequence; at any prefix it answers "which tokens may come
+//! next?" and "which element does this complete path denote?" — the
+//! second question also powers Algorithm 2's continuation step
+//! ("request that the model continues generation until a next table is
+//! identified by decode").
+
+use crate::vocab::TokenId;
+use std::collections::HashMap;
+
+/// A node in the trie.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<TokenId, usize>,
+    /// Index into `Trie::names` when a full element terminates here.
+    terminal: Option<usize>,
+}
+
+/// Token-sequence trie over schema-element names.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    nodes: Vec<Node>,
+    names: Vec<String>,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trie {
+    pub fn new() -> Self {
+        Trie { nodes: vec![Node::default()], names: Vec::new() }
+    }
+
+    /// Insert an element with its token sequence. Duplicate inserts of
+    /// the same name are idempotent.
+    pub fn insert(&mut self, name: &str, tokens: &[TokenId]) {
+        assert!(!tokens.is_empty(), "cannot insert empty token sequence");
+        let mut cur = 0usize;
+        for &t in tokens {
+            let next = match self.nodes[cur].children.get(&t) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(t, n);
+                    n
+                }
+            };
+            cur = next;
+        }
+        if let Some(existing) = self.nodes[cur].terminal {
+            debug_assert_eq!(self.names[existing], name, "token collision between names");
+            return;
+        }
+        self.nodes[cur].terminal = Some(self.names.len());
+        self.names.push(name.to_string());
+    }
+
+    /// Number of stored element names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Walk a token prefix from the root; `None` if the prefix leaves
+    /// the trie.
+    fn walk(&self, prefix: &[TokenId]) -> Option<usize> {
+        let mut cur = 0usize;
+        for t in prefix {
+            cur = *self.nodes[cur].children.get(t)?;
+        }
+        Some(cur)
+    }
+
+    /// Tokens allowed after `prefix` (the constrained-decoding mask).
+    pub fn allowed_next(&self, prefix: &[TokenId]) -> Vec<TokenId> {
+        match self.walk(prefix) {
+            Some(n) => {
+                let mut toks: Vec<TokenId> = self.nodes[n].children.keys().copied().collect();
+                toks.sort_unstable();
+                toks
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Does `prefix` exactly spell a stored element? Returns its name.
+    pub fn complete(&self, prefix: &[TokenId]) -> Option<&str> {
+        self.walk(prefix)
+            .and_then(|n| self.nodes[n].terminal)
+            .map(|i| self.names[i].as_str())
+    }
+
+    /// Is `prefix` a (strict or complete) prefix of some stored element?
+    pub fn is_prefix(&self, prefix: &[TokenId]) -> bool {
+        self.walk(prefix).is_some()
+    }
+
+    /// Deterministically complete `prefix` to the lexicographically
+    /// smallest stored element extending it — Algorithm 2's "continue
+    /// generation until the next table is identified".
+    pub fn cheapest_completion(&self, prefix: &[TokenId]) -> Option<(Vec<TokenId>, &str)> {
+        let mut cur = self.walk(prefix)?;
+        let mut suffix = Vec::new();
+        loop {
+            if let Some(name_idx) = self.nodes[cur].terminal {
+                return Some((suffix, self.names[name_idx].as_str()));
+            }
+            // Smallest token id first for determinism.
+            let (&t, &next) = self.nodes[cur].children.iter().min_by_key(|(&t, _)| t)?;
+            suffix.push(t);
+            cur = next;
+        }
+    }
+
+    /// All stored names (insertion order).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    fn build() -> (Vocab, Trie) {
+        let mut v = Vocab::new();
+        let mut t = Trie::new();
+        for name in ["races", "raceId", "raceDays", "lapTimes", "results"] {
+            let ids = v.encode_identifier(name);
+            t.insert(name, &ids);
+        }
+        (v, t)
+    }
+
+    #[test]
+    fn shared_prefixes_fork() {
+        let (v, t) = build();
+        // "raceId" → [race, Id]; "raceDays" → [race, Days]: after [race]
+        // both continuations are allowed. ("races" is a single lowercase
+        // token, so it does not share this prefix.)
+        let race = v.get("race").unwrap();
+        let next = t.allowed_next(&[race]);
+        assert_eq!(next.len(), 2);
+        let texts: Vec<&str> = next.iter().map(|&id| v.text(id)).collect();
+        assert!(texts.contains(&"Days") && texts.contains(&"Id"));
+    }
+
+    #[test]
+    fn complete_identifies_elements() {
+        let (v, t) = build();
+        let ids = v.try_encode_identifier("lapTimes").unwrap();
+        assert_eq!(t.complete(&ids), Some("lapTimes"));
+        assert_eq!(t.complete(&ids[..1]), None, "strict prefix is not complete");
+    }
+
+    #[test]
+    fn allowed_next_from_root_covers_first_tokens() {
+        let (v, t) = build();
+        let roots = t.allowed_next(&[]);
+        let texts: Vec<&str> = roots.iter().map(|&id| v.text(id)).collect();
+        assert!(texts.contains(&"race"));
+        assert!(texts.contains(&"lap"));
+        assert!(texts.contains(&"results"));
+    }
+
+    #[test]
+    fn invalid_prefix_has_no_continuations() {
+        let (mut v, t) = build();
+        let bogus = v.intern("bogus");
+        assert!(t.allowed_next(&[bogus]).is_empty());
+        assert!(!t.is_prefix(&[bogus]));
+    }
+
+    #[test]
+    fn cheapest_completion_finishes_partial_names() {
+        let (v, t) = build();
+        let race = v.get("race").unwrap();
+        let (suffix, name) = t.cheapest_completion(&[race]).unwrap();
+        // Either "races" or "raceId" depending on token id order; the
+        // point is determinism and validity.
+        assert!(name == "races" || name == "raceId");
+        let mut full = vec![race];
+        full.extend(&suffix);
+        assert_eq!(t.complete(&full), Some(name));
+        // Deterministic across calls.
+        let again = t.cheapest_completion(&[race]).unwrap();
+        assert_eq!(again.1, name);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let (mut v, mut t) = build();
+        let ids = v.encode_identifier("races");
+        t.insert("races", &ids);
+        assert_eq!(t.len(), 5);
+    }
+}

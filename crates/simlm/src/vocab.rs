@@ -1,0 +1,209 @@
+//! Subword vocabulary and identifier tokenizer.
+//!
+//! Schema identifiers are split at underscores and camelCase boundaries:
+//! `lapTimes` → `lap·Times`, `operations_type` → `operations·_·type`,
+//! `raceId` → `race·Id`. Concatenating a token run reproduces the
+//! identifier exactly, which is what the `decode` function of the
+//! paper's Algorithm 2 relies on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Token identifier (index into a [`Vocab`]).
+pub type TokenId = u32;
+
+/// Special tokens of the linking-answer format.
+pub const TOK_TABLES: &str = "tables";
+pub const TOK_COLUMNS: &str = "columns";
+pub const TOK_COLON: &str = ":";
+pub const TOK_COMMA: &str = ",";
+pub const TOK_DOT: &str = ".";
+pub const TOK_END: &str = ";";
+
+/// Split an identifier into subword tokens.
+///
+/// Boundaries: before every underscore, after every underscore, and at
+/// lower→upper camelCase transitions. Digits stick to the preceding
+/// fragment.
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for ch in ident.chars() {
+        if ch == '_' {
+            if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+            out.push("_".to_string());
+            prev_lower = false;
+        } else if ch.is_ascii_uppercase() && prev_lower {
+            out.push(std::mem::take(&mut current));
+            current.push(ch);
+            prev_lower = false;
+        } else {
+            prev_lower = ch.is_ascii_lowercase() || ch.is_ascii_digit();
+            current.push(ch);
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// A token vocabulary: interned strings with stable ids. Built per
+/// database from its schema identifiers plus the format specials.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, TokenId>,
+}
+
+impl Vocab {
+    /// Empty vocabulary containing only the format specials.
+    pub fn new() -> Self {
+        let mut v = Vocab { tokens: Vec::new(), index: HashMap::new() };
+        for s in [TOK_TABLES, TOK_COLUMNS, TOK_COLON, TOK_COMMA, TOK_DOT, TOK_END] {
+            v.intern(s);
+        }
+        v
+    }
+
+    /// Build a vocabulary covering every identifier of a database.
+    pub fn for_database(db: &nanosql::Database) -> Self {
+        let mut v = Vocab::new();
+        for t in db.tables() {
+            for piece in split_identifier(&t.name) {
+                v.intern(&piece);
+            }
+            for c in &t.columns {
+                for piece in split_identifier(&c.name) {
+                    v.intern(&piece);
+                }
+            }
+        }
+        v
+    }
+
+    /// Intern a token string, returning its id.
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.tokens.len() as TokenId;
+        self.tokens.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// Lookup without interning.
+    pub fn get(&self, s: &str) -> Option<TokenId> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for a token id.
+    pub fn text(&self, id: TokenId) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Tokenize an identifier, interning unseen pieces.
+    pub fn encode_identifier(&mut self, ident: &str) -> Vec<TokenId> {
+        split_identifier(ident).iter().map(|p| self.intern(p)).collect()
+    }
+
+    /// Tokenize an identifier without interning; `None` if any piece is
+    /// out-of-vocabulary.
+    pub fn try_encode_identifier(&self, ident: &str) -> Option<Vec<TokenId>> {
+        split_identifier(ident).iter().map(|p| self.get(p)).collect()
+    }
+
+    /// Concatenate token texts (the `decode` primitive).
+    pub fn concat(&self, ids: &[TokenId]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            out.push_str(self.text(id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(split_identifier("lapTimes"), vec!["lap", "Times"]);
+        assert_eq!(split_identifier("raceId"), vec!["race", "Id"]);
+        assert_eq!(split_identifier("satscores"), vec!["satscores"]);
+    }
+
+    #[test]
+    fn splits_underscores() {
+        assert_eq!(split_identifier("operations_type"), vec!["operations", "_", "type"]);
+        assert_eq!(split_identifier("a_b_c"), vec!["a", "_", "b", "_", "c"]);
+    }
+
+    #[test]
+    fn splits_mixed_and_abbreviations() {
+        assert_eq!(split_identifier("EdOps"), vec!["Ed", "Ops"]);
+        assert_eq!(split_identifier("Rtype"), vec!["Rtype"]);
+    }
+
+    #[test]
+    fn concat_inverts_split() {
+        for ident in ["lapTimes", "operations_type", "EdOps", "raceId", "frpm", "yearmonth"] {
+            let mut v = Vocab::new();
+            let ids = v.encode_identifier(ident);
+            assert_eq!(v.concat(&ids), ident, "round-trip failed for {ident}");
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("race");
+        let b = v.intern("race");
+        assert_eq!(a, b);
+        assert_eq!(v.text(a), "race");
+    }
+
+    #[test]
+    fn specials_are_preinterned() {
+        let v = Vocab::new();
+        for s in [TOK_TABLES, TOK_COLUMNS, TOK_COLON, TOK_COMMA, TOK_DOT, TOK_END] {
+            assert!(v.get(s).is_some(), "{s} missing");
+        }
+    }
+
+    #[test]
+    fn try_encode_rejects_oov() {
+        let v = Vocab::new();
+        assert!(v.try_encode_identifier("unseen").is_none());
+    }
+
+    #[test]
+    fn database_vocab_covers_all_identifiers() {
+        use nanosql::schema::{ColumnDef, TableSchema};
+        use nanosql::DataType;
+        let mut db = nanosql::Database::new("d");
+        db.create_table(
+            TableSchema::new("lapTimes")
+                .column(ColumnDef::new("raceId", DataType::Int))
+                .column(ColumnDef::new("operations_type", DataType::Text)),
+        )
+        .unwrap();
+        let v = Vocab::for_database(&db);
+        assert!(v.try_encode_identifier("lapTimes").is_some());
+        assert!(v.try_encode_identifier("raceId").is_some());
+        assert!(v.try_encode_identifier("operations_type").is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! In-memory dataset container with deterministic shuffling, splits, and
+//! mini-batching.
+
+use crate::matrix::Matrix;
+use crate::rng::{shuffle, SplitMix64};
+
+/// A supervised dataset: row-major features plus one scalar target per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Matrix,
+    targets: Vec<f32>,
+}
+
+impl Dataset {
+    /// Build from row slices. All rows must share the same width.
+    pub fn from_rows(rows: &[Vec<f32>], targets: &[f32]) -> Self {
+        assert_eq!(rows.len(), targets.len(), "row/target count mismatch");
+        assert!(!rows.is_empty(), "empty dataset");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged feature rows");
+            data.extend_from_slice(row);
+        }
+        Self { features: Matrix::from_vec(rows.len(), cols, data), targets: targets.to_vec() }
+    }
+
+    /// Build from an already-assembled matrix.
+    pub fn from_matrix(features: Matrix, targets: Vec<f32>) -> Self {
+        assert_eq!(features.rows(), targets.len(), "row/target count mismatch");
+        Self { features, targets }
+    }
+
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.features.row(i)
+    }
+
+    /// Fraction of positive (`> 0.5`) targets — class balance diagnostics.
+    pub fn positive_rate(&self) -> f64 {
+        if self.targets.is_empty() {
+            return 0.0;
+        }
+        self.targets.iter().filter(|&&t| t > 0.5).count() as f64 / self.targets.len() as f64
+    }
+
+    /// Deterministic split into `(train, held_out)` where `held_out` gets
+    /// `frac` of the rows. Rows are shuffled first so splits are
+    /// class-mixed; the shuffle order depends only on `seed`.
+    pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&frac), "frac must be in [0,1)");
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(seed);
+        shuffle(&mut idx, &mut rng);
+        let n_held = ((n as f64) * frac).round() as usize;
+        let (held_idx, train_idx) = idx.split_at(n_held);
+        (self.subset(train_idx), self.subset(held_idx))
+    }
+
+    /// Materialise a subset of rows.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let cols = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        let mut targets = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.features.row(i));
+            targets.push(self.targets[i]);
+        }
+        Dataset { features: Matrix::from_vec(indices.len(), cols, data), targets }
+    }
+
+    /// Iterate over mini-batches in a deterministic shuffled order.
+    /// Yields `(features, targets)` pairs; the final batch may be short.
+    pub fn batches(&self, batch_size: usize, seed: u64) -> Vec<(Matrix, Vec<f32>)> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = SplitMix64::new(seed);
+        shuffle(&mut idx, &mut rng);
+        idx.chunks(batch_size)
+            .map(|chunk| {
+                let sub = self.subset(chunk);
+                (sub.features, sub.targets)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32, (i * 2) as f32]).collect();
+        let ys: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let ds = toy(100);
+        let (train, cal) = ds.split(0.25, 7);
+        assert_eq!(train.len() + cal.len(), 100);
+        assert_eq!(cal.len(), 25);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = toy(50);
+        let (a1, b1) = ds.split(0.2, 9);
+        let (a2, b2) = ds.split(0.2, 9);
+        assert_eq!(a1.targets(), a2.targets());
+        assert_eq!(b1.features().as_slice(), b2.features().as_slice());
+    }
+
+    #[test]
+    fn split_differs_across_seeds() {
+        let ds = toy(50);
+        let (_, b1) = ds.split(0.2, 1);
+        let (_, b2) = ds.split(0.2, 2);
+        assert_ne!(b1.features().as_slice(), b2.features().as_slice());
+    }
+
+    #[test]
+    fn batches_cover_dataset_once() {
+        let ds = toy(23);
+        let batches = ds.batches(5, 3);
+        assert_eq!(batches.len(), 5); // 4 full + 1 short
+        let total: usize = batches.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total, 23);
+        // Every feature row must appear exactly once.
+        let mut firsts: Vec<f32> = batches
+            .iter()
+            .flat_map(|(f, _)| (0..f.rows()).map(|r| f.get(r, 0)).collect::<Vec<_>>())
+            .collect();
+        firsts.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..23).map(|i| i as f32).collect();
+        assert_eq!(firsts, expect);
+    }
+
+    #[test]
+    fn positive_rate() {
+        let ds = toy(10);
+        assert!((ds.positive_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::from_rows(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]);
+    }
+}

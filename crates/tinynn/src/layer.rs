@@ -1,0 +1,229 @@
+//! Dense layers and activations with manual backpropagation.
+
+use crate::matrix::Matrix;
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// 1 / (1 + e^{-x})
+    Sigmoid,
+    /// tanh(x)
+    Tanh,
+    /// x (no non-linearity — used for the output layer before the loss)
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation in place.
+    pub fn forward(self, m: &mut Matrix) {
+        match self {
+            Activation::Relu => m.map_inplace(|x| if x > 0.0 { x } else { 0.0 }),
+            Activation::Sigmoid => m.map_inplace(sigmoid),
+            Activation::Tanh => m.map_inplace(|x| x.tanh()),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Multiply `grad` by the activation derivative evaluated at the
+    /// *post-activation* values `out` (all four activations here admit a
+    /// derivative expressed in terms of their output).
+    pub fn backward(self, grad: &mut Matrix, out: &Matrix) {
+        match self {
+            Activation::Relu => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    if o <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    *g *= o * (1.0 - o);
+                }
+            }
+            Activation::Tanh => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    *g *= 1.0 - o * o;
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A fully connected layer `y = act(x W + b)`.
+///
+/// Stores its last input and output so that [`Dense::backward`] can be
+/// called immediately after [`Dense::forward`] (the usual training loop
+/// shape). Weight gradients are accumulated into `grad_w` / `grad_b` and
+/// consumed by an optimiser.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    pub w: Matrix,
+    pub b: Vec<f32>,
+    pub act: Activation,
+    pub grad_w: Matrix,
+    pub grad_b: Vec<f32>,
+    last_input: Option<Matrix>,
+    last_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// New layer with Xavier-initialised weights and zero bias.
+    pub fn new(input_dim: usize, output_dim: usize, act: Activation, rng: &mut SplitMix64) -> Self {
+        Self {
+            w: Matrix::xavier(input_dim, output_dim, rng),
+            b: vec![0.0; output_dim],
+            act,
+            grad_w: Matrix::zeros(input_dim, output_dim),
+            grad_b: vec![0.0; output_dim],
+            last_input: None,
+            last_output: None,
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass for a batch (rows = samples). Caches activations when
+    /// `train` is set so a subsequent backward pass can use them.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut out = x.matmul(&self.w);
+        out.add_row_broadcast(&self.b);
+        self.act.forward(&mut out);
+        if train {
+            self.last_input = Some(x.clone());
+            self.last_output = Some(out.clone());
+        }
+        out
+    }
+
+    /// Backward pass. `grad_out` is ∂L/∂y for this layer's output; returns
+    /// ∂L/∂x for the layer below. Accumulates weight/bias gradients.
+    pub fn backward(&mut self, mut grad_out: Matrix) -> Matrix {
+        let out = self
+            .last_output
+            .as_ref()
+            .expect("backward called without a cached forward pass");
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward called without a cached forward pass");
+        self.act.backward(&mut grad_out, out);
+        // dW = xᵀ (dL/dz); db = column sums of dL/dz; dx = (dL/dz) Wᵀ
+        let gw = input.matmul_at(&grad_out);
+        self.grad_w.add_scaled(&gw, 1.0);
+        for (gb, s) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
+            *gb += s;
+        }
+        grad_out.matmul_bt(&self.w)
+    }
+
+    /// Clear accumulated gradients (call once per optimiser step).
+    pub fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-5);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        Activation::Relu.forward(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        let mut g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        Activation::Relu.backward(&mut g, &m);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    /// Finite-difference check of the dense-layer gradient: the analytic
+    /// gradient from backprop must match (L(w+h) − L(w−h)) / 2h for a
+    /// scalar loss L = Σ y².
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut rng = SplitMix64::new(42);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.8, -0.4]);
+
+        // Analytic gradient of L = sum(y^2): dL/dy = 2y.
+        let y = layer.forward(&x, true);
+        let grad_out = Matrix::from_fn(2, 2, |r, c| 2.0 * y.get(r, c));
+        layer.zero_grad();
+        let _ = layer.backward(grad_out);
+
+        let h = 1e-3_f32;
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = layer.w.get(r, c);
+                layer.w.set(r, c, orig + h);
+                let yp = layer.forward(&x, false);
+                let lp: f32 = yp.as_slice().iter().map(|v| v * v).sum();
+                layer.w.set(r, c, orig - h);
+                let ym = layer.forward(&x, false);
+                let lm: f32 = ym.as_slice().iter().map(|v| v * v).sum();
+                layer.w.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * h);
+                let analytic = layer.grad_w.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "grad mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_panics_without_forward() {
+        let mut rng = SplitMix64::new(1);
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng);
+        let g = Matrix::zeros(1, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            layer.backward(g);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SplitMix64::new(1);
+        let layer = Dense::new(10, 5, Activation::Relu, &mut rng);
+        assert_eq!(layer.param_count(), 55);
+    }
+}

@@ -1,0 +1,57 @@
+//! # tinynn — a minimal, deterministic neural-network library
+//!
+//! This crate implements exactly the machine-learning machinery the RTS
+//! paper needs, from scratch:
+//!
+//! * dense (fully connected) layers with ReLU / sigmoid / tanh / identity
+//!   activations ([`layer`]),
+//! * two-layer perceptron classifiers — the *branching point predictor*
+//!   probes of §3.1 of the paper — via the [`mlp::Mlp`] builder,
+//! * mini-batch training with SGD+momentum and Adam ([`optim`]),
+//! * binary cross-entropy / MSE losses ([`loss`]),
+//! * feature standardisation ([`scaler`]),
+//! * ranking metrics, most importantly exact AUC ([`metrics`]), which the
+//!   paper uses to rank per-layer probes when selecting the top-k layers
+//!   for the multi-layer BPP.
+//!
+//! Everything is `f32`, row-major, allocation-conscious and fully
+//! deterministic: all random initialisation and shuffling is driven by an
+//! explicit seed.
+//!
+//! ```
+//! use tinynn::mlp::{Mlp, MlpConfig};
+//! use tinynn::data::Dataset;
+//!
+//! // XOR — the classic sanity check for a 2-layer perceptron.
+//! let xs = vec![vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]];
+//! let ys = vec![0.0, 1.0, 1.0, 0.0];
+//! let ds = Dataset::from_rows(&xs, &ys);
+//! let mut mlp = Mlp::new(MlpConfig {
+//!     input_dim: 2,
+//!     hidden_dims: vec![8],
+//!     lr: 0.05,
+//!     epochs: 800,
+//!     batch_size: 4,
+//!     seed: 7,
+//!     ..MlpConfig::default()
+//! });
+//! mlp.fit(&ds);
+//! assert!(mlp.predict_proba(&[1., 0.]) > 0.5);
+//! assert!(mlp.predict_proba(&[1., 1.]) < 0.5);
+//! ```
+
+pub mod data;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod metrics;
+pub mod mlp;
+pub mod optim;
+pub mod rng;
+pub mod scaler;
+
+pub use data::Dataset;
+pub use matrix::Matrix;
+pub use metrics::auc;
+pub use mlp::{Mlp, MlpConfig};
+pub use scaler::StandardScaler;

@@ -1,0 +1,103 @@
+//! Loss functions.
+//!
+//! The BPP probes are binary classifiers trained with (optionally
+//! class-weighted) binary cross-entropy. Branching points are rare —
+//! roughly one token in thirty in an erroneous generation, and none in a
+//! correct one — so a positive-class weight is essential for the probes to
+//! learn anything but the majority class.
+
+use crate::matrix::Matrix;
+
+/// Binary cross-entropy over sigmoid outputs.
+///
+/// `pos_weight` scales the loss (and gradient) of positive examples; 1.0
+/// recovers plain BCE. Returns the mean loss; writes ∂L/∂p into `grad`.
+pub fn bce_with_grad(
+    probs: &Matrix,
+    targets: &[f32],
+    pos_weight: f32,
+    grad: &mut Matrix,
+) -> f32 {
+    assert_eq!(probs.rows(), targets.len(), "target length mismatch");
+    assert_eq!(probs.cols(), 1, "binary loss expects a single output column");
+    let n = targets.len() as f32;
+    let eps = 1e-7_f32;
+    let mut total = 0.0;
+    for (i, &t) in targets.iter().enumerate() {
+        let p = probs.get(i, 0).clamp(eps, 1.0 - eps);
+        let w = if t > 0.5 { pos_weight } else { 1.0 };
+        total += -w * (t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+        // d/dp of the weighted BCE, averaged over the batch.
+        grad.set(i, 0, w * ((p - t) / (p * (1.0 - p))) / n);
+    }
+    total / n
+}
+
+/// Mean squared error. Writes ∂L/∂y into `grad`. Used by regression-style
+/// tests and for the calibration-curve smoother.
+pub fn mse_with_grad(preds: &Matrix, targets: &[f32], grad: &mut Matrix) -> f32 {
+    assert_eq!(preds.rows(), targets.len(), "target length mismatch");
+    assert_eq!(preds.cols(), 1, "mse expects a single output column");
+    let n = targets.len() as f32;
+    let mut total = 0.0;
+    for (i, &t) in targets.iter().enumerate() {
+        let d = preds.get(i, 0) - t;
+        total += d * d;
+        grad.set(i, 0, 2.0 * d / n);
+    }
+    total / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_prediction_is_near_zero() {
+        let probs = Matrix::from_vec(2, 1, vec![0.9999, 0.0001]);
+        let mut grad = Matrix::zeros(2, 1);
+        let loss = bce_with_grad(&probs, &[1.0, 0.0], 1.0, &mut grad);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn bce_wrong_prediction_is_large() {
+        let probs = Matrix::from_vec(1, 1, vec![0.01]);
+        let mut grad = Matrix::zeros(1, 1);
+        let loss = bce_with_grad(&probs, &[1.0], 1.0, &mut grad);
+        assert!(loss > 4.0, "loss {loss}");
+        // Gradient pushes the probability up (negative dL/dp).
+        assert!(grad.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn bce_pos_weight_scales_positive_loss() {
+        let probs = Matrix::from_vec(1, 1, vec![0.5]);
+        let mut g1 = Matrix::zeros(1, 1);
+        let mut g5 = Matrix::zeros(1, 1);
+        let l1 = bce_with_grad(&probs, &[1.0], 1.0, &mut g1);
+        let l5 = bce_with_grad(&probs, &[1.0], 5.0, &mut g5);
+        assert!((l5 / l1 - 5.0).abs() < 1e-4);
+        assert!((g5.get(0, 0) / g1.get(0, 0) - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bce_pos_weight_leaves_negatives_untouched() {
+        let probs = Matrix::from_vec(1, 1, vec![0.5]);
+        let mut g1 = Matrix::zeros(1, 1);
+        let mut g5 = Matrix::zeros(1, 1);
+        let l1 = bce_with_grad(&probs, &[0.0], 1.0, &mut g1);
+        let l5 = bce_with_grad(&probs, &[0.0], 5.0, &mut g5);
+        assert!((l1 - l5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let preds = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        let mut grad = Matrix::zeros(2, 1);
+        let loss = mse_with_grad(&preds, &[0.0, 3.0], &mut grad);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!((grad.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(grad.get(1, 0), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! A small row-major `f32` matrix.
+//!
+//! `tinynn` deliberately avoids a general tensor abstraction: the RTS
+//! probes are 2-layer MLPs over hidden-state vectors of dimension ≤ 256,
+//! so a plain contiguous `Vec<f32>` with `(rows, cols)` bookkeeping plus a
+//! handful of fused kernels (`matmul`, `matmul_at`, `matmul_bt`) is both
+//! the simplest and the fastest thing that works.
+
+use crate::rng::SplitMix64;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialisation: U(−√(6/(fan_in+fan_out)), +…).
+    /// This is the standard choice for tanh/sigmoid nets and works well
+    /// for the shallow ReLU probes we train.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut SplitMix64) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| ((rng.next_f64() * 2.0 - 1.0) * bound) as f32)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw buffer access (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Raw mutable buffer access (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reset to zero without reallocating — used for gradient buffers.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self @ other` → (self.rows × other.cols). Classic ikj loop order so
+    /// the inner loop streams both the output row and the rhs row.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue; // ReLU zeros are common; skip dead lanes.
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` without materialising the transpose.
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` without materialising the transpose.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let dot: f32 = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Add a row vector (bias) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums — used for bias gradients.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &x) in sums.iter_mut().zip(self.row(r).iter()) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Frobenius norm; handy for gradient-explosion assertions in tests.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let id = m(2, 2, &[1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&id).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 1., 2., 2., 3., 3.]);
+        let at = Matrix::from_fn(2, 3, |r, c| a.get(c, r));
+        assert_eq!(a.matmul_at(&b).as_slice(), at.matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 3, &[1., 0., 1., 0., 1., 0.]);
+        let bt = Matrix::from_fn(3, 2, |r, c| b.get(c, r));
+        assert_eq!(a.matmul_bt(&b).as_slice(), a.matmul(&bt).as_slice());
+    }
+
+    #[test]
+    fn broadcast_and_col_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = SplitMix64::new(1);
+        let w = Matrix::xavier(10, 20, &mut rng);
+        let bound = (6.0_f32 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|x| x.abs() <= bound + 1e-6));
+        // Not all identical (init actually random).
+        assert!(w.as_slice().windows(2).any(|p| p[0] != p[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

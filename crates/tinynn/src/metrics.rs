@@ -1,0 +1,176 @@
+//! Classification metrics: AUC, accuracy, precision/recall/F1, Brier.
+//!
+//! AUC is the metric the paper uses to (a) report sBPP quality (Table 3)
+//! and (b) rank per-layer probes when picking the top-k layers for mBPP,
+//! so the implementation here is the exact rank-statistic (Mann–Whitney)
+//! form with proper tie handling, not a trapezoid approximation.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with midrank
+/// tie correction. `scores` are arbitrary reals (higher = more positive),
+/// `labels` are booleans. Returns 0.5 for degenerate one-class inputs so
+/// callers can treat "no signal measurable" uniformly.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score; assign midranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0_f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // ranks are 1-based; tied block [i, j] shares the midrank.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter_map(|(&l, &r)| if l { Some(r) } else { None })
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Binary classification counts at a threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions (`score >= threshold` ⇒ positive).
+    pub fn from_scores(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s >= threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Brier score: mean squared error between probabilities and outcomes.
+/// Lower is better; 0.25 is the score of a constant 0.5 forecaster.
+pub fn brier(probs: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let y = if l { 1.0 } else { 0.0 };
+            (p - y) * (p - y)
+        })
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_inversion() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied → AUC must be exactly 0.5 via midranks.
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert_eq!(auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_ties() {
+        let scores = [0.1, 0.5, 0.5, 0.9];
+        let labels = [false, false, true, true];
+        // Pairs: (0.5,0.1)✓ (0.5,0.5)=½ (0.9,0.1)✓ (0.9,0.5)✓ → (3+0.5)/4
+        assert!((auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.2];
+        let labels = [true, false, true, false];
+        let c = Confusion::from_scores(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_bounds() {
+        assert_eq!(brier(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier(&[0.0, 1.0], &[true, false]), 1.0);
+        assert!((brier(&[0.5, 0.5], &[true, false]) - 0.25).abs() < 1e-12);
+    }
+}

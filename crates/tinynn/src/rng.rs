@@ -1,0 +1,193 @@
+//! Small deterministic random-number utilities.
+//!
+//! `tinynn` (and the crates above it) must be bit-for-bit reproducible for
+//! a given seed, so all stochastic choices flow through either
+//! [`rand::rngs::StdRng`] seeded explicitly, or — on hot paths where we
+//! want a tiny, inlineable generator — the [`SplitMix64`] implemented
+//! here. SplitMix64 is the statistically solid 64-bit mixer from Steele,
+//! Lea & Flood (OOPSLA'14); it is also what `rand` itself uses to seed
+//! larger generators.
+
+/// A 64-bit SplitMix generator. One `u64` of state, passes BigCrush when
+/// used as a stream, and is ideal for deriving per-entity deterministic
+/// pseudo-randomness from stable identifiers (hashes of names, positions,
+/// seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "next_below(0)");
+        // Multiply-shift rejection-free mapping; bias is < 2^-53 for the
+        // n values used in this workspace (all far below 2^32).
+        (self.next_f64() * n as f64) as usize
+    }
+
+    /// Standard normal via Box–Muller. Two uniforms per call; we discard
+    /// the second variate for simplicity (probe feature dims are small).
+    #[inline]
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derive an independent child generator. Mixing the child index with
+    /// a large odd constant keeps sibling streams decorrelated.
+    #[inline]
+    pub fn fork(&mut self, salt: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+/// Stable 64-bit hash of a byte string (FNV-1a folded through SplitMix).
+/// Used to derive deterministic pseudo-randomness from names: the same
+/// table/column/question name always maps to the same latent draws, which
+/// keeps whole-dataset regeneration stable across runs and platforms.
+#[inline]
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // One SplitMix finalisation round to spread low-entropy inputs.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffle driven by a [`SplitMix64`].
+pub fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..items.len()).rev() {
+        let j = rng.next_below(i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = SplitMix64::new(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.next_below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_spread() {
+        assert_eq!(stable_hash(b"races"), stable_hash(b"races"));
+        assert_ne!(stable_hash(b"races"), stable_hash(b"race"));
+        assert_ne!(stable_hash(b""), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = SplitMix64::new(9);
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input ordered");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SplitMix64::new(123);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let matches = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+}

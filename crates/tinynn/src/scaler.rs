@@ -1,0 +1,116 @@
+//! Feature standardisation.
+//!
+//! Hidden-state magnitudes grow with layer depth in the simulated LLM
+//! (residual accumulation), so each per-layer probe standardises its
+//! inputs with statistics estimated on its own training split. The same
+//! scaler is then applied to calibration and test points, which keeps the
+//! exchangeability assumption of conformal prediction intact (the scaler
+//! is part of the fixed predictor, not fitted on calibration data).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature mean/std standardiser: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Estimate means and standard deviations from row-major samples.
+    /// Features with (near-)zero variance get std 1 so they pass through
+    /// centred but unscaled.
+    pub fn fit(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler on empty data");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0_f64; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged rows");
+            for (m, &x) in mean.iter_mut().zip(row.iter()) {
+                *m += x as f64;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut var = vec![0.0_f64; dim];
+        for row in rows {
+            for ((v, &x), &m) in var.iter_mut().zip(row.iter()).zip(mean.iter()) {
+                let d = x as f64 - m;
+                *v += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s as f32
+                }
+            })
+            .collect();
+        Self { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+    }
+
+    /// Dimensionality this scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardise one row into a fresh vector.
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        row.iter()
+            .zip(self.mean.iter().zip(self.std.iter()))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardise in place.
+    pub fn transform_inplace(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        for (x, (&m, &s)) in row.iter_mut().zip(self.mean.iter().zip(self.std.iter())) {
+            *x = (*x - m) / s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_transform_has_zero_mean_unit_std() {
+        let raw: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 100.0 + 3.0 * i as f32]).collect();
+        let refs: Vec<&[f32]> = raw.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&refs);
+        let transformed: Vec<Vec<f32>> = raw.iter().map(|r| scaler.transform(r)).collect();
+        for d in 0..2 {
+            let mean: f32 = transformed.iter().map(|r| r[d]).sum::<f32>() / 100.0;
+            let var: f32 = transformed.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / 100.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centred() {
+        let raw = [[5.0_f32, 1.0], [5.0, 2.0], [5.0, 3.0]];
+        let refs: Vec<&[f32]> = raw.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&refs);
+        let t = scaler.transform(&raw[0]);
+        assert_eq!(t[0], 0.0);
+        assert!(t[0].is_finite() && t[1].is_finite());
+    }
+
+    #[test]
+    fn inplace_matches_allocating() {
+        let raw = [[1.0_f32, 2.0], [3.0, 4.0], [5.0, 6.0]];
+        let refs: Vec<&[f32]> = raw.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&refs);
+        let mut row = raw[1];
+        scaler.transform_inplace(&mut row);
+        assert_eq!(row.to_vec(), scaler.transform(&raw[1]));
+    }
+}

@@ -1,0 +1,10 @@
+//! # rts — Reliable Text-to-SQL with Adaptive Abstention
+//!
+//! Facade crate re-exporting the full RTS workspace. See README.md.
+
+pub use benchgen;
+pub use conformal;
+pub use nanosql;
+pub use rts_core as core;
+pub use simlm;
+pub use tinynn;

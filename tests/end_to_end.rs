@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: the full RTS stack from workload
+//! generation through monitored linking to executed SQL.
+
+use rts::benchgen::BenchmarkProfile;
+use rts::core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
+use rts::core::bpp::{Mbpp, MbppConfig};
+use rts::core::branching::BranchDataset;
+use rts::core::human::{Expertise, HumanOracle};
+use rts::core::metrics::linking_metrics;
+use rts::core::pipeline::{measure_ex, SchemaSource};
+use rts::core::sqlgen::SqlGenModel;
+use rts::simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+
+fn fixture() -> (rts::benchgen::Benchmark, SchemaLinker, Mbpp) {
+    let bench = BenchmarkProfile::bird_like().scaled(0.05).generate(999);
+    let linker = SchemaLinker::new("bird", 4);
+    let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 400);
+    let mbpp = Mbpp::train(&ds, &MbppConfig::default());
+    (bench, linker, mbpp)
+}
+
+#[test]
+fn generated_benchmark_is_internally_consistent() {
+    let bench = BenchmarkProfile::spider_like().scaled(0.03).generate(5);
+    for inst in bench.all_instances() {
+        // Gold SQL executes and gold links resolve on every instance.
+        let db = bench.database(&inst.db_name).expect("db");
+        rts::nanosql::exec::execute(db, &inst.gold_sql).expect("gold sql executes");
+        let meta = bench.meta(&inst.db_name).expect("meta");
+        for t in &inst.gold_tables {
+            assert!(meta.table(t).is_some());
+        }
+        for (t, c) in &inst.gold_columns {
+            assert!(meta.table(t).and_then(|tm| tm.column(c)).is_some());
+        }
+        // The printed gold SQL round-trips through the parser.
+        let printed = inst.gold_sql.to_string();
+        let reparsed = rts::nanosql::parser::parse(&printed).expect("reparse");
+        assert_eq!(reparsed, inst.gold_sql);
+    }
+}
+
+#[test]
+fn linker_traces_are_probe_compatible() {
+    let (bench, linker, mbpp) = fixture();
+    let inst = &bench.split.dev[0];
+    let mut vocab = Vocab::new();
+    let trace = linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+    let mut rng = tinyseed();
+    let flags = mbpp.flag_trace(&trace, &mut rng);
+    assert_eq!(flags.len(), trace.steps.len());
+}
+
+fn tinyseed() -> rts::tinynn::rng::SplitMix64 {
+    rts::tinynn::rng::SplitMix64::new(77)
+}
+
+#[test]
+fn rts_with_expert_feedback_beats_unmonitored_linking() {
+    let (bench, linker, mbpp) = fixture();
+    let oracle = HumanOracle::new(Expertise::Expert, 12);
+    let config = RtsConfig::default();
+    let dev = &bench.split.dev;
+
+    let mut golds = Vec::new();
+    let mut free_preds = Vec::new();
+    let mut rts_preds = Vec::new();
+    for inst in dev {
+        let mut gold = inst.gold_tables.clone();
+        gold.sort();
+        golds.push(gold);
+        let mut vocab = Vocab::new();
+        let free = linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+        free_preds.push(free.predicted_set());
+        let meta = bench.meta(&inst.db_name).expect("meta");
+        let out = run_rts_linking(
+            &linker,
+            &mbpp,
+            inst,
+            meta,
+            LinkTarget::Tables,
+            &MitigationPolicy::Human(&oracle),
+            &config,
+        );
+        assert!(!out.abstained, "human policy resolves in-place");
+        rts_preds.push(out.predicted);
+    }
+    let free_m = linking_metrics(&golds, &free_preds);
+    let rts_m = linking_metrics(&golds, &rts_preds);
+    assert!(
+        rts_m.exact_match > free_m.exact_match,
+        "RTS {:.3} must beat free {:.3}",
+        rts_m.exact_match,
+        free_m.exact_match
+    );
+}
+
+#[test]
+fn golden_schema_dominates_full_schema_ex() {
+    let bench = BenchmarkProfile::bird_like().scaled(0.03).generate(321);
+    let generator = SqlGenModel::deepseek_7b("bird", 5);
+    let dev = &bench.split.dev;
+    let golden = measure_ex(&bench, dev, &generator, &SchemaSource::Golden);
+    let full = measure_ex(&bench, dev, &generator, &SchemaSource::Full);
+    assert!(golden > full, "golden {golden} vs full {full}");
+}
+
+#[test]
+fn deterministic_across_full_stack() {
+    let run = || {
+        let (bench, linker, mbpp) = fixture();
+        let inst = &bench.split.dev[1];
+        let meta = bench.meta(&inst.db_name).expect("meta");
+        let out = run_rts_linking(
+            &linker,
+            &mbpp,
+            inst,
+            meta,
+            LinkTarget::Tables,
+            &MitigationPolicy::AbstainOnly,
+            &RtsConfig::default(),
+        );
+        (out.abstained, out.predicted, out.n_flags)
+    };
+    assert_eq!(run(), run());
+}

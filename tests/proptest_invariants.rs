@@ -1,0 +1,119 @@
+//! Property-based tests over the core invariants of the stack:
+//! conformal set algebra and merge theorems, SQL parser round-trips,
+//! result-comparison symmetry, and tokenizer inversion.
+
+use proptest::prelude::*;
+use rts::conformal::{majority_vote, random_permutation_merge, LabelSet, SplitConformal};
+use rts::conformal::merge::majority_vote_inclusive;
+use rts::nanosql::value::Value;
+use rts::simlm::vocab::split_identifier;
+use rts::tinynn::rng::SplitMix64;
+
+fn label_set_strategy(n_labels: usize) -> impl Strategy<Value = LabelSet> {
+    prop::collection::vec(prop::bool::ANY, n_labels).prop_map(|bits| {
+        bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect()
+    })
+}
+
+proptest! {
+    /// Theorem 2: |C_θ| ≤ (1/(nθ)) Σ|C_i| for arbitrary set families.
+    #[test]
+    fn theorem2_size_bound(
+        sets in prop::collection::vec(label_set_strategy(6), 1..12),
+        theta in 0.05f64..0.95,
+    ) {
+        let merged = majority_vote(&sets, theta, 6);
+        let sum: usize = sets.iter().map(|s| s.len()).sum();
+        prop_assert!(merged.len() as f64 <= sum as f64 / (sets.len() as f64 * theta) + 1e-9);
+    }
+
+    /// Theorem 3 (size part): C_π ⊆ inclusive majority vote at θ = ½.
+    #[test]
+    fn permutation_merge_never_exceeds_majority(
+        sets in prop::collection::vec(label_set_strategy(4), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let merged = random_permutation_merge(&sets, 4, &mut rng);
+        let vote = majority_vote_inclusive(&sets, 4);
+        prop_assert!(merged.is_subset_of(vote), "{merged} ⊄ {vote}");
+    }
+
+    /// Monotonicity: a lower error level can only widen prediction sets.
+    #[test]
+    fn conformal_sets_grow_as_alpha_shrinks(
+        scores in prop::collection::vec(0.0f64..1.0, 30..200),
+        p1 in 0.0f64..1.0,
+    ) {
+        let tight = SplitConformal::from_scores(scores.clone(), 0.2);
+        let loose = SplitConformal::from_scores(scores, 0.05);
+        let set_tight = tight.predict_binary(p1);
+        let set_loose = loose.predict_binary(p1);
+        prop_assert!(set_tight.is_subset_of(set_loose));
+    }
+
+    /// The split-conformal threshold is one of the calibration scores
+    /// (or +∞), never an interpolation artefact.
+    #[test]
+    fn conformal_threshold_is_order_statistic(
+        scores in prop::collection::vec(0.0f64..1.0, 20..100),
+        alpha in 0.05f64..0.4,
+    ) {
+        let cp = SplitConformal::from_scores(scores.clone(), alpha);
+        let t = cp.threshold();
+        prop_assert!(t.is_infinite() || scores.iter().any(|&s| (s - t).abs() < 1e-12));
+    }
+
+    /// Identifier tokenisation inverts by concatenation.
+    #[test]
+    fn tokenizer_roundtrips(ident in "[a-z][a-z0-9]{0,6}(_[a-z][a-z0-9]{0,6}){0,3}") {
+        let pieces = split_identifier(&ident);
+        prop_assert_eq!(pieces.concat(), ident);
+    }
+
+    /// camelCase splitting also inverts.
+    #[test]
+    fn camel_tokenizer_roundtrips(
+        head in "[a-z]{1,6}",
+        tails in prop::collection::vec("[A-Z][a-z]{0,5}", 0..4),
+    ) {
+        let ident = format!("{head}{}", tails.concat());
+        let pieces = split_identifier(&ident);
+        prop_assert_eq!(pieces.concat(), ident);
+    }
+
+    /// Value SQL comparison is antisymmetric where defined.
+    #[test]
+    fn value_cmp_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+        let va = Value::Int(a);
+        let vb = Value::Float(b as f64 + 0.5);
+        if let (Some(x), Some(y)) = (va.sql_cmp(&vb), vb.sql_cmp(&va)) {
+            prop_assert_eq!(x, y.reverse());
+        }
+    }
+
+    /// Group keys respect equality of numerically equal values.
+    #[test]
+    fn group_key_unifies_numeric_twins(x in -100000i64..100000) {
+        prop_assert_eq!(Value::Int(x).group_key(), Value::Float(x as f64).group_key());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parser/printer fixpoint on generated gold SQL: every statement the
+    /// workload generator can emit survives print → parse → print.
+    #[test]
+    fn workload_sql_roundtrips(seed in any::<u64>()) {
+        let bench = rts::benchgen::BenchmarkProfile::spider_like()
+            .scaled(0.01)
+            .generate(seed % 1000);
+        for inst in bench.split.dev.iter().take(10) {
+            let text = inst.gold_sql.to_string();
+            let reparsed = rts::nanosql::parser::parse(&text).expect("parse");
+            prop_assert_eq!(&reparsed, &inst.gold_sql);
+            prop_assert_eq!(reparsed.to_string(), text);
+        }
+    }
+}
