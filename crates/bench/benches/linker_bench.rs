@@ -30,7 +30,12 @@ fn bench_generation(c: &mut Criterion) {
     group.bench_function("columns_teacher_forced", |b| {
         b.iter(|| {
             let mut vocab = Vocab::new();
-            black_box(linker.generate(inst, &mut vocab, LinkTarget::Columns, GenMode::TeacherForced))
+            black_box(linker.generate(
+                inst,
+                &mut vocab,
+                LinkTarget::Columns,
+                GenMode::TeacherForced,
+            ))
         })
     });
     group.finish();
@@ -59,7 +64,10 @@ fn bench_probe_training(c: &mut Criterion) {
                 &ds,
                 20,
                 0.1,
-                &ProbeConfig { epochs: 5, ..ProbeConfig::default() },
+                &ProbeConfig {
+                    epochs: 5,
+                    ..ProbeConfig::default()
+                },
             ))
         })
     });
@@ -70,7 +78,13 @@ fn bench_flagging(c: &mut Criterion) {
     let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 150);
     let mbpp = Mbpp::train(
         &ds,
-        &MbppConfig { probe: ProbeConfig { epochs: 5, ..Default::default() }, ..Default::default() },
+        &MbppConfig {
+            probe: ProbeConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
     );
     let inst = &bench.split.dev[0];
     let mut vocab = Vocab::new();
@@ -81,5 +95,11 @@ fn bench_flagging(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generation, bench_branch_dataset, bench_probe_training, bench_flagging);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_branch_dataset,
+    bench_probe_training,
+    bench_flagging
+);
 criterion_main!(benches);

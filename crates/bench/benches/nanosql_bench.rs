@@ -14,8 +14,13 @@ fn setup() -> benchgen::Benchmark {
 
 fn bench_parse(c: &mut Criterion) {
     let bench = setup();
-    let sqls: Vec<String> =
-        bench.split.dev.iter().take(50).map(|i| i.gold_sql.to_string()).collect();
+    let sqls: Vec<String> = bench
+        .split
+        .dev
+        .iter()
+        .take(50)
+        .map(|i| i.gold_sql.to_string())
+        .collect();
     c.bench_function("nanosql/parse_50_stmts", |b| {
         b.iter(|| {
             for s in &sqls {
@@ -73,5 +78,11 @@ fn bench_execution_accuracy(c: &mut Criterion) {
     assert!(execute_sql(db, &gold).is_ok());
 }
 
-criterion_group!(benches, bench_parse, bench_bind, bench_execute, bench_execution_accuracy);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_bind,
+    bench_execute,
+    bench_execution_accuracy
+);
 criterion_main!(benches);

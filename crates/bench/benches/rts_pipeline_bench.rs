@@ -5,13 +5,15 @@
 use benchgen::BenchmarkProfile;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
-use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+use rts_core::bpp::{BppScratch, Mbpp, MbppConfig, ProbeConfig};
 use rts_core::branching::BranchDataset;
 use rts_core::human::{Expertise, HumanOracle};
+use rts_core::pipeline::{measure_ex, run_full_pipeline, SchemaSource};
 use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
 use rts_core::surrogate::SurrogateModel;
-use simlm::{LinkTarget, SchemaLinker};
+use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
 use std::hint::black_box;
+use tinynn::rng::SplitMix64;
 
 struct Fx {
     bench: benchgen::Benchmark,
@@ -26,10 +28,21 @@ fn setup() -> Fx {
     let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 150);
     let mbpp = Mbpp::train(
         &ds,
-        &MbppConfig { probe: ProbeConfig { epochs: 6, ..Default::default() }, ..Default::default() },
+        &MbppConfig {
+            probe: ProbeConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
     );
     let surrogate = SurrogateModel::train(&bench, 7);
-    Fx { bench, linker, mbpp, surrogate }
+    Fx {
+        bench,
+        linker,
+        mbpp,
+        surrogate,
+    }
 }
 
 fn bench_policies(c: &mut Criterion) {
@@ -81,6 +94,136 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The monitored-generation hot path in isolation: per-token baseline
+/// vs the batched scoring path over single traces (tables: short
+/// streams; columns: the longer streams that dominate per-instance
+/// monitoring cost).
+fn bench_monitoring(c: &mut Criterion) {
+    let fx = setup();
+    let inst = &fx.bench.split.dev[0];
+    let mut group = c.benchmark_group("rts/flag_trace");
+    for (target, tag) in [
+        (LinkTarget::Tables, "tables"),
+        (LinkTarget::Columns, "columns"),
+    ] {
+        let mut vocab = Vocab::new();
+        let trace = fx
+            .linker
+            .generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        group.bench_function(format!("{tag}_per_token"), |b| {
+            let mut rng = SplitMix64::new(7);
+            b.iter(|| black_box(fx.mbpp.flag_trace_per_token(&trace, &mut rng)))
+        });
+        group.bench_function(format!("{tag}_batched"), |b| {
+            let mut rng = SplitMix64::new(7);
+            let mut scratch = BppScratch::default();
+            b.iter(|| {
+                black_box(
+                    fx.mbpp
+                        .flag_trace_with_scratch(&trace, &mut rng, &mut scratch),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance-bar measurement: monitored linking per instance, old
+/// runtime (per-token monitoring, serial instance loop) vs new (batched
+/// monitoring, instance-parallel fan-out). Identical outcomes, ≥ 3×
+/// wall-clock on a multi-core machine.
+fn bench_monitored_linking(c: &mut Criterion) {
+    let fx = setup();
+    let instances: Vec<benchgen::Instance> = fx.bench.split.dev.iter().take(32).cloned().collect();
+    let per_token_cfg = RtsConfig {
+        per_token_monitoring: true,
+        ..RtsConfig::default()
+    };
+    let batched_cfg = RtsConfig::default();
+    let link = |inst: &benchgen::Instance, cfg: &RtsConfig| {
+        let meta = fx.bench.meta(&inst.db_name).unwrap();
+        run_rts_linking(
+            &fx.linker,
+            &fx.mbpp,
+            inst,
+            meta,
+            LinkTarget::Tables,
+            &MitigationPolicy::AbstainOnly,
+            cfg,
+        )
+    };
+    let mut group = c.benchmark_group("rts/monitored_linking_per_instance_x32");
+    group.bench_function("per_token_serial_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                instances
+                    .iter()
+                    .map(|inst| link(inst, &per_token_cfg))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.bench_function("batched_serial", |b| {
+        b.iter(|| {
+            black_box(
+                instances
+                    .iter()
+                    .map(|inst| link(inst, &batched_cfg))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.bench_function("batched_parallel", |b| {
+        b.iter(|| {
+            black_box(rts_core::par::par_map(&instances, |inst| {
+                link(inst, &batched_cfg)
+            }))
+        })
+    });
+    group.finish();
+}
+
+/// Instance-parallel full pipeline (linking → SQL → EX) vs the
+/// schema-source EX measurement alone.
+fn bench_parallel_pipeline(c: &mut Criterion) {
+    let fx = setup();
+    // The joint pipeline monitors the column stream with its own probes.
+    let ds_c = BranchDataset::build(&fx.linker, &fx.bench.split.train, LinkTarget::Columns, 150);
+    let mbpp_c = Mbpp::train(
+        &ds_c,
+        &MbppConfig {
+            probe: ProbeConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let oracle = HumanOracle::new(Expertise::Expert, 5);
+    let generator = SqlGenModel::deepseek_7b("bird", 9);
+    let config = RtsConfig::default();
+    let instances: Vec<benchgen::Instance> = fx.bench.split.dev.iter().take(64).cloned().collect();
+    let mut group = c.benchmark_group("rts/pipeline_64_instances");
+    group.bench_function("full_pipeline_parallel", |b| {
+        b.iter(|| {
+            black_box(run_full_pipeline(
+                &fx.bench, &instances, &fx.linker, &fx.mbpp, &mbpp_c, &oracle, &generator, &config,
+            ))
+        })
+    });
+    group.bench_function("measure_ex_golden", |b| {
+        b.iter(|| {
+            black_box(measure_ex(
+                &fx.bench,
+                &instances,
+                &generator,
+                &SchemaSource::Golden,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_sqlgen(c: &mut Criterion) {
     let fx = setup();
     let generator = SqlGenModel::deepseek_7b("bird", 9);
@@ -96,5 +239,12 @@ fn bench_sqlgen(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_policies, bench_sqlgen);
+criterion_group!(
+    benches,
+    bench_monitoring,
+    bench_monitored_linking,
+    bench_policies,
+    bench_parallel_pipeline,
+    bench_sqlgen
+);
 criterion_main!(benches);

@@ -35,7 +35,11 @@ fn main() {
         for alpha in [0.05, 0.10, 0.15, 0.20] {
             let m = mbpp.with_alpha(alpha);
             let cov = coverage_over_split(arts, &m, dev, target, 0xF6);
-            print!(" α={alpha}: cov {:.1} ear {:.2} |", cov.coverage * 100.0, cov.ear * 100.0);
+            print!(
+                " α={alpha}: cov {:.1} ear {:.2} |",
+                cov.coverage * 100.0,
+                cov.ear * 100.0
+            );
         }
         println!();
     }
@@ -56,7 +60,13 @@ fn main() {
     println!();
 
     // Table 5 quick check (bird tables, abstain-only).
-    let outs = abstain::outcomes_for(arts, dev, LinkTarget::Tables, &MitigationPolicy::AbstainOnly, 0xC0FFEE);
+    let outs = abstain::outcomes_for(
+        arts,
+        dev,
+        LinkTarget::Tables,
+        &MitigationPolicy::AbstainOnly,
+        0xC0FFEE,
+    );
     let m = abstention_metrics(
         &outs
             .iter()
@@ -75,9 +85,11 @@ fn main() {
     );
 
     // Table 6 quick check: joint human-feedback EM.
-    let oracle = rts_core::human::HumanOracle::new(rts_core::human::Expertise::Expert, 0x11 ^ 0xC0FFEE);
+    let oracle =
+        rts_core::human::HumanOracle::new(rts_core::human::Expertise::Expert, 0x11 ^ 0xC0FFEE);
     let take = dev.len().min(400);
-    let outcomes = rts_bench::experiments::abstain::joint_outcomes(arts, &dev[..take], &oracle, 0xC0FFEE);
+    let outcomes =
+        rts_bench::experiments::abstain::joint_outcomes(arts, &dev[..take], &oracle, 0xC0FFEE);
     let s6 = rts_bench::experiments::abstain::summarise_joint(&outcomes);
     println!(
         "table6 bird joint (human): table EM {:.1} column EM {:.1} TAR {:.1} FAR {:.1} (paper 96.9/96.0/19.0/13.7)",

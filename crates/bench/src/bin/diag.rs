@@ -6,7 +6,7 @@ use rts_core::branching::BranchDataset;
 use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
 use tinynn::rng::SplitMix64;
 
-fn quantiles(label: &str, v: &mut Vec<f64>) {
+fn quantiles(label: &str, v: &mut [f64]) {
     if v.is_empty() {
         println!("{label}: (empty)");
         return;
@@ -30,19 +30,31 @@ fn main() {
         Ok("columns") => LinkTarget::Columns,
         _ => LinkTarget::Tables,
     };
-    let bench = BenchmarkProfile::bird_like().scaled(0.12).generate(0xC0FFEE);
+    let bench = BenchmarkProfile::bird_like()
+        .scaled(0.12)
+        .generate(0xC0FFEE);
     let model = SchemaLinker::new("bird", 0xC0FFEE ^ 0x11CC);
     let cap = (bench.split.train.len() / 4).max(400);
     let ds = BranchDataset::build(&model, &bench.split.train, target, cap);
-    println!("tokens={} pos_rate={:.4}", ds.n_tokens(), ds.positive_rate());
+    println!(
+        "tokens={} pos_rate={:.4}",
+        ds.n_tokens(),
+        ds.positive_rate()
+    );
     let cfg = MbppConfig {
-        probe: ProbeConfig { seed: 0xC0FFEE ^ 0xB0, ..Default::default() },
+        probe: ProbeConfig {
+            seed: 0xC0FFEE ^ 0xB0,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mbpp = Mbpp::train(&ds, &cfg);
     println!(
         "selected layers: {:?} (mean AUC {:.4})",
-        mbpp.selected.iter().map(|&i| mbpp.sbpps[i].layer).collect::<Vec<_>>(),
+        mbpp.selected
+            .iter()
+            .map(|&i| mbpp.sbpps[i].layer)
+            .collect::<Vec<_>>(),
         mbpp.mean_selected_auc()
     );
 
@@ -61,8 +73,7 @@ fn main() {
             let mut seen_elem: Option<usize> = None;
             for step in &trace.steps {
                 let p = sbpp.score(&step.hidden[sbpp.layer]);
-                let first_of_element =
-                    step.element_idx.is_some() && step.element_idx != seen_elem;
+                let first_of_element = step.element_idx.is_some() && step.element_idx != seen_elem;
                 if step.element_idx.is_some() {
                     seen_elem = step.element_idx;
                 }
@@ -95,7 +106,10 @@ fn main() {
                     tot += 1;
                 }
             }
-            print!("  α={alpha}: layer-cov {:.2} |", det as f64 / tot.max(1) as f64);
+            print!(
+                "  α={alpha}: layer-cov {:.2} |",
+                det as f64 / tot.max(1) as f64
+            );
         }
         println!();
     }

@@ -12,6 +12,8 @@ fn main() {
         ablation_merge_sets(&ctx),
     ] {
         print!("{}", report.render());
-        report.save(std::path::Path::new("results")).expect("save report");
+        report
+            .save(std::path::Path::new("results"))
+            .expect("save report");
     }
 }

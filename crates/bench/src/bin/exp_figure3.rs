@@ -7,6 +7,8 @@ fn main() {
     let ctx = Context::load(Which::Bird, rts_bench::env_scale(), rts_bench::env_seed());
     for report in [figure3a(&ctx), figure3b(&ctx)] {
         print!("{}", report.render());
-        report.save(std::path::Path::new("results")).expect("save report");
+        report
+            .save(std::path::Path::new("results"))
+            .expect("save report");
     }
 }

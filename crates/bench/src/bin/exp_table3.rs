@@ -5,5 +5,7 @@ fn main() {
     let ctx = Context::load(Which::Both, rts_bench::env_scale(), rts_bench::env_seed());
     let report = table3(&ctx);
     print!("{}", report.render());
-    report.save(std::path::Path::new("results")).expect("save report");
+    report
+        .save(std::path::Path::new("results"))
+        .expect("save report");
 }

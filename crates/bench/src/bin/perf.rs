@@ -1,0 +1,150 @@
+//! Emit `BENCH_rts.json`: wall-time per pipeline stage (linking,
+//! monitoring, sqlgen, execution) so every PR leaves a comparable
+//! performance record.
+//!
+//! ```text
+//! RTS_SCALE=0.05 cargo run --release -p rts-bench --bin perf
+//! ```
+//!
+//! Scale defaults to 0.05 (a few hundred instances) — enough signal for
+//! a trajectory point without paper-scale runtime. `RTS_THREADS=1`
+//! forces the serial runtime for A/B comparisons.
+
+use rts_bench::report::PerfReport;
+use rts_core::abstention::RtsConfig;
+use rts_core::bpp::{BppScratch, Mbpp, MbppConfig, ProbeConfig};
+use rts_core::branching::BranchDataset;
+use rts_core::par::{par_map, par_map_with, thread_count};
+use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
+use simlm::{GenMode, GenerationTrace, LinkTarget, SchemaLinker, Vocab};
+use std::time::Instant;
+use tinynn::rng::SplitMix64;
+
+fn main() {
+    let scale = std::env::var("RTS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let seed = rts_bench::env_seed();
+    let mut perf = PerfReport::new(scale, seed, thread_count());
+
+    let t0 = Instant::now();
+    let bench = benchgen::BenchmarkProfile::bird_like()
+        .scaled(scale)
+        .generate(seed);
+    let linker = SchemaLinker::new("bird", seed ^ 0x11CC);
+    let probe_cfg = MbppConfig {
+        probe: ProbeConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let ds_t = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 400);
+    let ds_c = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Columns, 400);
+    let mbpp_t = Mbpp::train(&ds_t, &probe_cfg);
+    let mbpp_c = Mbpp::train(&ds_c, &probe_cfg);
+    eprintln!(
+        "[perf] setup (benchmark + mBPPs) in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let instances = &bench.split.dev;
+    let n = instances.len();
+    let config = RtsConfig {
+        seed,
+        ..RtsConfig::default()
+    };
+
+    // Stage 1 — linking: free-running schema-linking generation, both
+    // stages of the joint process (tables, then columns).
+    let t0 = Instant::now();
+    let traces: Vec<(GenerationTrace, GenerationTrace)> = par_map(instances, |inst| {
+        let mut vocab = Vocab::new();
+        let t = linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+        let mut v2 = Vocab::new();
+        let c = linker.generate(inst, &mut v2, LinkTarget::Columns, GenMode::Free);
+        (t, c)
+    });
+    perf.push_stage("linking", t0.elapsed(), n);
+
+    // Untimed warm-up pass over the freshly materialised traces so the
+    // two timed monitoring variants both read warm memory (the first
+    // reader otherwise pays every page fault).
+    let _warm: usize = traces
+        .iter()
+        .map(|(t, c)| {
+            t.steps
+                .iter()
+                .chain(c.steps.iter())
+                .map(|s| s.hidden.len())
+                .sum::<usize>()
+        })
+        .sum();
+    let mut warm_scratch = BppScratch::default();
+    let mut warm_rng = SplitMix64::new(config.seed);
+    let _ = mbpp_t.flag_trace_with_scratch(&traces[0].0, &mut warm_rng, &mut warm_scratch);
+    let _ = mbpp_t.flag_trace_per_token(&traces[0].0, &mut warm_rng);
+
+    // Stage 2 — monitoring: batched mBPP flagging of both traces (and
+    // the per-token baseline as a diagnostic trajectory row).
+    let t0 = Instant::now();
+    let flags: Vec<usize> = par_map_with(&traces, BppScratch::default, |scratch, (t, c)| {
+        let mut rng = SplitMix64::new(config.seed);
+        let nt = mbpp_t.flag_trace_with_scratch(t, &mut rng, scratch);
+        let nc = mbpp_c.flag_trace_with_scratch(c, &mut rng, scratch);
+        nt.iter().chain(nc.iter()).filter(|&&f| f).count()
+    });
+    perf.push_stage("monitoring", t0.elapsed(), n);
+    let t0 = Instant::now();
+    let flags_pt: Vec<usize> = par_map(&traces, |(t, c)| {
+        let mut rng = SplitMix64::new(config.seed);
+        let nt = mbpp_t.flag_trace_per_token(t, &mut rng);
+        let nc = mbpp_c.flag_trace_per_token(c, &mut rng);
+        nt.iter().chain(nc.iter()).filter(|&&f| f).count()
+    });
+    perf.push_stage("monitoring_per_token_baseline", t0.elapsed(), n);
+    assert_eq!(
+        flags, flags_pt,
+        "batched and per-token monitoring disagreed"
+    );
+
+    // Stage 3 — sqlgen: SQL generation under the full schema.
+    let generator = SqlGenModel::deepseek_7b("bird", seed ^ 0xEE);
+    let t0 = Instant::now();
+    let stmts: Vec<nanosql::ast::SelectStmt> = par_map(instances, |inst| {
+        let meta = bench.meta(&inst.db_name).expect("meta");
+        generator.generate(inst, &ProvidedSchema::full(meta), meta)
+    });
+    perf.push_stage("sqlgen", t0.elapsed(), n);
+
+    // Stage 4 — execution: run the generated SQL for real.
+    let t0 = Instant::now();
+    let executed = par_map(
+        &instances.iter().zip(&stmts).collect::<Vec<_>>(),
+        |(inst, stmt)| {
+            let db = bench.database(&inst.db_name).expect("db");
+            nanosql::exec::execute(db, stmt).is_ok()
+        },
+    );
+    perf.push_stage("execution", t0.elapsed(), n);
+    assert!(executed.iter().all(|&ok| ok), "generated SQL must execute");
+
+    let speedup = perf
+        .stage_ms("monitoring_per_token_baseline")
+        .zip(perf.stage_ms("monitoring"))
+        .map(|(pt, b)| pt / b)
+        .unwrap_or(f64::NAN);
+    perf.note(format!(
+        "monitoring batched-vs-per-token speedup: {speedup:.2}x"
+    ));
+    perf.note(format!(
+        "total flags raised: {} over {n} instances",
+        flags.iter().sum::<usize>()
+    ));
+
+    print!("{}", perf.render());
+    perf.save_bench_json(std::path::Path::new("."))
+        .expect("write BENCH_rts.json");
+    eprintln!("[perf] wrote BENCH_rts.json");
+}

@@ -29,7 +29,11 @@ pub struct BenchArtifacts {
 
 impl BenchArtifacts {
     fn build(profile: BenchmarkProfile, scale: f64, seed: u64) -> Self {
-        let profile = if scale < 1.0 { profile.scaled(scale) } else { profile };
+        let profile = if scale < 1.0 {
+            profile.scaled(scale)
+        } else {
+            profile
+        };
         let name = profile.name.clone();
         let bench = profile.generate(seed);
         let linker = SchemaLinker::new(&name, seed ^ 0x11CC);
@@ -46,12 +50,23 @@ impl BenchArtifacts {
             alpha: 0.1,
             k: 5,
             method: rts_core::bpp::MergeMethod::RandomPermutation,
-            probe: ProbeConfig { seed: seed ^ 0xB0, ..ProbeConfig::default() },
+            probe: ProbeConfig {
+                seed: seed ^ 0xB0,
+                ..ProbeConfig::default()
+            },
         };
         let mbpp_tables = Mbpp::train(&branch_tables, &cfg);
         let mbpp_columns = Mbpp::train(&branch_columns, &cfg);
         let surrogate = SurrogateModel::train(&bench, seed ^ 0x5A11);
-        Self { bench, linker, mbpp_tables, mbpp_columns, surrogate, branch_tables, branch_columns }
+        Self {
+            bench,
+            linker,
+            mbpp_tables,
+            mbpp_columns,
+            surrogate,
+            branch_tables,
+            branch_columns,
+        }
     }
 }
 
@@ -76,7 +91,12 @@ impl Context {
             "[context] built (scale {scale}, seed {seed:#x}) in {:.1}s",
             t0.elapsed().as_secs_f64()
         );
-        Self { scale, seed, bird, spider }
+        Self {
+            scale,
+            seed,
+            bird,
+            spider,
+        }
     }
 
     pub fn bird(&self) -> &BenchArtifacts {

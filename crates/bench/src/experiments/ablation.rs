@@ -6,9 +6,10 @@ use super::coverage_over_split;
 use crate::context::Context;
 use crate::report::Report;
 use conformal::LabelSet;
-use rts_core::bpp::{ConformalKind, Mbpp, MbppConfig, MergeMethod, ProbeConfig};
+use rts_core::bpp::{ConformalKind, Mbpp, MbppConfig, MergeMethod, ProbeConfig, SbppScratch};
+use rts_core::par::par_map;
 use simlm::{GenMode, LinkTarget, Vocab};
-use tinynn::rng::SplitMix64;
+use tinynn::Matrix;
 
 /// Probe-depth ablation: logistic vs 1-hidden vs 2-hidden probes.
 pub fn ablation_probe_depth(ctx: &Context) -> Report {
@@ -25,7 +26,11 @@ pub fn ablation_probe_depth(ctx: &Context) -> Report {
         (vec![32, 16], "2 hidden layers"),
     ] {
         let cfg = MbppConfig {
-            probe: ProbeConfig { hidden, seed: ctx.seed ^ 0xAB, ..ProbeConfig::default() },
+            probe: ProbeConfig {
+                hidden,
+                seed: ctx.seed ^ 0xAB,
+                ..ProbeConfig::default()
+            },
             ..MbppConfig::default()
         };
         let mbpp = Mbpp::train(&arts.branch_tables, &cfg);
@@ -36,8 +41,18 @@ pub fn ablation_probe_depth(ctx: &Context) -> Report {
             LinkTarget::Tables,
             ctx.seed ^ 0xA1,
         );
-        r.push(format!("{label} AUC"), None, Some(mbpp.mean_selected_auc() * 100.0), "AUC%");
-        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(
+            format!("{label} AUC"),
+            None,
+            Some(mbpp.mean_selected_auc() * 100.0),
+            "AUC%",
+        );
+        r.push(
+            format!("{label} coverage"),
+            None,
+            Some(cov.coverage * 100.0),
+            "%",
+        );
         r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
     }
     r.note("The branching-risk direction is linear, so even a logistic probe is competitive; depth buys little.");
@@ -55,10 +70,17 @@ pub fn ablation_conformal(ctx: &Context) -> Report {
     );
     for (kind, label) in [
         (ConformalKind::Split, "split conformal"),
-        (ConformalKind::Knn { k: 100, tau: 60.0 }, "KNN-weighted (Barber et al.)"),
+        (
+            ConformalKind::Knn { k: 100, tau: 60.0 },
+            "KNN-weighted (Barber et al.)",
+        ),
     ] {
         let cfg = MbppConfig {
-            probe: ProbeConfig { conformal: kind, seed: ctx.seed ^ 0xAC, ..ProbeConfig::default() },
+            probe: ProbeConfig {
+                conformal: kind,
+                seed: ctx.seed ^ 0xAC,
+                ..ProbeConfig::default()
+            },
             ..MbppConfig::default()
         };
         let mbpp = Mbpp::train(&arts.branch_tables, &cfg);
@@ -69,7 +91,12 @@ pub fn ablation_conformal(ctx: &Context) -> Report {
             LinkTarget::Tables,
             ctx.seed ^ 0xA2,
         );
-        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(
+            format!("{label} coverage"),
+            None,
+            Some(cov.coverage * 100.0),
+            "%",
+        );
         r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
     }
     r.note("Calibration and dev are exchangeable here, so the localised variant mainly costs compute; it pays off only under drift.");
@@ -95,8 +122,18 @@ pub fn ablation_layer_selection(ctx: &Context) -> Report {
             LinkTarget::Tables,
             ctx.seed ^ 0xA3,
         );
-        r.push(format!("{label} AUC"), None, Some(mbpp.mean_selected_auc() * 100.0), "AUC%");
-        r.push(format!("{label} coverage"), None, Some(cov.coverage * 100.0), "%");
+        r.push(
+            format!("{label} AUC"),
+            None,
+            Some(mbpp.mean_selected_auc() * 100.0),
+            "AUC%",
+        );
+        r.push(
+            format!("{label} coverage"),
+            None,
+            Some(cov.coverage * 100.0),
+            "%",
+        );
         r.push(format!("{label} EAR"), None, Some(cov.ear * 100.0), "%");
     }
     r.note("Random layers drag in uninformative early layers; AUC-ranked selection is what makes k=5 sufficient.");
@@ -118,21 +155,37 @@ pub fn ablation_merge_sets(ctx: &Context) -> Report {
         (MergeMethod::MajorityVote { theta: 0.5 }, "vote θ=0.5"),
         (MergeMethod::MajorityVote { theta: 0.7 }, "vote θ=0.7"),
     ];
+    let take = arts.bench.split.dev.len().min(400);
+    let sample = &arts.bench.split.dev[..take];
     for (method, label) in methods {
         let mbpp = arts.mbpp_tables.with_method(method);
-        let mut rng = SplitMix64::new(ctx.seed ^ 0xA4);
-        let mut total_size = 0usize;
-        let mut n = 0usize;
-        let mut flagged = 0usize;
-        for inst in arts.bench.split.dev.iter().take(400) {
+        // Per-instance RNG (seed ⊕ id) keeps the permutation merge
+        // deterministic under the instance-parallel fan-out; per-probe
+        // batched scoring replaces the per-token predict_set calls.
+        let stats = par_map(sample, |inst| {
+            let mut rng = super::instance_rng(ctx.seed ^ 0xA4, inst.id);
+            let mut scratch = SbppScratch::default();
+            let mut packed = Matrix::default();
             let mut vocab = Vocab::new();
             let trace =
-                arts.linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
-            for step in &trace.steps {
-                let sets: Vec<LabelSet> = mbpp
-                    .selected
+                arts.linker
+                    .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            let n_tokens = trace.steps.len();
+            let sets_per_probe: Vec<Vec<LabelSet>> = mbpp
+                .selected
+                .iter()
+                .map(|&i| {
+                    let sbpp = &mbpp.sbpps[i];
+                    trace.pack_layer_into(sbpp.layer, &mut packed);
+                    sbpp.predict_sets_batch(&packed, &mut scratch)
+                })
+                .collect();
+            let mut total_size = 0usize;
+            let mut flagged = 0usize;
+            for t in 0..n_tokens {
+                let sets: Vec<LabelSet> = sets_per_probe
                     .iter()
-                    .map(|&i| mbpp.sbpps[i].predict_set(&step.hidden[mbpp.sbpps[i].layer]))
+                    .map(|probe_sets| probe_sets[t])
                     .collect();
                 let merged = match method {
                     MergeMethod::MajorityVote { theta } => {
@@ -144,11 +197,24 @@ pub fn ablation_merge_sets(ctx: &Context) -> Report {
                 };
                 total_size += merged.len();
                 flagged += merged.contains(1) as usize;
-                n += 1;
             }
-        }
-        r.push(format!("{label} mean |C|"), None, Some(total_size as f64 / n as f64), "labels");
-        r.push(format!("{label} flag rate"), None, Some(flagged as f64 / n as f64 * 100.0), "%");
+            (total_size, flagged, n_tokens)
+        });
+        let total_size: usize = stats.iter().map(|s| s.0).sum();
+        let flagged: usize = stats.iter().map(|s| s.1).sum();
+        let n: usize = stats.iter().map(|s| s.2).sum();
+        r.push(
+            format!("{label} mean |C|"),
+            None,
+            Some(total_size as f64 / n as f64),
+            "labels",
+        );
+        r.push(
+            format!("{label} flag rate"),
+            None,
+            Some(flagged as f64 / n as f64 * 100.0),
+            "%",
+        );
     }
     r.note("Theorem 3 in practice: the permutation merge's sets are never larger than the θ=0.5 vote's.");
     r

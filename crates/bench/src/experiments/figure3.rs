@@ -4,6 +4,7 @@
 
 use crate::context::Context;
 use crate::report::Report;
+use rts_core::par::par_map;
 use simlm::{GenMode, LinkTarget, Vocab};
 
 /// Figure 3a: the over-confidence histogram. Reported as the share of
@@ -18,15 +19,22 @@ pub fn figure3a(ctx: &Context) -> Report {
     );
     let mut branch = Vec::new();
     let mut clean = Vec::new();
-    for inst in &arts.bench.split.dev {
+    let per_instance = par_map(&arts.bench.split.dev, |inst| {
         let mut vocab = Vocab::new();
-        let trace = arts.linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
-        for s in &trace.steps {
-            if s.is_branch {
-                branch.push(s.softmax_prob);
-            } else {
-                clean.push(s.softmax_prob);
-            }
+        let trace =
+            arts.linker
+                .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+        trace
+            .steps
+            .iter()
+            .map(|s| (s.is_branch, s.softmax_prob))
+            .collect::<Vec<_>>()
+    });
+    for (is_branch, prob) in per_instance.into_iter().flatten() {
+        if is_branch {
+            branch.push(prob);
+        } else {
+            clean.push(prob);
         }
     }
     let share = |v: &[f64], cut: f64| {
@@ -39,15 +47,28 @@ pub fn figure3a(ctx: &Context) -> Report {
     // The paper's figure shows both classes piling up at 1; it prints no
     // numeric values, so the paper column is the qualitative claim
     // "≈100% above 0.9" encoded as 100.
-    for (label, v) in [("correct tokens", &clean), ("incorrect (branching) tokens", &branch)] {
-        r.push(format!("{label} ≥ 0.90"), Some(100.0), Some(share(v, 0.90)), "%");
+    for (label, v) in [
+        ("correct tokens", &clean),
+        ("incorrect (branching) tokens", &branch),
+    ] {
+        r.push(
+            format!("{label} ≥ 0.90"),
+            Some(100.0),
+            Some(share(v, 0.90)),
+            "%",
+        );
         r.push(format!("{label} ≥ 0.95"), None, Some(share(v, 0.95)), "%");
         r.push(format!("{label} ≥ 0.99"), None, Some(share(v, 0.99)), "%");
     }
     let mean_b = branch.iter().sum::<f64>() / branch.len().max(1) as f64;
     let mean_c = clean.iter().sum::<f64>() / clean.len().max(1) as f64;
     r.push("mean softmax, correct", None, Some(mean_c * 100.0), "×100");
-    r.push("mean softmax, incorrect", None, Some(mean_b * 100.0), "×100");
+    r.push(
+        "mean softmax, incorrect",
+        None,
+        Some(mean_b * 100.0),
+        "×100",
+    );
     r.note("Shape check: both classes concentrate near 1, so logit thresholding cannot find branches (Fig 3a).");
     r
 }
@@ -63,14 +84,20 @@ pub fn figure3b(ctx: &Context) -> Report {
     );
     let mut histogram = [0usize; 5]; // 1, 2, 3, 4, 5+
     let mut erroneous = 0usize;
-    for inst in &arts.bench.split.dev {
+    // Count across both linking stages, as the paper traces full
+    // schema-linking answers.
+    let branch_counts = par_map(&arts.bench.split.dev, |inst| {
         let mut vocab = Vocab::new();
-        // Count across both linking stages, as the paper traces full
-        // schema-linking answers.
-        let t = arts.linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+        let t = arts
+            .linker
+            .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
         let mut v2 = Vocab::new();
-        let c = arts.linker.generate(inst, &mut v2, LinkTarget::Columns, GenMode::TeacherForced);
-        let n = t.n_branches + c.n_branches;
+        let c = arts
+            .linker
+            .generate(inst, &mut v2, LinkTarget::Columns, GenMode::TeacherForced);
+        t.n_branches + c.n_branches
+    });
+    for n in branch_counts {
         if n > 0 {
             erroneous += 1;
             histogram[(n - 1).min(4)] += 1;
@@ -83,7 +110,17 @@ pub fn figure3b(ctx: &Context) -> Report {
     r.push("3 branching points", None, Some(pct(2)), "%");
     r.push("4 branching points", None, Some(pct(3)), "%");
     r.push("5+ branching points", None, Some(pct(4)), "%");
-    r.push("share with ≤ 2 (paper: >90)", Some(90.0), Some(pct(0) + pct(1)), "%");
-    r.push("erroneous generations", None, Some(erroneous as f64), "count");
+    r.push(
+        "share with ≤ 2 (paper: >90)",
+        Some(90.0),
+        Some(pct(0) + pct(1)),
+        "%",
+    );
+    r.push(
+        "erroneous generations",
+        None,
+        Some(erroneous as f64),
+        "count",
+    );
     r
 }

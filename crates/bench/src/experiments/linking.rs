@@ -8,7 +8,12 @@ use simlm::LinkTarget;
 
 /// Table 2: schema linking model EM / precision / recall.
 pub fn table2(ctx: &Context) -> Report {
-    let mut r = Report::new("table2", "Schema Linking Model Performance", ctx.scale, ctx.seed);
+    let mut r = Report::new(
+        "table2",
+        "Schema Linking Model Performance",
+        ctx.scale,
+        ctx.seed,
+    );
     let cases: [(&str, &crate::context::BenchArtifacts, &[benchgen::Instance]); 3] = [
         ("Bird", ctx.bird(), &ctx.bird().bench.split.dev),
         ("Spider-dev", ctx.spider(), &ctx.spider().bench.split.dev),
@@ -21,13 +26,31 @@ pub fn table2(ctx: &Context) -> Report {
         [(92.72, 97.64, 96.74), (87.99, 92.21, 93.02)],
     ];
     for (ci, (name, arts, split)) in cases.into_iter().enumerate() {
-        for (ti, target) in [LinkTarget::Tables, LinkTarget::Columns].into_iter().enumerate() {
+        for (ti, target) in [LinkTarget::Tables, LinkTarget::Columns]
+            .into_iter()
+            .enumerate()
+        {
             let m = free_linking_metrics(arts, split, target);
             let kind = if ti == 0 { "Table" } else { "Column" };
             let (pe, pp, pr) = paper[ci][ti];
-            r.push(format!("{kind} {name} EM"), Some(pe), Some(m.exact_match * 100.0), "%");
-            r.push(format!("{kind} {name} Precision"), Some(pp), Some(m.precision * 100.0), "%");
-            r.push(format!("{kind} {name} Recall"), Some(pr), Some(m.recall * 100.0), "%");
+            r.push(
+                format!("{kind} {name} EM"),
+                Some(pe),
+                Some(m.exact_match * 100.0),
+                "%",
+            );
+            r.push(
+                format!("{kind} {name} Precision"),
+                Some(pp),
+                Some(m.precision * 100.0),
+                "%",
+            );
+            r.push(
+                format!("{kind} {name} Recall"),
+                Some(pr),
+                Some(m.recall * 100.0),
+                "%",
+            );
         }
     }
     r.note("Workload substituted: synthetic BIRD/Spider-shaped benchmarks (see DESIGN.md §2).");
@@ -46,8 +69,18 @@ pub fn table3(ctx: &Context) -> Report {
     for (ci, (name, arts, split)) in cases.into_iter().enumerate() {
         let auc_t = selected_auc_on_split(arts, &arts.mbpp_tables, split, LinkTarget::Tables);
         let auc_c = selected_auc_on_split(arts, &arts.mbpp_columns, split, LinkTarget::Columns);
-        r.push(format!("Table {name}"), Some(paper[ci].0), Some(auc_t * 100.0), "AUC%");
-        r.push(format!("Column {name}"), Some(paper[ci].1), Some(auc_c * 100.0), "AUC%");
+        r.push(
+            format!("Table {name}"),
+            Some(paper[ci].0),
+            Some(auc_t * 100.0),
+            "AUC%",
+        );
+        r.push(
+            format!("Column {name}"),
+            Some(paper[ci].1),
+            Some(auc_c * 100.0),
+            "AUC%",
+        );
     }
     r.note("AUC of the k=5 selected probes evaluated on teacher-forced dev/test traces.");
     r
@@ -55,7 +88,12 @@ pub fn table3(ctx: &Context) -> Report {
 
 /// Table 4: surrogate model classification accuracy.
 pub fn table4(ctx: &Context) -> Report {
-    let mut r = Report::new("table4", "Surrogate Model Accuracy (%)", ctx.scale, ctx.seed);
+    let mut r = Report::new(
+        "table4",
+        "Surrogate Model Accuracy (%)",
+        ctx.scale,
+        ctx.seed,
+    );
     let paper = [(92.37, 94.06), (96.45, 96.30), (96.02, 96.00)];
     let cases: [(&str, &crate::context::BenchArtifacts, &[benchgen::Instance]); 3] = [
         ("Bird", ctx.bird(), &ctx.bird().bench.split.dev),
@@ -65,8 +103,18 @@ pub fn table4(ctx: &Context) -> Report {
     for (ci, (name, arts, split)) in cases.into_iter().enumerate() {
         let acc_t = arts.surrogate.accuracy(split, true);
         let acc_c = arts.surrogate.accuracy(split, false);
-        r.push(format!("Table {name}"), Some(paper[ci].0), Some(acc_t * 100.0), "%");
-        r.push(format!("Column {name}"), Some(paper[ci].1), Some(acc_c * 100.0), "%");
+        r.push(
+            format!("Table {name}"),
+            Some(paper[ci].0),
+            Some(acc_t * 100.0),
+            "%",
+        );
+        r.push(
+            format!("Column {name}"),
+            Some(paper[ci].1),
+            Some(acc_c * 100.0),
+            "%",
+        );
     }
     r.note("Surrogate = simulated fine-tuned relevance classifier (noisy semantic oracle + trained MLP).");
     r

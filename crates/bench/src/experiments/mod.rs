@@ -1,5 +1,11 @@
 //! Experiment implementations, one per paper table/figure. Shared
 //! evaluation helpers live here; each submodule builds one [`Report`].
+//!
+//! All helpers fan instances out across threads via
+//! [`rts_core::par::par_map`]. Determinism is preserved by seeding any
+//! per-instance randomness from the experiment seed and the instance id
+//! (never from a generator shared across instances), so the tables are
+//! identical however many workers run.
 
 pub mod ablation;
 pub mod abstain;
@@ -10,10 +16,16 @@ pub mod sweeps;
 pub mod userstudy;
 
 use crate::context::BenchArtifacts;
-use rts_core::bpp::Mbpp;
+use rts_core::bpp::{BppScratch, Mbpp, SbppScratch};
 use rts_core::metrics::{coverage_metrics, CoverageMetrics, LinkingMetrics};
+use rts_core::par::{par_map, par_map_with};
 use simlm::{GenMode, LinkTarget, Vocab};
-use tinynn::rng::SplitMix64;
+use tinynn::Matrix;
+
+/// Per-instance RNG for experiment-side randomness (the permutation
+/// merge): the runtime's own mixing helper, keeping parallel == serial
+/// and experiment seeding in lock-step with monitored linking.
+pub(crate) use rts_core::par::instance_rng;
 
 /// Free-run schema linking metrics (EM/P/R) over a split.
 pub fn free_linking_metrics(
@@ -21,16 +33,16 @@ pub fn free_linking_metrics(
     split: &[benchgen::Instance],
     target: LinkTarget,
 ) -> LinkingMetrics {
-    let mut golds = Vec::with_capacity(split.len());
-    let mut preds = Vec::with_capacity(split.len());
-    for inst in split {
+    let pairs: Vec<(Vec<String>, Vec<String>)> = par_map(split, |inst| {
         let mut vocab = Vocab::new();
-        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::Free);
+        let trace = arts
+            .linker
+            .generate(inst, &mut vocab, target, GenMode::Free);
         let mut gold = simlm::SchemaLinker::gold_elements(inst, target);
         gold.sort();
-        golds.push(gold);
-        preds.push(trace.predicted_set());
-    }
+        (gold, trace.predicted_set())
+    });
+    let (golds, preds): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
     rts_core::metrics::linking_metrics(&golds, &preds)
 }
 
@@ -42,38 +54,60 @@ pub fn coverage_over_split(
     target: LinkTarget,
     seed: u64,
 ) -> CoverageMetrics {
-    let mut rng = SplitMix64::new(seed);
-    let mut flags = Vec::new();
-    for inst in split {
-        let mut vocab = Vocab::new();
-        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::TeacherForced);
-        for (p, s) in mbpp.flag_trace(&trace, &mut rng).iter().zip(&trace.steps) {
-            flags.push((*p, s.is_branch));
-        }
-    }
+    let per_instance: Vec<Vec<(bool, bool)>> =
+        par_map_with(split, BppScratch::default, |scratch, inst| {
+            let mut rng = instance_rng(seed, inst.id);
+            let mut vocab = Vocab::new();
+            let trace = arts
+                .linker
+                .generate(inst, &mut vocab, target, GenMode::TeacherForced);
+            mbpp.flag_trace_with_scratch(&trace, &mut rng, scratch)
+                .iter()
+                .zip(&trace.steps)
+                .map(|(p, s)| (*p, s.is_branch))
+                .collect()
+        });
+    let flags: Vec<(bool, bool)> = per_instance.into_iter().flatten().collect();
     coverage_metrics(&flags)
 }
 
 /// Mean AUC of the selected probes evaluated on an arbitrary split
-/// (probe scores vs teacher-forced branch labels).
+/// (probe scores vs teacher-forced branch labels). Scoring is batched
+/// per (instance, probe): the trace's hidden states are packed once per
+/// selected layer and pushed through one MLP forward.
 pub fn selected_auc_on_split(
     arts: &BenchArtifacts,
     mbpp: &Mbpp,
     split: &[benchgen::Instance],
     target: LinkTarget,
 ) -> f64 {
+    type InstanceScores = (Vec<Vec<f64>>, Vec<bool>);
+    let scores_scratch = || (SbppScratch::default(), Matrix::default());
+    let per_instance: Vec<InstanceScores> = par_map_with(split, scores_scratch, |state, inst| {
+        let (scratch, packed) = state;
+        let mut vocab = Vocab::new();
+        let trace = arts
+            .linker
+            .generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        let labels: Vec<bool> = trace.steps.iter().map(|s| s.is_branch).collect();
+        let scores: Vec<Vec<f64>> = mbpp
+            .selected
+            .iter()
+            .map(|&i| {
+                let sbpp = &mbpp.sbpps[i];
+                trace.pack_layer_into(sbpp.layer, packed);
+                sbpp.scores_batch(packed, scratch)
+            })
+            .collect();
+        (scores, labels)
+    });
     let mut per_layer_scores: Vec<Vec<f64>> = vec![Vec::new(); mbpp.selected.len()];
     let mut labels: Vec<bool> = Vec::new();
-    for inst in split {
-        let mut vocab = Vocab::new();
-        let trace = arts.linker.generate(inst, &mut vocab, target, GenMode::TeacherForced);
-        for step in &trace.steps {
-            labels.push(step.is_branch);
-            for (slot, &i) in mbpp.selected.iter().enumerate() {
-                let sbpp = &mbpp.sbpps[i];
-                per_layer_scores[slot].push(sbpp.score(&step.hidden[sbpp.layer]));
-            }
+    for (scores, inst_labels) in per_instance {
+        for (slot, s) in scores.into_iter().enumerate() {
+            per_layer_scores[slot].extend(s);
         }
+        labels.extend(inst_labels);
     }
     let mut total = 0.0;
     for scores in &per_layer_scores {

@@ -27,12 +27,20 @@ pub fn figure6(ctx: &Context) -> Report {
             let cov = coverage_over_split(arts, &m, &arts.bench.split.dev, target, ctx.seed ^ 0xF6);
             // The paper's guarantee line: coverage must dominate 1 − α.
             r.push(
-                format!("{kind} α={alpha:.2} coverage (≥ {:.0})", (1.0 - alpha) * 100.0),
+                format!(
+                    "{kind} α={alpha:.2} coverage (≥ {:.0})",
+                    (1.0 - alpha) * 100.0
+                ),
                 Some((1.0 - alpha) * 100.0),
                 Some(cov.coverage * 100.0),
                 "%",
             );
-            r.push(format!("{kind} α={alpha:.2} EAR"), None, Some(cov.ear * 100.0), "%");
+            r.push(
+                format!("{kind} α={alpha:.2} EAR"),
+                None,
+                Some(cov.ear * 100.0),
+                "%",
+            );
         }
     }
     r.note("Paper check (Fig 6): empirical coverage envelopes the theoretical 1−α line and flattens for small α.");
@@ -51,17 +59,30 @@ pub fn figure7(ctx: &Context) -> Report {
         ctx.seed,
     );
     let n_layers = arts.mbpp_tables.sbpps.len();
-    let ks: Vec<usize> =
-        [1usize, 3, 5, 7, 9, 12, 15, 20, 25, 30].iter().copied().filter(|&k| k <= n_layers).collect();
+    let ks: Vec<usize> = [1usize, 3, 5, 7, 9, 12, 15, 20, 25, 30]
+        .iter()
+        .copied()
+        .filter(|&k| k <= n_layers)
+        .collect();
     for (method, tag) in [
         (MergeMethod::RandomPermutation, "perm"),
         (MergeMethod::MajorityVote { theta: 0.5 }, "vote"),
     ] {
         for &k in &ks {
             let m = arts.mbpp_tables.with_k(k).with_method(method);
-            let cov =
-                coverage_over_split(arts, &m, &arts.bench.split.dev, LinkTarget::Tables, ctx.seed ^ 0xF7);
-            r.push(format!("{tag} k={k} coverage"), None, Some(cov.coverage * 100.0), "%");
+            let cov = coverage_over_split(
+                arts,
+                &m,
+                &arts.bench.split.dev,
+                LinkTarget::Tables,
+                ctx.seed ^ 0xF7,
+            );
+            r.push(
+                format!("{tag} k={k} coverage"),
+                None,
+                Some(cov.coverage * 100.0),
+                "%",
+            );
             r.push(format!("{tag} k={k} EAR"), None, Some(cov.ear * 100.0), "%");
         }
     }

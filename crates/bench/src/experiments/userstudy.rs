@@ -16,7 +16,13 @@ use rts_core::human::{Expertise, HumanOracle};
 pub fn sample_questions(instances: &[Instance], per_level: usize) -> Vec<Instance> {
     let mut out = Vec::with_capacity(per_level * 3);
     for d in Difficulty::ALL {
-        out.extend(instances.iter().filter(|i| i.difficulty == d).take(per_level).cloned());
+        out.extend(
+            instances
+                .iter()
+                .filter(|i| i.difficulty == d)
+                .take(per_level)
+                .cloned(),
+        );
     }
     out
 }
@@ -32,7 +38,10 @@ pub fn table8(ctx: &Context) -> Report {
     );
     let questions = sample_questions(&arts.bench.split.dev, 34);
     let paper = [(96.2, 93.3), (98.3, 95.8)]; // (table EM, column EM)
-    for (gi, expertise) in [Expertise::Beginner, Expertise::Expert].into_iter().enumerate() {
+    for (gi, expertise) in [Expertise::Beginner, Expertise::Expert]
+        .into_iter()
+        .enumerate()
+    {
         let mut em_t = 0.0;
         let mut em_c = 0.0;
         const N_PARTICIPANTS: u64 = 10;
@@ -46,8 +55,18 @@ pub fn table8(ctx: &Context) -> Report {
         em_t /= N_PARTICIPANTS as f64;
         em_c /= N_PARTICIPANTS as f64;
         let label = if gi == 0 { "Beginner" } else { "Expert" };
-        r.push(format!("{label} Table EM"), Some(paper[gi].0), Some(em_t * 100.0), "%");
-        r.push(format!("{label} Column EM"), Some(paper[gi].1), Some(em_c * 100.0), "%");
+        r.push(
+            format!("{label} Table EM"),
+            Some(paper[gi].0),
+            Some(em_t * 100.0),
+            "%",
+        );
+        r.push(
+            format!("{label} Column EM"),
+            Some(paper[gi].1),
+            Some(em_c * 100.0),
+            "%",
+        );
     }
     r.note("Each participant is an independent oracle seed; EM averaged over the 10 participants per group.");
     r
@@ -122,8 +141,18 @@ pub fn table9(ctx: &Context) -> Report {
             let acc_t = table_correct as f64 / table_total.max(1) as f64 * 100.0;
             let acc_c = col_correct as f64 / col_total.max(1) as f64 * 100.0;
             let d = difficulty.label();
-            r.push(format!("{label} Table {d}"), Some(paper[di].0), Some(acc_t), "%");
-            r.push(format!("{label} Column {d}"), Some(paper[di].1), Some(acc_c), "%");
+            r.push(
+                format!("{label} Table {d}"),
+                Some(paper[di].0),
+                Some(acc_t),
+                "%",
+            );
+            r.push(
+                format!("{label} Column {d}"),
+                Some(paper[di].1),
+                Some(acc_c),
+                "%",
+            );
         }
     }
     r.note("Answer accuracy gap between groups widens with difficulty, and columns are harder than tables.");

@@ -19,10 +19,16 @@ pub use report::{Report, Row};
 
 /// Read harness scale from the environment.
 pub fn env_scale() -> f64 {
-    std::env::var("RTS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("RTS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Read harness seed from the environment.
 pub fn env_seed() -> u64 {
-    std::env::var("RTS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE)
+    std::env::var("RTS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
 }

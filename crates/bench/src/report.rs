@@ -19,8 +19,18 @@ pub struct Row {
 }
 
 impl Row {
-    pub fn new(label: impl Into<String>, paper: Option<f64>, measured: Option<f64>, unit: &str) -> Self {
-        Self { label: label.into(), paper, measured, unit: unit.into() }
+    pub fn new(
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: Option<f64>,
+        unit: &str,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            measured,
+            unit: unit.into(),
+        }
     }
 }
 
@@ -50,7 +60,13 @@ impl Report {
         }
     }
 
-    pub fn push(&mut self, label: impl Into<String>, paper: Option<f64>, measured: Option<f64>, unit: &str) {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        paper: Option<f64>,
+        measured: Option<f64>,
+        unit: &str,
+    ) {
         self.rows.push(Row::new(label, paper, measured, unit));
     }
 
@@ -68,9 +84,23 @@ impl Report {
     /// Render for the console.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "== {} — {} (scale {}, seed {:#x})", self.id, self.title, self.scale, self.seed);
-        let width = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
-        let _ = writeln!(out, "{:<width$}  {:>8}  {:>8}  unit", "row", "paper", "measured");
+        let _ = writeln!(
+            out,
+            "== {} — {} (scale {}, seed {:#x})",
+            self.id, self.title, self.scale, self.seed
+        );
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>8}  {:>8}  unit",
+            "row", "paper", "measured"
+        );
         for r in &self.rows {
             let _ = writeln!(
                 out,
@@ -128,6 +158,100 @@ impl Report {
     }
 }
 
+/// Wall-time of one pipeline stage, measured by the `perf` binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage tag: "linking", "monitoring", "sqlgen", "execution", plus
+    /// diagnostic variants (e.g. "monitoring_per_token_baseline").
+    pub stage: String,
+    pub wall_ms: f64,
+    pub per_instance_us: f64,
+    pub n_instances: usize,
+}
+
+/// The cross-PR performance record, persisted as `BENCH_rts.json` so
+/// future changes have a trajectory to compare against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    pub scale: f64,
+    pub seed: u64,
+    pub threads: usize,
+    pub stages: Vec<StageTiming>,
+    pub notes: Vec<String>,
+}
+
+impl PerfReport {
+    pub fn new(scale: f64, seed: u64, threads: usize) -> Self {
+        Self {
+            scale,
+            seed,
+            threads,
+            stages: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Record a stage measured over `n_instances` instances.
+    pub fn push_stage(
+        &mut self,
+        stage: impl Into<String>,
+        wall: std::time::Duration,
+        n_instances: usize,
+    ) {
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        self.stages.push(StageTiming {
+            stage: stage.into(),
+            wall_ms,
+            per_instance_us: wall_ms * 1e3 / n_instances.max(1) as f64,
+            n_instances,
+        });
+    }
+
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Wall-time of a stage by tag, if recorded.
+    pub fn stage_ms(&self, stage: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.wall_ms)
+    }
+
+    /// Write `BENCH_rts.json` into `dir`.
+    pub fn save_bench_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("perf report serialises");
+        std::fs::write(dir.join("BENCH_rts.json"), json)
+    }
+
+    /// Console rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== BENCH_rts (scale {}, seed {:#x}, {} threads)",
+            self.scale, self.seed, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "{:<36} {:>12} {:>16}  n",
+            "stage", "wall ms", "µs/instance"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>12.2} {:>16.1}  {}",
+                s.stage, s.wall_ms, s.per_instance_us, s.n_instances
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +294,23 @@ mod tests {
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rows.len(), r.rows.len());
         assert_eq!(back.id, r.id);
+    }
+
+    #[test]
+    fn perf_report_roundtrips_and_renders() {
+        let mut p = PerfReport::new(0.05, 7, 4);
+        p.push_stage("linking", std::time::Duration::from_millis(120), 60);
+        p.push_stage("monitoring", std::time::Duration::from_micros(900), 60);
+        p.note("smoke");
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stages.len(), 2);
+        assert_eq!(back.stages[0].stage, "linking");
+        assert!((back.stages[0].wall_ms - 120.0).abs() < 1e-9);
+        assert_eq!(back.stage_ms("monitoring"), Some(p.stages[1].wall_ms));
+        assert!((back.stages[0].per_instance_us - 2000.0).abs() < 1e-6);
+        let text = p.render();
+        assert!(text.contains("linking"));
+        assert!(text.contains("BENCH_rts"));
     }
 }

@@ -32,16 +32,36 @@ pub struct AttrSpec {
 /// The shared attribute pool. Text attributes carry deliberately
 /// overlapping phrase sets; numeric measures power aggregates.
 pub const ATTR_POOL: &[AttrSpec] = &[
-    AttrSpec { base: "name", ty: DataType::Text, phrases: &["name", "title"], measure: false },
-    AttrSpec { base: "title", ty: DataType::Text, phrases: &["title", "name"], measure: false },
-    AttrSpec { base: "code", ty: DataType::Text, phrases: &["code", "identifier"], measure: false },
+    AttrSpec {
+        base: "name",
+        ty: DataType::Text,
+        phrases: &["name", "title"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "title",
+        ty: DataType::Text,
+        phrases: &["title", "name"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "code",
+        ty: DataType::Text,
+        phrases: &["code", "identifier"],
+        measure: false,
+    },
     AttrSpec {
         base: "category",
         ty: DataType::Text,
         phrases: &["category", "type", "kind"],
         measure: false,
     },
-    AttrSpec { base: "type", ty: DataType::Text, phrases: &["type", "kind", "category"], measure: false },
+    AttrSpec {
+        base: "type",
+        ty: DataType::Text,
+        phrases: &["type", "kind", "category"],
+        measure: false,
+    },
     AttrSpec {
         base: "status",
         ty: DataType::Text,
@@ -54,47 +74,192 @@ pub const ATTR_POOL: &[AttrSpec] = &[
         phrases: &["state", "status", "region"],
         measure: false,
     },
-    AttrSpec { base: "city", ty: DataType::Text, phrases: &["city", "town"], measure: false },
-    AttrSpec { base: "country", ty: DataType::Text, phrases: &["country", "nation"], measure: false },
-    AttrSpec { base: "region", ty: DataType::Text, phrases: &["region", "area", "zone"], measure: false },
+    AttrSpec {
+        base: "city",
+        ty: DataType::Text,
+        phrases: &["city", "town"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "country",
+        ty: DataType::Text,
+        phrases: &["country", "nation"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "region",
+        ty: DataType::Text,
+        phrases: &["region", "area", "zone"],
+        measure: false,
+    },
     AttrSpec {
         base: "description",
         ty: DataType::Text,
         phrases: &["description", "details"],
         measure: false,
     },
-    AttrSpec { base: "grade", ty: DataType::Text, phrases: &["grade", "level", "rank"], measure: false },
-    AttrSpec { base: "level", ty: DataType::Text, phrases: &["level", "grade", "tier"], measure: false },
+    AttrSpec {
+        base: "grade",
+        ty: DataType::Text,
+        phrases: &["grade", "level", "rank"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "level",
+        ty: DataType::Text,
+        phrases: &["level", "grade", "tier"],
+        measure: false,
+    },
     AttrSpec {
         base: "year",
         ty: DataType::Int,
         phrases: &["year", "season"],
         measure: false,
     },
-    AttrSpec { base: "month", ty: DataType::Int, phrases: &["month"], measure: false },
-    AttrSpec { base: "amount", ty: DataType::Float, phrases: &["amount", "total", "sum"], measure: true },
-    AttrSpec { base: "total", ty: DataType::Float, phrases: &["total", "amount", "sum"], measure: true },
-    AttrSpec { base: "price", ty: DataType::Float, phrases: &["price", "cost", "value"], measure: true },
-    AttrSpec { base: "cost", ty: DataType::Float, phrases: &["cost", "price", "expense"], measure: true },
-    AttrSpec { base: "score", ty: DataType::Float, phrases: &["score", "points", "rating"], measure: true },
-    AttrSpec { base: "rating", ty: DataType::Float, phrases: &["rating", "score", "stars"], measure: true },
-    AttrSpec { base: "rate", ty: DataType::Float, phrases: &["rate", "ratio", "percentage"], measure: true },
-    AttrSpec { base: "ratio", ty: DataType::Float, phrases: &["ratio", "rate", "proportion"], measure: true },
-    AttrSpec { base: "duration", ty: DataType::Float, phrases: &["duration", "time", "length"], measure: true },
-    AttrSpec { base: "time", ty: DataType::Float, phrases: &["time", "duration"], measure: true },
-    AttrSpec { base: "distance", ty: DataType::Float, phrases: &["distance", "length"], measure: true },
-    AttrSpec { base: "weight", ty: DataType::Float, phrases: &["weight", "mass"], measure: true },
-    AttrSpec { base: "height", ty: DataType::Float, phrases: &["height"], measure: true },
-    AttrSpec { base: "age", ty: DataType::Int, phrases: &["age"], measure: true },
-    AttrSpec { base: "quantity", ty: DataType::Int, phrases: &["quantity", "count", "number"], measure: true },
-    AttrSpec { base: "population", ty: DataType::Int, phrases: &["population", "count", "size"], measure: true },
-    AttrSpec { base: "capacity", ty: DataType::Int, phrases: &["capacity", "size", "limit"], measure: true },
-    AttrSpec { base: "size", ty: DataType::Int, phrases: &["size", "capacity"], measure: true },
-    AttrSpec { base: "salary", ty: DataType::Float, phrases: &["salary", "pay", "income"], measure: true },
-    AttrSpec { base: "revenue", ty: DataType::Float, phrases: &["revenue", "income", "earnings"], measure: true },
-    AttrSpec { base: "budget", ty: DataType::Float, phrases: &["budget", "funding"], measure: true },
-    AttrSpec { base: "active", ty: DataType::Bool, phrases: &["active", "enabled"], measure: false },
-    AttrSpec { base: "verified", ty: DataType::Bool, phrases: &["verified", "approved"], measure: false },
+    AttrSpec {
+        base: "month",
+        ty: DataType::Int,
+        phrases: &["month"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "amount",
+        ty: DataType::Float,
+        phrases: &["amount", "total", "sum"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "total",
+        ty: DataType::Float,
+        phrases: &["total", "amount", "sum"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "price",
+        ty: DataType::Float,
+        phrases: &["price", "cost", "value"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "cost",
+        ty: DataType::Float,
+        phrases: &["cost", "price", "expense"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "score",
+        ty: DataType::Float,
+        phrases: &["score", "points", "rating"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "rating",
+        ty: DataType::Float,
+        phrases: &["rating", "score", "stars"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "rate",
+        ty: DataType::Float,
+        phrases: &["rate", "ratio", "percentage"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "ratio",
+        ty: DataType::Float,
+        phrases: &["ratio", "rate", "proportion"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "duration",
+        ty: DataType::Float,
+        phrases: &["duration", "time", "length"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "time",
+        ty: DataType::Float,
+        phrases: &["time", "duration"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "distance",
+        ty: DataType::Float,
+        phrases: &["distance", "length"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "weight",
+        ty: DataType::Float,
+        phrases: &["weight", "mass"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "height",
+        ty: DataType::Float,
+        phrases: &["height"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "age",
+        ty: DataType::Int,
+        phrases: &["age"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "quantity",
+        ty: DataType::Int,
+        phrases: &["quantity", "count", "number"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "population",
+        ty: DataType::Int,
+        phrases: &["population", "count", "size"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "capacity",
+        ty: DataType::Int,
+        phrases: &["capacity", "size", "limit"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "size",
+        ty: DataType::Int,
+        phrases: &["size", "capacity"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "salary",
+        ty: DataType::Float,
+        phrases: &["salary", "pay", "income"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "revenue",
+        ty: DataType::Float,
+        phrases: &["revenue", "income", "earnings"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "budget",
+        ty: DataType::Float,
+        phrases: &["budget", "funding"],
+        measure: true,
+    },
+    AttrSpec {
+        base: "active",
+        ty: DataType::Bool,
+        phrases: &["active", "enabled"],
+        measure: false,
+    },
+    AttrSpec {
+        base: "verified",
+        ty: DataType::Bool,
+        phrases: &["verified", "approved"],
+        measure: false,
+    },
     AttrSpec {
         base: "operations_type",
         ty: DataType::Text,
@@ -196,7 +361,10 @@ mod tests {
             .iter()
             .filter(|a| a.phrases.contains(&"type"))
             .count();
-        assert!(claimants >= 3, "only {claimants} attributes answer to \"type\"");
+        assert!(
+            claimants >= 3,
+            "only {claimants} attributes answer to \"type\""
+        );
     }
 
     #[test]

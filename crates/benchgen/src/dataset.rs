@@ -1,10 +1,10 @@
 //! Benchmark assembly: databases + train/dev/test splits.
 
+use crate::domains::pick_domains;
 use crate::instance::Instance;
 use crate::intent::generate_instance;
 use crate::profile::BenchmarkProfile;
 use crate::schemagen::{generate_db, DbMeta, GeneratedDb};
-use crate::domains::pick_domains;
 use nanosql::Database;
 use tinynn::rng::SplitMix64;
 
@@ -43,7 +43,11 @@ impl Benchmark {
 
     /// All instances across splits (train, dev, test order).
     pub fn all_instances(&self) -> impl Iterator<Item = &Instance> {
-        self.split.train.iter().chain(self.split.dev.iter()).chain(self.split.test.iter())
+        self.split
+            .train
+            .iter()
+            .chain(self.split.dev.iter())
+            .chain(self.split.test.iter())
     }
 }
 

@@ -17,43 +17,117 @@ pub struct DomainSpec {
 pub const DOMAINS: &[DomainSpec] = &[
     DomainSpec {
         name: "formula_1",
-        entities: &["races", "drivers", "circuits", "lapTimes", "pitStops", "constructors", "results", "seasons"],
+        entities: &[
+            "races",
+            "drivers",
+            "circuits",
+            "lapTimes",
+            "pitStops",
+            "constructors",
+            "results",
+            "seasons",
+        ],
     },
     DomainSpec {
         name: "california_schools",
-        entities: &["schools", "districts", "satscores", "enrollments", "frpm", "staff"],
+        entities: &[
+            "schools",
+            "districts",
+            "satscores",
+            "enrollments",
+            "frpm",
+            "staff",
+        ],
     },
     DomainSpec {
         name: "card_games",
-        entities: &["cards", "sets", "rulings", "legalities", "artists", "tournaments"],
+        entities: &[
+            "cards",
+            "sets",
+            "rulings",
+            "legalities",
+            "artists",
+            "tournaments",
+        ],
     },
     DomainSpec {
         name: "european_football",
-        entities: &["matches", "teams", "players", "leagues", "stadiums", "transfers", "managers"],
+        entities: &[
+            "matches",
+            "teams",
+            "players",
+            "leagues",
+            "stadiums",
+            "transfers",
+            "managers",
+        ],
     },
     DomainSpec {
         name: "financial",
-        entities: &["accounts", "loans", "transactions", "clients", "cards", "orders", "branches"],
+        entities: &[
+            "accounts",
+            "loans",
+            "transactions",
+            "clients",
+            "cards",
+            "orders",
+            "branches",
+        ],
     },
     DomainSpec {
         name: "thrombosis_prediction",
-        entities: &["patients", "examinations", "laboratory", "admissions", "diagnoses"],
+        entities: &[
+            "patients",
+            "examinations",
+            "laboratory",
+            "admissions",
+            "diagnoses",
+        ],
     },
     DomainSpec {
         name: "debit_card",
-        entities: &["customers", "gasstations", "products", "transactions", "yearmonth"],
+        entities: &[
+            "customers",
+            "gasstations",
+            "products",
+            "transactions",
+            "yearmonth",
+        ],
     },
     DomainSpec {
         name: "codebase_community",
-        entities: &["posts", "users", "comments", "badges", "votes", "tags", "postlinks"],
+        entities: &[
+            "posts",
+            "users",
+            "comments",
+            "badges",
+            "votes",
+            "tags",
+            "postlinks",
+        ],
     },
     DomainSpec {
         name: "superhero",
-        entities: &["heroes", "powers", "publishers", "alignments", "attributes", "colours"],
+        entities: &[
+            "heroes",
+            "powers",
+            "publishers",
+            "alignments",
+            "attributes",
+            "colours",
+        ],
     },
     DomainSpec {
         name: "student_club",
-        entities: &["members", "events", "attendances", "budgets", "expenses", "zipcodes", "majors"],
+        entities: &[
+            "members",
+            "events",
+            "attendances",
+            "budgets",
+            "expenses",
+            "zipcodes",
+            "majors",
+        ],
     },
     DomainSpec {
         name: "toxicology",
@@ -61,27 +135,68 @@ pub const DOMAINS: &[DomainSpec] = &[
     },
     DomainSpec {
         name: "airlines",
-        entities: &["flights", "airports", "aircrafts", "passengers", "bookings", "crews", "routes"],
+        entities: &[
+            "flights",
+            "airports",
+            "aircrafts",
+            "passengers",
+            "bookings",
+            "crews",
+            "routes",
+        ],
     },
     DomainSpec {
         name: "retail_world",
-        entities: &["products", "suppliers", "categories", "orders", "customers", "shippers", "employees"],
+        entities: &[
+            "products",
+            "suppliers",
+            "categories",
+            "orders",
+            "customers",
+            "shippers",
+            "employees",
+        ],
     },
     DomainSpec {
         name: "hockey",
-        entities: &["goalies", "skaters", "teams", "coaches", "awards", "seasons", "scoring"],
+        entities: &[
+            "goalies", "skaters", "teams", "coaches", "awards", "seasons", "scoring",
+        ],
     },
     DomainSpec {
         name: "movies",
-        entities: &["movies", "actors", "directors", "ratings", "genres", "studios", "reviews"],
+        entities: &[
+            "movies",
+            "actors",
+            "directors",
+            "ratings",
+            "genres",
+            "studios",
+            "reviews",
+        ],
     },
     DomainSpec {
         name: "music_platform",
-        entities: &["tracks", "albums", "artists", "playlists", "genres", "subscribers", "streams"],
+        entities: &[
+            "tracks",
+            "albums",
+            "artists",
+            "playlists",
+            "genres",
+            "subscribers",
+            "streams",
+        ],
     },
     DomainSpec {
         name: "olympics",
-        entities: &["athletes", "games", "medals", "countries", "events", "venues"],
+        entities: &[
+            "athletes",
+            "games",
+            "medals",
+            "countries",
+            "events",
+            "venues",
+        ],
     },
     DomainSpec {
         name: "university_rankings",
@@ -89,31 +204,77 @@ pub const DOMAINS: &[DomainSpec] = &[
     },
     DomainSpec {
         name: "restaurants",
-        entities: &["restaurants", "inspections", "violations", "cuisines", "neighborhoods"],
+        entities: &[
+            "restaurants",
+            "inspections",
+            "violations",
+            "cuisines",
+            "neighborhoods",
+        ],
     },
     DomainSpec {
         name: "shipping_logistics",
-        entities: &["shipments", "drivers", "trucks", "warehouses", "cities", "customers"],
+        entities: &[
+            "shipments",
+            "drivers",
+            "trucks",
+            "warehouses",
+            "cities",
+            "customers",
+        ],
     },
     DomainSpec {
         name: "public_review",
-        entities: &["businesses", "reviews", "checkins", "tips", "categories", "attributes"],
+        entities: &[
+            "businesses",
+            "reviews",
+            "checkins",
+            "tips",
+            "categories",
+            "attributes",
+        ],
     },
     DomainSpec {
         name: "cookbook",
-        entities: &["recipes", "ingredients", "nutrition", "quantities", "cuisines"],
+        entities: &[
+            "recipes",
+            "ingredients",
+            "nutrition",
+            "quantities",
+            "cuisines",
+        ],
     },
     DomainSpec {
         name: "computer_stores",
-        entities: &["stores", "computers", "monitors", "printers", "sales", "makers"],
+        entities: &[
+            "stores",
+            "computers",
+            "monitors",
+            "printers",
+            "sales",
+            "makers",
+        ],
     },
     DomainSpec {
         name: "mental_health",
-        entities: &["surveys", "questions", "answers", "respondents", "conditions"],
+        entities: &[
+            "surveys",
+            "questions",
+            "answers",
+            "respondents",
+            "conditions",
+        ],
     },
     DomainSpec {
         name: "legislators",
-        entities: &["legislators", "terms", "committees", "bills", "parties", "states"],
+        entities: &[
+            "legislators",
+            "terms",
+            "committees",
+            "bills",
+            "parties",
+            "states",
+        ],
     },
     DomainSpec {
         name: "trains",
@@ -125,51 +286,130 @@ pub const DOMAINS: &[DomainSpec] = &[
     },
     DomainSpec {
         name: "book_publishing",
-        entities: &["books", "authors", "publishers", "editions", "sales", "stores"],
+        entities: &[
+            "books",
+            "authors",
+            "publishers",
+            "editions",
+            "sales",
+            "stores",
+        ],
     },
     DomainSpec {
         name: "crime_reports",
-        entities: &["incidents", "districts", "officers", "arrests", "wards", "iucr"],
+        entities: &[
+            "incidents",
+            "districts",
+            "officers",
+            "arrests",
+            "wards",
+            "iucr",
+        ],
     },
     DomainSpec {
         name: "beer_factory",
-        entities: &["breweries", "beers", "styles", "reviews", "customers", "shipments"],
+        entities: &[
+            "breweries",
+            "beers",
+            "styles",
+            "reviews",
+            "customers",
+            "shipments",
+        ],
     },
     DomainSpec {
         name: "hospital_system",
-        entities: &["patients", "doctors", "appointments", "wards", "prescriptions", "treatments"],
+        entities: &[
+            "patients",
+            "doctors",
+            "appointments",
+            "wards",
+            "prescriptions",
+            "treatments",
+        ],
     },
     DomainSpec {
         name: "insurance_claims",
-        entities: &["policies", "claims", "holders", "adjusters", "payments", "incidents"],
+        entities: &[
+            "policies",
+            "claims",
+            "holders",
+            "adjusters",
+            "payments",
+            "incidents",
+        ],
     },
     DomainSpec {
         name: "real_estate",
-        entities: &["listings", "agents", "properties", "offers", "neighborhoods", "sales"],
+        entities: &[
+            "listings",
+            "agents",
+            "properties",
+            "offers",
+            "neighborhoods",
+            "sales",
+        ],
     },
     DomainSpec {
         name: "energy_grid",
-        entities: &["plants", "meters", "readings", "outages", "regions", "tariffs"],
+        entities: &[
+            "plants", "meters", "readings", "outages", "regions", "tariffs",
+        ],
     },
     DomainSpec {
         name: "telecom_network",
-        entities: &["subscribers", "plans", "calls", "towers", "invoices", "complaints"],
+        entities: &[
+            "subscribers",
+            "plans",
+            "calls",
+            "towers",
+            "invoices",
+            "complaints",
+        ],
     },
     DomainSpec {
         name: "agriculture",
-        entities: &["farms", "crops", "harvests", "fields", "equipment", "yields"],
+        entities: &[
+            "farms",
+            "crops",
+            "harvests",
+            "fields",
+            "equipment",
+            "yields",
+        ],
     },
     DomainSpec {
         name: "video_games",
-        entities: &["games", "platforms", "publishers", "sales", "genres", "developers"],
+        entities: &[
+            "games",
+            "platforms",
+            "publishers",
+            "sales",
+            "genres",
+            "developers",
+        ],
     },
     DomainSpec {
         name: "social_network",
-        entities: &["profiles", "friendships", "messages", "groups", "likes", "photos"],
+        entities: &[
+            "profiles",
+            "friendships",
+            "messages",
+            "groups",
+            "likes",
+            "photos",
+        ],
     },
     DomainSpec {
         name: "museum_collections",
-        entities: &["artifacts", "exhibits", "curators", "loans", "galleries", "donors"],
+        entities: &[
+            "artifacts",
+            "exhibits",
+            "curators",
+            "loans",
+            "galleries",
+            "donors",
+        ],
     },
     DomainSpec {
         name: "weather_stations",
@@ -188,7 +428,11 @@ mod tests {
 
     #[test]
     fn catalog_size_covers_bird() {
-        assert!(DOMAINS.len() >= 37, "need ≥37 domains, have {}", DOMAINS.len());
+        assert!(
+            DOMAINS.len() >= 37,
+            "need ≥37 domains, have {}",
+            DOMAINS.len()
+        );
     }
 
     #[test]

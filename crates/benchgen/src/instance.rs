@@ -21,7 +21,11 @@ impl Difficulty {
         }
     }
 
-    pub const ALL: [Difficulty; 3] = [Difficulty::Simple, Difficulty::Moderate, Difficulty::Challenging];
+    pub const ALL: [Difficulty; 3] = [
+        Difficulty::Simple,
+        Difficulty::Moderate,
+        Difficulty::Challenging,
+    ];
 }
 
 /// A reference to a schema element: a table, or a column of a table.
@@ -34,11 +38,17 @@ pub struct SchemaElementRef {
 
 impl SchemaElementRef {
     pub fn table(t: impl Into<String>) -> Self {
-        Self { table: t.into(), column: None }
+        Self {
+            table: t.into(),
+            column: None,
+        }
     }
 
     pub fn column(t: impl Into<String>, c: impl Into<String>) -> Self {
-        Self { table: t.into(), column: Some(c.into()) }
+        Self {
+            table: t.into(),
+            column: Some(c.into()),
+        }
     }
 
     pub fn is_table(&self) -> bool {
@@ -121,7 +131,10 @@ impl Instance {
 
     /// Count of links flagged ambiguous or underspecified.
     pub fn risk_count(&self) -> usize {
-        self.links.iter().filter(|l| l.ambiguous || l.underspecified).count()
+        self.links
+            .iter()
+            .filter(|l| l.ambiguous || l.underspecified)
+            .count()
     }
 }
 
@@ -132,7 +145,10 @@ mod tests {
     #[test]
     fn element_ref_display() {
         assert_eq!(SchemaElementRef::table("races").to_string(), "races");
-        assert_eq!(SchemaElementRef::column("races", "name").to_string(), "races.name");
+        assert_eq!(
+            SchemaElementRef::column("races", "name").to_string(),
+            "races.name"
+        );
     }
 
     #[test]
@@ -141,8 +157,14 @@ mod tests {
             element: SchemaElementRef::table("races"),
             mention: "race".into(),
             confusables: vec![
-                Confusable { alt: SchemaElementRef::table("lapTimes"), weight: 0.5 },
-                Confusable { alt: SchemaElementRef::table("results"), weight: 0.25 },
+                Confusable {
+                    alt: SchemaElementRef::table("lapTimes"),
+                    weight: 0.5,
+                },
+                Confusable {
+                    alt: SchemaElementRef::table("results"),
+                    weight: 0.25,
+                },
             ],
             ambiguous: true,
             underspecified: false,

@@ -46,16 +46,27 @@ fn pick<'a, T>(items: &[&'a T], rng: &mut SplitMix64) -> Option<&'a T> {
 /// from the column's value pool (guaranteed present in the data).
 fn text_filter(table: &TableMeta, col: &ColumnMeta, rng: &mut SplitMix64) -> (Expr, Value) {
     let v = col.value_pool[rng.next_below(col.value_pool.len())].clone();
-    (Expr::eq(Expr::col(&table.name, &col.name), Expr::lit(v.clone())), v)
+    (
+        Expr::eq(Expr::col(&table.name, &col.name), Expr::lit(v.clone())),
+        v,
+    )
 }
 
 /// A comparison predicate on a numeric measure.
-fn measure_filter(table: &TableMeta, col: &ColumnMeta, rng: &mut SplitMix64) -> (Expr, Value, BinOp) {
+fn measure_filter(
+    table: &TableMeta,
+    col: &ColumnMeta,
+    rng: &mut SplitMix64,
+) -> (Expr, Value, BinOp) {
     let (constant, op) = match col.spec.map(|s| s.base) {
         Some("year") => (Value::Int(1995 + rng.next_below(20) as i64), BinOp::Ge),
         Some("age") => (Value::Int(25 + rng.next_below(40) as i64), BinOp::Lt),
         _ => {
-            let op = if rng.next_bool(0.5) { BinOp::Gt } else { BinOp::Lt };
+            let op = if rng.next_bool(0.5) {
+                BinOp::Gt
+            } else {
+                BinOp::Lt
+            };
             match col.ty {
                 DataType::Int => (Value::Int(100 + rng.next_below(700) as i64), op),
                 _ => (Value::Float((100 + rng.next_below(700)) as f64), op),
@@ -63,7 +74,11 @@ fn measure_filter(table: &TableMeta, col: &ColumnMeta, rng: &mut SplitMix64) -> 
         }
     };
     (
-        Expr::binary(op, Expr::col(&table.name, &col.name), Expr::lit(constant.clone())),
+        Expr::binary(
+            op,
+            Expr::col(&table.name, &col.name),
+            Expr::lit(constant.clone()),
+        ),
         constant,
         op,
     )
@@ -88,7 +103,11 @@ fn agg_phrase(f: AggFunc) -> &'static str {
 
 /// The phrase a question uses for a column, plus whether the choice was
 /// deliberately ambiguous (a phrase shared with other attributes).
-fn choose_mention(col: &ColumnMeta, profile: &BenchmarkProfile, rng: &mut SplitMix64) -> (String, bool) {
+fn choose_mention(
+    col: &ColumnMeta,
+    profile: &BenchmarkProfile,
+    rng: &mut SplitMix64,
+) -> (String, bool) {
     match col.spec {
         Some(spec) => {
             if spec.phrases.len() > 1 && rng.next_bool(profile.p_ambiguous) {
@@ -258,8 +277,7 @@ fn build_links(
     gold_columns.sort();
     gold_columns.dedup();
 
-    let scope: Vec<&TableMeta> =
-        gold_tables.iter().filter_map(|t| meta.table(t)).collect();
+    let scope: Vec<&TableMeta> = gold_tables.iter().filter_map(|t| meta.table(t)).collect();
 
     let mut links = Vec::with_capacity(gold_tables.len() + gold_columns.len());
     for t in &gold_tables {
@@ -313,12 +331,16 @@ fn try_simple(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
         0 => {
             // Lookup: SELECT attr FROM t WHERE text = v
             let proj = pick(&attrs, rng)?;
-            let filt_candidates: Vec<&ColumnMeta> =
-                texts.iter().copied().filter(|c| c.name != proj.name).collect();
+            let filt_candidates: Vec<&ColumnMeta> = texts
+                .iter()
+                .copied()
+                .filter(|c| c.name != proj.name)
+                .collect();
             let filt = pick(&filt_candidates, rng)?;
             let (pred, v) = text_filter(t, filt, rng);
             let mut stmt = SelectStmt::from_table(&t.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
             stmt.where_clause = Some(pred);
             let question = format!(
                 "What is the {} of the {} whose {} is {}?",
@@ -347,13 +369,20 @@ fn try_simple(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
         _ => {
             // TopOne: SELECT attr FROM t ORDER BY measure DESC LIMIT 1
             let proj = pick(&attrs, rng)?;
-            let by_candidates: Vec<&ColumnMeta> =
-                measures.iter().copied().filter(|c| c.name != proj.name).collect();
+            let by_candidates: Vec<&ColumnMeta> = measures
+                .iter()
+                .copied()
+                .filter(|c| c.name != proj.name)
+                .collect();
             let by = pick(&by_candidates, rng)?;
             let desc = rng.next_bool(0.5);
             let mut stmt = SelectStmt::from_table(&t.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
-            stmt.order_by.push(OrderByItem { expr: Expr::col(&t.name, &by.name), desc });
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&t.name, &proj.name)));
+            stmt.order_by.push(OrderByItem {
+                expr: Expr::col(&t.name, &by.name),
+                desc,
+            });
             stmt.limit = Some(1);
             let question = format!(
                 "Which {} has the {} {}? Give its {}.",
@@ -381,7 +410,8 @@ fn try_moderate(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
             let (pred, v) = text_filter(child, filt, rng);
             let mut stmt = SelectStmt::from_table(&child.name);
             stmt.distinct = true;
-            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
             stmt.joins.push(join_clause(child, parent));
             stmt.where_clause = Some(pred);
             let question = format!(
@@ -407,8 +437,10 @@ fn try_moderate(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
                 .unwrap();
             let (pred, v) = text_filter(t, filt, rng);
             let mut stmt = SelectStmt::from_table(&t.name);
-            stmt.projections
-                .push(SelectItem::plain(Expr::agg(func, Expr::col(&t.name, &m.name))));
+            stmt.projections.push(SelectItem::plain(Expr::agg(
+                func,
+                Expr::col(&t.name, &m.name),
+            )));
             stmt.where_clause = Some(pred);
             let question = format!(
                 "What is the {} {} of {} with {} {}?",
@@ -427,7 +459,8 @@ fn try_moderate(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
             let texts: Vec<&ColumnMeta> = t.text_attrs().collect();
             let g = pick(&texts, rng)?;
             let mut stmt = SelectStmt::from_table(&t.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&t.name, &g.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&t.name, &g.name)));
             stmt.projections.push(SelectItem::plain(Expr::count_star()));
             stmt.group_by.push(Expr::col(&t.name, &g.name));
             let question = format!(
@@ -451,17 +484,26 @@ fn try_challenging(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
             let g = pick(&ptexts, rng)?;
             let cmeasures: Vec<&ColumnMeta> = child.measures().collect();
             let m = pick(&cmeasures, rng)?;
-            let func = *[AggFunc::Avg, AggFunc::Sum, AggFunc::Max].get(rng.next_below(3)).unwrap();
+            let func = *[AggFunc::Avg, AggFunc::Sum, AggFunc::Max]
+                .get(rng.next_below(3))
+                .unwrap();
             let min_count = 1 + rng.next_below(3) as i64;
             let agg_expr = Expr::agg(func, Expr::col(&child.name, &m.name));
             let mut stmt = SelectStmt::from_table(&child.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &g.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&parent.name, &g.name)));
             stmt.projections.push(SelectItem::plain(agg_expr.clone()));
             stmt.joins.push(join_clause(child, parent));
             stmt.group_by.push(Expr::col(&parent.name, &g.name));
-            stmt.having =
-                Some(Expr::binary(BinOp::Gt, Expr::count_star(), Expr::lit(Value::Int(min_count))));
-            stmt.order_by.push(OrderByItem { expr: agg_expr, desc: true });
+            stmt.having = Some(Expr::binary(
+                BinOp::Gt,
+                Expr::count_star(),
+                Expr::lit(Value::Int(min_count)),
+            ));
+            stmt.order_by.push(OrderByItem {
+                expr: agg_expr,
+                desc: true,
+            });
             stmt.limit = Some(3);
             let question = format!(
                 "Among {} of each {} {} with more than {} {}, list the top 3 {} by {} {}.",
@@ -489,7 +531,8 @@ fn try_challenging(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
             let filt_candidates: Vec<&ColumnMeta> =
                 child.measures().filter(|c| c.name != by.name).collect();
             let mut stmt = SelectStmt::from_table(&child.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&parent.name, &proj.name)));
             stmt.joins.push(join_clause(child, parent));
             let mut question = format!(
                 "Which {} has the minimum {}? Give its {}.",
@@ -511,8 +554,10 @@ fn try_challenging(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
                     proj.spec.map_or(proj.name.as_str(), |s| s.phrases[0]),
                 );
             }
-            stmt.order_by
-                .push(OrderByItem { expr: Expr::col(&child.name, &by.name), desc: false });
+            stmt.order_by.push(OrderByItem {
+                expr: Expr::col(&child.name, &by.name),
+                desc: false,
+            });
             stmt.limit = Some(1);
             Some(Built { stmt, question })
         }
@@ -527,12 +572,16 @@ fn try_challenging(meta: &DbMeta, rng: &mut SplitMix64) -> Option<Built> {
             let ttexts: Vec<&ColumnMeta> = top.text_attrs().collect();
             let g = pick(&ttexts, rng)?;
             let mut stmt = SelectStmt::from_table(&gc.name);
-            stmt.projections.push(SelectItem::plain(Expr::col(&top.name, &g.name)));
+            stmt.projections
+                .push(SelectItem::plain(Expr::col(&top.name, &g.name)));
             stmt.projections.push(SelectItem::plain(Expr::count_star()));
             stmt.joins.push(join_clause(gc, mid));
             stmt.joins.push(join_clause(mid, top));
             stmt.group_by.push(Expr::col(&top.name, &g.name));
-            stmt.order_by.push(OrderByItem { expr: Expr::count_star(), desc: true });
+            stmt.order_by.push(OrderByItem {
+                expr: Expr::count_star(),
+                desc: true,
+            });
             let question = format!(
                 "Count {} per {} of the {} reached through {}.",
                 gc.entity,
@@ -560,8 +609,7 @@ pub fn generate_instance(
         Difficulty::Challenging => try_challenging(&gdb.meta, rng),
     }?;
 
-    let (gold_tables, gold_columns, mut links) =
-        build_links(&gdb.meta, &built.stmt, profile, rng);
+    let (gold_tables, gold_columns, mut links) = build_links(&gdb.meta, &built.stmt, profile, rng);
 
     // External knowledge, when granted, de-fangs underspecified links:
     // the hint explains what the abbreviation means (BIRD's evidence
@@ -619,7 +667,10 @@ mod tests {
 
     fn gdb(seed: u64) -> GeneratedDb {
         let mut rng = SplitMix64::new(seed);
-        let profile = BenchmarkProfile { rows_per_table: (20, 40), ..BenchmarkProfile::bird_like() };
+        let profile = BenchmarkProfile {
+            rows_per_table: (20, 40),
+            ..BenchmarkProfile::bird_like()
+        };
         generate_db(&DOMAINS[0], 0, &profile, &mut rng)
     }
 
@@ -670,8 +721,10 @@ mod tests {
     #[test]
     fn difficulty_mix_is_respected() {
         let (_, instances) = many_instances(3, 300);
-        let simple =
-            instances.iter().filter(|i| i.difficulty == Difficulty::Simple).count() as f64;
+        let simple = instances
+            .iter()
+            .filter(|i| i.difficulty == Difficulty::Simple)
+            .count() as f64;
         let frac = simple / instances.len() as f64;
         assert!((frac - 0.4).abs() < 0.12, "simple fraction {frac}");
     }
@@ -679,10 +732,15 @@ mod tests {
     #[test]
     fn challenging_instances_join() {
         let (_, instances) = many_instances(4, 200);
-        let challenging: Vec<_> =
-            instances.iter().filter(|i| i.difficulty == Difficulty::Challenging).collect();
+        let challenging: Vec<_> = instances
+            .iter()
+            .filter(|i| i.difficulty == Difficulty::Challenging)
+            .collect();
         assert!(!challenging.is_empty());
-        let joined = challenging.iter().filter(|i| i.gold_tables.len() >= 2).count();
+        let joined = challenging
+            .iter()
+            .filter(|i| i.gold_tables.len() >= 2)
+            .count();
         assert!(
             joined * 10 >= challenging.len() * 8,
             "most challenging instances should join tables"
@@ -728,7 +786,10 @@ mod tests {
     #[test]
     fn external_knowledge_weakens_confusables() {
         let (_, instances) = many_instances(7, 400);
-        let with_ek = instances.iter().filter(|i| i.external_knowledge.is_some()).count();
+        let with_ek = instances
+            .iter()
+            .filter(|i| i.external_knowledge.is_some())
+            .count();
         assert!(with_ek > 0, "no external knowledge generated at p=0.3");
         for inst in instances.iter().filter(|i| i.external_knowledge.is_some()) {
             assert!(inst.question.contains("Hint:"));

@@ -109,14 +109,20 @@ mod tests {
         assert_eq!((bird.n_train, bird.n_dev), (9428, 1534));
         let spider = BenchmarkProfile::spider_like();
         assert_eq!(spider.n_databases, 200);
-        assert_eq!((spider.n_train, spider.n_dev, spider.n_test), (8659, 1034, 2147));
+        assert_eq!(
+            (spider.n_train, spider.n_dev, spider.n_test),
+            (8659, 1034, 2147)
+        );
         assert!(bird.p_dirty > spider.p_dirty, "BIRD is dirtier than Spider");
         assert!(bird.p_ambiguous > spider.p_ambiguous);
     }
 
     #[test]
     fn difficulty_mixes_sum_to_one() {
-        for p in [BenchmarkProfile::bird_like(), BenchmarkProfile::spider_like()] {
+        for p in [
+            BenchmarkProfile::bird_like(),
+            BenchmarkProfile::spider_like(),
+        ] {
             let sum: f64 = p.difficulty_mix.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "{} mix sums to {sum}", p.name);
         }

@@ -82,12 +82,15 @@ impl TableMeta {
 
     /// Attribute columns (non-key).
     pub fn attributes(&self) -> impl Iterator<Item = &ColumnMeta> {
-        self.columns.iter().filter(|c| c.role == ColumnRole::Attribute)
+        self.columns
+            .iter()
+            .filter(|c| c.role == ColumnRole::Attribute)
     }
 
     /// Numeric measure attributes (aggregate targets).
     pub fn measures(&self) -> impl Iterator<Item = &ColumnMeta> {
-        self.attributes().filter(|c| c.spec.is_some_and(|s| s.measure))
+        self.attributes()
+            .filter(|c| c.spec.is_some_and(|s| s.measure))
     }
 
     /// Text attributes (filter/group targets).
@@ -114,7 +117,10 @@ impl DbMeta {
         self.tables
             .iter()
             .filter_map(|t| {
-                t.parent.as_deref().and_then(|p| self.table(p)).map(|parent| (t, parent))
+                t.parent
+                    .as_deref()
+                    .and_then(|p| self.table(p))
+                    .map(|parent| (t, parent))
             })
             .collect()
     }
@@ -141,9 +147,13 @@ fn pk_name(entity: &str) -> String {
 /// `status_alpha … status_theta`. Values appear verbatim in the data, so
 /// generated predicates always hit real rows.
 fn text_pool(base: &str) -> Vec<Value> {
-    const SUFFIXES: [&str; 8] =
-        ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
-    SUFFIXES.iter().map(|s| Value::text(format!("{base}_{s}"))).collect()
+    const SUFFIXES: [&str; 8] = [
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ];
+    SUFFIXES
+        .iter()
+        .map(|s| Value::text(format!("{base}_{s}")))
+        .collect()
 }
 
 fn numeric_value(spec: &AttrSpec, rng: &mut SplitMix64) -> Value {
@@ -180,8 +190,10 @@ pub fn generate_db(
     // Choose entities for tables (shuffled prefix of the domain list).
     let mut entity_order: Vec<usize> = (0..domain.entities.len()).collect();
     tinynn::rng::shuffle(&mut entity_order, rng);
-    let chosen: Vec<&'static str> =
-        entity_order[..n_tables].iter().map(|&i| domain.entities[i]).collect();
+    let chosen: Vec<&'static str> = entity_order[..n_tables]
+        .iter()
+        .map(|&i| domain.entities[i])
+        .collect();
 
     let mut metas: Vec<TableMeta> = Vec::with_capacity(n_tables);
 
@@ -224,15 +236,27 @@ pub fn generate_db(
         for &pi in pool_order.iter().take(n_attrs) {
             let spec = &ATTR_POOL[pi];
             let dirty = rng.next_bool(profile.p_dirty);
-            let name = if dirty { abbreviate(spec.base) } else { spec.base.to_string() };
+            let name = if dirty {
+                abbreviate(spec.base)
+            } else {
+                spec.base.to_string()
+            };
             // Dirty columns may additionally lose their description; a
             // clean name keeps its description (it *is* readable).
-            let described = if dirty { !rng.next_bool(profile.p_missing_desc) } else { true };
+            let described = if dirty {
+                !rng.next_bool(profile.p_missing_desc)
+            } else {
+                true
+            };
             // Avoid literal duplicate column names after abbreviation.
             if columns.iter().any(|c| c.name.eq_ignore_ascii_case(&name)) {
                 continue;
             }
-            let value_pool = if spec.ty == DataType::Text { text_pool(spec.base) } else { Vec::new() };
+            let value_pool = if spec.ty == DataType::Text {
+                text_pool(spec.base)
+            } else {
+                Vec::new()
+            };
             columns.push(ColumnMeta {
                 name,
                 spec: Some(spec),
@@ -244,7 +268,12 @@ pub fn generate_db(
             });
         }
 
-        metas.push(TableMeta { name: entity.to_string(), entity, columns, parent });
+        metas.push(TableMeta {
+            name: entity.to_string(),
+            entity,
+            columns,
+            parent,
+        });
     }
 
     // Materialise schemas.
@@ -306,8 +335,10 @@ pub fn generate_db(
                 let v = match &cm.role {
                     ColumnRole::PrimaryKey => Value::Int(pk as i64),
                     ColumnRole::ForeignKey(parent) => {
-                        let pidx =
-                            metas.iter().position(|m| &m.name == parent).expect("parent exists");
+                        let pidx = metas
+                            .iter()
+                            .position(|m| &m.name == parent)
+                            .expect("parent exists");
                         let parent_rows = row_counts[pidx];
                         Value::Int(1 + rng.next_below(parent_rows) as i64)
                     }
@@ -333,7 +364,14 @@ pub fn generate_db(
         }
     }
 
-    GeneratedDb { db, meta: DbMeta { name: db_name, domain: domain.name, tables: metas } }
+    GeneratedDb {
+        db,
+        meta: DbMeta {
+            name: db_name,
+            domain: domain.name,
+            tables: metas,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +380,10 @@ mod tests {
     use crate::domains::DOMAINS;
 
     fn small_profile() -> BenchmarkProfile {
-        BenchmarkProfile { rows_per_table: (20, 40), ..BenchmarkProfile::bird_like() }
+        BenchmarkProfile {
+            rows_per_table: (20, 40),
+            ..BenchmarkProfile::bird_like()
+        }
     }
 
     fn gen(seed: u64) -> GeneratedDb {

@@ -41,9 +41,9 @@ pub fn majority_vote(sets: &[LabelSet], theta: f64, n_labels: usize) -> LabelSet
 /// each step of Algorithm 1.
 fn prefix_majority(counts: &[usize], i: usize, n_labels: usize) -> LabelSet {
     let mut set = LabelSet::EMPTY;
-    for label in 0..n_labels {
+    for (label, &count) in counts.iter().enumerate().take(n_labels) {
         // count ≥ i/2 without floating point: 2·count ≥ i.
-        if 2 * counts[label] >= i {
+        if 2 * count >= i {
             set.insert(label);
         }
     }
@@ -69,10 +69,34 @@ pub fn random_permutation_merge(
 ) -> LabelSet {
     assert!(!sets.is_empty(), "no sets to merge");
     let n = sets.len();
-    let mut order: Vec<usize> = (0..n).collect();
-    tinynn::rng::shuffle(&mut order, rng);
+    // The mBPP calls this once per generated token with k ≤ 64 small
+    // sets; stack buffers keep the monitoring hot loop allocation-free.
+    // The shuffle consumes the same RNG draws either way, so results
+    // are identical between the stack and heap paths.
+    if n <= 64 && n_labels <= 64 {
+        let mut order = [0usize; 64];
+        for (i, slot) in order[..n].iter_mut().enumerate() {
+            *slot = i;
+        }
+        let mut counts = [0usize; 64];
+        tinynn::rng::shuffle(&mut order[..n], rng);
+        merge_over_order(sets, &order[..n], &mut counts[..n_labels], n_labels)
+    } else {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut counts = vec![0usize; n_labels];
+        tinynn::rng::shuffle(&mut order, rng);
+        merge_over_order(sets, &order, &mut counts, n_labels)
+    }
+}
 
-    let mut counts = vec![0usize; n_labels];
+/// Algorithm 1's prefix-intersection loop over an already-shuffled
+/// visit order, with caller-provided (zeroed) count storage.
+fn merge_over_order(
+    sets: &[LabelSet],
+    order: &[usize],
+    counts: &mut [usize],
+    n_labels: usize,
+) -> LabelSet {
     let mut merged = LabelSet::full(n_labels);
     for (i, &idx) in order.iter().enumerate() {
         for label in sets[idx].iter() {
@@ -80,7 +104,7 @@ pub fn random_permutation_merge(
                 counts[label] += 1;
             }
         }
-        merged = merged.intersect(prefix_majority(&counts, i + 1, n_labels));
+        merged = merged.intersect(prefix_majority(counts, i + 1, n_labels));
         if merged.is_empty() {
             break; // intersection can only shrink; nothing left to do
         }
@@ -150,7 +174,9 @@ mod tests {
             let n_labels = 6;
             let sets: Vec<LabelSet> = (0..n)
                 .map(|_| {
-                    (0..n_labels).filter(|_| rng.next_bool(0.4)).collect::<LabelSet>()
+                    (0..n_labels)
+                        .filter(|_| rng.next_bool(0.4))
+                        .collect::<LabelSet>()
                 })
                 .collect();
             for &theta in &[0.3, 0.5, 0.7] {
@@ -177,7 +203,11 @@ mod tests {
             let n = 3 + (trial % 9);
             let n_labels = 4;
             let sets: Vec<LabelSet> = (0..n)
-                .map(|_| (0..n_labels).filter(|_| rng.next_bool(0.5)).collect::<LabelSet>())
+                .map(|_| {
+                    (0..n_labels)
+                        .filter(|_| rng.next_bool(0.5))
+                        .collect::<LabelSet>()
+                })
                 .collect();
             let merged = random_permutation_merge(&sets, n_labels, &mut rng);
             let inclusive = majority_vote_inclusive(&sets, n_labels);
@@ -266,7 +296,10 @@ mod tests {
     #[test]
     fn single_set_passes_through() {
         let sets = [ls(&[1])];
-        assert_eq!(random_permutation_merge(&sets, 2, &mut SplitMix64::new(1)), ls(&[1]));
+        assert_eq!(
+            random_permutation_merge(&sets, 2, &mut SplitMix64::new(1)),
+            ls(&[1])
+        );
         assert_eq!(majority_vote(&sets, 0.5, 2), ls(&[1]));
     }
 }

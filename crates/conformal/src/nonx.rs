@@ -44,9 +44,18 @@ impl NonExchangeableConformal {
         assert!(tau > 0.0, "tau must be positive");
         assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
         let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "ragged calibration points");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "ragged calibration points"
+        );
         let k = k.min(points.len());
-        Self { points, scores, k, tau, alpha }
+        Self {
+            points,
+            scores,
+            k,
+            tau,
+            alpha,
+        }
     }
 
     pub fn alpha(&self) -> f64 {
@@ -84,7 +93,10 @@ impl NonExchangeableConformal {
         let neighbours = &dist_idx[..k];
 
         // Kernel weights, normalised with the +1 reserved-mass term.
-        let weights: Vec<f64> = neighbours.iter().map(|(d2, _)| (-d2 / self.tau).exp()).collect();
+        let weights: Vec<f64> = neighbours
+            .iter()
+            .map(|(d2, _)| (-d2 / self.tau).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         let norm = 1.0 + total;
 

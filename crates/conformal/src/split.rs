@@ -45,7 +45,11 @@ impl SplitConformal {
             let (_, t, _) = scores.select_nth_unstable_by(rank - 1, f64::total_cmp);
             *t
         };
-        Self { threshold, alpha, n_calibration: n }
+        Self {
+            threshold,
+            alpha,
+            n_calibration: n,
+        }
     }
 
     /// The calibrated quantile ε.

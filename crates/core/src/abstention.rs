@@ -29,7 +29,6 @@ use benchgen::schemagen::DbMeta;
 use benchgen::Instance;
 use simlm::{Decision, GenMode, LinkTarget, SchemaLinker, Vocab};
 use std::collections::{HashMap, HashSet};
-use tinynn::rng::SplitMix64;
 
 /// What to do when a branching point is detected.
 pub enum MitigationPolicy<'a> {
@@ -45,11 +44,19 @@ pub struct RtsConfig {
     pub max_rounds: usize,
     /// Seed for the permutation-merge randomness.
     pub seed: u64,
+    /// Monitor with the per-token reference loop instead of the batched
+    /// scoring path. Flags are identical either way (see the parity
+    /// proptest); this knob exists for A/B benchmarking and debugging.
+    pub per_token_monitoring: bool,
 }
 
 impl Default for RtsConfig {
     fn default() -> Self {
-        Self { max_rounds: 0, seed: 0xC0FFEE }
+        Self {
+            max_rounds: 0,
+            seed: 0xC0FFEE,
+            per_token_monitoring: false,
+        }
     }
 }
 
@@ -86,25 +93,34 @@ pub fn run_rts_linking(
         g.sort();
         g
     };
-    let mut rng = SplitMix64::new(config.seed ^ inst.id.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let mut rng = crate::par::instance_rng(config.seed, inst.id);
 
     // The unmonitored counterfactual (for TAR/FAR accounting).
     let mut vocab = Vocab::new();
     let baseline = model.generate(inst, &mut vocab, target, GenMode::Free);
     let would_be_correct = baseline.predicted_set() == gold_set;
 
-    let max_rounds =
-        if config.max_rounds == 0 { gold.len() + 2 } else { config.max_rounds };
+    let max_rounds = if config.max_rounds == 0 {
+        gold.len() + 2
+    } else {
+        config.max_rounds
+    };
     let mut overrides: HashMap<String, Decision> = HashMap::new();
     let mut handled: HashSet<usize> = HashSet::new();
     let mut n_interventions = 0usize;
     let mut n_flags = 0usize;
+    // Monitoring scratch shared across correction rounds.
+    let mut scratch = crate::bpp::BppScratch::default();
 
     for _round in 0..max_rounds {
         let mut vocab = Vocab::new();
         let trace =
             model.generate_with_overrides(inst, &mut vocab, target, GenMode::Free, &overrides);
-        let flags = mbpp.flag_trace(&trace, &mut rng);
+        let flags = if config.per_token_monitoring {
+            mbpp.flag_trace_per_token(&trace, &mut rng)
+        } else {
+            mbpp.flag_trace_with_scratch(&trace, &mut rng, &mut scratch)
+        };
 
         // First actionable flag: one raised on a not-yet-handled element.
         let mut actionable: Option<(usize, usize)> = None; // (position, element_idx)
@@ -148,13 +164,16 @@ pub fn run_rts_linking(
                 };
             }
             MitigationPolicy::Surrogate(surrogate) => {
-                let implicated = implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
+                let implicated =
+                    implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
                 n_interventions += 1;
                 let is_table = target == LinkTarget::Tables;
                 // §3.3: halt only if the surrogate explicitly confirms
                 // irrelevance of the implicated elements.
                 let all_irrelevant = !implicated.is_empty()
-                    && implicated.iter().all(|e| !surrogate.is_relevant(inst, e, is_table));
+                    && implicated
+                        .iter()
+                        .all(|e| !surrogate.is_relevant(inst, e, is_table));
                 if all_irrelevant {
                     return RtsOutcome {
                         abstained: true,
@@ -170,7 +189,8 @@ pub fn run_rts_linking(
                 handled.insert(element_idx);
             }
             MitigationPolicy::Human(oracle) => {
-                let implicated = implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
+                let implicated =
+                    implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
                 n_interventions += 1;
                 let is_table = target == LinkTarget::Tables;
                 let gold_element = &gold[element_idx];
@@ -183,8 +203,7 @@ pub fn run_rts_linking(
                 // element" request.
                 let mut resolved: Option<String> = None;
                 for cand in &implicated {
-                    let already_linked =
-                        cand != gold_element && trace.predicted.contains(cand);
+                    let already_linked = cand != gold_element && trace.predicted.contains(cand);
                     if already_linked {
                         continue;
                     }
@@ -268,7 +287,13 @@ mod tests {
         let ds = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 450);
         let mbpp = Mbpp::train(
             &ds,
-            &MbppConfig { probe: ProbeConfig { epochs: 6, ..Default::default() }, ..Default::default() },
+            &MbppConfig {
+                probe: ProbeConfig {
+                    epochs: 6,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
         );
         Fixture { bench, model, mbpp }
     }
@@ -282,7 +307,15 @@ mod tests {
             .take(n)
             .map(|inst| {
                 let meta = fx.bench.meta(&inst.db_name).unwrap();
-                run_rts_linking(&fx.model, &fx.mbpp, inst, meta, LinkTarget::Tables, policy, &config)
+                run_rts_linking(
+                    &fx.model,
+                    &fx.mbpp,
+                    inst,
+                    meta,
+                    LinkTarget::Tables,
+                    policy,
+                    &config,
+                )
             })
             .collect()
     }
@@ -304,8 +337,8 @@ mod tests {
         // Table 5 regime: high EM among answered, TAR > FAR ≈ modest.
         assert!(m.exact_match > 0.9, "EM {}", m.exact_match);
         assert!(m.tar > 0.0, "no true abstentions at all");
-        let wrong_rate = outs.iter().filter(|o| !o.would_be_correct).count() as f64
-            / outs.len() as f64;
+        let wrong_rate =
+            outs.iter().filter(|o| !o.would_be_correct).count() as f64 / outs.len() as f64;
         assert!(
             m.tar >= wrong_rate * 0.6,
             "abstention catches too few errors: TAR {} vs wrong {}",
@@ -323,7 +356,10 @@ mod tests {
         let em = outs.iter().filter(|o| o.correct).count() as f64 / outs.len() as f64;
         let em_baseline =
             outs.iter().filter(|o| o.would_be_correct).count() as f64 / outs.len() as f64;
-        assert!(em > em_baseline, "human feedback must improve EM: {em} vs {em_baseline}");
+        assert!(
+            em > em_baseline,
+            "human feedback must improve EM: {em} vs {em_baseline}"
+        );
         assert!(em > 0.82, "EM with expert feedback {em}");
         // Interventions happen.
         assert!(outs.iter().any(|o| o.n_interventions > 0));
@@ -344,7 +380,9 @@ mod tests {
         );
         // The reduction must specifically shrink *false* abstentions.
         let far = |outs: &[RtsOutcome]| {
-            outs.iter().filter(|o| o.abstained && o.would_be_correct).count()
+            outs.iter()
+                .filter(|o| o.abstained && o.would_be_correct)
+                .count()
         };
         assert!(
             far(&filtered) <= far(&plain),

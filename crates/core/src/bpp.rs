@@ -18,7 +18,7 @@ use conformal::{LabelSet, NonExchangeableConformal, SplitConformal};
 use serde::{Deserialize, Serialize};
 use simlm::GenerationTrace;
 use tinynn::rng::SplitMix64;
-use tinynn::{Dataset, Mlp, MlpConfig, StandardScaler};
+use tinynn::{Dataset, Matrix, Mlp, MlpConfig, MlpScratch, StandardScaler};
 
 /// Which conformal wrapper an sBPP uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,6 +84,30 @@ impl Default for ProbeConfig {
     }
 }
 
+/// Reusable buffers for the batched sBPP scoring path. One instance can
+/// be shared across probes and traces; buffers grow to the largest
+/// batch seen and are then reused, so the steady-state hot loop does
+/// not allocate.
+#[derive(Debug, Default, Clone)]
+pub struct SbppScratch {
+    standardized: Matrix,
+    mlp: MlpScratch,
+    probs: Vec<f32>,
+}
+
+/// Scratch for [`Mbpp::flag_trace_with_scratch`]: the per-layer packed
+/// hidden-state matrix plus the per-probe scoring buffers.
+#[derive(Debug, Default, Clone)]
+pub struct BppScratch {
+    /// One packed (n_tokens × hidden_dim) matrix per selected probe,
+    /// filled in a single pass over the trace.
+    packed: Vec<Matrix>,
+    sbpp: SbppScratch,
+    /// Per selected probe, the per-token prediction sets of the current
+    /// trace (buffers reused across traces).
+    sets_per_probe: Vec<Vec<LabelSet>>,
+}
+
 impl Sbpp {
     /// Train the probe for one layer of `D_branch`.
     pub fn train(ds: &BranchDataset, layer: usize, alpha: f64, cfg: &ProbeConfig) -> Sbpp {
@@ -128,16 +152,17 @@ impl Sbpp {
         // merge comparison of Fig. 7 lives in: wide sets pollute the
         // θ-majority vote at large k while the permutation merge prunes
         // them.
-        let pos_idx: Vec<usize> =
-            (0..train_s.len()).filter(|&i| train_s.targets()[i] > 0.5).collect();
+        let pos_idx: Vec<usize> = (0..train_s.len())
+            .filter(|&i| train_s.targets()[i] > 0.5)
+            .collect();
         let neg_count = train_s.len() - pos_idx.len();
         let train_s = if pos_idx.is_empty() {
             train_s
         } else {
             let copies = (neg_count / pos_idx.len()).clamp(1, 120);
-            let mut jitter_rng =
-                SplitMix64::new(cfg.seed ^ 0x7177 ^ ((layer as u64) << 3));
-            let mut rows: Vec<Vec<f32>> = Vec::with_capacity(train_s.len() + (copies - 1) * pos_idx.len());
+            let mut jitter_rng = SplitMix64::new(cfg.seed ^ 0x7177 ^ ((layer as u64) << 3));
+            let mut rows: Vec<Vec<f32>> =
+                Vec::with_capacity(train_s.len() + (copies - 1) * pos_idx.len());
             let mut labels: Vec<f32> = Vec::with_capacity(rows.capacity());
             for i in 0..train_s.len() {
                 rows.push(train_s.row(i).to_vec());
@@ -190,17 +215,37 @@ impl Sbpp {
         // prediction set is the honest {0,1} of a clueless expert, and
         // the layer is naturally down-ranked by AUC selection.
         let degenerate = auc < 0.65;
-        let cal_scores = if degenerate { vec![0.5; cal_scores.len()] } else { cal_scores };
+        let cal_scores = if degenerate {
+            vec![0.5; cal_scores.len()]
+        } else {
+            cal_scores
+        };
         let conformal = SplitConformal::from_scores(cal_scores.clone(), alpha);
         let knn = match cfg.conformal {
             ConformalKind::Split => None,
             ConformalKind::Knn { k, tau } => {
                 let points: Vec<Vec<f32>> =
                     (0..cal_s.len()).map(|i| cal_s.row(i).to_vec()).collect();
-                Some(NonExchangeableConformal::new(points, cal_scores.clone(), k, tau, alpha))
+                Some(NonExchangeableConformal::new(
+                    points,
+                    cal_scores.clone(),
+                    k,
+                    tau,
+                    alpha,
+                ))
             }
         };
-        Sbpp { layer, alpha, auc, degenerate, probe, scaler, cal_scores, conformal, knn }
+        Sbpp {
+            layer,
+            alpha,
+            auc,
+            degenerate,
+            probe,
+            scaler,
+            cal_scores,
+            conformal,
+            knn,
+        }
     }
 
     /// Probe score p(branch | h) for a raw hidden-state vector.
@@ -219,10 +264,73 @@ impl Sbpp {
     /// Algorithm 1 is only meaningful over layers that voted.
     pub fn predict_set(&self, h: &[f32]) -> LabelSet {
         let hs = self.scaler.transform(h);
-        let p1 = self.score(h);
+        let p1 = if self.degenerate {
+            0.5
+        } else {
+            self.probe.predict_proba(&hs) as f64
+        };
         match &self.knn {
             Some(knn) => knn.predict_binary(&hs, p1),
             None => self.conformal.predict_binary(p1),
+        }
+    }
+
+    /// Conformal prediction sets for a whole batch of raw hidden-state
+    /// rows (one per generated token), produced by one scaler transform
+    /// and one MLP forward over the packed matrix instead of per-token
+    /// vector ops. Row `t` of the result is exactly
+    /// [`Sbpp::predict_set`] of row `t` of `h` — the batched matmul
+    /// accumulates every output element in the same order as the
+    /// per-token kernel, so the scores (and therefore the sets) are
+    /// identical.
+    pub fn predict_sets_batch(&self, h: &Matrix, scratch: &mut SbppScratch) -> Vec<LabelSet> {
+        let mut out = Vec::new();
+        self.predict_sets_into(h, scratch, &mut out);
+        out
+    }
+
+    /// [`Sbpp::predict_sets_batch`] writing into a caller-owned vector
+    /// (cleared first), so repeated trace monitoring reuses the buffer.
+    pub fn predict_sets_into(
+        &self,
+        h: &Matrix,
+        scratch: &mut SbppScratch,
+        out: &mut Vec<LabelSet>,
+    ) {
+        let n = h.rows();
+        self.score_batch_into(h, scratch);
+        out.clear();
+        out.reserve(n);
+        for t in 0..n {
+            let p1 = scratch.probs[t] as f64;
+            out.push(match &self.knn {
+                Some(knn) => knn.predict_binary(scratch.standardized.row(t), p1),
+                None => self.conformal.predict_binary(p1),
+            });
+        }
+    }
+
+    /// Batched probe scores p(branch | h) for rows of `h` — the batched
+    /// counterpart of [`Sbpp::score`], one scaler transform + one MLP
+    /// forward for the whole batch.
+    pub fn scores_batch(&self, h: &Matrix, scratch: &mut SbppScratch) -> Vec<f64> {
+        self.score_batch_into(h, scratch);
+        scratch.probs.iter().map(|&p| p as f64).collect()
+    }
+
+    /// Fill `scratch.standardized` / `scratch.probs` for rows of `h`.
+    fn score_batch_into(&self, h: &Matrix, scratch: &mut SbppScratch) {
+        self.scaler
+            .transform_batch_into(h, &mut scratch.standardized);
+        if self.degenerate {
+            scratch.probs.clear();
+            scratch.probs.resize(h.rows(), 0.5);
+        } else {
+            self.probe.predict_proba_batch_into(
+                &scratch.standardized,
+                &mut scratch.mlp,
+                &mut scratch.probs,
+            );
         }
     }
 
@@ -280,9 +388,12 @@ impl Mbpp {
     pub fn train(ds: &BranchDataset, cfg: &MbppConfig) -> Mbpp {
         assert!(cfg.k >= 1 && cfg.k <= ds.n_layers, "k out of range");
         // Per-layer probes are independent; train them in parallel.
-        let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let slots: Vec<parking_lot::Mutex<Option<Sbpp>>> =
-            (0..ds.n_layers).map(|_| parking_lot::Mutex::new(None)).collect();
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let slots: Vec<parking_lot::Mutex<Option<Sbpp>>> = (0..ds.n_layers)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             let slots = &slots;
@@ -299,10 +410,17 @@ impl Mbpp {
             }
         })
         .expect("probe training threads panicked");
-        let sbpps: Vec<Sbpp> =
-            slots.into_iter().map(|s| s.into_inner().expect("probe trained")).collect();
+        let sbpps: Vec<Sbpp> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("probe trained"))
+            .collect();
         let selected = Self::top_k(&sbpps, cfg.k);
-        Mbpp { sbpps, selected, method: cfg.method, alpha: cfg.alpha }
+        Mbpp {
+            sbpps,
+            selected,
+            method: cfg.method,
+            alpha: cfg.alpha,
+        }
     }
 
     fn top_k(sbpps: &[Sbpp], k: usize) -> Vec<usize> {
@@ -315,7 +433,10 @@ impl Mbpp {
     /// Mean AUC over the *selected* probes (what Table 3 reports for the
     /// sBPPs used in conformal prediction).
     pub fn mean_selected_auc(&self) -> f64 {
-        self.selected.iter().map(|&i| self.sbpps[i].auc).sum::<f64>()
+        self.selected
+            .iter()
+            .map(|&i| self.sbpps[i].auc)
+            .sum::<f64>()
             / self.selected.len() as f64
     }
 
@@ -328,28 +449,116 @@ impl Mbpp {
     ///
     /// Empty per-layer sets are abstentions and are excluded from the
     /// merge; a token every layer abstains on is not flagged.
-    pub fn is_branch(&self, hidden: &[Vec<f32>], rng: &mut SplitMix64) -> bool {
+    pub fn is_branch(&self, hidden: &simlm::HiddenStack, rng: &mut SplitMix64) -> bool {
         let sets: Vec<LabelSet> = self
             .selected
             .iter()
             .map(|&i| self.sbpps[i].predict_set(&hidden[self.sbpps[i].layer]))
             .filter(|s| !s.is_empty())
             .collect();
+        self.merge_token_sets(&sets, rng)
+    }
+
+    /// The token-level merge decision shared by the per-token and
+    /// batched paths (their parity contract requires a single
+    /// implementation): `sets` holds the non-abstaining (non-empty)
+    /// per-layer prediction sets; the token is flagged iff label 1
+    /// survives the configured merge. No sets at all ⇒ not flagged.
+    fn merge_token_sets(&self, sets: &[LabelSet], rng: &mut SplitMix64) -> bool {
         if sets.is_empty() {
             return false;
         }
         let merged = match self.method {
-            MergeMethod::MajorityVote { theta } => conformal::majority_vote(&sets, theta, 2),
-            MergeMethod::RandomPermutation => {
-                conformal::random_permutation_merge(&sets, 2, rng)
-            }
+            MergeMethod::MajorityVote { theta } => conformal::majority_vote(sets, theta, 2),
+            MergeMethod::RandomPermutation => conformal::random_permutation_merge(sets, 2, rng),
         };
         merged.contains(1)
     }
 
     /// Flag every token of a trace. Returns the per-token decisions.
+    ///
+    /// This is the batched fast path: per selected probe, all token
+    /// hidden states of the trace are packed into one matrix, pushed
+    /// through one scaler transform and one MLP forward (amortising the
+    /// matmul), and the resulting per-token prediction sets are merged
+    /// exactly as the per-token loop would. Flags — and the permutation
+    /// merge's RNG consumption — are identical to
+    /// [`Mbpp::flag_trace_per_token`] (the parity proptest in
+    /// `tests/proptest_invariants.rs` pins this).
     pub fn flag_trace(&self, trace: &GenerationTrace, rng: &mut SplitMix64) -> Vec<bool> {
-        trace.steps.iter().map(|s| self.is_branch(&s.hidden, rng)).collect()
+        let mut scratch = BppScratch::default();
+        self.flag_trace_with_scratch(trace, rng, &mut scratch)
+    }
+
+    /// [`Mbpp::flag_trace`] with caller-owned scratch buffers, for hot
+    /// loops that flag many traces (monitored linking re-generates the
+    /// stream once per correction round).
+    pub fn flag_trace_with_scratch(
+        &self,
+        trace: &GenerationTrace,
+        rng: &mut SplitMix64,
+        scratch: &mut BppScratch,
+    ) -> Vec<bool> {
+        let n = trace.steps.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Pack every selected layer's hidden states in one pass over the
+        // trace (each step's hidden stack is touched once), then run one
+        // batched scoring pass per probe into reused set buffers.
+        let dim = trace.steps[0].hidden.dim();
+        scratch
+            .packed
+            .resize(self.selected.len(), Matrix::default());
+        scratch
+            .sets_per_probe
+            .resize(self.selected.len(), Vec::new());
+        for m in scratch.packed.iter_mut() {
+            m.resize_for_overwrite(n, dim);
+        }
+        // Fused multi-layer variant of `GenerationTrace::pack_layer_into`:
+        // one pass over the steps fills every selected layer's matrix.
+        for (t, step) in trace.steps.iter().enumerate() {
+            for (slot, &i) in self.selected.iter().enumerate() {
+                scratch.packed[slot]
+                    .row_mut(t)
+                    .copy_from_slice(step.hidden.layer(self.sbpps[i].layer));
+            }
+        }
+        for (slot, &i) in self.selected.iter().enumerate() {
+            self.sbpps[i].predict_sets_into(
+                &scratch.packed[slot],
+                &mut scratch.sbpp,
+                &mut scratch.sets_per_probe[slot],
+            );
+        }
+        let sets_per_probe = &scratch.sets_per_probe;
+        // Merge per token in the same order (and with the same RNG
+        // consumption pattern) as the per-token path.
+        let mut sets: Vec<LabelSet> = Vec::with_capacity(self.selected.len());
+        (0..n)
+            .map(|t| {
+                sets.clear();
+                sets.extend(
+                    sets_per_probe
+                        .iter()
+                        .map(|probe_sets| probe_sets[t])
+                        .filter(|s| !s.is_empty()),
+                );
+                self.merge_token_sets(&sets, rng)
+            })
+            .collect()
+    }
+
+    /// The reference per-token monitoring loop: one scaler transform and
+    /// one MLP forward per (token, probe). Kept as the baseline the
+    /// batched path is benchmarked and parity-tested against.
+    pub fn flag_trace_per_token(&self, trace: &GenerationTrace, rng: &mut SplitMix64) -> Vec<bool> {
+        trace
+            .steps
+            .iter()
+            .map(|s| self.is_branch(&s.hidden, rng))
+            .collect()
     }
 
     /// Clone with a different error level (cheap: reuses probes).
@@ -375,7 +584,10 @@ impl Mbpp {
 
     /// Clone with a different merge method.
     pub fn with_method(&self, method: MergeMethod) -> Mbpp {
-        Mbpp { method, ..self.clone() }
+        Mbpp {
+            method,
+            ..self.clone()
+        }
     }
 
     /// Clone selecting *random* layers instead of top-AUC (ablation).
@@ -384,7 +596,10 @@ impl Mbpp {
         let mut rng = SplitMix64::new(seed);
         tinynn::rng::shuffle(&mut order, &mut rng);
         order.truncate(k);
-        Mbpp { selected: order, ..self.clone() }
+        Mbpp {
+            selected: order,
+            ..self.clone()
+        }
     }
 }
 
@@ -406,17 +621,31 @@ mod tests {
         let (_, _, ds) = setup();
         // Train only a mid-depth layer (cheap test): it must beat 0.85
         // AUC; an early layer must be clearly worse.
-        let cfg = ProbeConfig { epochs: 15, ..ProbeConfig::default() };
+        let cfg = ProbeConfig {
+            epochs: 15,
+            ..ProbeConfig::default()
+        };
         let late = Sbpp::train(&ds, 21, 0.1, &cfg);
         let early = Sbpp::train(&ds, 0, 0.1, &cfg);
         assert!(late.auc > 0.85, "late-layer AUC {}", late.auc);
-        assert!(early.auc < late.auc, "early {} vs late {}", early.auc, late.auc);
+        assert!(
+            early.auc < late.auc,
+            "early {} vs late {}",
+            early.auc,
+            late.auc
+        );
     }
 
     #[test]
     fn mbpp_selects_informative_layers() {
         let (_, model, ds) = setup();
-        let cfg = MbppConfig { probe: ProbeConfig { epochs: 12, ..Default::default() }, ..Default::default() };
+        let cfg = MbppConfig {
+            probe: ProbeConfig {
+                epochs: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mbpp = Mbpp::train(&ds, &cfg);
         assert_eq!(mbpp.selected.len(), 5);
         // Selected layers should sit in the gainful region of the
@@ -425,20 +654,31 @@ mod tests {
         for &i in &mbpp.selected {
             assert!(gains[mbpp.sbpps[i].layer] > 0.2, "selected weak layer {i}");
         }
-        assert!(mbpp.mean_selected_auc() > 0.9, "selected AUC {}", mbpp.mean_selected_auc());
+        assert!(
+            mbpp.mean_selected_auc() > 0.9,
+            "selected AUC {}",
+            mbpp.mean_selected_auc()
+        );
         assert!(mbpp.mean_selected_auc() > mbpp.mean_auc_all());
     }
 
     #[test]
     fn mbpp_detects_branches_on_dev() {
         let (bench, model, ds) = setup();
-        let cfg = MbppConfig { probe: ProbeConfig { epochs: 12, ..Default::default() }, ..Default::default() };
+        let cfg = MbppConfig {
+            probe: ProbeConfig {
+                epochs: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mbpp = Mbpp::train(&ds, &cfg);
         let mut rng = SplitMix64::new(99);
         let mut flags = Vec::new();
         for inst in bench.split.dev.iter().take(60) {
             let mut vocab = Vocab::new();
-            let trace = model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            let trace =
+                model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
             let predicted = mbpp.flag_trace(&trace, &mut rng);
             for (p, s) in predicted.iter().zip(&trace.steps) {
                 flags.push((*p, s.is_branch));
@@ -453,7 +693,13 @@ mod tests {
     #[test]
     fn alpha_recalibration_moves_coverage() {
         let (bench, model, ds) = setup();
-        let cfg = MbppConfig { probe: ProbeConfig { epochs: 10, ..Default::default() }, ..Default::default() };
+        let cfg = MbppConfig {
+            probe: ProbeConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mbpp_tight = Mbpp::train(&ds, &cfg); // α = 0.1
         let mbpp_loose = mbpp_tight.with_alpha(0.4);
         let run = |mbpp: &Mbpp| {
@@ -472,13 +718,24 @@ mod tests {
         let tight = run(&mbpp_tight);
         let loose = run(&mbpp_loose);
         // Larger α ⇒ tighter sets ⇒ lower EAR (and usually lower coverage).
-        assert!(loose.ear <= tight.ear + 1e-9, "loose {} vs tight {}", loose.ear, tight.ear);
+        assert!(
+            loose.ear <= tight.ear + 1e-9,
+            "loose {} vs tight {}",
+            loose.ear,
+            tight.ear
+        );
     }
 
     #[test]
     fn with_k_changes_selection_size() {
         let (_, _, ds) = setup();
-        let cfg = MbppConfig { probe: ProbeConfig { epochs: 4, ..Default::default() }, ..Default::default() };
+        let cfg = MbppConfig {
+            probe: ProbeConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mbpp = Mbpp::train(&ds, &cfg);
         assert_eq!(mbpp.with_k(1).selected.len(), 1);
         assert_eq!(mbpp.with_k(9).selected.len(), 9);
@@ -488,6 +745,69 @@ mod tests {
             .sbpps
             .iter()
             .all(|s| s.auc <= mbpp.sbpps[best].auc + 1e-12));
+    }
+
+    #[test]
+    fn batched_flags_match_per_token_exactly() {
+        let (bench, model, ds) = setup();
+        for method in [
+            MergeMethod::RandomPermutation,
+            MergeMethod::MajorityVote { theta: 0.5 },
+        ] {
+            let cfg = MbppConfig {
+                method,
+                probe: ProbeConfig {
+                    epochs: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mbpp = Mbpp::train(&ds, &cfg);
+            let mut scratch = BppScratch::default();
+            let mut rng_batched = SplitMix64::new(41);
+            let mut rng_serial = SplitMix64::new(41);
+            for inst in bench.split.dev.iter().take(25) {
+                let mut vocab = Vocab::new();
+                let trace = model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+                let batched = mbpp.flag_trace_with_scratch(&trace, &mut rng_batched, &mut scratch);
+                let serial = mbpp.flag_trace_per_token(&trace, &mut rng_serial);
+                assert_eq!(batched, serial, "flag divergence on instance {}", inst.id);
+                // RNG streams must stay in lock-step too.
+                assert_eq!(
+                    rng_batched, rng_serial,
+                    "rng divergence on instance {}",
+                    inst.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sets_match_per_token_for_knn_conformal() {
+        let (bench, model, ds) = setup();
+        let cfg = ProbeConfig {
+            epochs: 6,
+            conformal: ConformalKind::Knn { k: 40, tau: 50.0 },
+            ..Default::default()
+        };
+        let sbpp = Sbpp::train(&ds, 21, 0.1, &cfg);
+        let mut scratch = SbppScratch::default();
+        let inst = &bench.split.dev[0];
+        let mut vocab = Vocab::new();
+        let trace = model.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+        let n = trace.steps.len();
+        let mut packed = tinynn::Matrix::zeros(n, ds.hidden_dim);
+        for (t, step) in trace.steps.iter().enumerate() {
+            packed.row_mut(t).copy_from_slice(&step.hidden[sbpp.layer]);
+        }
+        let batched = sbpp.predict_sets_batch(&packed, &mut scratch);
+        for (t, step) in trace.steps.iter().enumerate() {
+            assert_eq!(
+                batched[t],
+                sbpp.predict_set(&step.hidden[sbpp.layer]),
+                "token {t}"
+            );
+        }
     }
 
     #[test]

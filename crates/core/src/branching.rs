@@ -31,13 +31,21 @@ impl BranchDataset {
         target: LinkTarget,
         max_instances: usize,
     ) -> Self {
-        let take = if max_instances == 0 { instances.len() } else { max_instances.min(instances.len()) };
+        let take = if max_instances == 0 {
+            instances.len()
+        } else {
+            max_instances.min(instances.len())
+        };
         assert!(take > 0, "no instances to trace");
+        // Tracing is per-instance deterministic; fan it out and flatten
+        // in instance order so the dataset is identical to a serial build.
+        let traces = crate::par::par_map(&instances[..take], |inst| {
+            let mut vocab = Vocab::new();
+            model.generate(inst, &mut vocab, target, GenMode::TeacherForced)
+        });
         let mut rows_per_layer: Vec<Vec<f32>> = vec![Vec::new(); model.n_layers];
         let mut labels: Vec<f32> = Vec::new();
-        for inst in &instances[..take] {
-            let mut vocab = Vocab::new();
-            let trace = model.generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        for trace in &traces {
             for step in &trace.steps {
                 labels.push(step.is_branch as u8 as f32);
                 for (j, h) in step.hidden.iter().enumerate() {

@@ -121,7 +121,12 @@ mod tests {
     use benchgen::BenchmarkProfile;
 
     fn any_instance() -> Instance {
-        BenchmarkProfile::bird_like().scaled(0.005).generate(3).split.dev[0].clone()
+        BenchmarkProfile::bird_like()
+            .scaled(0.005)
+            .generate(3)
+            .split
+            .dev[0]
+            .clone()
     }
 
     #[test]
@@ -185,7 +190,12 @@ mod tests {
     fn expert_simple_questions_are_perfect() {
         let bench = BenchmarkProfile::bird_like().scaled(0.02).generate(6);
         let oracle = HumanOracle::new(Expertise::Expert, 7);
-        for inst in bench.split.dev.iter().filter(|i| i.difficulty == Difficulty::Simple) {
+        for inst in bench
+            .split
+            .dev
+            .iter()
+            .filter(|i| i.difficulty == Difficulty::Simple)
+        {
             for t in &inst.gold_tables {
                 assert!(oracle.judge_relevance(inst, t, true, true));
             }

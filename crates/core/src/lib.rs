@@ -27,6 +27,7 @@ pub mod bpp;
 pub mod branching;
 pub mod human;
 pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod sqlgen;
 pub mod surrogate;
@@ -37,5 +38,6 @@ pub use bpp::{Mbpp, MergeMethod, Sbpp};
 pub use branching::BranchDataset;
 pub use human::{Expertise, HumanOracle};
 pub use metrics::{AbstentionMetrics, CoverageMetrics, LinkingMetrics};
+pub use par::par_map;
 pub use sqlgen::{ProvidedSchema, SqlGenModel};
 pub use surrogate::SurrogateModel;

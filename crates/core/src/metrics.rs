@@ -33,8 +33,16 @@ pub fn linking_metrics(golds: &[Vec<String>], preds: &[Vec<String>]) -> LinkingM
         let ps: std::collections::HashSet<&String> = p.iter().collect();
         let inter = gs.intersection(&ps).count() as f64;
         em += (gs == ps) as usize as f64;
-        precision += if ps.is_empty() { 0.0 } else { inter / ps.len() as f64 };
-        recall += if gs.is_empty() { 1.0 } else { inter / gs.len() as f64 };
+        precision += if ps.is_empty() {
+            0.0
+        } else {
+            inter / ps.len() as f64
+        };
+        recall += if gs.is_empty() {
+            1.0
+        } else {
+            inter / gs.len() as f64
+        };
     }
     let n = golds.len() as f64;
     LinkingMetrics {
@@ -64,8 +72,16 @@ pub fn coverage_metrics(flags: &[(bool, bool)]) -> CoverageMetrics {
     let detected = flags.iter().filter(|(p, a)| *p && *a).count();
     let false_flags = flags.iter().filter(|(p, a)| *p && !*a).count();
     CoverageMetrics {
-        coverage: if n_branches == 0 { 1.0 } else { detected as f64 / n_branches as f64 },
-        ear: if n_tokens == 0 { 0.0 } else { false_flags as f64 / n_tokens as f64 },
+        coverage: if n_branches == 0 {
+            1.0
+        } else {
+            detected as f64 / n_branches as f64
+        },
+        ear: if n_tokens == 0 {
+            0.0
+        } else {
+            false_flags as f64 / n_tokens as f64
+        },
         n_tokens,
         n_branches,
     }
@@ -190,13 +206,29 @@ mod tests {
     fn abstention_metrics_semantics() {
         let outcomes = [
             // answered correctly
-            AbstentionOutcome { abstained: false, correct: true, would_be_correct: true },
+            AbstentionOutcome {
+                abstained: false,
+                correct: true,
+                would_be_correct: true,
+            },
             // answered wrongly
-            AbstentionOutcome { abstained: false, correct: false, would_be_correct: false },
+            AbstentionOutcome {
+                abstained: false,
+                correct: false,
+                would_be_correct: false,
+            },
             // true abstention (would have been wrong)
-            AbstentionOutcome { abstained: true, correct: false, would_be_correct: false },
+            AbstentionOutcome {
+                abstained: true,
+                correct: false,
+                would_be_correct: false,
+            },
             // false abstention (would have been right)
-            AbstentionOutcome { abstained: true, correct: false, would_be_correct: true },
+            AbstentionOutcome {
+                abstained: true,
+                correct: false,
+                would_be_correct: true,
+            },
         ];
         let m = abstention_metrics(&outcomes);
         assert!((m.exact_match - 0.5).abs() < 1e-12);
@@ -207,7 +239,11 @@ mod tests {
 
     #[test]
     fn abstention_all_abstained_em_is_zero() {
-        let outcomes = [AbstentionOutcome { abstained: true, correct: false, would_be_correct: false }];
+        let outcomes = [AbstentionOutcome {
+            abstained: true,
+            correct: false,
+            would_be_correct: false,
+        }];
         let m = abstention_metrics(&outcomes);
         assert_eq!(m.exact_match, 0.0);
         assert_eq!(m.tar, 1.0);

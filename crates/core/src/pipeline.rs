@@ -10,6 +10,7 @@
 use crate::abstention::{run_rts_linking, MitigationPolicy, RtsConfig, RtsOutcome};
 use crate::bpp::Mbpp;
 use crate::human::HumanOracle;
+use crate::par::par_map;
 use crate::sqlgen::{ProvidedSchema, SqlGenModel};
 use benchgen::{Benchmark, Instance};
 use simlm::{LinkTarget, SchemaLinker};
@@ -52,7 +53,10 @@ impl JointOutcome {
             .columns
             .predicted
             .iter()
-            .filter_map(|e| e.split_once('.').map(|(t, c)| (t.to_string(), c.to_string())))
+            .filter_map(|e| {
+                e.split_once('.')
+                    .map(|(t, c)| (t.to_string(), c.to_string()))
+            })
             // A column prediction is only usable if its table survived
             // table linking.
             .filter(|(t, _)| tables.contains(t))
@@ -72,10 +76,24 @@ pub fn run_joint_linking(
     config: &RtsConfig,
 ) -> JointOutcome {
     let meta = bench.meta(&inst.db_name).expect("instance database exists");
-    let tables =
-        run_rts_linking(model, mbpp_tables, inst, meta, LinkTarget::Tables, policy, config);
-    let columns =
-        run_rts_linking(model, mbpp_columns, inst, meta, LinkTarget::Columns, policy, config);
+    let tables = run_rts_linking(
+        model,
+        mbpp_tables,
+        inst,
+        meta,
+        LinkTarget::Tables,
+        policy,
+        config,
+    );
+    let columns = run_rts_linking(
+        model,
+        mbpp_columns,
+        inst,
+        meta,
+        LinkTarget::Columns,
+        policy,
+        config,
+    );
     JointOutcome { tables, columns }
 }
 
@@ -87,40 +105,49 @@ pub enum SchemaSource<'a> {
     CorrectTablesFullColumns,
     /// Full tables + full columns (what schema-linking-free baselines see).
     Full,
-    /// The schema RTS linking produced per instance.
-    Rts(&'a dyn Fn(&Instance) -> ProvidedSchema),
+    /// The schema RTS linking produced per instance. `Sync` because
+    /// [`measure_ex`] evaluates instances across threads.
+    Rts(&'a (dyn Fn(&Instance) -> ProvidedSchema + Sync)),
 }
 
 /// Measure EX for a generator over instances under a schema source.
+///
+/// Instances fan out across threads ([`par_map`]); generation and
+/// execution are deterministic per instance, so the parallel measurement
+/// equals the serial one exactly.
 pub fn measure_ex(
     bench: &Benchmark,
     instances: &[Instance],
     generator: &SqlGenModel,
     source: &SchemaSource<'_>,
 ) -> f64 {
-    let schema_of = |inst: &Instance| -> ProvidedSchema {
+    if instances.is_empty() {
+        return 0.0;
+    }
+    let correct = par_map(instances, |inst| {
         let meta = bench.meta(&inst.db_name).expect("meta exists");
-        match source {
+        let db = bench.database(&inst.db_name).expect("database exists");
+        let schema = match source {
             SchemaSource::Golden => ProvidedSchema::golden(inst),
             SchemaSource::CorrectTablesFullColumns => {
                 ProvidedSchema::correct_tables_full_columns(inst, meta)
             }
             SchemaSource::Full => ProvidedSchema::full(meta),
             SchemaSource::Rts(f) => f(inst),
-        }
-    };
-    generator
-        .execution_accuracy(
-            instances.iter(),
-            |n| bench.database(n),
-            |n| bench.meta(n),
-            schema_of,
-        )
-        .0
+        };
+        generator.ex_correct(inst, db, meta, &schema)
+    });
+    correct.iter().filter(|&&c| c).count() as f64 / instances.len() as f64
 }
 
 /// Run the full RTS pipeline (human-in-the-loop linking → SQL → EX)
 /// over instances, returning (EX, joint outcomes).
+///
+/// The instance level is parallel: outcomes are indexed by instance and
+/// every run seeds its RNG from `RtsConfig::seed` and the instance id,
+/// so this returns exactly what the serial loop would (pinned by the
+/// `parallel_pipeline_matches_serial` proptest).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's pipeline stages
 pub fn run_full_pipeline(
     bench: &Benchmark,
     instances: &[Instance],
@@ -132,15 +159,23 @@ pub fn run_full_pipeline(
     config: &RtsConfig,
 ) -> (f64, Vec<JointOutcome>) {
     let policy = MitigationPolicy::Human(oracle);
-    let outcomes: Vec<JointOutcome> = instances
-        .iter()
-        .map(|inst| {
-            run_joint_linking(model, mbpp_tables, mbpp_columns, inst, bench, &policy, config)
-        })
-        .collect();
+    let outcomes: Vec<JointOutcome> = par_map(instances, |inst| {
+        run_joint_linking(
+            model,
+            mbpp_tables,
+            mbpp_columns,
+            inst,
+            bench,
+            &policy,
+            config,
+        )
+    });
     let schemas: Vec<ProvidedSchema> = outcomes.iter().map(|o| o.provided_schema()).collect();
-    let idx_of: std::collections::HashMap<u64, usize> =
-        instances.iter().enumerate().map(|(i, inst)| (inst.id, i)).collect();
+    let idx_of: std::collections::HashMap<u64, usize> = instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| (inst.id, i))
+        .collect();
     let ex = measure_ex(
         bench,
         instances,
@@ -169,14 +204,22 @@ mod tests {
         let bench = BenchmarkProfile::bird_like().scaled(0.05).generate(120);
         let model = SchemaLinker::new("bird", 17);
         let cfg = MbppConfig {
-            probe: ProbeConfig { epochs: 6, ..Default::default() },
+            probe: ProbeConfig {
+                epochs: 6,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let ds_t = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 400);
         let ds_c = BranchDataset::build(&model, &bench.split.train, LinkTarget::Columns, 400);
         let mbpp_t = Mbpp::train(&ds_t, &cfg);
         let mbpp_c = Mbpp::train(&ds_c, &cfg);
-        Fx { bench, model, mbpp_t, mbpp_c }
+        Fx {
+            bench,
+            model,
+            mbpp_t,
+            mbpp_c,
+        }
     }
 
     #[test]
@@ -191,7 +234,9 @@ mod tests {
             .iter()
             .take(80)
             .map(|i| {
-                run_joint_linking(&fx.model, &fx.mbpp_t, &fx.mbpp_c, i, &fx.bench, &policy, &config)
+                run_joint_linking(
+                    &fx.model, &fx.mbpp_t, &fx.mbpp_c, i, &fx.bench, &policy, &config,
+                )
             })
             .collect();
         // The paper observes heavy overlap: joint abstention rate is far
@@ -224,9 +269,18 @@ mod tests {
         let ex_golden = measure_ex(&fx.bench, &instances, &generator, &SchemaSource::Golden);
         let ex_full = measure_ex(&fx.bench, &instances, &generator, &SchemaSource::Full);
         // Table 7 ordering: golden ≥ RTS > full.
-        assert!(ex_golden + 1e-9 >= ex_rts - 0.05, "golden {ex_golden} vs rts {ex_rts}");
-        assert!(ex_rts >= ex_full, "rts {ex_rts} must not lose to full-schema {ex_full}");
-        assert!(outcomes.iter().all(|o| !o.abstained()), "human policy resolves everything");
+        assert!(
+            ex_golden + 1e-9 >= ex_rts - 0.05,
+            "golden {ex_golden} vs rts {ex_rts}"
+        );
+        assert!(
+            ex_rts >= ex_full,
+            "rts {ex_rts} must not lose to full-schema {ex_full}"
+        );
+        assert!(
+            outcomes.iter().all(|o| !o.abstained()),
+            "human policy resolves everything"
+        );
     }
 
     #[test]
@@ -252,6 +306,9 @@ mod tests {
         let schema = outcome.provided_schema();
         assert_eq!(schema.tables, vec!["races".to_string()]);
         // lapTimes.time is orphaned (its table was not linked).
-        assert_eq!(schema.columns, vec![("races".to_string(), "name".to_string())]);
+        assert_eq!(
+            schema.columns,
+            vec![("races".to_string(), "name".to_string())]
+        );
     }
 }

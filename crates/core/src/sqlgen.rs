@@ -27,7 +27,10 @@ pub struct ProvidedSchema {
 impl ProvidedSchema {
     /// Exactly the gold elements ("Correct tables + Correct columns").
     pub fn golden(inst: &Instance) -> Self {
-        Self { tables: inst.gold_tables.clone(), columns: inst.gold_columns.clone() }
+        Self {
+            tables: inst.gold_tables.clone(),
+            columns: inst.gold_columns.clone(),
+        }
     }
 
     /// The whole database ("Full tables + Full columns").
@@ -36,7 +39,11 @@ impl ProvidedSchema {
         let columns = meta
             .tables
             .iter()
-            .flat_map(|t| t.columns.iter().map(move |c| (t.name.clone(), c.name.clone())))
+            .flat_map(|t| {
+                t.columns
+                    .iter()
+                    .map(move |c| (t.name.clone(), c.name.clone()))
+            })
             .collect();
         Self { tables, columns }
     }
@@ -49,7 +56,11 @@ impl ProvidedSchema {
             .tables
             .iter()
             .filter(|t| tables.contains(&t.name))
-            .flat_map(|t| t.columns.iter().map(move |c| (t.name.clone(), c.name.clone())))
+            .flat_map(|t| {
+                t.columns
+                    .iter()
+                    .map(move |c| (t.name.clone(), c.name.clone()))
+            })
             .collect();
         Self { tables, columns }
     }
@@ -67,7 +78,10 @@ impl ProvidedSchema {
 
     /// Number of provided columns beyond the gold ones (distractors).
     pub fn n_distractor_columns(&self, inst: &Instance) -> usize {
-        self.columns.iter().filter(|c| !inst.gold_columns.contains(c)).count()
+        self.columns
+            .iter()
+            .filter(|c| !inst.gold_columns.contains(c))
+            .count()
     }
 }
 
@@ -162,6 +176,22 @@ impl SqlGenModel {
         corrupt(&inst.gold_sql, schema, meta, &mut rng)
     }
 
+    /// Generate for one instance and execute gold vs predicted on the
+    /// database. Deterministic in (generator seed, instance id), which
+    /// is what lets [`crate::par::par_map`] fan instances out.
+    pub fn ex_correct(
+        &self,
+        inst: &Instance,
+        db: &Database,
+        meta: &DbMeta,
+        schema: &ProvidedSchema,
+    ) -> bool {
+        let predicted = self.generate(inst, schema, meta);
+        let gold_sql = inst.gold_sql.to_string();
+        let pred_sql = predicted.to_string();
+        execution_accuracy(db, &gold_sql, &pred_sql).is_correct()
+    }
+
     /// EX over instances: execute gold vs predicted on the database.
     pub fn execution_accuracy<'a>(
         &self,
@@ -176,15 +206,19 @@ impl SqlGenModel {
             let db = db_of(&inst.db_name).expect("database exists");
             let meta = meta_of(&inst.db_name).expect("meta exists");
             let schema = schema_of(inst);
-            let predicted = self.generate(inst, &schema, meta);
-            let gold_sql = inst.gold_sql.to_string();
-            let pred_sql = predicted.to_string();
-            if execution_accuracy(db, &gold_sql, &pred_sql).is_correct() {
+            if self.ex_correct(inst, db, meta, &schema) {
                 correct += 1;
             }
             total += 1;
         }
-        (if total == 0 { 0.0 } else { correct as f64 / total as f64 }, total)
+        (
+            if total == 0 {
+                0.0
+            } else {
+                correct as f64 / total as f64
+            },
+            total,
+        )
     }
 }
 
@@ -216,7 +250,11 @@ fn corrupt(
     if swap_candidate(&stmt, schema, meta).is_some() {
         modes.push(3); // wrong column from distractors
     }
-    let mode = if modes.is_empty() { 5 } else { modes[rng.next_below(modes.len())] };
+    let mode = if modes.is_empty() {
+        5
+    } else {
+        modes[rng.next_below(modes.len())]
+    };
 
     match mode {
         0 => {
@@ -374,7 +412,11 @@ mod tests {
         BenchmarkProfile::bird_like().scaled(0.015).generate(88)
     }
 
-    fn ex(bench: &Benchmark, model: &SqlGenModel, schema_of: impl Fn(&Instance) -> ProvidedSchema) -> f64 {
+    fn ex(
+        bench: &Benchmark,
+        model: &SqlGenModel,
+        schema_of: impl Fn(&Instance) -> ProvidedSchema,
+    ) -> f64 {
         model
             .execution_accuracy(
                 bench.split.dev.iter(),
@@ -404,7 +446,9 @@ mod tests {
         let b = bench();
         let model = SqlGenModel::deepseek_7b("bird", 2);
         let golden = ex(&b, &model, ProvidedSchema::golden);
-        let full = ex(&b, &model, |i| ProvidedSchema::full(b.meta(&i.db_name).unwrap()));
+        let full = ex(&b, &model, |i| {
+            ProvidedSchema::full(b.meta(&i.db_name).unwrap())
+        });
         assert!(
             golden > full,
             "golden {golden} must beat full {full} (the Table 1 mechanism)"
@@ -421,7 +465,9 @@ mod tests {
         let mid = ex(&b, &model, |i| {
             ProvidedSchema::correct_tables_full_columns(i, b.meta(&i.db_name).unwrap())
         });
-        let full = ex(&b, &model, |i| ProvidedSchema::full(b.meta(&i.db_name).unwrap()));
+        let full = ex(&b, &model, |i| {
+            ProvidedSchema::full(b.meta(&i.db_name).unwrap())
+        });
         assert!(golden + 1e-9 >= mid, "golden {golden} vs mid {mid}");
         assert!(mid + 0.03 >= full, "mid {mid} vs full {full}");
     }
@@ -455,7 +501,10 @@ mod tests {
                 ProvidedSchema::golden,
             )
             .0;
-        assert!(ex_spider > ex_bird + 0.1, "spider {ex_spider} vs bird {ex_bird}");
+        assert!(
+            ex_spider > ex_bird + 0.1,
+            "spider {ex_spider} vs bird {ex_bird}"
+        );
     }
 
     #[test]

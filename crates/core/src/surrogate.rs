@@ -41,8 +41,21 @@ impl SurrogateModel {
     /// `truly_relevant` feeds the *noisy* semantic-oracle feature — the
     /// stand-in for what a fine-tuned LLM knows about the question; the
     /// flip noise is deterministic per (model, instance, element).
-    fn features(&self, inst: &Instance, element: &str, is_table: bool, truly_relevant: bool) -> Vec<f32> {
-        Self::features_with(self.noise, self.seed, inst, element, is_table, truly_relevant)
+    fn features(
+        &self,
+        inst: &Instance,
+        element: &str,
+        is_table: bool,
+        truly_relevant: bool,
+    ) -> Vec<f32> {
+        Self::features_with(
+            self.noise,
+            self.seed,
+            inst,
+            element,
+            is_table,
+            truly_relevant,
+        )
     }
 
     fn features_with(
@@ -59,7 +72,11 @@ impl SurrogateModel {
         // Hardness-modulated flip: hard instances confuse the surrogate
         // more, like they confuse the linker.
         let p_flip = (noise * (0.55 + 0.9 * inst.hardness)).min(0.5);
-        let semantic = if rng.next_bool(p_flip) { !truly_relevant } else { truly_relevant };
+        let semantic = if rng.next_bool(p_flip) {
+            !truly_relevant
+        } else {
+            truly_relevant
+        };
 
         // How strongly the workload's confusion structure pulls toward
         // this element (max confusable weight across links).
@@ -73,9 +90,10 @@ impl SurrogateModel {
         // Is the element one of the question's gold mentions' *lexical
         // neighbourhood* (gold or confusable)?
         let in_neighbourhood = truly_relevant
-            || inst.links.iter().any(|l| {
-                l.confusables.iter().any(|c| c.alt.to_string() == element)
-            });
+            || inst
+                .links
+                .iter()
+                .any(|l| l.confusables.iter().any(|c| c.alt.to_string() == element));
         vec![
             semantic as u8 as f32,
             pull as f32,
@@ -96,7 +114,9 @@ impl SurrogateModel {
             for link in &inst.links {
                 let is_table = link.element.is_table();
                 let gold = link.element.to_string();
-                rows.push(Self::features_with(noise, seed, inst, &gold, is_table, true));
+                rows.push(Self::features_with(
+                    noise, seed, inst, &gold, is_table, true,
+                ));
                 labels.push(1.0);
                 for c in link.confusables.iter().take(2) {
                     let alt = c.alt.to_string();
@@ -105,11 +125,18 @@ impl SurrogateModel {
                     let truly = if c.alt.is_table() {
                         inst.gold_tables.contains(&c.alt.table)
                     } else {
-                        inst.gold_columns.iter().any(|(t, col)| {
-                            *t == c.alt.table && Some(col) == c.alt.column.as_ref()
-                        })
+                        inst.gold_columns
+                            .iter()
+                            .any(|(t, col)| *t == c.alt.table && Some(col) == c.alt.column.as_ref())
                     };
-                    rows.push(Self::features_with(noise, seed, inst, &alt, c.alt.is_table(), truly));
+                    rows.push(Self::features_with(
+                        noise,
+                        seed,
+                        inst,
+                        &alt,
+                        c.alt.is_table(),
+                        truly,
+                    ));
                     labels.push(truly as u8 as f32);
                 }
             }
@@ -129,7 +156,12 @@ impl SurrogateModel {
             ..MlpConfig::default()
         });
         mlp.fit(&ds);
-        SurrogateModel { mlp, scaler, noise, seed }
+        SurrogateModel {
+            mlp,
+            scaler,
+            noise,
+            seed,
+        }
     }
 
     /// Answer the §3.3 prompt: is `element` relevant to the question?
@@ -137,7 +169,9 @@ impl SurrogateModel {
         let truly = if is_table {
             inst.gold_tables.iter().any(|t| t == element)
         } else {
-            inst.gold_columns.iter().any(|(t, c)| format!("{t}.{c}") == element)
+            inst.gold_columns
+                .iter()
+                .any(|(t, c)| format!("{t}.{c}") == element)
         };
         let f = self.features(inst, element, is_table, truly);
         self.mlp.predict(&self.scaler.transform(&f))
@@ -167,9 +201,9 @@ impl SurrogateModel {
                     let truly = if tables {
                         inst.gold_tables.contains(&c.alt.table)
                     } else {
-                        inst.gold_columns.iter().any(|(t, col)| {
-                            *t == c.alt.table && Some(col) == c.alt.column.as_ref()
-                        })
+                        inst.gold_columns
+                            .iter()
+                            .any(|(t, col)| *t == c.alt.table && Some(col) == c.alt.column.as_ref())
                     };
                     if self.is_relevant(inst, &alt, tables) == truly {
                         correct += 1;

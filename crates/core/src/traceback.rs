@@ -9,8 +9,8 @@
 //! sequence arrives before any new element materialises, the last
 //! decoded element is returned (the paper's `T[-1:]` case).
 
-use simlm::{decode_elements, Trie, Vocab};
 use simlm::vocab::{TokenId, TOK_END};
+use simlm::{decode_elements, Trie, Vocab};
 
 /// Elements implicated by the branching token at `branch_pos`.
 ///

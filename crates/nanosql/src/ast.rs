@@ -92,11 +92,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        Self { table: Some(table.into()), column: column.into() }
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 
     pub fn bare(column: impl Into<String>) -> Self {
-        Self { table: None, column: column.into() }
+        Self {
+            table: None,
+            column: column.into(),
+        }
     }
 }
 
@@ -114,13 +120,32 @@ impl fmt::Display for ColumnRef {
 pub enum Expr {
     Literal(Value),
     Column(ColumnRef),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
-    IsNull { expr: Box<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Value>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
     /// `arg = None` means `COUNT(*)`.
-    Agg { func: AggFunc, arg: Option<Box<Expr>>, distinct: bool },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
 }
 
 impl Expr {
@@ -137,7 +162,11 @@ impl Expr {
     }
 
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: Expr, right: Expr) -> Expr {
@@ -149,11 +178,19 @@ impl Expr {
     }
 
     pub fn agg(func: AggFunc, arg: Expr) -> Expr {
-        Expr::Agg { func, arg: Some(Box::new(arg)), distinct: false }
+        Expr::Agg {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct: false,
+        }
     }
 
     pub fn count_star() -> Expr {
-        Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+        Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }
     }
 
     /// Does this expression (sub)tree contain an aggregate call?
@@ -217,7 +254,11 @@ impl Expr {
                 expr.fmt_prec(f, 6)?;
                 write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 expr.fmt_prec(f, 6)?;
                 write!(
                     f,
@@ -226,7 +267,11 @@ impl Expr {
                     pattern.replace('\'', "''")
                 )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 expr.fmt_prec(f, 6)?;
                 write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
@@ -237,7 +282,11 @@ impl Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Agg { func, arg, distinct } => {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 write!(f, "{}(", func.sql())?;
                 if *distinct {
                     write!(f, "DISTINCT ")?;
@@ -287,7 +336,10 @@ impl SelectItem {
     }
 
     pub fn aliased(expr: Expr, alias: impl Into<String>) -> Self {
-        Self { expr, alias: Some(alias.into()) }
+        Self {
+            expr,
+            alias: Some(alias.into()),
+        }
     }
 
     /// Output column name: alias if present, else the printed expression.
@@ -469,7 +521,8 @@ mod tests {
     #[test]
     fn full_statement_rendering() {
         let mut stmt = SelectStmt::from_table("lapTimes");
-        stmt.projections.push(SelectItem::plain(Expr::col("races", "name")));
+        stmt.projections
+            .push(SelectItem::plain(Expr::col("races", "name")));
         stmt.projections.push(SelectItem::aliased(
             Expr::agg(AggFunc::Min, Expr::col("lapTimes", "time")),
             "fastest",
@@ -480,7 +533,10 @@ mod tests {
             left: ColumnRef::new("lapTimes", "raceId"),
             right: ColumnRef::new("races", "raceId"),
         });
-        stmt.where_clause = Some(Expr::eq(Expr::col("lapTimes", "lap"), Expr::lit(Value::Int(1))));
+        stmt.where_clause = Some(Expr::eq(
+            Expr::col("lapTimes", "lap"),
+            Expr::lit(Value::Int(1)),
+        ));
         stmt.group_by.push(Expr::col("races", "name"));
         stmt.order_by.push(OrderByItem {
             expr: Expr::agg(AggFunc::Min, Expr::col("lapTimes", "time")),
@@ -498,8 +554,10 @@ mod tests {
     #[test]
     fn referenced_columns_dedup_and_sort() {
         let mut stmt = SelectStmt::from_table("t");
-        stmt.projections.push(SelectItem::plain(Expr::col("t", "b")));
-        stmt.projections.push(SelectItem::plain(Expr::col("t", "a")));
+        stmt.projections
+            .push(SelectItem::plain(Expr::col("t", "b")));
+        stmt.projections
+            .push(SelectItem::plain(Expr::col("t", "a")));
         stmt.where_clause = Some(Expr::eq(Expr::col("t", "a"), Expr::lit(Value::Int(1))));
         let cols = stmt.referenced_columns();
         assert_eq!(cols.len(), 2);
@@ -537,7 +595,10 @@ mod tests {
 
     #[test]
     fn is_null_printing() {
-        let e = Expr::IsNull { expr: Box::new(Expr::bare_col("x")), negated: true };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::bare_col("x")),
+            negated: true,
+        };
         assert_eq!(e.to_string(), "x IS NOT NULL");
     }
 }

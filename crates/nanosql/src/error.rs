@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Error::UnknownTable("t".into()).to_string(), "unknown table: t");
+        assert_eq!(
+            Error::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
         assert_eq!(Error::Parse("x".into()).to_string(), "parse error: x");
         assert_eq!(
             Error::AmbiguousColumn("c".into()).to_string(),

@@ -26,11 +26,19 @@ struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     fn row(row: &'a [Value]) -> Self {
-        EvalCtx { row, group_keys: &[], agg_values: &[] }
+        EvalCtx {
+            row,
+            group_keys: &[],
+            agg_values: &[],
+        }
     }
 
     fn group(group_keys: &'a [Value], agg_values: &'a [Value]) -> Self {
-        EvalCtx { row: &[], group_keys, agg_values }
+        EvalCtx {
+            row: &[],
+            group_keys,
+            agg_values,
+        }
     }
 }
 
@@ -118,7 +126,11 @@ fn eval(expr: &BoundExpr, ctx: &EvalCtx) -> Result<Value> {
             let v = eval(expr, ctx)?;
             Value::Bool(v.is_null() != *negated)
         }
-        BoundExpr::Like { expr, pattern, negated } => {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, ctx)?;
             match v {
                 Value::Null => Value::Null,
@@ -126,7 +138,11 @@ fn eval(expr: &BoundExpr, ctx: &EvalCtx) -> Result<Value> {
                 other => return Err(Error::Type(format!("LIKE on non-text value {other}"))),
             }
         }
-        BoundExpr::InList { expr, list, negated } => {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, ctx)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -271,7 +287,11 @@ fn hash_join(db: &Database, probe: Vec<Vec<Value>>, step: &JoinStep) -> Result<V
     let mut out = Vec::with_capacity(probe.len());
     for row in probe {
         let key = &row[step.probe_key];
-        let matches = if key.is_null() { None } else { table.get(&key.group_key()) };
+        let matches = if key.is_null() {
+            None
+        } else {
+            table.get(&key.group_key())
+        };
         match matches {
             Some(idxs) => {
                 for &i in idxs {
@@ -330,11 +350,17 @@ impl AggState {
                 self.saw_float = true;
             }
         }
-        let replace_min = self.min.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less));
+        let replace_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less));
         if replace_min {
             self.min = Some(v.clone());
         }
-        let replace_max = self.max.as_ref().is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
+        let replace_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
         if replace_max {
             self.max = Some(v.clone());
         }
@@ -383,7 +409,14 @@ fn run_aggregation(
         let key: Vec<GroupKey> = key_vals.iter().map(Value::group_key).collect();
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (key_vals.clone(), agg_plan.aggs.iter().map(|a| AggState::new(a.distinct)).collect())
+            (
+                key_vals.clone(),
+                agg_plan
+                    .aggs
+                    .iter()
+                    .map(|a| AggState::new(a.distinct))
+                    .collect(),
+            )
         });
         for (agg, state) in agg_plan.aggs.iter().zip(entry.1.iter_mut()) {
             match &agg.arg {
@@ -401,18 +434,29 @@ fn run_aggregation(
 
     // Global aggregate over an empty input still yields one group.
     if groups.is_empty() && agg_plan.group_by.is_empty() {
-        let states: Vec<AggState> =
-            agg_plan.aggs.iter().map(|a| AggState::new(a.distinct)).collect();
-        let agg_values: Vec<Value> =
-            agg_plan.aggs.iter().zip(&states).map(|(a, s)| s.finish(a)).collect();
+        let states: Vec<AggState> = agg_plan
+            .aggs
+            .iter()
+            .map(|a| AggState::new(a.distinct))
+            .collect();
+        let agg_values: Vec<Value> = agg_plan
+            .aggs
+            .iter()
+            .zip(&states)
+            .map(|(a, s)| s.finish(a))
+            .collect();
         return Ok(vec![(Vec::new(), agg_values)]);
     }
 
     let mut out = Vec::with_capacity(groups.len());
     for key in order {
         let (key_vals, states) = groups.remove(&key).expect("group vanished");
-        let agg_values: Vec<Value> =
-            agg_plan.aggs.iter().zip(&states).map(|(a, s)| s.finish(a)).collect();
+        let agg_values: Vec<Value> = agg_plan
+            .aggs
+            .iter()
+            .zip(&states)
+            .map(|(a, s)| s.finish(a))
+            .collect();
         out.push((key_vals, agg_values));
     }
     Ok(out)
@@ -539,10 +583,16 @@ mod tests {
                 .column(ColumnDef::new("time", DataType::Float)),
         )
         .unwrap();
-        for (id, name, year) in
-            [(1, "Monaco GP", 2021), (2, "Suzuka GP", 2021), (3, "Monza GP", 2022)]
-        {
-            db.insert("races", vec![Value::Int(id), Value::text(name), Value::Int(year)]).unwrap();
+        for (id, name, year) in [
+            (1, "Monaco GP", 2021),
+            (2, "Suzuka GP", 2021),
+            (3, "Monza GP", 2022),
+        ] {
+            db.insert(
+                "races",
+                vec![Value::Int(id), Value::text(name), Value::Int(year)],
+            )
+            .unwrap();
         }
         for (rid, lap, time) in [
             (1, 1, 92.3),
@@ -551,8 +601,11 @@ mod tests {
             (2, 2, 89.0),
             (3, 1, 85.2),
         ] {
-            db.insert("lapTimes", vec![Value::Int(rid), Value::Int(lap), Value::Float(time)])
-                .unwrap();
+            db.insert(
+                "lapTimes",
+                vec![Value::Int(rid), Value::Int(lap), Value::Float(time)],
+            )
+            .unwrap();
         }
         db
     }
@@ -571,7 +624,10 @@ mod tests {
     #[test]
     fn order_by_and_limit() {
         let db = f1_db();
-        let r = run(&db, "SELECT name FROM races ORDER BY year DESC, name LIMIT 1");
+        let r = run(
+            &db,
+            "SELECT name FROM races ORDER BY year DESC, name LIMIT 1",
+        );
         assert_eq!(r.rows, vec![vec![Value::text("Monza GP")]]);
     }
 
@@ -591,8 +647,11 @@ mod tests {
     #[test]
     fn inner_join_drops_unmatched() {
         let mut db = f1_db();
-        db.insert("races", vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)])
-            .unwrap();
+        db.insert(
+            "races",
+            vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)],
+        )
+        .unwrap();
         let r = run(
             &db,
             "SELECT DISTINCT races.name FROM races JOIN lapTimes ON races.raceId = lapTimes.raceId",
@@ -603,8 +662,11 @@ mod tests {
     #[test]
     fn left_join_pads_nulls() {
         let mut db = f1_db();
-        db.insert("races", vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)])
-            .unwrap();
+        db.insert(
+            "races",
+            vec![Value::Int(9), Value::text("Ghost GP"), Value::Int(2023)],
+        )
+        .unwrap();
         let r = run(
             &db,
             "SELECT races.name FROM races LEFT JOIN lapTimes ON races.raceId = lapTimes.raceId \
@@ -653,7 +715,10 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input() {
         let db = f1_db();
-        let r = run(&db, "SELECT COUNT(*), MIN(time) FROM lapTimes WHERE lap > 99");
+        let r = run(
+            &db,
+            "SELECT COUNT(*), MIN(time) FROM lapTimes WHERE lap > 99",
+        );
         assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
     }
 
@@ -667,7 +732,8 @@ mod tests {
     #[test]
     fn aggregates_skip_nulls() {
         let mut db = f1_db();
-        db.insert("lapTimes", vec![Value::Int(1), Value::Int(3), Value::Null]).unwrap();
+        db.insert("lapTimes", vec![Value::Int(1), Value::Int(3), Value::Null])
+            .unwrap();
         let r = run(&db, "SELECT COUNT(time), COUNT(*) FROM lapTimes");
         assert_eq!(r.rows[0][0], Value::Int(5));
         assert_eq!(r.rows[0][1], Value::Int(6));
@@ -683,7 +749,8 @@ mod tests {
     #[test]
     fn where_null_comparison_filters_out() {
         let mut db = f1_db();
-        db.insert("lapTimes", vec![Value::Int(1), Value::Int(4), Value::Null]).unwrap();
+        db.insert("lapTimes", vec![Value::Int(1), Value::Int(4), Value::Null])
+            .unwrap();
         // NULL time fails both time > 90 and NOT(time > 90).
         let a = run(&db, "SELECT COUNT(*) FROM lapTimes WHERE time > 90");
         let b = run(&db, "SELECT COUNT(*) FROM lapTimes WHERE NOT time > 90");
@@ -691,7 +758,11 @@ mod tests {
         let a = a.rows[0][0].as_f64().unwrap();
         let b = b.rows[0][0].as_f64().unwrap();
         let total = total.rows[0][0].as_f64().unwrap();
-        assert_eq!(a + b + 1.0, total, "NULL row must fall through both predicates");
+        assert_eq!(
+            a + b + 1.0,
+            total,
+            "NULL row must fall through both predicates"
+        );
     }
 
     #[test]
@@ -706,9 +777,15 @@ mod tests {
     #[test]
     fn like_and_in() {
         let db = f1_db();
-        let r = run(&db, "SELECT name FROM races WHERE name LIKE 'Mon%' ORDER BY name");
+        let r = run(
+            &db,
+            "SELECT name FROM races WHERE name LIKE 'Mon%' ORDER BY name",
+        );
         assert_eq!(r.rows.len(), 2);
-        let r = run(&db, "SELECT name FROM races WHERE raceId IN (1, 3) ORDER BY raceId");
+        let r = run(
+            &db,
+            "SELECT name FROM races WHERE raceId IN (1, 3) ORDER BY raceId",
+        );
         assert_eq!(r.rows[0][0], Value::text("Monaco GP"));
         assert_eq!(r.rows.len(), 2);
         let r = run(&db, "SELECT name FROM races WHERE name LIKE '_onaco GP'");
@@ -730,8 +807,10 @@ mod tests {
                 .column(ColumnDef::new("circuitId", DataType::Int)),
         )
         .unwrap();
-        db.insert("circuits", vec![Value::Int(10), Value::text("Italy")]).unwrap();
-        db.insert("raceCircuits", vec![Value::Int(3), Value::Int(10)]).unwrap();
+        db.insert("circuits", vec![Value::Int(10), Value::text("Italy")])
+            .unwrap();
+        db.insert("raceCircuits", vec![Value::Int(3), Value::Int(10)])
+            .unwrap();
         let r = run(
             &db,
             "SELECT circuits.country FROM races \
@@ -744,7 +823,11 @@ mod tests {
     #[test]
     fn null_join_keys_never_match() {
         let mut db = f1_db();
-        db.insert("lapTimes", vec![Value::Null, Value::Int(1), Value::Float(80.0)]).unwrap();
+        db.insert(
+            "lapTimes",
+            vec![Value::Null, Value::Int(1), Value::Float(80.0)],
+        )
+        .unwrap();
         let r = run(
             &db,
             "SELECT COUNT(*) FROM lapTimes JOIN races ON lapTimes.raceId = races.raceId",

@@ -220,7 +220,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw}, found {}", self.peek().describe())))
+            Err(Error::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek().describe()
+            )))
         }
     }
 
@@ -237,14 +240,20 @@ impl Parser {
         if self.eat_sym(sym) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected `{sym}`, found {}", self.peek().describe())))
+            Err(Error::Parse(format!(
+                "expected `{sym}`, found {}",
+                self.peek().describe()
+            )))
         }
     }
 
     fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Tok::Ident(s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {}", other.describe()))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -254,7 +263,11 @@ impl Parser {
         let mut projections = Vec::new();
         loop {
             let expr = self.parse_expr()?;
-            let alias = if self.eat_kw("AS") { Some(self.expect_ident()?) } else { None };
+            let alias = if self.eat_kw("AS") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
             projections.push(SelectItem { expr, alias });
             if !self.eat_sym(",") {
                 break;
@@ -282,7 +295,12 @@ impl Parser {
             let left = self.parse_colref()?;
             self.expect_sym("=")?;
             let right = self.parse_colref()?;
-            stmt.joins.push(JoinClause { kind, table, left, right });
+            stmt.joins.push(JoinClause {
+                kind,
+                table,
+                left,
+                right,
+            });
         }
 
         if self.eat_kw("WHERE") {
@@ -383,7 +401,10 @@ impl Parser {
             self.pos += 1;
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] LIKE / [NOT] IN
         let negated = if self.at_kw("NOT") {
@@ -402,7 +423,11 @@ impl Parser {
         if self.eat_kw("LIKE") {
             match self.next() {
                 Tok::Str(pattern) => {
-                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated })
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        negated,
+                    })
                 }
                 other => {
                     return Err(Error::Parse(format!(
@@ -422,7 +447,11 @@ impl Parser {
                 }
             }
             self.expect_sym(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         for (sym, op) in [
             ("<>", BinOp::Ne),
@@ -474,7 +503,10 @@ impl Parser {
             Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
             Tok::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
             Tok::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
-            other => Err(Error::Parse(format!("expected literal, found {}", other.describe()))),
+            other => Err(Error::Parse(format!(
+                "expected literal, found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -484,9 +516,10 @@ impl Parser {
             return match self.next() {
                 Tok::Int(n) => Ok(Expr::lit(Value::Int(-n))),
                 Tok::Float(f) => Ok(Expr::lit(Value::Float(-f))),
-                other => {
-                    Err(Error::Parse(format!("expected number after `-`, found {}", other.describe())))
-                }
+                other => Err(Error::Parse(format!(
+                    "expected number after `-`, found {}",
+                    other.describe()
+                ))),
             };
         }
         match self.peek().clone() {
@@ -514,12 +547,20 @@ impl Parser {
                         self.pos += 2;
                         if self.eat_sym("*") {
                             self.expect_sym(")")?;
-                            return Ok(Expr::Agg { func, arg: None, distinct: false });
+                            return Ok(Expr::Agg {
+                                func,
+                                arg: None,
+                                distinct: false,
+                            });
                         }
                         let distinct = self.eat_kw("DISTINCT");
                         let arg = self.parse_expr()?;
                         self.expect_sym(")")?;
-                        return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+                        return Ok(Expr::Agg {
+                            func,
+                            arg: Some(Box::new(arg)),
+                            distinct,
+                        });
                     }
                 }
                 if name.eq_ignore_ascii_case("NULL")
@@ -585,9 +626,7 @@ mod tests {
 
     #[test]
     fn roundtrip_left_join() {
-        roundtrip(
-            "SELECT a.x FROM a LEFT JOIN b ON a.id = b.id WHERE b.id IS NULL",
-        );
+        roundtrip("SELECT a.x FROM a LEFT JOIN b ON a.id = b.id WHERE b.id IS NULL");
     }
 
     #[test]
@@ -640,7 +679,10 @@ mod tests {
     #[test]
     fn case_insensitive_keywords() {
         let stmt = parse("select x from t where x = 1 order by x desc limit 3").unwrap();
-        assert_eq!(stmt.to_string(), "SELECT x FROM t WHERE x = 1 ORDER BY x DESC LIMIT 3");
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT x FROM t WHERE x = 1 ORDER BY x DESC LIMIT 3"
+        );
     }
 
     #[test]

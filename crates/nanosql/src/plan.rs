@@ -25,11 +25,26 @@ use crate::value::Value;
 pub enum BoundExpr {
     Literal(Value),
     ColumnIdx(usize),
-    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    Binary {
+        op: BinOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
     Not(Box<BoundExpr>),
-    IsNull { expr: Box<BoundExpr>, negated: bool },
-    Like { expr: Box<BoundExpr>, pattern: String, negated: bool },
-    InList { expr: Box<BoundExpr>, list: Vec<Value>, negated: bool },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BoundExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
     /// Output phase: value of the i-th computed aggregate.
     AggRef(usize),
     /// Output phase: value of the i-th GROUP BY expression.
@@ -94,13 +109,21 @@ struct Scope<'a> {
 
 impl<'a> Scope<'a> {
     fn new(db: &'a Database) -> Self {
-        Scope { db, entries: Vec::new(), width: 0 }
+        Scope {
+            db,
+            entries: Vec::new(),
+            width: 0,
+        }
     }
 
     fn add_table(&mut self, name: &str) -> Result<usize> {
-        let idx = self.db.table_index(name).ok_or_else(|| Error::UnknownTable(name.into()))?;
+        let idx = self
+            .db
+            .table_index(name)
+            .ok_or_else(|| Error::UnknownTable(name.into()))?;
         let arity = self.db.tables()[idx].columns.len();
-        self.entries.push((self.db.tables()[idx].name.clone(), idx, self.width));
+        self.entries
+            .push((self.db.tables()[idx].name.clone(), idx, self.width));
         self.width += arity;
         Ok(idx)
     }
@@ -130,7 +153,8 @@ impl<'a> Scope<'a> {
                         hit = Some((name.clone(), offset + cidx));
                     }
                 }
-                hit.map(|(_, i)| i).ok_or_else(|| Error::UnknownColumn(c.column.clone()))
+                hit.map(|(_, i)| i)
+                    .ok_or_else(|| Error::UnknownColumn(c.column.clone()))
             }
         }
     }
@@ -152,12 +176,20 @@ fn bind_row_expr(scope: &Scope, e: &Expr) -> Result<BoundExpr> {
             expr: Box::new(bind_row_expr(scope, expr)?),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
             expr: Box::new(bind_row_expr(scope, expr)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => BoundExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
             expr: Box::new(bind_row_expr(scope, expr)?),
             list: list.clone(),
             negated: *negated,
@@ -183,7 +215,11 @@ fn bind_output_expr(
         return Ok(BoundExpr::GroupKeyRef(i));
     }
     Ok(match e {
-        Expr::Agg { func, arg, distinct } => {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             // Reuse an identical aggregate if already registered (SELECT
             // MIN(x), MIN(x) computes once).
             if let Some(i) = agg_sources.iter().position(|s| s == e) {
@@ -193,7 +229,11 @@ fn bind_output_expr(
                 Some(a) => Some(bind_row_expr(scope, a)?),
                 None => None,
             };
-            aggs.push(BoundAgg { func: *func, arg: bound_arg, distinct: *distinct });
+            aggs.push(BoundAgg {
+                func: *func,
+                arg: bound_arg,
+                distinct: *distinct,
+            });
             agg_sources.push(e.clone());
             BoundExpr::AggRef(aggs.len() - 1)
         }
@@ -208,19 +248,31 @@ fn bind_output_expr(
             left: Box::new(bind_output_expr(scope, left, group_by, aggs, agg_sources)?),
             right: Box::new(bind_output_expr(scope, right, group_by, aggs, agg_sources)?),
         },
-        Expr::Not(inner) => {
-            BoundExpr::Not(Box::new(bind_output_expr(scope, inner, group_by, aggs, agg_sources)?))
-        }
+        Expr::Not(inner) => BoundExpr::Not(Box::new(bind_output_expr(
+            scope,
+            inner,
+            group_by,
+            aggs,
+            agg_sources,
+        )?)),
         Expr::IsNull { expr, negated } => BoundExpr::IsNull {
             expr: Box::new(bind_output_expr(scope, expr, group_by, aggs, agg_sources)?),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
             expr: Box::new(bind_output_expr(scope, expr, group_by, aggs, agg_sources)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => BoundExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
             expr: Box::new(bind_output_expr(scope, expr, group_by, aggs, agg_sources)?),
             list: list.clone(),
             negated: *negated,
@@ -231,7 +283,9 @@ fn bind_output_expr(
 /// Bind a statement into an executable [`Plan`].
 pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
     if stmt.projections.is_empty() {
-        return Err(Error::Type("SELECT requires at least one projection".into()));
+        return Err(Error::Type(
+            "SELECT requires at least one projection".into(),
+        ));
     }
     let mut scope = Scope::new(db);
     let base_table_idx = scope.add_table(&stmt.from)?;
@@ -241,8 +295,13 @@ pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
         // The probe key must resolve against tables already in scope;
         // the build key against the new table. Accept either writing
         // order (`a.id = b.id` or `b.id = a.id`).
-        let new_idx = db.table_index(&j.table).ok_or_else(|| Error::UnknownTable(j.table.clone()))?;
-        let resolve_pair = |in_scope: &ColumnRef, on_new: &ColumnRef, scope: &Scope| -> Result<(usize, usize)> {
+        let new_idx = db
+            .table_index(&j.table)
+            .ok_or_else(|| Error::UnknownTable(j.table.clone()))?;
+        let resolve_pair = |in_scope: &ColumnRef,
+                            on_new: &ColumnRef,
+                            scope: &Scope|
+         -> Result<(usize, usize)> {
             let probe = scope.resolve(in_scope)?;
             let build = db.tables()[new_idx]
                 .column_index(&on_new.column)
@@ -258,8 +317,11 @@ pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
             }
             Ok((probe, build))
         };
-        let names_new =
-            |c: &ColumnRef| c.table.as_deref().is_some_and(|t| t.eq_ignore_ascii_case(&j.table));
+        let names_new = |c: &ColumnRef| {
+            c.table
+                .as_deref()
+                .is_some_and(|t| t.eq_ignore_ascii_case(&j.table))
+        };
         let (probe_key, build_key) = if names_new(&j.right) {
             resolve_pair(&j.left, &j.right, &scope)?
         } else if names_new(&j.left) {
@@ -272,10 +334,20 @@ pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
         };
         let table_arity = db.tables()[new_idx].columns.len();
         scope.add_table(&j.table)?;
-        joins.push(JoinStep { kind: j.kind, table_idx: new_idx, table_arity, probe_key, build_key });
+        joins.push(JoinStep {
+            kind: j.kind,
+            table_idx: new_idx,
+            table_arity,
+            probe_key,
+            build_key,
+        });
     }
 
-    let filter = stmt.where_clause.as_ref().map(|w| bind_row_expr(&scope, w)).transpose()?;
+    let filter = stmt
+        .where_clause
+        .as_ref()
+        .map(|w| bind_row_expr(&scope, w))
+        .transpose()?;
 
     let has_agg = stmt.projections.iter().any(|p| p.expr.contains_agg())
         || stmt.having.as_ref().is_some_and(|h| h.contains_agg())
@@ -285,8 +357,11 @@ pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
     let output_names: Vec<String> = stmt.projections.iter().map(|p| p.output_name()).collect();
 
     if grouped {
-        let group_by_bound: Vec<BoundExpr> =
-            stmt.group_by.iter().map(|g| bind_row_expr(&scope, g)).collect::<Result<_>>()?;
+        let group_by_bound: Vec<BoundExpr> = stmt
+            .group_by
+            .iter()
+            .map(|g| bind_row_expr(&scope, g))
+            .collect::<Result<_>>()?;
         let mut aggs = Vec::new();
         let mut agg_sources = Vec::new();
         let projections: Vec<BoundExpr> = stmt
@@ -311,7 +386,11 @@ pub fn bind(db: &Database, stmt: &SelectStmt) -> Result<Plan> {
             base_table_idx,
             joins,
             filter,
-            aggregate: Some(AggregatePlan { group_by: group_by_bound, aggs, having }),
+            aggregate: Some(AggregatePlan {
+                group_by: group_by_bound,
+                aggs,
+                having,
+            }),
             projections,
             output_names,
             distinct: stmt.distinct,
@@ -370,8 +449,11 @@ mod tests {
     #[test]
     fn binds_qualified_and_bare_columns() {
         let db = db();
-        let plan = bind(&db, &parse("SELECT races.name FROM races WHERE raceId = 1").unwrap())
-            .unwrap();
+        let plan = bind(
+            &db,
+            &parse("SELECT races.name FROM races WHERE raceId = 1").unwrap(),
+        )
+        .unwrap();
         assert_eq!(plan.projections, vec![BoundExpr::ColumnIdx(1)]);
         assert!(matches!(
             plan.filter,

@@ -26,7 +26,11 @@ pub struct QueryResult {
 
 impl QueryResult {
     pub fn empty() -> Self {
-        QueryResult { columns: Vec::new(), rows: Vec::new(), ordered: false }
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            ordered: false,
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -42,14 +46,19 @@ impl QueryResult {
     fn multiset(&self) -> HashMap<Vec<GroupKey>, usize> {
         let mut counts: HashMap<Vec<GroupKey>, usize> = HashMap::with_capacity(self.rows.len());
         for row in &self.rows {
-            *counts.entry(row.iter().map(Value::group_key).collect()).or_insert(0) += 1;
+            *counts
+                .entry(row.iter().map(Value::group_key).collect())
+                .or_insert(0) += 1;
         }
         counts
     }
 
     /// Ordered row-sequence fingerprint.
     fn sequence(&self) -> Vec<Vec<GroupKey>> {
-        self.rows.iter().map(|r| r.iter().map(Value::group_key).collect()).collect()
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::group_key).collect())
+            .collect()
     }
 }
 
@@ -138,13 +147,18 @@ mod tests {
         )
         .unwrap();
         for (id, g, x) in [(1, "a", 1.5), (2, "a", 2.5), (3, "b", 10.0)] {
-            db.insert("t", vec![Value::Int(id), Value::text(g), Value::Float(x)]).unwrap();
+            db.insert("t", vec![Value::Int(id), Value::text(g), Value::Float(x)])
+                .unwrap();
         }
         db
     }
 
     fn qr(rows: Vec<Vec<Value>>, ordered: bool) -> QueryResult {
-        QueryResult { columns: vec!["c".into(); rows.first().map_or(0, |r| r.len())], rows, ordered }
+        QueryResult {
+            columns: vec!["c".into(); rows.first().map_or(0, |r| r.len())],
+            rows,
+            ordered,
+        }
     }
 
     #[test]

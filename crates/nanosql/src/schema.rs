@@ -61,7 +61,12 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Self { name: name.into(), ty, primary_key: false, description: String::new() }
+        Self {
+            name: name.into(),
+            ty,
+            primary_key: false,
+            description: String::new(),
+        }
     }
 
     pub fn primary_key(mut self) -> Self {
@@ -95,7 +100,11 @@ pub struct TableSchema {
 
 impl TableSchema {
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), columns: Vec::new(), description: String::new() }
+        Self {
+            name: name.into(),
+            columns: Vec::new(),
+            description: String::new(),
+        }
     }
 
     /// Builder-style column append.
@@ -110,7 +119,9 @@ impl TableSchema {
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column_names(&self) -> impl Iterator<Item = &str> {
@@ -169,7 +180,10 @@ impl Database {
     /// Register a table. Fails on duplicate names or empty column lists.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         if schema.columns.is_empty() {
-            return Err(Error::Catalog(format!("table {} has no columns", schema.name)));
+            return Err(Error::Catalog(format!(
+                "table {} has no columns",
+                schema.name
+            )));
         }
         if self.table(&schema.name).is_some() {
             return Err(Error::Catalog(format!("duplicate table {}", schema.name)));
@@ -194,11 +208,19 @@ impl Database {
             .table(&fk.from_table)
             .ok_or_else(|| Error::UnknownTable(fk.from_table.clone()))?;
         if from.column_index(&fk.from_column).is_none() {
-            return Err(Error::UnknownColumn(format!("{}.{}", fk.from_table, fk.from_column)));
+            return Err(Error::UnknownColumn(format!(
+                "{}.{}",
+                fk.from_table, fk.from_column
+            )));
         }
-        let to = self.table(&fk.to_table).ok_or_else(|| Error::UnknownTable(fk.to_table.clone()))?;
+        let to = self
+            .table(&fk.to_table)
+            .ok_or_else(|| Error::UnknownTable(fk.to_table.clone()))?;
         if to.column_index(&fk.to_column).is_none() {
-            return Err(Error::UnknownColumn(format!("{}.{}", fk.to_table, fk.to_column)));
+            return Err(Error::UnknownColumn(format!(
+                "{}.{}",
+                fk.to_table, fk.to_column
+            )));
         }
         self.foreign_keys.push(fk);
         Ok(())
@@ -233,7 +255,9 @@ impl Database {
     }
 
     pub fn table_index(&self, name: &str) -> Option<usize> {
-        self.tables.iter().position(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     pub fn table(&self, name: &str) -> Option<&TableSchema> {
@@ -253,7 +277,10 @@ impl Database {
     }
 
     /// Foreign keys touching `table` (either direction).
-    pub fn foreign_keys_of<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+    pub fn foreign_keys_of<'a>(
+        &'a self,
+        table: &'a str,
+    ) -> impl Iterator<Item = &'a ForeignKey> + 'a {
         self.foreign_keys.iter().filter(move |fk| {
             fk.from_table.eq_ignore_ascii_case(table) || fk.to_table.eq_ignore_ascii_case(table)
         })
@@ -344,15 +371,23 @@ mod tests {
     #[test]
     fn insert_type_checked() {
         let mut db = demo_db();
-        db.insert("races", vec![Value::Int(1), Value::text("Monaco")]).unwrap();
-        let err = db.insert("races", vec![Value::text("oops"), Value::text("x")]).unwrap_err();
+        db.insert("races", vec![Value::Int(1), Value::text("Monaco")])
+            .unwrap();
+        let err = db
+            .insert("races", vec![Value::text("oops"), Value::text("x")])
+            .unwrap_err();
         assert!(matches!(err, Error::Type(_)));
         let err = db.insert("races", vec![Value::Int(2)]).unwrap_err();
         assert!(matches!(err, Error::Catalog(_)));
         // Int widens into Float column.
-        db.insert("lapTimes", vec![Value::Int(1), Value::Int(1), Value::Int(90)]).unwrap();
+        db.insert(
+            "lapTimes",
+            vec![Value::Int(1), Value::Int(1), Value::Int(90)],
+        )
+        .unwrap();
         // NULL fits everywhere.
-        db.insert("lapTimes", vec![Value::Int(1), Value::Null, Value::Null]).unwrap();
+        db.insert("lapTimes", vec![Value::Int(1), Value::Null, Value::Null])
+            .unwrap();
         assert_eq!(db.total_rows(), 3);
     }
 

@@ -17,7 +17,10 @@ pub struct TableData {
 
 impl TableData {
     pub fn new(arity: usize) -> Self {
-        Self { arity, rows: Vec::new() }
+        Self {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row. Arity is validated by the catalog before calling;

@@ -157,8 +157,14 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -176,7 +182,7 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));

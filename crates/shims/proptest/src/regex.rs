@@ -1,0 +1,260 @@
+//! Tiny regex *generator* (not matcher) for string strategies.
+//!
+//! Supports the subset proptest string strategies in this workspace
+//! use: literals, character classes `[a-z0-9_]`, groups `(...)`,
+//! alternation `|`, and the quantifiers `{m,n}`, `{n}`, `?`, `*`, `+`
+//! (`*`/`+` are capped at 8 repetitions).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One alternative chosen uniformly.
+    Alt(Vec<Node>),
+    /// A single literal character.
+    Char(char),
+    /// One character drawn uniformly from the listed choices.
+    Class(Vec<char>),
+    /// `inner` repeated uniformly between `min` and `max` times.
+    Repeat {
+        inner: Box<Node>,
+        min: usize,
+        max: usize,
+    },
+}
+
+pub fn parse(pattern: &str) -> Result<Node, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_alt(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(format!("unexpected `{}` at offset {pos}", chars[pos]));
+    }
+    Ok(node)
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut alts = vec![parse_seq(chars, pos)?];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        alts.push(parse_seq(chars, pos)?);
+    }
+    Ok(if alts.len() == 1 {
+        alts.pop().unwrap()
+    } else {
+        Node::Alt(alts)
+    })
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut items = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ')' || c == '|' {
+            break;
+        }
+        let atom = match c {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                inner
+            }
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos)?
+            }
+            '\\' => {
+                let esc = *chars.get(*pos + 1).ok_or("dangling escape")?;
+                *pos += 2;
+                match esc {
+                    'd' => Node::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Node::Class(set)
+                    }
+                    other => Node::Char(other),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Node::Class(('a'..='z').chain('A'..='Z').chain('0'..='9').collect())
+            }
+            other => {
+                *pos += 1;
+                Node::Char(other)
+            }
+        };
+        items.push(apply_quantifier(atom, chars, pos)?);
+    }
+    Ok(if items.len() == 1 {
+        items.pop().unwrap()
+    } else {
+        Node::Seq(items)
+    })
+}
+
+fn apply_quantifier(atom: Node, chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let (min, max) = match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let min = parse_number(chars, pos)?;
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    parse_number(chars, pos)?
+                }
+                _ => min,
+            };
+            if chars.get(*pos) != Some(&'}') {
+                return Err("unclosed quantifier".into());
+            }
+            *pos += 1;
+            (min, max)
+        }
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        _ => return Ok(atom),
+    };
+    if min > max {
+        return Err("quantifier min > max".into());
+    }
+    Ok(Node::Repeat {
+        inner: Box::new(atom),
+        min,
+        max,
+    })
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<usize, String> {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err("expected number in quantifier".into());
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .map_err(|_| "bad number".into())
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut set = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        match c {
+            ']' => {
+                *pos += 1;
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                return Ok(Node::Class(set));
+            }
+            '\\' => {
+                let esc = *chars.get(*pos + 1).ok_or("dangling escape in class")?;
+                set.push(esc);
+                *pos += 2;
+            }
+            _ => {
+                // Range `a-z` (the `-` must be followed by a non-`]`).
+                if chars.get(*pos + 1) == Some(&'-')
+                    && chars.get(*pos + 2).is_some_and(|&e| e != ']')
+                {
+                    let end = chars[*pos + 2];
+                    if (c as u32) > (end as u32) {
+                        return Err("inverted class range".into());
+                    }
+                    for code in (c as u32)..=(end as u32) {
+                        set.push(char::from_u32(code).ok_or("bad class range")?);
+                    }
+                    *pos += 3;
+                } else {
+                    set.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+    Err("unclosed character class".into())
+}
+
+pub fn sample(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                sample(item, rng, out);
+            }
+        }
+        Node::Alt(alts) => sample(&alts[rng.below(alts.len())], rng, out),
+        Node::Char(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::Repeat { inner, min, max } => {
+            let n = min
+                + if max > min {
+                    rng.below(max - min + 1)
+                } else {
+                    0
+                };
+            for _ in 0..n {
+                sample(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_match_expected_shapes() {
+        let mut rng = TestRng::new(7);
+        let node = parse("[a-z][a-z0-9]{0,6}(_[a-z][a-z0-9]{0,6}){0,3}").unwrap();
+        for _ in 0..200 {
+            let mut s = String::new();
+            sample(&node, &mut rng, &mut s);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_and_quantifiers() {
+        let mut rng = TestRng::new(3);
+        let node = parse("(ab|cd)+x?").unwrap();
+        for _ in 0..50 {
+            let mut s = String::new();
+            sample(&node, &mut rng, &mut s);
+            let trimmed = s.strip_suffix('x').unwrap_or(&s);
+            assert!(!trimmed.is_empty());
+            let mut rest = trimmed;
+            while !rest.is_empty() {
+                assert!(rest.starts_with("ab") || rest.starts_with("cd"), "{s}");
+                rest = &rest[2..];
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// Uniform boolean strategy (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+/// Full-range generation for `any::<T>()`.
+pub trait ArbitraryValue {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+/// Strategy returned by [`crate::any`].
+pub struct AnyOf<T>(pub PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Length specification for [`vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// `prop::collection::vec(element_strategy, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max_exclusive - self.size.min;
+        let len = self.size.min + if span == 0 { 0 } else { rng.below(span) };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Regex-shaped string strategy (proptest's `&str` strategy).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let node = crate::regex::parse(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        crate::regex::sample(&node, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}

@@ -1,0 +1,392 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the concrete structs
+//! and enums in this workspace. Generics are not supported (nothing in
+//! the workspace derives on a generic type). The generated impls target
+//! the `serde` shim's `Value` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the fields of a struct or an enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments (e.g. `HashMap<String, u32>`) do not
+/// split. Groups (parens/brackets/braces) are opaque single tokens.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix from a token run.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_commas(body) {
+        let field = strip_attrs_and_vis(&field);
+        match field.first() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("unsupported field syntax".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Result<Fields, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match g.delimiter() {
+        Delimiter::Brace => Ok(Fields::Named(parse_named_fields(&toks)?)),
+        Delimiter::Parenthesis => Ok(Fields::Tuple(split_top_commas(&toks).len())),
+        _ => Err("unexpected delimiter".into()),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match toks.get(i) {
+            None => return Err("no struct or enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    };
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("generic types are not supported by the serde shim derive".into());
+    }
+    if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) => Ok(Item::Struct {
+                name,
+                fields: parse_fields_group(g)?,
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            _ => Err("unsupported struct body".into()),
+        }
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            _ => return Err("missing enum body".into()),
+        };
+        let body_toks: Vec<TokenTree> = body.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        for var in split_top_commas(&body_toks) {
+            let var = strip_attrs_and_vis(&var);
+            let vname = match var.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("unsupported variant syntax".into()),
+            };
+            let fields = match var.get(1) {
+                Some(TokenTree::Group(g)) => parse_fields_group(g)?,
+                None => Fields::Unit,
+                // `Variant = 3` style discriminants are not used here.
+                Some(_) => return Err("unsupported variant syntax".into()),
+            };
+            variants.push((vname, fields));
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("({k:?}.to_string(), {v})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<(String, String)> = names
+                        .iter()
+                        .map(|f| {
+                            (
+                                f.clone(),
+                                format!("::serde::Serialize::to_value(&self.{f})"),
+                            )
+                        })
+                        .collect();
+                    object_literal(&pairs)
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => {
+                        format!("{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(f0) => {},",
+                        object_literal(&[(
+                            vname.clone(),
+                            "::serde::Serialize::to_value(f0)".into()
+                        )])
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => {},",
+                            binds.join(", "),
+                            object_literal(&[(
+                                vname.clone(),
+                                format!("::serde::Value::Array(vec![{}])", vals.join(", "))
+                            )])
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let pairs: Vec<(String, String)> = fnames
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {} }} => {},",
+                            fnames.join(", "),
+                            object_literal(&[(vname.clone(), object_literal(&pairs))])
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::__get(obj, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array for {name}\"))?;\n\
+                         if arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("{vname:?} => return Ok({name}::{vname}),"));
+                    }
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected array for variant\"))?;\n\
+                                 if arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                                     \"wrong variant arity\")); }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let inits: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__get(vobj, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 let vobj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected object for variant\"))?;\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{ {unit} _ => return Err(::serde::Error::custom(\
+                                 \"unknown unit variant for {name}\")) }}\n\
+                         }}\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected object for enum {name}\"))?;\n\
+                         if obj.len() != 1 {{ return Err(::serde::Error::custom(\
+                             \"expected single-key object for enum {name}\")); }}\n\
+                         let (tag, inner) = &obj[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {data}\n\
+                             other => Err(::serde::Error::custom(format!(\
+                                 \"unknown variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

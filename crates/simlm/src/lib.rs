@@ -42,7 +42,7 @@ pub mod vocab;
 
 pub use linearize::{decode_elements, linearize_columns, linearize_tables};
 pub use model::{
-    Decision, GenMode, GenerationTrace, LinkTarget, SchemaLinker, StepTrace,
+    Decision, GenMode, GenerationTrace, HiddenStack, LinkTarget, SchemaLinker, StepTrace,
 };
 pub use profile::CompetenceProfile;
 pub use trie::Trie;

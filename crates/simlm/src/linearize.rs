@@ -14,7 +14,9 @@
 //! tolerating a trailing partial element (returned separately, since
 //! Algorithm 2 needs to complete it).
 
-use crate::vocab::{TokenId, Vocab, TOK_COLON, TOK_COLUMNS, TOK_COMMA, TOK_DOT, TOK_END, TOK_TABLES};
+use crate::vocab::{
+    TokenId, Vocab, TOK_COLON, TOK_COLUMNS, TOK_COMMA, TOK_DOT, TOK_END, TOK_TABLES,
+};
 
 /// Tokenize one element name. Table elements are identifiers; column
 /// elements are `table.column` (the dot becomes its own token).
@@ -75,7 +77,7 @@ pub fn decode_elements(vocab: &Vocab, tokens: &[TokenId]) -> (Vec<String>, Vec<T
     if let Some(&first) = tokens.first() {
         if Some(first) == header_tables || Some(first) == header_columns {
             iter.next();
-            if iter.peek().copied() == colon.as_ref().copied().map(Some).flatten() {
+            if iter.peek().copied() == colon {
                 iter.next();
             }
         }

@@ -69,6 +69,67 @@ impl Decision {
     }
 }
 
+/// Contiguous per-token hidden-state stack (`n_layers × dim`,
+/// row-major). One allocation per token instead of one per layer keeps
+/// trace generation allocation-light and gives the batched monitoring
+/// path cache-friendly, pack-ready rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenStack {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl HiddenStack {
+    /// Build from a flat row-major buffer of `n_layers × dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "flat hidden buffer shape mismatch"
+        );
+        Self { dim, data }
+    }
+
+    /// Number of layers in the stack (mirrors the old `Vec` API).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Hidden-state dimensionality per layer.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One layer's hidden-state vector.
+    #[inline]
+    pub fn layer(&self, j: usize) -> &[f32] {
+        &self.data[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Iterate over layers in depth order.
+    pub fn iter(&self) -> std::slice::ChunksExact<'_, f32> {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+impl std::ops::Index<usize> for HiddenStack {
+    type Output = [f32];
+
+    #[inline]
+    fn index(&self, j: usize) -> &[f32] {
+        self.layer(j)
+    }
+}
+
+impl<'a> IntoIterator for &'a HiddenStack {
+    type Item = &'a [f32];
+    type IntoIter = std::slice::ChunksExact<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Observables for one generated token.
 #[derive(Debug, Clone)]
 pub struct StepTrace {
@@ -76,7 +137,7 @@ pub struct StepTrace {
     /// Softmax probability of the emitted token (over-confident).
     pub softmax_prob: f64,
     /// `n_layers` hidden-state vectors of `hidden_dim` each.
-    pub hidden: Vec<Vec<f32>>,
+    pub hidden: HiddenStack,
     /// Teacher-forced mode: is this position a branching point?
     pub is_branch: bool,
     /// Index of the gold element this token belongs to (None for
@@ -104,6 +165,17 @@ impl GenerationTrace {
         s.sort();
         s.dedup();
         s
+    }
+
+    /// Pack one layer's hidden states across all tokens into a
+    /// `(n_tokens × dim)` matrix (allocation reused via the caller's
+    /// buffer) — the batched monitoring/scoring paths' input format.
+    pub fn pack_layer_into(&self, layer: usize, out: &mut tinynn::Matrix) {
+        let dim = self.steps.first().map(|s| s.hidden.dim()).unwrap_or(0);
+        out.resize_for_overwrite(self.steps.len(), dim);
+        for (t, step) in self.steps.iter().enumerate() {
+            out.row_mut(t).copy_from_slice(step.hidden.layer(layer));
+        }
     }
 }
 
@@ -155,7 +227,9 @@ impl SchemaLinker {
         }
         let mut layer_dirs = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
-            let mut dir: Vec<f32> = (0..hidden_dim).map(|_| rng.next_gaussian() as f32).collect();
+            let mut dir: Vec<f32> = (0..hidden_dim)
+                .map(|_| rng.next_gaussian() as f32)
+                .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
             dir.iter_mut().for_each(|x| *x /= norm);
             layer_dirs.push(dir);
@@ -182,9 +256,11 @@ impl SchemaLinker {
     pub fn gold_elements(inst: &Instance, target: LinkTarget) -> Vec<String> {
         match target {
             LinkTarget::Tables => inst.gold_tables.clone(),
-            LinkTarget::Columns => {
-                inst.gold_columns.iter().map(|(t, c)| format!("{t}.{c}")).collect()
-            }
+            LinkTarget::Columns => inst
+                .gold_columns
+                .iter()
+                .map(|(t, c)| format!("{t}.{c}"))
+                .collect(),
         }
     }
 
@@ -195,9 +271,10 @@ impl SchemaLinker {
                 .links
                 .iter()
                 .find(|l| l.element.is_table() && l.element.table == element),
-            LinkTarget::Columns => inst.links.iter().find(|l| {
-                !l.element.is_table() && format!("{}", l.element) == element
-            }),
+            LinkTarget::Columns => inst
+                .links
+                .iter()
+                .find(|l| !l.element.is_table() && format!("{}", l.element) == element),
         }
     }
 
@@ -225,7 +302,9 @@ impl SchemaLinker {
         let mut inst_rng = SplitMix64::new(self.seed ^ inst.id.wrapping_mul(0xE703_7ED1_A0B4_28DB));
         let disposition = 0.25 + 1.5 * inst_rng.next_f64();
         let p_err = disposition
-            * self.competence.link_error_prob(is_table, inst.hardness, link.confusion_mass());
+            * self
+                .competence
+                .link_error_prob(is_table, inst.hardness, link.confusion_mass());
         if !rng.next_bool(p_err.min(0.95)) {
             return Decision::Correct;
         }
@@ -396,74 +475,9 @@ impl SchemaLinker {
                     predicted.push(element.clone());
                     emitted_any = true;
                 }
-                GenMode::Free => {
-                    match decision {
-                        Decision::Correct => {
-                            if emitted_any {
-                                segments.push(Segment {
-                                    tokens: vec![comma],
-                                    element_idx: None,
-                                    kind: Kind::Special,
-                                    branch_at: None,
-                                    branch_elem: None,
-                                });
-                            }
-                            let branch_elem = pending_omit.take();
-                            segments.push(Segment {
-                                tokens: gold_toks,
-                                element_idx: Some(i),
-                                kind: Kind::GoldElem,
-                                branch_at: branch_elem.map(|_| 0),
-                                branch_elem,
-                            });
-                            predicted.push(element.clone());
-                            emitted_any = true;
-                        }
-                        Decision::Substitute(alt) => {
-                            if emitted_any {
-                                segments.push(Segment {
-                                    tokens: vec![comma],
-                                    element_idx: None,
-                                    kind: Kind::Special,
-                                    branch_at: None,
-                                    branch_elem: None,
-                                });
-                            }
-                            pending_omit = None;
-                            let alt_toks = element_tokens(vocab, alt);
-                            segments.push(Segment {
-                                tokens: alt_toks,
-                                element_idx: Some(i),
-                                kind: Kind::WrongElem,
-                                branch_at: Some(0),
-                                branch_elem: None,
-                            });
-                            predicted.push(alt.clone());
-                            emitted_any = true;
-                        }
-                        Decision::Omit => {
-                            pending_omit = Some(i);
-                        }
-                        Decision::AddExtra(extra) => {
-                            if emitted_any {
-                                segments.push(Segment {
-                                    tokens: vec![comma],
-                                    element_idx: None,
-                                    kind: Kind::Special,
-                                    branch_at: None,
-                                    branch_elem: None,
-                                });
-                            }
-                            let branch_elem = pending_omit.take();
-                            segments.push(Segment {
-                                tokens: gold_toks,
-                                element_idx: Some(i),
-                                kind: Kind::GoldElem,
-                                branch_at: branch_elem.map(|_| 0),
-                                branch_elem,
-                            });
-                            predicted.push(element.clone());
-                            emitted_any = true;
+                GenMode::Free => match decision {
+                    Decision::Correct => {
+                        if emitted_any {
                             segments.push(Segment {
                                 tokens: vec![comma],
                                 element_idx: None,
@@ -471,18 +485,81 @@ impl SchemaLinker {
                                 branch_at: None,
                                 branch_elem: None,
                             });
-                            let extra_toks = element_tokens(vocab, extra);
+                        }
+                        let branch_elem = pending_omit.take();
+                        segments.push(Segment {
+                            tokens: gold_toks,
+                            element_idx: Some(i),
+                            kind: Kind::GoldElem,
+                            branch_at: branch_elem.map(|_| 0),
+                            branch_elem,
+                        });
+                        predicted.push(element.clone());
+                        emitted_any = true;
+                    }
+                    Decision::Substitute(alt) => {
+                        if emitted_any {
                             segments.push(Segment {
-                                tokens: extra_toks,
-                                element_idx: Some(i),
-                                kind: Kind::ExtraElem,
-                                branch_at: Some(0),
+                                tokens: vec![comma],
+                                element_idx: None,
+                                kind: Kind::Special,
+                                branch_at: None,
                                 branch_elem: None,
                             });
-                            predicted.push(extra.clone());
                         }
+                        pending_omit = None;
+                        let alt_toks = element_tokens(vocab, alt);
+                        segments.push(Segment {
+                            tokens: alt_toks,
+                            element_idx: Some(i),
+                            kind: Kind::WrongElem,
+                            branch_at: Some(0),
+                            branch_elem: None,
+                        });
+                        predicted.push(alt.clone());
+                        emitted_any = true;
                     }
-                }
+                    Decision::Omit => {
+                        pending_omit = Some(i);
+                    }
+                    Decision::AddExtra(extra) => {
+                        if emitted_any {
+                            segments.push(Segment {
+                                tokens: vec![comma],
+                                element_idx: None,
+                                kind: Kind::Special,
+                                branch_at: None,
+                                branch_elem: None,
+                            });
+                        }
+                        let branch_elem = pending_omit.take();
+                        segments.push(Segment {
+                            tokens: gold_toks,
+                            element_idx: Some(i),
+                            kind: Kind::GoldElem,
+                            branch_at: branch_elem.map(|_| 0),
+                            branch_elem,
+                        });
+                        predicted.push(element.clone());
+                        emitted_any = true;
+                        segments.push(Segment {
+                            tokens: vec![comma],
+                            element_idx: None,
+                            kind: Kind::Special,
+                            branch_at: None,
+                            branch_elem: None,
+                        });
+                        let extra_toks = element_tokens(vocab, extra);
+                        segments.push(Segment {
+                            tokens: extra_toks,
+                            element_idx: Some(i),
+                            kind: Kind::ExtraElem,
+                            branch_at: Some(0),
+                            branch_elem: None,
+                        });
+                        predicted.push(extra.clone());
+                    }
+                },
             }
         }
         // Terminator. In teacher-forced mode an AddExtra decision means
@@ -536,7 +613,13 @@ impl SchemaLinker {
         let mut steps = Vec::new();
         let mut pos = 0usize;
         for seg in segments {
-            let Segment { tokens: seg_tokens, element_idx, kind, branch_at, branch_elem } = seg;
+            let Segment {
+                tokens: seg_tokens,
+                element_idx,
+                kind,
+                branch_at,
+                branch_elem,
+            } = seg;
             // Link risk for signal shaping at the element's first token.
             let link_mass = element_idx
                 .and_then(|i| Self::link_for(inst, &gold[i], target))
@@ -557,8 +640,10 @@ impl SchemaLinker {
                         ^ 0x517C_C1B7_2722_0A95,
                 );
                 let s = if is_branch {
-                    let strength =
-                        step_element.map(|i| branch_strength[i]).filter(|&v| v > 0.0).unwrap_or(0.9);
+                    let strength = step_element
+                        .map(|i| branch_strength[i])
+                        .filter(|&v| v > 0.0)
+                        .unwrap_or(0.9);
                     strength + 0.07 * srng.next_gaussian()
                 } else {
                     match kind {
@@ -601,7 +686,13 @@ impl SchemaLinker {
             }
         }
 
-        GenerationTrace { tokens, steps, predicted, decisions, n_branches }
+        GenerationTrace {
+            tokens,
+            steps,
+            predicted,
+            decisions,
+            n_branches,
+        }
     }
 
     /// Hidden-state stack for one token: base features + risk direction
@@ -614,37 +705,39 @@ impl SchemaLinker {
     /// correlated mistakes, exactly the regime the paper's merge
     /// theorems are designed for (they assume nothing about
     /// independence).
-    fn hidden_states(&self, inst: &Instance, pos: usize, tok: TokenId, s: f64) -> Vec<Vec<f32>> {
+    fn hidden_states(&self, inst: &Instance, pos: usize, tok: TokenId, s: f64) -> HiddenStack {
         // Shared token content: one draw per dimension, reused by every
         // layer.
-        let mut shared_rng = SplitMix64::new(
-            stable_hash(&[
+        let mut shared_rng = SplitMix64::new(stable_hash(
+            &[
                 tok.to_le_bytes().as_slice(),
                 &inst.id.to_le_bytes(),
                 &(pos as u32).to_le_bytes(),
             ]
-            .concat()),
-        );
+            .concat(),
+        ));
         let mut shared_noise_rng = SplitMix64::new(
             self.seed ^ inst.id.rotate_left(23) ^ ((pos as u64) << 32) ^ 0xD6E8_FEB8_6659_FD93,
         );
-        let shared_base: Vec<f64> =
-            (0..self.hidden_dim).map(|_| shared_rng.next_gaussian()).collect();
-        let shared_noise: Vec<f64> =
-            (0..self.hidden_dim).map(|_| shared_noise_rng.next_gaussian()).collect();
+        let shared_base: Vec<f64> = (0..self.hidden_dim)
+            .map(|_| shared_rng.next_gaussian())
+            .collect();
+        let shared_noise: Vec<f64> = (0..self.hidden_dim)
+            .map(|_| shared_noise_rng.next_gaussian())
+            .collect();
 
-        let mut out = Vec::with_capacity(self.n_layers);
+        let mut out = Vec::with_capacity(self.n_layers * self.hidden_dim);
         for j in 0..self.n_layers {
-            let mut h = Vec::with_capacity(self.hidden_dim);
-            let mut base_rng = SplitMix64::new(
-                stable_hash(&[
+            let h = &mut out;
+            let mut base_rng = SplitMix64::new(stable_hash(
+                &[
                     tok.to_le_bytes().as_slice(),
                     &(j as u32).to_le_bytes(),
                     &inst.id.to_le_bytes(),
                     &(pos as u32).to_le_bytes(),
                 ]
-                .concat()),
-            );
+                .concat(),
+            ));
             let mut noise_rng = SplitMix64::new(
                 self.seed
                     ^ inst.id.rotate_left(23)
@@ -657,16 +750,15 @@ impl SchemaLinker {
             const SHARE: f64 = 0.55;
             let mix = (1.0 - SHARE * SHARE).sqrt();
             for d in 0..self.hidden_dim {
-                let base = self.base_amp
-                    * (SHARE * shared_base[d] + mix * base_rng.next_gaussian());
+                let base =
+                    self.base_amp * (SHARE * shared_base[d] + mix * base_rng.next_gaussian());
                 let signal = self.signal_amp * g * s * dir[d] as f64;
-                let noise = self.noise_amp
-                    * (SHARE * shared_noise[d] + mix * noise_rng.next_gaussian());
+                let noise =
+                    self.noise_amp * (SHARE * shared_noise[d] + mix * noise_rng.next_gaussian());
                 h.push((base + signal + noise) as f32);
             }
-            out.push(h);
         }
-        out
+        HiddenStack::from_flat(self.hidden_dim, out)
     }
 }
 
@@ -691,8 +783,7 @@ mod tests {
             let mut vocab = Vocab::new();
             let trace = m.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
             let mut gold_vocab = Vocab::new();
-            let gold =
-                crate::linearize::linearize_tables(&mut gold_vocab, &inst.gold_tables);
+            let gold = crate::linearize::linearize_tables(&mut gold_vocab, &inst.gold_tables);
             assert_eq!(trace.tokens.len(), gold.len());
             let texts: Vec<&str> = trace.tokens.iter().map(|&t| vocab.text(t)).collect();
             let gold_texts: Vec<&str> = gold.iter().map(|&t| gold_vocab.text(t)).collect();
@@ -782,7 +873,12 @@ mod tests {
         let m = linker();
         let inst = &b.split.dev[0];
         let mut vocab = Vocab::new();
-        let t = m.generate(inst, &mut vocab, LinkTarget::Columns, GenMode::TeacherForced);
+        let t = m.generate(
+            inst,
+            &mut vocab,
+            LinkTarget::Columns,
+            GenMode::TeacherForced,
+        );
         for step in &t.steps {
             assert_eq!(step.hidden.len(), m.n_layers);
             for h in &step.hidden {
@@ -824,10 +920,9 @@ mod tests {
         // have to *learn* this; here we verify the signal exists.)
         let b = bench();
         let m = linker();
-        let best_layer = (0..m.n_layers).max_by(|&a, &b| {
-            m.layer_gains()[a].total_cmp(&m.layer_gains()[b])
-        })
-        .unwrap();
+        let best_layer = (0..m.n_layers)
+            .max_by(|&a, &b| m.layer_gains()[a].total_cmp(&m.layer_gains()[b]))
+            .unwrap();
         let dir = m.layer_dirs[best_layer].clone();
         let mut branch_scores = Vec::new();
         let mut clean_scores = Vec::new();

@@ -64,7 +64,11 @@ impl CompetenceProfile {
     /// table-linking and column-linking failures (the overlap the paper
     /// observes between the two stages' abstentions in §4.3).
     pub fn link_error_prob(&self, is_table: bool, hardness: f64, confusion_mass: f64) -> f64 {
-        let scale = if is_table { self.table_scale } else { self.column_scale };
+        let scale = if is_table {
+            self.table_scale
+        } else {
+            self.column_scale
+        };
         let driver = (0.10 + 1.20 * hardness) * (1.0 - (-confusion_mass).exp());
         (scale * driver + self.floor).clamp(0.0, self.cap)
     }

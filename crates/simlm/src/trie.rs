@@ -35,7 +35,10 @@ impl Default for Trie {
 
 impl Trie {
     pub fn new() -> Self {
-        Trie { nodes: vec![Node::default()], names: Vec::new() }
+        Trie {
+            nodes: vec![Node::default()],
+            names: Vec::new(),
+        }
     }
 
     /// Insert an element with its token sequence. Duplicate inserts of

@@ -62,8 +62,18 @@ pub struct Vocab {
 impl Vocab {
     /// Empty vocabulary containing only the format specials.
     pub fn new() -> Self {
-        let mut v = Vocab { tokens: Vec::new(), index: HashMap::new() };
-        for s in [TOK_TABLES, TOK_COLUMNS, TOK_COLON, TOK_COMMA, TOK_DOT, TOK_END] {
+        let mut v = Vocab {
+            tokens: Vec::new(),
+            index: HashMap::new(),
+        };
+        for s in [
+            TOK_TABLES,
+            TOK_COLUMNS,
+            TOK_COLON,
+            TOK_COMMA,
+            TOK_DOT,
+            TOK_END,
+        ] {
             v.intern(s);
         }
         v
@@ -116,13 +126,19 @@ impl Vocab {
 
     /// Tokenize an identifier, interning unseen pieces.
     pub fn encode_identifier(&mut self, ident: &str) -> Vec<TokenId> {
-        split_identifier(ident).iter().map(|p| self.intern(p)).collect()
+        split_identifier(ident)
+            .iter()
+            .map(|p| self.intern(p))
+            .collect()
     }
 
     /// Tokenize an identifier without interning; `None` if any piece is
     /// out-of-vocabulary.
     pub fn try_encode_identifier(&self, ident: &str) -> Option<Vec<TokenId>> {
-        split_identifier(ident).iter().map(|p| self.get(p)).collect()
+        split_identifier(ident)
+            .iter()
+            .map(|p| self.get(p))
+            .collect()
     }
 
     /// Concatenate token texts (the `decode` primitive).
@@ -148,7 +164,10 @@ mod tests {
 
     #[test]
     fn splits_underscores() {
-        assert_eq!(split_identifier("operations_type"), vec!["operations", "_", "type"]);
+        assert_eq!(
+            split_identifier("operations_type"),
+            vec!["operations", "_", "type"]
+        );
         assert_eq!(split_identifier("a_b_c"), vec!["a", "_", "b", "_", "c"]);
     }
 
@@ -160,7 +179,14 @@ mod tests {
 
     #[test]
     fn concat_inverts_split() {
-        for ident in ["lapTimes", "operations_type", "EdOps", "raceId", "frpm", "yearmonth"] {
+        for ident in [
+            "lapTimes",
+            "operations_type",
+            "EdOps",
+            "raceId",
+            "frpm",
+            "yearmonth",
+        ] {
             let mut v = Vocab::new();
             let ids = v.encode_identifier(ident);
             assert_eq!(v.concat(&ids), ident, "round-trip failed for {ident}");
@@ -179,7 +205,14 @@ mod tests {
     #[test]
     fn specials_are_preinterned() {
         let v = Vocab::new();
-        for s in [TOK_TABLES, TOK_COLUMNS, TOK_COLON, TOK_COMMA, TOK_DOT, TOK_END] {
+        for s in [
+            TOK_TABLES,
+            TOK_COLUMNS,
+            TOK_COLON,
+            TOK_COMMA,
+            TOK_DOT,
+            TOK_END,
+        ] {
             assert!(v.get(s).is_some(), "{s} missing");
         }
     }

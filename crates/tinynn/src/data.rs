@@ -22,7 +22,10 @@ impl Dataset {
             assert_eq!(row.len(), cols, "ragged feature rows");
             data.extend_from_slice(row);
         }
-        Self { features: Matrix::from_vec(rows.len(), cols, data), targets: targets.to_vec() }
+        Self {
+            features: Matrix::from_vec(rows.len(), cols, data),
+            targets: targets.to_vec(),
+        }
     }
 
     /// Build from an already-assembled matrix.
@@ -86,7 +89,10 @@ impl Dataset {
             data.extend_from_slice(self.features.row(i));
             targets.push(self.targets[i]);
         }
-        Dataset { features: Matrix::from_vec(indices.len(), cols, data), targets }
+        Dataset {
+            features: Matrix::from_vec(indices.len(), cols, data),
+            targets,
+        }
     }
 
     /// Iterate over mini-batches in a deterministic shuffled order.

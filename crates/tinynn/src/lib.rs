@@ -53,5 +53,5 @@ pub mod scaler;
 pub use data::Dataset;
 pub use matrix::Matrix;
 pub use metrics::auc;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, MlpScratch};
 pub use scaler::StandardScaler;

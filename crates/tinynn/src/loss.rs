@@ -12,14 +12,13 @@ use crate::matrix::Matrix;
 ///
 /// `pos_weight` scales the loss (and gradient) of positive examples; 1.0
 /// recovers plain BCE. Returns the mean loss; writes ∂L/∂p into `grad`.
-pub fn bce_with_grad(
-    probs: &Matrix,
-    targets: &[f32],
-    pos_weight: f32,
-    grad: &mut Matrix,
-) -> f32 {
+pub fn bce_with_grad(probs: &Matrix, targets: &[f32], pos_weight: f32, grad: &mut Matrix) -> f32 {
     assert_eq!(probs.rows(), targets.len(), "target length mismatch");
-    assert_eq!(probs.cols(), 1, "binary loss expects a single output column");
+    assert_eq!(
+        probs.cols(),
+        1,
+        "binary loss expects a single output column"
+    );
     let n = targets.len() as f32;
     let eps = 1e-7_f32;
     let mut total = 0.0;

@@ -8,8 +8,18 @@
 
 use crate::rng::SplitMix64;
 
+/// Kernel selection for [`Matrix::matmul_into_hinted`]. `Auto` probes
+/// the input's sparsity at runtime; `Dense`/`Sparse` skip the probe
+/// when the caller knows the input regime statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulHint {
+    Auto,
+    Dense,
+    Sparse,
+}
+
 /// Dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -19,7 +29,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a closure over `(row, col)`.
@@ -44,7 +58,9 @@ impl Matrix {
     /// for the shallow ReLU probes we train.
     pub fn xavier(rows: usize, cols: usize, rng: &mut SplitMix64) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
-        Self::from_fn(rows, cols, |_, _| ((rng.next_f64() * 2.0 - 1.0) * bound) as f32)
+        Self::from_fn(rows, cols, |_, _| {
+            ((rng.next_f64() * 2.0 - 1.0) * bound) as f32
+        })
     }
 
     #[inline]
@@ -96,11 +112,112 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
-    /// `self @ other` → (self.rows × other.cols). Classic ikj loop order so
-    /// the inner loop streams both the output row and the rhs row.
+    /// Reshape in place to `rows × cols`, zero-filled, reusing the
+    /// existing allocation when it is large enough. This is what makes
+    /// the `*_into` kernels allocation-free across calls with varying
+    /// batch sizes (traces differ in token count).
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape in place to `rows × cols` with **unspecified contents**
+    /// (the existing prefix is kept, only a grown tail is zeroed).
+    /// For destinations the caller fully overwrites — skips the
+    /// whole-buffer zero-fill of [`Matrix::resize_zeroed`], halving
+    /// memory traffic on the pack/transform hot paths.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `other`, reusing the existing allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Estimate the zero fraction of the buffer from an evenly strided
+    /// sample. Cheap (≤ 128 probes) and good enough to pick a kernel.
+    fn sparsity_probe(&self) -> f64 {
+        let n = self.data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let samples = n.min(128);
+        let stride = n.div_ceil(samples);
+        let mut zeros = 0usize;
+        let mut seen = 0usize;
+        let mut i = 0;
+        while i < n && seen < samples {
+            if self.data[i] == 0.0 {
+                zeros += 1;
+            }
+            seen += 1;
+            i += stride;
+        }
+        zeros as f64 / seen as f64
+    }
+
+    /// Zero fraction above which the dead-lane-skipping kernel wins.
+    /// Below it the `a_ik == 0.0` test is a mispredicted branch per
+    /// element on dense (e.g. standardised-input) matrices.
+    const SPARSE_KERNEL_THRESHOLD: f64 = 0.25;
+
+    /// `self @ other` → (self.rows × other.cols). Allocates the output;
+    /// see [`Matrix::matmul_into`] for the allocation-free form.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` written into `out` (resized as needed, allocation
+    /// reused). The kernel is chosen by a sparsity probe of `self`: a
+    /// dead-lane-skipping loop when inputs look post-ReLU, a branchless
+    /// column-blocked loop when they look dense. Both kernels accumulate
+    /// every output element over `k` in ascending order, so results are
+    /// identical (up to the sign of exact zeros) whichever is picked.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_hinted(other, out, MatmulHint::Auto);
+    }
+
+    /// [`Matrix::matmul_into`] with a caller-supplied kernel choice for
+    /// call sites that know their input statically (an MLP knows which
+    /// layer inputs are post-ReLU), skipping the runtime probe. The
+    /// hint affects speed only — both kernels produce the same result.
+    pub fn matmul_into_hinted(&self, other: &Matrix, out: &mut Matrix, hint: MatmulHint) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let sparse = match hint {
+            MatmulHint::Dense => false,
+            MatmulHint::Sparse => true,
+            MatmulHint::Auto => self.sparsity_probe() >= Self::SPARSE_KERNEL_THRESHOLD,
+        };
+        // The dense fixed-width kernels overwrite every output element
+        // (register accumulators copied out whole), so they skip the
+        // zero-fill; the sparse and generic tiled kernels accumulate
+        // into `out` and need zeroed storage.
+        let dense_overwrites = !sparse && matches!(other.cols, 1 | 8 | 16 | 32 | 64);
+        if dense_overwrites {
+            out.resize_for_overwrite(self.rows, other.cols);
+        } else {
+            out.resize_zeroed(self.rows, other.cols);
+        }
+        if sparse {
+            self.matmul_sparse_kernel(other, out);
+        } else {
+            self.matmul_dense_kernel(other, out);
+        }
+    }
+
+    /// ikj loop with the `a_ik == 0.0` skip — wins on post-ReLU inputs
+    /// where a large fraction of lanes is dead.
+    fn matmul_sparse_kernel(&self, other: &Matrix, out: &mut Matrix) {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -114,18 +231,98 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
-    /// `selfᵀ @ other` without materialising the transpose.
+    /// Branchless ikj kernel. The common probe widths get fully
+    /// specialised fixed-size register tiles (the whole output row lives
+    /// in registers across the `k` loop, and the compiler unrolls and
+    /// vectorises the constant-width inner loop); other widths fall back
+    /// to an 8-wide tile. All variants accumulate each output element
+    /// over `k` in ascending order — identical results.
+    fn matmul_dense_kernel(&self, other: &Matrix, out: &mut Matrix) {
+        match other.cols {
+            1 => self.matmul_dense_width1(other, out),
+            8 => self.matmul_dense_fixed::<8>(other, out),
+            16 => self.matmul_dense_fixed::<16>(other, out),
+            32 => self.matmul_dense_fixed::<32>(other, out),
+            64 => self.matmul_dense_fixed::<64>(other, out),
+            _ => self.matmul_dense_tiled(other, out),
+        }
+    }
+
+    /// Output width 1 (the probes' sigmoid head): one ascending-`k` dot
+    /// product per row; `other`'s single column is its contiguous data.
+    fn matmul_dense_width1(&self, other: &Matrix, out: &mut Matrix) {
+        let b = &other.data;
+        for i in 0..self.rows {
+            let mut acc = 0.0f32;
+            for (&a_ik, &bv) in self.row(i).iter().zip(b.iter()) {
+                acc += a_ik * bv;
+            }
+            out.data[i] = acc;
+        }
+    }
+
+    /// Fixed output width `W`: whole-row register accumulator.
+    fn matmul_dense_fixed<const W: usize>(&self, other: &Matrix, out: &mut Matrix) {
+        let b = &other.data;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let mut acc = [0.0f32; W];
+            for (&a_ik, b_row) in a_row.iter().zip(b.chunks_exact(W)) {
+                let b_row: &[f32; W] = b_row.try_into().expect("chunk width");
+                for (o, &bv) in acc.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * bv;
+                }
+            }
+            out.row_mut(i).copy_from_slice(&acc);
+        }
+    }
+
+    /// Generic-width fallback: 8-wide column tiles.
+    fn matmul_dense_tiled(&self, other: &Matrix, out: &mut Matrix) {
+        const JB: usize = 8;
+        let n_cols = other.cols;
+        let full_tiles = n_cols / JB;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for jt in 0..full_tiles {
+                let j0 = jt * JB;
+                let mut acc = [0.0f32; JB];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    let b_row = &other.row(k)[j0..j0 + JB];
+                    for (a, &b) in acc.iter_mut().zip(b_row.iter()) {
+                        *a += a_ik * b;
+                    }
+                }
+                out_row[j0..j0 + JB].copy_from_slice(&acc);
+            }
+            let j0 = full_tiles * JB;
+            if j0 < n_cols {
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    let b_row = &other.row(k)[j0..];
+                    for (o, &b) in out_row[j0..].iter_mut().zip(b_row.iter()) {
+                        *o += a_ik * b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ @ other` without materialising the transpose. The
+    /// dead-lane skip is kept only when `self` actually looks sparse
+    /// (it is the backward pass's post-ReLU activation matrix there);
+    /// on dense inputs the branch is pure overhead.
     pub fn matmul_at(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_at shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        let skip_zeros = self.sparsity_probe() >= Self::SPARSE_KERNEL_THRESHOLD;
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue;
                 }
                 let out_row = out.row_mut(i);
@@ -254,5 +451,53 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dense_and_sparse_kernels_agree() {
+        let mut rng = SplitMix64::new(9);
+        // Mixed sparsity: roughly half the lanes are ReLU-dead.
+        for (rows, inner, cols) in [(1, 32, 16), (7, 19, 8), (33, 32, 1), (5, 64, 24)] {
+            let a = Matrix::from_fn(rows, inner, |_, _| {
+                let v = rng.next_gaussian() as f32;
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            });
+            let b = Matrix::from_fn(inner, cols, |_, _| rng.next_gaussian() as f32);
+            let mut dense = Matrix::zeros(rows, cols);
+            let mut sparse = Matrix::zeros(rows, cols);
+            a.matmul_dense_kernel(&b, &mut dense);
+            a.matmul_sparse_kernel(&b, &mut sparse);
+            for (d, s) in dense.as_slice().iter().zip(sparse.as_slice()) {
+                assert_eq!(d, s, "kernel mismatch at {rows}x{inner}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_across_shapes() {
+        let a1 = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b1 = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let mut out = Matrix::zeros(8, 8); // larger than needed
+        a1.matmul_into(&b1, &mut out);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.cols(), 2);
+        assert_eq!(out.as_slice(), &[58., 64., 139., 154.]);
+        // Shrink/regrow with stale contents present.
+        let a2 = m(1, 2, &[1., 1.]);
+        let b2 = m(2, 1, &[2., 3.]);
+        a2.matmul_into(&b2, &mut out);
+        assert_eq!(out.as_slice(), &[5.]);
+    }
+
+    #[test]
+    fn sparsity_probe_distinguishes_regimes() {
+        let dense = Matrix::from_fn(10, 10, |r, c| (r * 10 + c) as f32 + 1.0);
+        assert!(dense.sparsity_probe() < Matrix::SPARSE_KERNEL_THRESHOLD);
+        let sparse = Matrix::from_fn(10, 10, |r, _| if r % 2 == 0 { 0.0 } else { 1.0 });
+        assert!(sparse.sparsity_probe() >= Matrix::SPARSE_KERNEL_THRESHOLD);
     }
 }

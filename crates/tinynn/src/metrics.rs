@@ -139,7 +139,9 @@ mod tests {
     fn auc_random_is_half() {
         // All scores tied → AUC must be exactly 0.5 via midranks.
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert_eq!(auc(&scores, &labels), 0.5);
     }
 
@@ -162,7 +164,15 @@ mod tests {
         let scores = [0.9, 0.8, 0.3, 0.2];
         let labels = [true, false, true, false];
         let c = Confusion::from_scores(&scores, &labels, 0.5);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.accuracy() - 0.5).abs() < 1e-12);
         assert!((c.f1() - 0.5).abs() < 1e-12);
     }

@@ -9,7 +9,7 @@
 use crate::data::Dataset;
 use crate::layer::{Activation, Dense};
 use crate::loss::bce_with_grad;
-use crate::matrix::Matrix;
+use crate::matrix::{MatmulHint, Matrix};
 use crate::optim::{OptimKind, Optimizer};
 use crate::rng::SplitMix64;
 
@@ -54,6 +54,15 @@ pub struct Mlp {
     pub loss_history: Vec<f32>,
 }
 
+/// Reusable activation buffers for [`Mlp::predict_proba_batch_into`].
+/// One scratch can be shared across models and batch sizes; buffers
+/// grow to the largest batch seen and are then reused.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
 impl Mlp {
     /// Construct with Xavier-initialised weights (deterministic in seed).
     pub fn new(config: MlpConfig) -> Self {
@@ -66,7 +75,11 @@ impl Mlp {
             prev = h;
         }
         layers.push(Dense::new(prev, 1, Activation::Sigmoid, &mut rng));
-        Self { layers, config, loss_history: Vec::new() }
+        Self {
+            layers,
+            config,
+            loss_history: Vec::new(),
+        }
     }
 
     /// Total trainable parameter count.
@@ -107,7 +120,11 @@ impl Mlp {
         for epoch in 0..self.config.epochs {
             let mut epoch_loss = 0.0;
             let mut n_batches = 0;
-            let batch_seed = self.config.seed.wrapping_add(epoch as u64).wrapping_mul(0x9E37);
+            let batch_seed = self
+                .config
+                .seed
+                .wrapping_add(epoch as u64)
+                .wrapping_mul(0x9E37);
             for (bx, by) in data.batches(self.config.batch_size, batch_seed) {
                 let probs = self.forward(&bx, true);
                 let mut grad = Matrix::zeros(probs.rows(), 1);
@@ -148,14 +165,45 @@ impl Mlp {
 
     /// Batched probabilities.
     pub fn predict_proba_batch(&self, xs: &Matrix) -> Vec<f32> {
-        let mut cur = xs.clone();
+        let mut scratch = MlpScratch::default();
+        let mut out = Vec::new();
+        self.predict_proba_batch_into(xs, &mut scratch, &mut out);
+        out
+    }
+
+    /// Batched probabilities with caller-owned scratch: after the first
+    /// call no allocation happens on this path (buffers are reused even
+    /// when the batch size changes), which is what the monitored-
+    /// generation hot loop needs. Arithmetic is identical to
+    /// [`Mlp::predict_proba`] row by row.
+    pub fn predict_proba_batch_into(
+        &self,
+        xs: &Matrix,
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(xs.cols(), self.config.input_dim, "input dim mismatch");
+        // Ping-pong between the two scratch buffers: `a` always holds
+        // the current activation, each layer writes into `b`, then the
+        // buffers swap (a pointer swap — no copy, no allocation).
+        scratch.a.copy_from(xs);
+        let mut prev_act: Option<Activation> = None;
         for layer in &self.layers {
-            let mut out = cur.matmul(&layer.w);
-            out.add_row_broadcast(&layer.b);
-            layer.act.forward(&mut out);
-            cur = out;
+            // The input regime is known statically here: the raw batch
+            // is dense (standardised features), post-ReLU activations
+            // are sparse — no runtime sparsity probe needed.
+            let hint = match prev_act {
+                Some(Activation::Relu) => MatmulHint::Sparse,
+                _ => MatmulHint::Dense,
+            };
+            scratch.a.matmul_into_hinted(&layer.w, &mut scratch.b, hint);
+            scratch.b.add_row_broadcast(&layer.b);
+            layer.act.forward(&mut scratch.b);
+            prev_act = Some(layer.act);
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
         }
-        (0..cur.rows()).map(|r| cur.get(r, 0)).collect()
+        out.clear();
+        out.extend((0..scratch.a.rows()).map(|r| scratch.a.get(r, 0)));
     }
 
     /// Hard 0/1 prediction at threshold 0.5.
@@ -196,8 +244,9 @@ mod tests {
         });
         mlp.fit(&ds);
         let test = linearly_separable(200, 99);
-        let scores: Vec<f64> =
-            (0..test.len()).map(|i| mlp.predict_proba(test.row(i)) as f64).collect();
+        let scores: Vec<f64> = (0..test.len())
+            .map(|i| mlp.predict_proba(test.row(i)) as f64)
+            .collect();
         let labels: Vec<bool> = test.targets().iter().map(|&t| t > 0.5).collect();
         let a = auc(&scores, &labels);
         assert!(a > 0.97, "AUC {a}");
@@ -237,13 +286,21 @@ mod tests {
         mlp.fit(&ds);
         let first = mlp.loss_history.first().copied().unwrap();
         let last = mlp.loss_history.last().copied().unwrap();
-        assert!(last < first * 0.5, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "loss did not decrease: {first} -> {last}"
+        );
     }
 
     #[test]
     fn training_is_deterministic() {
         let ds = linearly_separable(100, 2);
-        let cfg = MlpConfig { input_dim: 2, epochs: 5, seed: 13, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            input_dim: 2,
+            epochs: 5,
+            seed: 13,
+            ..MlpConfig::default()
+        };
         let mut a = Mlp::new(cfg.clone());
         let mut b = Mlp::new(cfg);
         a.fit(&ds);
@@ -262,8 +319,33 @@ mod tests {
         });
         mlp.fit(&ds);
         let batch = mlp.predict_proba_batch(ds.features());
-        for i in 0..ds.len() {
-            assert!((batch[i] - mlp.predict_proba(ds.row(i))).abs() < 1e-6);
+        for (i, &b) in batch.iter().enumerate() {
+            assert!((b - mlp.predict_proba(ds.row(i))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scratch_forward_is_bit_identical_and_reusable() {
+        let ds = linearly_separable(64, 8);
+        let mut mlp = Mlp::new(MlpConfig {
+            input_dim: 2,
+            hidden_dims: vec![16, 8],
+            epochs: 4,
+            seed: 2,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&ds);
+        let mut scratch = MlpScratch::default();
+        let mut probs = Vec::new();
+        // Reuse the same scratch across shrinking and growing batches.
+        for take in [64usize, 5, 64, 1, 17] {
+            let sub = ds.subset(&(0..take).collect::<Vec<_>>());
+            mlp.predict_proba_batch_into(sub.features(), &mut scratch, &mut probs);
+            assert_eq!(probs.len(), take);
+            for (i, &p) in probs.iter().enumerate() {
+                // Bit-identical to the per-row path.
+                assert_eq!(p, mlp.predict_proba(sub.row(i)), "row {i} of batch {take}");
+            }
         }
     }
 

@@ -16,7 +16,11 @@ pub enum OptimKind {
 
 impl Default for OptimKind {
     fn default() -> Self {
-        OptimKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -41,7 +45,14 @@ impl Optimizer {
             OptimKind::Sgd { .. } => 0,
             OptimKind::Adam { .. } => len,
         };
-        Self { kind, lr, weight_decay, m: vec![0.0; len], v: vec![0.0; v_len], t: 0 }
+        Self {
+            kind,
+            lr,
+            weight_decay,
+            m: vec![0.0; len],
+            v: vec![0.0; v_len],
+            t: 0,
+        }
     }
 
     /// Current learning rate.
@@ -57,7 +68,11 @@ impl Optimizer {
     /// Apply one update step: `params -= update(grads)`.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
-        assert_eq!(params.len(), self.m.len(), "optimizer state length mismatch");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "optimizer state length mismatch"
+        );
         self.t += 1;
         match self.kind {
             OptimKind::Sgd { momentum } => {

@@ -9,11 +9,14 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Per-feature mean/std standardiser: `x' = (x - mean) / std`.
+/// Per-feature mean/std standardiser: `x' = (x - mean) · (1/std)`.
+/// Only the reciprocal is stored — multiplication is several times
+/// cheaper than division on the per-token monitoring hot path, and the
+/// std itself is derivable when needed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StandardScaler {
     mean: Vec<f32>,
-    std: Vec<f32>,
+    inv_std: Vec<f32>,
 }
 
 impl StandardScaler {
@@ -39,18 +42,21 @@ impl StandardScaler {
                 *v += d * d;
             }
         }
-        let std: Vec<f32> = var
+        let inv_std: Vec<f32> = var
             .iter()
             .map(|&v| {
                 let s = (v / n).sqrt();
                 if s < 1e-8 {
                     1.0
                 } else {
-                    s as f32
+                    1.0 / s as f32
                 }
             })
             .collect();
-        Self { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+        Self {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            inv_std,
+        }
     }
 
     /// Dimensionality this scaler was fitted on.
@@ -62,16 +68,51 @@ impl StandardScaler {
     pub fn transform(&self, row: &[f32]) -> Vec<f32> {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");
         row.iter()
-            .zip(self.mean.iter().zip(self.std.iter()))
-            .map(|(&x, (&m, &s))| (x - m) / s)
+            .zip(self.mean.iter().zip(self.inv_std.iter()))
+            .map(|(&x, (&m, &inv))| (x - m) * inv)
             .collect()
     }
 
     /// Standardise in place.
     pub fn transform_inplace(&self, row: &mut [f32]) {
         assert_eq!(row.len(), self.dim(), "dimension mismatch");
-        for (x, (&m, &s)) in row.iter_mut().zip(self.mean.iter().zip(self.std.iter())) {
-            *x = (*x - m) / s;
+        for (x, (&m, &inv)) in row
+            .iter_mut()
+            .zip(self.mean.iter().zip(self.inv_std.iter()))
+        {
+            *x = (*x - m) * inv;
+        }
+    }
+
+    /// Standardise every row of a matrix into a fresh matrix.
+    pub fn transform_batch(&self, rows: &crate::matrix::Matrix) -> crate::matrix::Matrix {
+        let mut out = crate::matrix::Matrix::zeros(rows.rows(), rows.cols());
+        self.transform_batch_into(rows, &mut out);
+        out
+    }
+
+    /// Standardise every row of a matrix into `out` (allocation reused).
+    /// Element-for-element the same arithmetic as [`Self::transform`],
+    /// so batched and per-row paths produce bit-identical results.
+    pub fn transform_batch_into(
+        &self,
+        rows: &crate::matrix::Matrix,
+        out: &mut crate::matrix::Matrix,
+    ) {
+        assert_eq!(rows.cols(), self.dim(), "dimension mismatch");
+        // Every element is overwritten below; no zero-fill needed.
+        out.resize_for_overwrite(rows.rows(), rows.cols());
+        let dim = self.dim();
+        let src = rows.as_slice();
+        let dst = out.as_mut_slice();
+        for (src_row, dst_row) in src.chunks_exact(dim).zip(dst.chunks_exact_mut(dim)) {
+            for ((d, &x), (&m, &inv)) in dst_row
+                .iter_mut()
+                .zip(src_row.iter())
+                .zip(self.mean.iter().zip(self.inv_std.iter()))
+            {
+                *d = (x - m) * inv;
+            }
         }
     }
 }
@@ -82,13 +123,19 @@ mod tests {
 
     #[test]
     fn fitted_transform_has_zero_mean_unit_std() {
-        let raw: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 100.0 + 3.0 * i as f32]).collect();
+        let raw: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![i as f32, 100.0 + 3.0 * i as f32])
+            .collect();
         let refs: Vec<&[f32]> = raw.iter().map(|r| r.as_slice()).collect();
         let scaler = StandardScaler::fit(&refs);
         let transformed: Vec<Vec<f32>> = raw.iter().map(|r| scaler.transform(r)).collect();
         for d in 0..2 {
             let mean: f32 = transformed.iter().map(|r| r[d]).sum::<f32>() / 100.0;
-            let var: f32 = transformed.iter().map(|r| (r[d] - mean).powi(2)).sum::<f32>() / 100.0;
+            let var: f32 = transformed
+                .iter()
+                .map(|r| (r[d] - mean).powi(2))
+                .sum::<f32>()
+                / 100.0;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
@@ -102,6 +149,24 @@ mod tests {
         let t = scaler.transform(&raw[0]);
         assert_eq!(t[0], 0.0);
         assert!(t[0].is_finite() && t[1].is_finite());
+    }
+
+    #[test]
+    fn batch_transform_matches_per_row_bitwise() {
+        let raw: Vec<Vec<f32>> = (0..17)
+            .map(|i| vec![i as f32 * 0.37, 5.0 - i as f32, (i * i) as f32])
+            .collect();
+        let refs: Vec<&[f32]> = raw.iter().map(|r| r.as_slice()).collect();
+        let scaler = StandardScaler::fit(&refs);
+        let m = crate::matrix::Matrix::from_fn(raw.len(), 3, |r, c| raw[r][c]);
+        let mut out = crate::matrix::Matrix::zeros(1, 1);
+        scaler.transform_batch_into(&m, &mut out);
+        for (i, row) in raw.iter().enumerate() {
+            let single = scaler.transform(row);
+            assert_eq!(out.row(i), single.as_slice(), "row {i}");
+        }
+        // And the allocating variant agrees.
+        assert_eq!(scaler.transform_batch(&m).as_slice(), out.as_slice());
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn main() {
     let ds = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 300);
     let mbpp = Mbpp::train(&ds, &MbppConfig::default());
 
-    println!("{:>6}  {:>7}  {:>7}  {:>7}  {:>10}", "alpha", "EM%", "TAR%", "FAR%", "abstained");
+    println!(
+        "{:>6}  {:>7}  {:>7}  {:>7}  {:>10}",
+        "alpha", "EM%", "TAR%", "FAR%", "abstained"
+    );
     for alpha in [0.02, 0.05, 0.10, 0.15, 0.20] {
         let m = mbpp.with_alpha(alpha);
         let outcomes: Vec<AbstentionOutcome> = bench

@@ -38,7 +38,10 @@ fn main() {
         ds.positive_rate() * 100.0
     );
     let mbpp = Mbpp::train(&ds, &MbppConfig::default());
-    println!("mBPP: selected layers by AUC, mean AUC {:.3}", mbpp.mean_selected_auc());
+    println!(
+        "mBPP: selected layers by AUC, mean AUC {:.3}",
+        mbpp.mean_selected_auc()
+    );
 
     // 4. Pick a dev instance the unmonitored model would get wrong.
     let inst = bench

@@ -11,13 +11,19 @@ use rts::core::metrics::linking_metrics;
 use rts::simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
 
 fn main() {
-    for profile in [BenchmarkProfile::bird_like(), BenchmarkProfile::spider_like()] {
+    for profile in [
+        BenchmarkProfile::bird_like(),
+        BenchmarkProfile::spider_like(),
+    ] {
         let name = profile.name.clone();
         let bench = profile.scaled(0.05).generate(77);
         let linker = SchemaLinker::new(&name, 5);
         println!("== {name} ({} dev instances)", bench.split.dev.len());
 
-        for (target, label) in [(LinkTarget::Tables, "tables"), (LinkTarget::Columns, "columns")] {
+        for (target, label) in [
+            (LinkTarget::Tables, "tables"),
+            (LinkTarget::Columns, "columns"),
+        ] {
             let mut golds = Vec::new();
             let mut preds = Vec::new();
             for inst in &bench.split.dev {

@@ -3,15 +3,19 @@
 //! result-comparison symmetry, and tokenizer inversion.
 
 use proptest::prelude::*;
-use rts::conformal::{majority_vote, random_permutation_merge, LabelSet, SplitConformal};
 use rts::conformal::merge::majority_vote_inclusive;
+use rts::conformal::{majority_vote, random_permutation_merge, LabelSet, SplitConformal};
 use rts::nanosql::value::Value;
 use rts::simlm::vocab::split_identifier;
 use rts::tinynn::rng::SplitMix64;
 
 fn label_set_strategy(n_labels: usize) -> impl Strategy<Value = LabelSet> {
     prop::collection::vec(prop::bool::ANY, n_labels).prop_map(|bits| {
-        bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect()
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
     })
 }
 
@@ -114,6 +118,138 @@ proptest! {
             let reparsed = rts::nanosql::parser::parse(&text).expect("parse");
             prop_assert_eq!(&reparsed, &inst.gold_sql);
             prop_assert_eq!(reparsed.to_string(), text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched-monitoring and parallel-pipeline parity.
+//
+// The batched mBPP path (`flag_trace`) and the instance-parallel
+// pipeline must be *exactly* equivalent to their per-token / serial
+// references — same flags, same RNG stream, same outcomes, same EX.
+// Fixtures are trained once (probe training dominates) and shared.
+
+mod parity {
+    use super::*;
+    use rts::benchgen::{Benchmark, BenchmarkProfile, Instance};
+    use rts::core::abstention::{MitigationPolicy, RtsConfig};
+    use rts::core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+    use rts::core::branching::BranchDataset;
+    use rts::core::human::{Expertise, HumanOracle};
+    use rts::core::pipeline::{run_full_pipeline, run_joint_linking};
+    use rts::core::sqlgen::SqlGenModel;
+    use rts::simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+    use std::sync::OnceLock;
+
+    struct Fx {
+        bench: Benchmark,
+        model: SchemaLinker,
+        mbpp_t: Mbpp,
+        mbpp_c: Mbpp,
+    }
+
+    fn fixture() -> &'static Fx {
+        static FX: OnceLock<Fx> = OnceLock::new();
+        FX.get_or_init(|| {
+            let bench = BenchmarkProfile::bird_like().scaled(0.04).generate(77);
+            let model = SchemaLinker::new("bird", 5);
+            let cfg = MbppConfig {
+                probe: ProbeConfig {
+                    epochs: 6,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let ds_t = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 300);
+            let ds_c = BranchDataset::build(&model, &bench.split.train, LinkTarget::Columns, 300);
+            let mbpp_t = Mbpp::train(&ds_t, &cfg);
+            let mbpp_c = Mbpp::train(&ds_c, &cfg);
+            Fx {
+                bench,
+                model,
+                mbpp_t,
+                mbpp_c,
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `flag_trace` (batched) ≡ `flag_trace_per_token`, flag for
+        /// flag, with the permutation-merge RNG stream in lock-step.
+        #[test]
+        fn batched_flag_trace_matches_per_token(
+            seed in any::<u64>(),
+            pick in 0usize..1000,
+            free in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let mode = if free { GenMode::Free } else { GenMode::TeacherForced };
+            let mut vocab = Vocab::new();
+            let trace = fx.model.generate(inst, &mut vocab, LinkTarget::Tables, mode);
+            let mut rng_batched = SplitMix64::new(seed);
+            let mut rng_serial = SplitMix64::new(seed);
+            let batched = fx.mbpp_t.flag_trace(&trace, &mut rng_batched);
+            let per_token = fx.mbpp_t.flag_trace_per_token(&trace, &mut rng_serial);
+            prop_assert_eq!(&batched, &per_token);
+            // Identical RNG consumption ⇒ downstream decisions in a
+            // multi-round run stay aligned too.
+            prop_assert!(rng_batched == rng_serial, "rng streams diverged");
+        }
+
+        /// Parallel `run_full_pipeline` ≡ the serial per-instance loop:
+        /// identical outcomes field-for-field and bit-identical EX.
+        #[test]
+        fn parallel_pipeline_matches_serial(seed in any::<u64>(), n in 10usize..30) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let generator = SqlGenModel::deepseek_7b("bird", seed ^ 0x5EED);
+            let config = RtsConfig { seed, ..RtsConfig::default() };
+            let instances: Vec<Instance> =
+                fx.bench.split.dev.iter().take(n).cloned().collect();
+            let (ex_par, outcomes_par) = run_full_pipeline(
+                &fx.bench, &instances, &fx.model, &fx.mbpp_t, &fx.mbpp_c,
+                &oracle, &generator, &config,
+            );
+            // Serial reference: the same per-instance computation, one
+            // instance at a time on this thread.
+            let policy = MitigationPolicy::Human(&oracle);
+            let outcomes_serial: Vec<_> = instances
+                .iter()
+                .map(|inst| {
+                    run_joint_linking(
+                        &fx.model, &fx.mbpp_t, &fx.mbpp_c, inst, &fx.bench, &policy, &config,
+                    )
+                })
+                .collect();
+            let schemas: Vec<_> =
+                outcomes_serial.iter().map(|o| o.provided_schema()).collect();
+            let (ex_serial, _) = generator.execution_accuracy(
+                instances.iter(),
+                |db| fx.bench.database(db),
+                |db| fx.bench.meta(db),
+                |inst| {
+                    let i = instances.iter().position(|x| x.id == inst.id).unwrap();
+                    schemas[i].clone()
+                },
+            );
+            prop_assert_eq!(outcomes_par.len(), outcomes_serial.len());
+            for (p, s) in outcomes_par.iter().zip(&outcomes_serial) {
+                prop_assert_eq!(&p.tables.predicted, &s.tables.predicted);
+                prop_assert_eq!(&p.columns.predicted, &s.columns.predicted);
+                prop_assert_eq!(p.tables.abstained, s.tables.abstained);
+                prop_assert_eq!(p.columns.abstained, s.columns.abstained);
+                prop_assert_eq!(p.tables.correct, s.tables.correct);
+                prop_assert_eq!(p.columns.correct, s.columns.correct);
+                prop_assert_eq!(p.tables.n_interventions, s.tables.n_interventions);
+                prop_assert_eq!(p.columns.n_interventions, s.columns.n_interventions);
+                prop_assert_eq!(p.tables.n_flags, s.tables.n_flags);
+                prop_assert_eq!(p.columns.n_flags, s.columns.n_flags);
+            }
+            prop_assert!(ex_par == ex_serial, "EX diverged: {} vs {}", ex_par, ex_serial);
         }
     }
 }
