@@ -41,6 +41,36 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The gaussian samplers under trace-generation-shaped load: the
+/// sequential `next_gaussian` (two uniforms per variate, `sin` twin
+/// discarded — the stream every synthesis path is pinned to) vs the
+/// paired `fill_gaussian` (both Box–Muller variates kept, half the
+/// uniform draws and `ln`/`sqrt` evaluations). The gap is the headroom
+/// available to any future consumer free to pick its own stream.
+fn bench_gaussian_samplers(c: &mut Criterion) {
+    const DIM: usize = 64; // two shared-content vectors of hidden_dim 32
+    let mut group = c.benchmark_group("tinynn/gaussian_x64");
+    group.bench_function("sequential_next_gaussian", |b| {
+        let mut rng = SplitMix64::new(7);
+        let mut buf = [0.0f64; DIM];
+        b.iter(|| {
+            for x in buf.iter_mut() {
+                *x = rng.next_gaussian();
+            }
+            black_box(buf[DIM - 1])
+        })
+    });
+    group.bench_function("paired_fill_gaussian", |b| {
+        let mut rng = SplitMix64::new(7);
+        let mut buf = [0.0f64; DIM];
+        b.iter(|| {
+            rng.fill_gaussian(&mut buf);
+            black_box(buf[DIM - 1])
+        })
+    });
+    group.finish();
+}
+
 fn bench_branch_dataset(c: &mut Criterion) {
     let (bench, linker) = setup();
     c.bench_function("rts/branch_dataset_40_instances", |b| {
@@ -98,6 +128,7 @@ fn bench_flagging(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_generation,
+    bench_gaussian_samplers,
     bench_branch_dataset,
     bench_probe_training,
     bench_flagging

@@ -11,7 +11,7 @@ use rts_core::human::{Expertise, HumanOracle};
 use rts_core::pipeline::{measure_ex, run_full_pipeline, SchemaSource};
 use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
 use rts_core::surrogate::SurrogateModel;
-use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+use simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
 use std::hint::black_box;
 use tinynn::rng::SplitMix64;
 
@@ -91,6 +91,55 @@ fn bench_policies(c: &mut Criterion) {
             ))
         })
     });
+    group.finish();
+}
+
+/// Trace generation by selected-layer count: the eager full stack
+/// (pre-lazy behaviour) vs lazy synthesis of what the monitor actually
+/// reads — the mBPP's k selected layers, a single layer, or none (the
+/// unmonitored counterfactual the RTS runtime uses for TAR/FAR
+/// accounting). Hidden-state synthesis dominates generation, so time
+/// should fall roughly with the synthesized-layer count.
+fn bench_trace_gen(c: &mut Criterion) {
+    let fx = setup();
+    let inst = &fx.bench.split.dev[0];
+    let k_layers = fx.mbpp.layer_set();
+    let top_layer = LayerSet::select([fx.mbpp.sbpps[fx.mbpp.selected[0]].layer]);
+    let mut group = c.benchmark_group("rts/trace_gen");
+    for (target, tag) in [
+        (LinkTarget::Tables, "tables"),
+        (LinkTarget::Columns, "columns"),
+    ] {
+        group.bench_function(format!("{tag}_eager_full_stack"), |b| {
+            b.iter(|| {
+                let mut vocab = Vocab::new();
+                black_box(fx.linker.generate(inst, &mut vocab, target, GenMode::Free))
+            })
+        });
+        for (layers, label) in [
+            (
+                &k_layers,
+                format!("{tag}_lazy_k{}", k_layers.count(fx.linker.n_layers)),
+            ),
+            (&top_layer, format!("{tag}_lazy_k1")),
+            (&LayerSet::none(), format!("{tag}_lazy_none")),
+        ] {
+            group.bench_function(label, |b| {
+                let mut scratch = SynthScratch::default();
+                b.iter(|| {
+                    let mut vocab = Vocab::new();
+                    black_box(fx.linker.generate_with_layers(
+                        inst,
+                        &mut vocab,
+                        target,
+                        GenMode::Free,
+                        layers,
+                        &mut scratch,
+                    ))
+                })
+            });
+        }
+    }
     group.finish();
 }
 
@@ -241,6 +290,7 @@ fn bench_sqlgen(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_trace_gen,
     bench_monitoring,
     bench_monitored_linking,
     bench_policies,

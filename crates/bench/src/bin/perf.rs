@@ -1,6 +1,6 @@
-//! Emit `BENCH_rts.json`: wall-time per pipeline stage (linking,
-//! monitoring, sqlgen, execution) so every PR leaves a comparable
-//! performance record.
+//! Emit `BENCH_rts.json`: wall-time per pipeline stage (trace_gen,
+//! linking, monitoring, sqlgen, execution) so every PR leaves a
+//! comparable performance record.
 //!
 //! ```text
 //! RTS_SCALE=0.05 cargo run --release -p rts-bench --bin perf
@@ -11,12 +11,12 @@
 //! forces the serial runtime for A/B comparisons.
 
 use rts_bench::report::PerfReport;
-use rts_core::abstention::RtsConfig;
+use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
 use rts_core::bpp::{BppScratch, Mbpp, MbppConfig, ProbeConfig};
 use rts_core::branching::BranchDataset;
 use rts_core::par::{par_map, par_map_with, thread_count};
 use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
-use simlm::{GenMode, GenerationTrace, LinkTarget, SchemaLinker, Vocab};
+use simlm::{GenMode, GenerationTrace, LinkTarget, SchemaLinker, SynthScratch, Vocab};
 use std::time::Instant;
 use tinynn::rng::SplitMix64;
 
@@ -26,7 +26,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
     let seed = rts_bench::env_seed();
-    let mut perf = PerfReport::new(scale, seed, thread_count());
+    let effective = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut perf = PerfReport::new(scale, seed, thread_count(), effective);
 
     let t0 = Instant::now();
     let bench = benchgen::BenchmarkProfile::bird_like()
@@ -56,16 +59,79 @@ fn main() {
         ..RtsConfig::default()
     };
 
-    // Stage 1 — linking: free-running schema-linking generation, both
-    // stages of the joint process (tables, then columns).
+    // Stage 1 — trace_gen: free-running schema-linking generation for
+    // both stages of the joint process (tables, then columns), lazily
+    // synthesizing only the hidden layers the monitors read — the
+    // production monitored path. (Previous records conflated this into
+    // a stage labelled "linking"; the monitored-linking runtime is now
+    // timed separately below.)
+    let layers_t = mbpp_t.layer_set();
+    let layers_c = mbpp_c.layer_set();
     let t0 = Instant::now();
-    let traces: Vec<(GenerationTrace, GenerationTrace)> = par_map(instances, |inst| {
+    let traces: Vec<(GenerationTrace, GenerationTrace)> =
+        par_map_with(instances, SynthScratch::default, |synth, inst| {
+            let mut vocab = Vocab::new();
+            let t = linker.generate_with_layers(
+                inst,
+                &mut vocab,
+                LinkTarget::Tables,
+                GenMode::Free,
+                &layers_t,
+                synth,
+            );
+            let mut v2 = Vocab::new();
+            let c = linker.generate_with_layers(
+                inst,
+                &mut v2,
+                LinkTarget::Columns,
+                GenMode::Free,
+                &layers_c,
+                synth,
+            );
+            (t, c)
+        });
+    perf.push_stage("trace_gen", t0.elapsed(), n);
+
+    // Diagnostic baseline: the eager full-stack generation every
+    // consumer paid before lazy synthesis.
+    let t0 = Instant::now();
+    let traces_eager: Vec<(GenerationTrace, GenerationTrace)> = par_map(instances, |inst| {
         let mut vocab = Vocab::new();
         let t = linker.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
         let mut v2 = Vocab::new();
         let c = linker.generate(inst, &mut v2, LinkTarget::Columns, GenMode::Free);
         (t, c)
     });
+    perf.push_stage("trace_gen_eager_baseline", t0.elapsed(), n);
+
+    // Stage 2 — linking: the monitored-linking runtime end to end
+    // (counterfactual baseline + monitored rounds + flag handling),
+    // what `run_rts_linking` costs per instance under abstain-only.
+    let t0 = Instant::now();
+    let abstained: usize = par_map(instances, |inst| {
+        let meta = bench.meta(&inst.db_name).expect("meta");
+        let t = run_rts_linking(
+            &linker,
+            &mbpp_t,
+            inst,
+            meta,
+            LinkTarget::Tables,
+            &MitigationPolicy::AbstainOnly,
+            &config,
+        );
+        let c = run_rts_linking(
+            &linker,
+            &mbpp_c,
+            inst,
+            meta,
+            LinkTarget::Columns,
+            &MitigationPolicy::AbstainOnly,
+            &config,
+        );
+        t.abstained as usize + c.abstained as usize
+    })
+    .iter()
+    .sum();
     perf.push_stage("linking", t0.elapsed(), n);
 
     // Untimed warm-up pass over the freshly materialised traces so the
@@ -86,8 +152,10 @@ fn main() {
     let _ = mbpp_t.flag_trace_with_scratch(&traces[0].0, &mut warm_rng, &mut warm_scratch);
     let _ = mbpp_t.flag_trace_per_token(&traces[0].0, &mut warm_rng);
 
-    // Stage 2 — monitoring: batched mBPP flagging of both traces (and
-    // the per-token baseline as a diagnostic trajectory row).
+    // Stage 3 — monitoring: batched mBPP flagging of both traces (and
+    // the per-token baseline as a diagnostic trajectory row). The
+    // traces carry only the selected layers; flags must match the
+    // eager full-stack traces exactly (asserted below).
     let t0 = Instant::now();
     let flags: Vec<usize> = par_map_with(&traces, BppScratch::default, |scratch, (t, c)| {
         let mut rng = SplitMix64::new(config.seed);
@@ -108,8 +176,19 @@ fn main() {
         flags, flags_pt,
         "batched and per-token monitoring disagreed"
     );
+    let flags_eager: Vec<usize> =
+        par_map_with(&traces_eager, BppScratch::default, |scratch, (t, c)| {
+            let mut rng = SplitMix64::new(config.seed);
+            let nt = mbpp_t.flag_trace_with_scratch(t, &mut rng, scratch);
+            let nc = mbpp_c.flag_trace_with_scratch(c, &mut rng, scratch);
+            nt.iter().chain(nc.iter()).filter(|&&f| f).count()
+        });
+    assert_eq!(
+        flags, flags_eager,
+        "lazy and eager trace monitoring disagreed"
+    );
 
-    // Stage 3 — sqlgen: SQL generation under the full schema.
+    // Stage 4 — sqlgen: SQL generation under the full schema.
     let generator = SqlGenModel::deepseek_7b("bird", seed ^ 0xEE);
     let t0 = Instant::now();
     let stmts: Vec<nanosql::ast::SelectStmt> = par_map(instances, |inst| {
@@ -118,7 +197,7 @@ fn main() {
     });
     perf.push_stage("sqlgen", t0.elapsed(), n);
 
-    // Stage 4 — execution: run the generated SQL for real.
+    // Stage 5 — execution: run the generated SQL for real.
     let t0 = Instant::now();
     let executed = par_map(
         &instances.iter().zip(&stmts).collect::<Vec<_>>(),
@@ -130,6 +209,18 @@ fn main() {
     perf.push_stage("execution", t0.elapsed(), n);
     assert!(executed.iter().all(|&ok| ok), "generated SQL must execute");
 
+    let trace_speedup = perf
+        .stage_ms("trace_gen_eager_baseline")
+        .zip(perf.stage_ms("trace_gen"))
+        .map(|(eager, lazy)| eager / lazy)
+        .unwrap_or(f64::NAN);
+    perf.note(format!(
+        "trace_gen lazy-vs-eager-full-stack speedup: {trace_speedup:.2}x \
+         ({} of {} layers synthesized for tables, {} for columns)",
+        layers_t.count(linker.n_layers),
+        linker.n_layers,
+        layers_c.count(linker.n_layers),
+    ));
     let speedup = perf
         .stage_ms("monitoring_per_token_baseline")
         .zip(perf.stage_ms("monitoring"))
@@ -142,6 +233,17 @@ fn main() {
         "total flags raised: {} over {n} instances",
         flags.iter().sum::<usize>()
     ));
+    perf.note(format!(
+        "monitored linking (abstain-only) abstained on {abstained} of {} runs",
+        2 * n
+    ));
+    perf.note(
+        "stage semantics changed in PR 2: records before it bundled trace \
+         generation into a stage tagged 'linking'; that cost is now 'trace_gen' \
+         and 'linking' times the monitored run_rts_linking runtime instead — \
+         do not compare 'linking' across that boundary"
+            .to_string(),
+    );
 
     print!("{}", perf.render());
     perf.save_bench_json(std::path::Path::new("."))

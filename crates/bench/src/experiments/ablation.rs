@@ -7,8 +7,8 @@ use crate::context::Context;
 use crate::report::Report;
 use conformal::LabelSet;
 use rts_core::bpp::{ConformalKind, Mbpp, MbppConfig, MergeMethod, ProbeConfig, SbppScratch};
-use rts_core::par::par_map;
-use simlm::{GenMode, LinkTarget, Vocab};
+use rts_core::par::par_map_with;
+use simlm::{GenMode, LinkTarget, SynthScratch, Vocab};
 use tinynn::Matrix;
 
 /// Probe-depth ablation: logistic vs 1-hidden vs 2-hidden probes.
@@ -161,15 +161,22 @@ pub fn ablation_merge_sets(ctx: &Context) -> Report {
         let mbpp = arts.mbpp_tables.with_method(method);
         // Per-instance RNG (seed ⊕ id) keeps the permutation merge
         // deterministic under the instance-parallel fan-out; per-probe
-        // batched scoring replaces the per-token predict_set calls.
-        let stats = par_map(sample, |inst| {
+        // batched scoring replaces the per-token predict_set calls, and
+        // traces carry only the selected probes' layers.
+        let layers = mbpp.layer_set();
+        let stats = par_map_with(sample, SynthScratch::default, |synth, inst| {
             let mut rng = super::instance_rng(ctx.seed ^ 0xA4, inst.id);
             let mut scratch = SbppScratch::default();
             let mut packed = Matrix::default();
             let mut vocab = Vocab::new();
-            let trace =
-                arts.linker
-                    .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            let trace = arts.linker.generate_with_layers(
+                inst,
+                &mut vocab,
+                LinkTarget::Tables,
+                GenMode::TeacherForced,
+                &layers,
+                synth,
+            );
             let n_tokens = trace.steps.len();
             let sets_per_probe: Vec<Vec<LabelSet>> = mbpp
                 .selected

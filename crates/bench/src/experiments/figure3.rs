@@ -4,8 +4,8 @@
 
 use crate::context::Context;
 use crate::report::Report;
-use rts_core::par::par_map;
-use simlm::{GenMode, LinkTarget, Vocab};
+use rts_core::par::par_map_with;
+use simlm::{GenMode, LayerSet, LinkTarget, SynthScratch, Vocab};
 
 /// Figure 3a: the over-confidence histogram. Reported as the share of
 /// tokens with softmax probability above 0.9 / 0.95 / 0.99, per class.
@@ -19,17 +19,29 @@ pub fn figure3a(ctx: &Context) -> Report {
     );
     let mut branch = Vec::new();
     let mut clean = Vec::new();
-    let per_instance = par_map(&arts.bench.split.dev, |inst| {
-        let mut vocab = Vocab::new();
-        let trace =
-            arts.linker
-                .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
-        trace
-            .steps
-            .iter()
-            .map(|s| (s.is_branch, s.softmax_prob))
-            .collect::<Vec<_>>()
-    });
+    // Only softmax probabilities and branch labels are read — skip
+    // hidden-state synthesis entirely.
+    let layers = LayerSet::none();
+    let per_instance = par_map_with(
+        &arts.bench.split.dev,
+        SynthScratch::default,
+        |synth, inst| {
+            let mut vocab = Vocab::new();
+            let trace = arts.linker.generate_with_layers(
+                inst,
+                &mut vocab,
+                LinkTarget::Tables,
+                GenMode::TeacherForced,
+                &layers,
+                synth,
+            );
+            trace
+                .steps
+                .iter()
+                .map(|s| (s.is_branch, s.softmax_prob))
+                .collect::<Vec<_>>()
+        },
+    );
     for (is_branch, prob) in per_instance.into_iter().flatten() {
         if is_branch {
             branch.push(prob);
@@ -85,18 +97,33 @@ pub fn figure3b(ctx: &Context) -> Report {
     let mut histogram = [0usize; 5]; // 1, 2, 3, 4, 5+
     let mut erroneous = 0usize;
     // Count across both linking stages, as the paper traces full
-    // schema-linking answers.
-    let branch_counts = par_map(&arts.bench.split.dev, |inst| {
-        let mut vocab = Vocab::new();
-        let t = arts
-            .linker
-            .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
-        let mut v2 = Vocab::new();
-        let c = arts
-            .linker
-            .generate(inst, &mut v2, LinkTarget::Columns, GenMode::TeacherForced);
-        t.n_branches + c.n_branches
-    });
+    // schema-linking answers. Branch counts need no hidden state.
+    let layers = LayerSet::none();
+    let branch_counts = par_map_with(
+        &arts.bench.split.dev,
+        SynthScratch::default,
+        |synth, inst| {
+            let mut vocab = Vocab::new();
+            let t = arts.linker.generate_with_layers(
+                inst,
+                &mut vocab,
+                LinkTarget::Tables,
+                GenMode::TeacherForced,
+                &layers,
+                synth,
+            );
+            let mut v2 = Vocab::new();
+            let c = arts.linker.generate_with_layers(
+                inst,
+                &mut v2,
+                LinkTarget::Columns,
+                GenMode::TeacherForced,
+                &layers,
+                synth,
+            );
+            t.n_branches + c.n_branches
+        },
+    );
     for n in branch_counts {
         if n > 0 {
             erroneous += 1;

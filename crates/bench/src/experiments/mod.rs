@@ -18,8 +18,8 @@ pub mod userstudy;
 use crate::context::BenchArtifacts;
 use rts_core::bpp::{BppScratch, Mbpp, SbppScratch};
 use rts_core::metrics::{coverage_metrics, CoverageMetrics, LinkingMetrics};
-use rts_core::par::{par_map, par_map_with};
-use simlm::{GenMode, LinkTarget, Vocab};
+use rts_core::par::par_map_with;
+use simlm::{GenMode, LayerSet, LinkTarget, SynthScratch, Vocab};
 use tinynn::Matrix;
 
 /// Per-instance RNG for experiment-side randomness (the permutation
@@ -27,26 +27,38 @@ use tinynn::Matrix;
 /// and experiment seeding in lock-step with monitored linking.
 pub(crate) use rts_core::par::instance_rng;
 
-/// Free-run schema linking metrics (EM/P/R) over a split.
+/// Free-run schema linking metrics (EM/P/R) over a split. Only the
+/// predicted element sets are read, so hidden-state synthesis is
+/// skipped entirely ([`LayerSet::none`]).
 pub fn free_linking_metrics(
     arts: &BenchArtifacts,
     split: &[benchgen::Instance],
     target: LinkTarget,
 ) -> LinkingMetrics {
-    let pairs: Vec<(Vec<String>, Vec<String>)> = par_map(split, |inst| {
-        let mut vocab = Vocab::new();
-        let trace = arts
-            .linker
-            .generate(inst, &mut vocab, target, GenMode::Free);
-        let mut gold = simlm::SchemaLinker::gold_elements(inst, target);
-        gold.sort();
-        (gold, trace.predicted_set())
-    });
+    let layers = LayerSet::none();
+    let pairs: Vec<(Vec<String>, Vec<String>)> =
+        par_map_with(split, SynthScratch::default, |synth, inst| {
+            let mut vocab = Vocab::new();
+            let trace = arts.linker.generate_with_layers(
+                inst,
+                &mut vocab,
+                target,
+                GenMode::Free,
+                &layers,
+                synth,
+            );
+            let mut gold = simlm::SchemaLinker::gold_elements(inst, target);
+            gold.sort();
+            (gold, trace.predicted_set())
+        });
     let (golds, preds): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
     rts_core::metrics::linking_metrics(&golds, &preds)
 }
 
 /// Coverage/EAR of an mBPP over teacher-forced traces of a split.
+/// Traces are synthesized lazily with exactly the layers the mBPP's
+/// selected probes read — flags are bit-identical to the eager
+/// full-stack path.
 pub fn coverage_over_split(
     arts: &BenchArtifacts,
     mbpp: &Mbpp,
@@ -54,19 +66,26 @@ pub fn coverage_over_split(
     target: LinkTarget,
     seed: u64,
 ) -> CoverageMetrics {
-    let per_instance: Vec<Vec<(bool, bool)>> =
-        par_map_with(split, BppScratch::default, |scratch, inst| {
-            let mut rng = instance_rng(seed, inst.id);
-            let mut vocab = Vocab::new();
-            let trace = arts
-                .linker
-                .generate(inst, &mut vocab, target, GenMode::TeacherForced);
-            mbpp.flag_trace_with_scratch(&trace, &mut rng, scratch)
-                .iter()
-                .zip(&trace.steps)
-                .map(|(p, s)| (*p, s.is_branch))
-                .collect()
-        });
+    let layers = mbpp.layer_set();
+    let scratches = || (BppScratch::default(), SynthScratch::default());
+    let per_instance: Vec<Vec<(bool, bool)>> = par_map_with(split, scratches, |state, inst| {
+        let (scratch, synth) = state;
+        let mut rng = instance_rng(seed, inst.id);
+        let mut vocab = Vocab::new();
+        let trace = arts.linker.generate_with_layers(
+            inst,
+            &mut vocab,
+            target,
+            GenMode::TeacherForced,
+            &layers,
+            synth,
+        );
+        mbpp.flag_trace_with_scratch(&trace, &mut rng, scratch)
+            .iter()
+            .zip(&trace.steps)
+            .map(|(p, s)| (*p, s.is_branch))
+            .collect()
+    });
     let flags: Vec<(bool, bool)> = per_instance.into_iter().flatten().collect();
     coverage_metrics(&flags)
 }
@@ -82,13 +101,25 @@ pub fn selected_auc_on_split(
     target: LinkTarget,
 ) -> f64 {
     type InstanceScores = (Vec<Vec<f64>>, Vec<bool>);
-    let scores_scratch = || (SbppScratch::default(), Matrix::default());
+    let layers = mbpp.layer_set();
+    let scores_scratch = || {
+        (
+            SbppScratch::default(),
+            Matrix::default(),
+            SynthScratch::default(),
+        )
+    };
     let per_instance: Vec<InstanceScores> = par_map_with(split, scores_scratch, |state, inst| {
-        let (scratch, packed) = state;
+        let (scratch, packed, synth) = state;
         let mut vocab = Vocab::new();
-        let trace = arts
-            .linker
-            .generate(inst, &mut vocab, target, GenMode::TeacherForced);
+        let trace = arts.linker.generate_with_layers(
+            inst,
+            &mut vocab,
+            target,
+            GenMode::TeacherForced,
+            &layers,
+            synth,
+        );
         let labels: Vec<bool> = trace.steps.iter().map(|s| s.is_branch).collect();
         let scores: Vec<Vec<f64>> = mbpp
             .selected

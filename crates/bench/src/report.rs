@@ -161,8 +161,9 @@ impl Report {
 /// Wall-time of one pipeline stage, measured by the `perf` binary.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StageTiming {
-    /// Stage tag: "linking", "monitoring", "sqlgen", "execution", plus
-    /// diagnostic variants (e.g. "monitoring_per_token_baseline").
+    /// Stage tag: "trace_gen", "linking", "monitoring", "sqlgen",
+    /// "execution", plus diagnostic variants (e.g.
+    /// "trace_gen_eager_baseline", "monitoring_per_token_baseline").
     pub stage: String,
     pub wall_ms: f64,
     pub per_instance_us: f64,
@@ -175,17 +176,24 @@ pub struct StageTiming {
 pub struct PerfReport {
     pub scale: f64,
     pub seed: u64,
+    /// The *configured* worker count (`RTS_THREADS` or detected cores).
     pub threads: usize,
+    /// What `std::thread::available_parallelism` actually reported on
+    /// the measuring machine. The configured count can silently exceed
+    /// this (e.g. `"threads": 8` recorded on a 1-core CI container), so
+    /// the record keeps both to make timings comparable across hosts.
+    pub effective_parallelism: usize,
     pub stages: Vec<StageTiming>,
     pub notes: Vec<String>,
 }
 
 impl PerfReport {
-    pub fn new(scale: f64, seed: u64, threads: usize) -> Self {
+    pub fn new(scale: f64, seed: u64, threads: usize, effective_parallelism: usize) -> Self {
         Self {
             scale,
             seed,
             threads,
+            effective_parallelism,
             stages: Vec::new(),
             notes: Vec::new(),
         }
@@ -230,8 +238,8 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== BENCH_rts (scale {}, seed {:#x}, {} threads)",
-            self.scale, self.seed, self.threads
+            "== BENCH_rts (scale {}, seed {:#x}, {} threads configured, {} effective)",
+            self.scale, self.seed, self.threads, self.effective_parallelism
         );
         let _ = writeln!(
             out,
@@ -298,19 +306,21 @@ mod tests {
 
     #[test]
     fn perf_report_roundtrips_and_renders() {
-        let mut p = PerfReport::new(0.05, 7, 4);
-        p.push_stage("linking", std::time::Duration::from_millis(120), 60);
+        let mut p = PerfReport::new(0.05, 7, 4, 1);
+        p.push_stage("trace_gen", std::time::Duration::from_millis(120), 60);
         p.push_stage("monitoring", std::time::Duration::from_micros(900), 60);
         p.note("smoke");
         let json = serde_json::to_string_pretty(&p).unwrap();
         let back: PerfReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.stages.len(), 2);
-        assert_eq!(back.stages[0].stage, "linking");
+        assert_eq!(back.stages[0].stage, "trace_gen");
         assert!((back.stages[0].wall_ms - 120.0).abs() < 1e-9);
         assert_eq!(back.stage_ms("monitoring"), Some(p.stages[1].wall_ms));
         assert!((back.stages[0].per_instance_us - 2000.0).abs() < 1e-6);
+        assert_eq!(back.effective_parallelism, 1);
         let text = p.render();
-        assert!(text.contains("linking"));
+        assert!(text.contains("trace_gen"));
+        assert!(text.contains("4 threads configured, 1 effective"));
         assert!(text.contains("BENCH_rts"));
     }
 }

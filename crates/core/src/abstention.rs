@@ -48,6 +48,13 @@ pub struct RtsConfig {
     /// scoring path. Flags are identical either way (see the parity
     /// proptest); this knob exists for A/B benchmarking and debugging.
     pub per_token_monitoring: bool,
+    /// Synthesize the full hidden stack for every generated trace
+    /// instead of only the layers the monitor reads (the pre-lazy
+    /// reference behaviour). Outcomes are identical either way — lazy
+    /// layers are bit-equal to their eager counterparts (see the
+    /// lazy/eager parity proptests); this knob exists for A/B
+    /// benchmarking and debugging, mirroring `per_token_monitoring`.
+    pub eager_synthesis: bool,
 }
 
 impl Default for RtsConfig {
@@ -56,6 +63,7 @@ impl Default for RtsConfig {
             max_rounds: 0,
             seed: 0xC0FFEE,
             per_token_monitoring: false,
+            eager_synthesis: false,
         }
     }
 }
@@ -95,9 +103,30 @@ pub fn run_rts_linking(
     };
     let mut rng = crate::par::instance_rng(config.seed, inst.id);
 
+    // Lazy hidden-state synthesis: monitored traces only materialise
+    // the layers the mBPP's selected probes read (~k of n_layers), and
+    // the unmonitored counterfactual — which is only consulted for its
+    // predicted element set — materialises none at all. Both are
+    // observably identical to eager full-stack generation (per-layer
+    // gaussian streams are independently seeded), so flags, outcomes
+    // and the experiment corpus are unchanged.
+    let (monitor_layers, baseline_layers) = if config.eager_synthesis {
+        (simlm::LayerSet::all(), simlm::LayerSet::all())
+    } else {
+        (mbpp.layer_set(), simlm::LayerSet::none())
+    };
+    let mut synth = simlm::SynthScratch::default();
+
     // The unmonitored counterfactual (for TAR/FAR accounting).
     let mut vocab = Vocab::new();
-    let baseline = model.generate(inst, &mut vocab, target, GenMode::Free);
+    let baseline = model.generate_with_layers(
+        inst,
+        &mut vocab,
+        target,
+        GenMode::Free,
+        &baseline_layers,
+        &mut synth,
+    );
     let would_be_correct = baseline.predicted_set() == gold_set;
 
     let max_rounds = if config.max_rounds == 0 {
@@ -114,8 +143,15 @@ pub fn run_rts_linking(
 
     for _round in 0..max_rounds {
         let mut vocab = Vocab::new();
-        let trace =
-            model.generate_with_overrides(inst, &mut vocab, target, GenMode::Free, &overrides);
+        let trace = model.generate_with_overrides_and_layers(
+            inst,
+            &mut vocab,
+            target,
+            GenMode::Free,
+            &overrides,
+            &monitor_layers,
+            &mut synth,
+        );
         let flags = if config.per_token_monitoring {
             mbpp.flag_trace_per_token(&trace, &mut rng)
         } else {

@@ -430,6 +430,16 @@ impl Mbpp {
         order
     }
 
+    /// The hidden layers this monitor actually reads: the selected
+    /// probes' layers as a [`simlm::LayerSet`], handed to the lazy
+    /// trace-generation path so only those layers are synthesized.
+    /// Every `flag_trace*` / [`Mbpp::is_branch`] call touches exactly
+    /// these layers, so monitoring a lazily synthesized trace is
+    /// bit-identical to monitoring an eager full-stack one.
+    pub fn layer_set(&self) -> simlm::LayerSet {
+        simlm::LayerSet::select(self.selected.iter().map(|&i| self.sbpps[i].layer))
+    }
+
     /// Mean AUC over the *selected* probes (what Table 3 reports for the
     /// sBPPs used in conformal prediction).
     pub fn mean_selected_auc(&self) -> f64 {
@@ -449,6 +459,10 @@ impl Mbpp {
     ///
     /// Empty per-layer sets are abstentions and are excluded from the
     /// merge; a token every layer abstains on is not flagged.
+    ///
+    /// Only the selected probes' layers are read, so `hidden` may be a
+    /// lazily synthesized stack as long as it covers
+    /// [`Mbpp::layer_set`] (the monitored runtime's production path).
     pub fn is_branch(&self, hidden: &simlm::HiddenStack, rng: &mut SplitMix64) -> bool {
         let sets: Vec<LabelSet> = self
             .selected

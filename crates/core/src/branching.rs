@@ -3,7 +3,7 @@
 //! per-layer hidden-state vectors together with the branching-point
 //! label `s_i ∈ {0, 1}`.
 
-use simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+use simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
 use tinynn::Matrix;
 
 /// The branching-point dataset: per-layer feature matrices sharing one
@@ -38,10 +38,24 @@ impl BranchDataset {
         };
         assert!(take > 0, "no instances to trace");
         // Tracing is per-instance deterministic; fan it out and flatten
-        // in instance order so the dataset is identical to a serial build.
-        let traces = crate::par::par_map(&instances[..take], |inst| {
-            let mut vocab = Vocab::new();
-            model.generate(inst, &mut vocab, target, GenMode::TeacherForced)
+        // in instance order so the dataset is identical to a serial
+        // build. Probe training reads *every* layer, so this is one of
+        // the paths that keeps requesting the full stack; the per-worker
+        // scratch only amortises the synthesis buffers.
+        let layers = LayerSet::all();
+        let traces = crate::par::par_map_with(&instances[..take], SynthScratch::default, {
+            let layers = &layers;
+            move |synth, inst| {
+                let mut vocab = Vocab::new();
+                model.generate_with_layers(
+                    inst,
+                    &mut vocab,
+                    target,
+                    GenMode::TeacherForced,
+                    layers,
+                    synth,
+                )
+            }
         });
         let mut rows_per_layer: Vec<Vec<f32>> = vec![Vec::new(); model.n_layers];
         let mut labels: Vec<f32> = Vec::new();

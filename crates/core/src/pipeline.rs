@@ -146,7 +146,10 @@ pub fn measure_ex(
 /// The instance level is parallel: outcomes are indexed by instance and
 /// every run seeds its RNG from `RtsConfig::seed` and the instance id,
 /// so this returns exactly what the serial loop would (pinned by the
-/// `parallel_pipeline_matches_serial` proptest).
+/// `parallel_pipeline_matches_serial` proptest). Within each instance,
+/// monitored linking synthesizes only the hidden layers the mBPPs read
+/// (`RtsConfig::eager_synthesis` restores the full-stack reference
+/// path; outcomes are identical either way).
 #[allow(clippy::too_many_arguments)] // mirrors the paper's pipeline stages
 pub fn run_full_pipeline(
     bench: &Benchmark,

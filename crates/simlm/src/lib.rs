@@ -42,7 +42,8 @@ pub mod vocab;
 
 pub use linearize::{decode_elements, linearize_columns, linearize_tables};
 pub use model::{
-    Decision, GenMode, GenerationTrace, HiddenStack, LinkTarget, SchemaLinker, StepTrace,
+    Decision, GenMode, GenerationTrace, HiddenStack, LayerSet, LinkTarget, SchemaLinker, StepTrace,
+    SynthScratch,
 };
 pub use profile::CompetenceProfile;
 pub use trie::Trie;

@@ -34,6 +34,7 @@ use crate::profile::CompetenceProfile;
 use crate::vocab::{TokenId, Vocab, TOK_COLON, TOK_COLUMNS, TOK_COMMA, TOK_END, TOK_TABLES};
 use benchgen::{GoldLink, Instance};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tinynn::rng::{stable_hash, SplitMix64};
 
 /// What is being linked.
@@ -69,27 +70,126 @@ impl Decision {
     }
 }
 
-/// Contiguous per-token hidden-state stack (`n_layers × dim`,
-/// row-major). One allocation per token instead of one per layer keeps
-/// trace generation allocation-light and gives the batched monitoring
-/// path cache-friendly, pack-ready rows.
+/// Which hidden layers a consumer wants synthesized.
+///
+/// The mBPP only ever reads its `k` selected probe layers (~5 of 30),
+/// and the unmonitored counterfactual run in the RTS runtime reads no
+/// hidden state at all — synthesizing the full stack for those callers
+/// is the dominant per-instance cost. A `LayerSet` threads the request
+/// down into [`SchemaLinker::hidden_states`] so only the layers that
+/// will actually be read are materialised. Skipping a layer is
+/// bit-exact safe: every layer's gaussian streams are independently
+/// seeded from `(token, layer, instance, position)`, so the synthesized
+/// layers are identical to their full-stack counterparts (pinned by the
+/// lazy/eager parity proptests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSet {
+    /// `None` = every layer (the full-stack default for training paths
+    /// like `BranchDataset::build`); `Some` = sorted, deduplicated
+    /// layer indices. Shared (`Arc`) so each token's [`HiddenStack`]
+    /// can carry the mapping without per-token allocation.
+    sel: Option<Arc<[usize]>>,
+}
+
+impl LayerSet {
+    /// Every layer — the eager full-stack default.
+    pub fn all() -> Self {
+        Self { sel: None }
+    }
+
+    /// No layers at all: token/probability observables only. The RTS
+    /// runtime uses this for the unmonitored counterfactual, which only
+    /// reads `predicted_set()`.
+    pub fn none() -> Self {
+        Self {
+            sel: Some(Arc::from(Vec::new())),
+        }
+    }
+
+    /// A specific set of layers (sorted and deduplicated here).
+    pub fn select(layers: impl IntoIterator<Item = usize>) -> Self {
+        let mut sel: Vec<usize> = layers.into_iter().collect();
+        sel.sort_unstable();
+        sel.dedup();
+        Self {
+            sel: Some(Arc::from(sel)),
+        }
+    }
+
+    /// Does the set request the full stack?
+    pub fn is_all(&self) -> bool {
+        self.sel.is_none()
+    }
+
+    /// Is layer `j` requested?
+    pub fn contains(&self, j: usize) -> bool {
+        match &self.sel {
+            None => true,
+            Some(sel) => sel.binary_search(&j).is_ok(),
+        }
+    }
+
+    /// Number of layers synthesized for a model of `n_layers` depth.
+    pub fn count(&self, n_layers: usize) -> usize {
+        match &self.sel {
+            None => n_layers,
+            Some(sel) => sel.len(),
+        }
+    }
+}
+
+/// Contiguous per-token hidden-state stack, row-major. One allocation
+/// per token instead of one per layer keeps trace generation
+/// allocation-light and gives the batched monitoring path
+/// cache-friendly, pack-ready rows.
+///
+/// A stack is either *dense* (row `r` is layer `r` — what the default
+/// full-stack [`SchemaLinker::generate`] produces) or *selected* (rows
+/// correspond to an explicit sorted list of layer indices — what lazy
+/// synthesis under a [`LayerSet`] produces). [`HiddenStack::layer`]
+/// indexes by the original layer id either way, so consumers like the
+/// mBPP read `hidden.layer(probe.layer)` without caring which mode
+/// produced the stack.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HiddenStack {
     dim: usize,
     data: Vec<f32>,
+    /// `None` = dense; `Some` = row `r` holds layer `layers[r]`.
+    layers: Option<Arc<[usize]>>,
 }
 
 impl HiddenStack {
-    /// Build from a flat row-major buffer of `n_layers × dim`.
+    /// Build a dense stack from a flat row-major buffer of
+    /// `n_layers × dim`.
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(
             dim > 0 && data.len().is_multiple_of(dim),
             "flat hidden buffer shape mismatch"
         );
-        Self { dim, data }
+        Self {
+            dim,
+            data,
+            layers: None,
+        }
     }
 
-    /// Number of layers in the stack (mirrors the old `Vec` API).
+    /// Build a selected-layer stack: row `r` of `data` is layer
+    /// `layers[r]` (sorted, deduplicated — [`LayerSet::select`]'s
+    /// invariant).
+    pub fn from_selected(dim: usize, data: Vec<f32>, layers: Arc<[usize]>) -> Self {
+        assert!(
+            dim > 0 && data.len() == layers.len() * dim,
+            "selected hidden buffer shape mismatch"
+        );
+        Self {
+            dim,
+            data,
+            layers: Some(layers),
+        }
+    }
+
+    /// Number of synthesized layers in the stack (mirrors the old
+    /// `Vec` API; equals the model depth only for dense stacks).
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.data.len() / self.dim
@@ -100,15 +200,47 @@ impl HiddenStack {
         self.dim
     }
 
-    /// One layer's hidden-state vector.
-    #[inline]
-    pub fn layer(&self, j: usize) -> &[f32] {
-        &self.data[j * self.dim..(j + 1) * self.dim]
+    /// Was layer `j` synthesized into this stack?
+    pub fn has_layer(&self, j: usize) -> bool {
+        match &self.layers {
+            None => j < self.len(),
+            Some(layers) => layers.binary_search(&j).is_ok(),
+        }
     }
 
-    /// Iterate over layers in depth order.
+    /// One layer's hidden-state vector, indexed by *original* layer id.
+    /// Panics if the layer was not synthesized (a lazy trace being read
+    /// by a consumer that never requested that layer is a logic error,
+    /// not a recoverable condition).
+    #[inline]
+    pub fn layer(&self, j: usize) -> &[f32] {
+        let row = match &self.layers {
+            None => j,
+            Some(layers) => layers
+                .binary_search(&j)
+                .unwrap_or_else(|_| panic!("layer {j} not synthesized in lazy hidden stack")),
+        };
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Iterate over the synthesized rows in depth order. For dense
+    /// stacks this is every layer; for selected stacks pair it with
+    /// [`HiddenStack::layer_indices`] to know which layer each row is.
     pub fn iter(&self) -> std::slice::ChunksExact<'_, f32> {
         self.data.chunks_exact(self.dim)
+    }
+
+    /// The original layer id of each stored row, in row order.
+    pub fn layer_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let dense = self.layers.is_none();
+        let n = self.len();
+        (0..n).map(move |r| {
+            if dense {
+                r
+            } else {
+                self.layers.as_ref().unwrap()[r]
+            }
+        })
     }
 }
 
@@ -136,7 +268,9 @@ pub struct StepTrace {
     pub token: TokenId,
     /// Softmax probability of the emitted token (over-confident).
     pub softmax_prob: f64,
-    /// `n_layers` hidden-state vectors of `hidden_dim` each.
+    /// Hidden-state vectors of `hidden_dim` each: all `n_layers` under
+    /// the default full-stack generation, or only the requested subset
+    /// when the trace was produced lazily under a [`LayerSet`].
     pub hidden: HiddenStack,
     /// Teacher-forced mode: is this position a branching point?
     pub is_branch: bool,
@@ -344,7 +478,8 @@ impl SchemaLinker {
         Decision::Omit
     }
 
-    /// Generate for an instance. See module docs for mode semantics.
+    /// Generate for an instance with a full hidden-state stack. See
+    /// module docs for mode semantics.
     pub fn generate(
         &self,
         inst: &Instance,
@@ -358,7 +493,7 @@ impl SchemaLinker {
     /// Generate with per-element decision overrides (the mitigation
     /// loop's "continue after correction": a human confirming the gold
     /// element pins its decision to `Correct`; a human mis-confirming a
-    /// wrong candidate pins `Substitute`).
+    /// wrong candidate pins `Substitute`). Full hidden-state stack.
     pub fn generate_with_overrides(
         &self,
         inst: &Instance,
@@ -366,6 +501,56 @@ impl SchemaLinker {
         target: LinkTarget,
         mode: GenMode,
         overrides: &HashMap<String, Decision>,
+    ) -> GenerationTrace {
+        self.generate_with_overrides_and_layers(
+            inst,
+            vocab,
+            target,
+            mode,
+            overrides,
+            &LayerSet::all(),
+            &mut SynthScratch::default(),
+        )
+    }
+
+    /// [`SchemaLinker::generate`] synthesizing only the requested
+    /// layers. Every synthesized layer is bit-identical to its
+    /// full-stack counterpart (per-layer gaussian streams are
+    /// independently seeded), so monitoring a lazy trace raises exactly
+    /// the flags monitoring an eager trace would. `scratch` is reused
+    /// across calls, keeping steady-state synthesis allocation-light.
+    pub fn generate_with_layers(
+        &self,
+        inst: &Instance,
+        vocab: &mut Vocab,
+        target: LinkTarget,
+        mode: GenMode,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
+    ) -> GenerationTrace {
+        self.generate_with_overrides_and_layers(
+            inst,
+            vocab,
+            target,
+            mode,
+            &HashMap::new(),
+            layers,
+            scratch,
+        )
+    }
+
+    /// The full-control generation entry point: decision overrides plus
+    /// a [`LayerSet`] selecting which hidden layers to synthesize.
+    #[allow(clippy::too_many_arguments)] // the one fully-explicit entry point
+    pub fn generate_with_overrides_and_layers(
+        &self,
+        inst: &Instance,
+        vocab: &mut Vocab,
+        target: LinkTarget,
+        mode: GenMode,
+        overrides: &HashMap<String, Decision>,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
     ) -> GenerationTrace {
         let gold = Self::gold_elements(inst, target);
         let n = gold.len();
@@ -673,7 +858,7 @@ impl SchemaLinker {
                     (1.0 - 0.008 * srng.next_gaussian().abs()).clamp(0.9, 0.99995)
                 };
 
-                let hidden = self.hidden_states(inst, pos, tok, s);
+                let hidden = self.hidden_states_for(inst, pos, tok, s, layers, scratch);
                 tokens.push(tok);
                 steps.push(StepTrace {
                     token: tok,
@@ -705,39 +890,58 @@ impl SchemaLinker {
     /// correlated mistakes, exactly the regime the paper's merge
     /// theorems are designed for (they assume nothing about
     /// independence).
-    fn hidden_states(&self, inst: &Instance, pos: usize, tok: TokenId, s: f64) -> HiddenStack {
+    ///
+    /// Only the layers in `layers` are synthesized. Every gaussian
+    /// stream here is pinned to the sequential
+    /// [`SplitMix64::next_gaussian`] consumption pattern: the committed
+    /// experiment corpus (`results/*.json`) and the lazy/eager parity
+    /// contract both depend on these exact draws, so the pair-using
+    /// [`SplitMix64::fill_gaussian`] sampler — although it would halve
+    /// the uniform draws for the shared-content vectors — must not be
+    /// used on any of them.
+    fn hidden_states_for(
+        &self,
+        inst: &Instance,
+        pos: usize,
+        tok: TokenId,
+        s: f64,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
+    ) -> HiddenStack {
+        let n_rows = layers.count(self.n_layers);
+        if let Some(sel) = &layers.sel {
+            if let Some(&max) = sel.last() {
+                assert!(max < self.n_layers, "layer {max} out of range");
+            }
+            if sel.is_empty() {
+                // Token/probability observables only: no consumer will
+                // read hidden state, so skip the gaussian work entirely
+                // (the per-token RNGs are freshly seeded, so skipping
+                // them perturbs nothing else).
+                return HiddenStack::from_selected(self.hidden_dim, Vec::new(), sel.clone());
+            }
+        }
+
         // Shared token content: one draw per dimension, reused by every
         // layer.
-        let mut shared_rng = SplitMix64::new(stable_hash(
-            &[
-                tok.to_le_bytes().as_slice(),
-                &inst.id.to_le_bytes(),
-                &(pos as u32).to_le_bytes(),
-            ]
-            .concat(),
-        ));
+        let mut shared_rng = SplitMix64::new(stable_hash(&token_key(tok, inst.id, pos)));
         let mut shared_noise_rng = SplitMix64::new(
             self.seed ^ inst.id.rotate_left(23) ^ ((pos as u64) << 32) ^ 0xD6E8_FEB8_6659_FD93,
         );
-        let shared_base: Vec<f64> = (0..self.hidden_dim)
-            .map(|_| shared_rng.next_gaussian())
-            .collect();
-        let shared_noise: Vec<f64> = (0..self.hidden_dim)
-            .map(|_| shared_noise_rng.next_gaussian())
-            .collect();
+        scratch.shared_base.clear();
+        scratch
+            .shared_base
+            .extend((0..self.hidden_dim).map(|_| shared_rng.next_gaussian()));
+        scratch.shared_noise.clear();
+        scratch
+            .shared_noise
+            .extend((0..self.hidden_dim).map(|_| shared_noise_rng.next_gaussian()));
+        let shared_base = &scratch.shared_base;
+        let shared_noise = &scratch.shared_noise;
 
-        let mut out = Vec::with_capacity(self.n_layers * self.hidden_dim);
-        for j in 0..self.n_layers {
-            let h = &mut out;
-            let mut base_rng = SplitMix64::new(stable_hash(
-                &[
-                    tok.to_le_bytes().as_slice(),
-                    &(j as u32).to_le_bytes(),
-                    &inst.id.to_le_bytes(),
-                    &(pos as u32).to_le_bytes(),
-                ]
-                .concat(),
-            ));
+        let mut out = Vec::with_capacity(n_rows * self.hidden_dim);
+        let synth_layer = |j: usize, h: &mut Vec<f32>| {
+            let mut base_rng = SplitMix64::new(stable_hash(&layer_key(tok, j, inst.id, pos)));
             let mut noise_rng = SplitMix64::new(
                 self.seed
                     ^ inst.id.rotate_left(23)
@@ -757,9 +961,56 @@ impl SchemaLinker {
                     self.noise_amp * (SHARE * shared_noise[d] + mix * noise_rng.next_gaussian());
                 h.push((base + signal + noise) as f32);
             }
+        };
+        match &layers.sel {
+            None => {
+                for j in 0..self.n_layers {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_flat(self.hidden_dim, out)
+            }
+            Some(sel) => {
+                for &j in sel.iter() {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_selected(self.hidden_dim, out, sel.clone())
+            }
         }
-        HiddenStack::from_flat(self.hidden_dim, out)
     }
+}
+
+/// Reusable buffers for [`SchemaLinker`] hidden-state synthesis: the
+/// shared-content vectors redrawn per token. One instance per trace (or
+/// per worker thread) keeps steady-state synthesis free of the
+/// per-token allocations the old path paid, mirroring how `BppScratch`
+/// amortises the monitoring path.
+#[derive(Debug, Default, Clone)]
+pub struct SynthScratch {
+    shared_base: Vec<f64>,
+    shared_noise: Vec<f64>,
+}
+
+/// Seed bytes for the per-token shared-content stream — the same byte
+/// string the old `[..].concat()` built, without the allocation.
+#[inline]
+fn token_key(tok: TokenId, inst_id: u64, pos: usize) -> [u8; 16] {
+    let mut key = [0u8; 16];
+    key[0..4].copy_from_slice(&tok.to_le_bytes());
+    key[4..12].copy_from_slice(&inst_id.to_le_bytes());
+    key[12..16].copy_from_slice(&(pos as u32).to_le_bytes());
+    key
+}
+
+/// Seed bytes for one layer's base-content stream (same layout as the
+/// old concat: token, layer, instance, position).
+#[inline]
+fn layer_key(tok: TokenId, layer: usize, inst_id: u64, pos: usize) -> [u8; 20] {
+    let mut key = [0u8; 20];
+    key[0..4].copy_from_slice(&tok.to_le_bytes());
+    key[4..8].copy_from_slice(&(layer as u32).to_le_bytes());
+    key[8..16].copy_from_slice(&inst_id.to_le_bytes());
+    key[16..20].copy_from_slice(&(pos as u32).to_le_bytes());
+    key
 }
 
 #[cfg(test)]
@@ -884,6 +1135,127 @@ mod tests {
             for h in &step.hidden {
                 assert_eq!(h.len(), m.hidden_dim);
             }
+        }
+    }
+
+    #[test]
+    fn lazy_selected_layers_are_bit_identical_to_eager() {
+        let b = bench();
+        let m = linker();
+        let layer_sets = [
+            LayerSet::select([0, 7, 19, 21, 29]),
+            LayerSet::select([21]),
+            LayerSet::select(0..m.n_layers),
+        ];
+        let mut scratch = SynthScratch::default();
+        for inst in b.split.dev.iter().take(20) {
+            let mut v1 = Vocab::new();
+            let eager = m.generate(inst, &mut v1, LinkTarget::Columns, GenMode::Free);
+            for layers in &layer_sets {
+                let mut v2 = Vocab::new();
+                let lazy = m.generate_with_layers(
+                    inst,
+                    &mut v2,
+                    LinkTarget::Columns,
+                    GenMode::Free,
+                    layers,
+                    &mut scratch,
+                );
+                assert_eq!(lazy.tokens, eager.tokens);
+                assert_eq!(lazy.decisions, eager.decisions);
+                for (ls, es) in lazy.steps.iter().zip(&eager.steps) {
+                    assert_eq!(ls.softmax_prob, es.softmax_prob);
+                    assert_eq!(ls.is_branch, es.is_branch);
+                    assert_eq!(ls.hidden.len(), layers.count(m.n_layers));
+                    for j in (0..m.n_layers).filter(|&j| layers.contains(j)) {
+                        assert_eq!(ls.hidden.layer(j), es.hidden.layer(j), "layer {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_layer_set_synthesizes_nothing_but_keeps_observables() {
+        let b = bench();
+        let m = linker();
+        let inst = &b.split.dev[0];
+        let mut v1 = Vocab::new();
+        let eager = m.generate(inst, &mut v1, LinkTarget::Tables, GenMode::Free);
+        let mut v2 = Vocab::new();
+        let mut scratch = SynthScratch::default();
+        let lazy = m.generate_with_layers(
+            inst,
+            &mut v2,
+            LinkTarget::Tables,
+            GenMode::Free,
+            &LayerSet::none(),
+            &mut scratch,
+        );
+        assert_eq!(lazy.tokens, eager.tokens);
+        assert_eq!(lazy.predicted_set(), eager.predicted_set());
+        for (ls, es) in lazy.steps.iter().zip(&eager.steps) {
+            assert_eq!(ls.hidden.len(), 0);
+            assert_eq!(ls.softmax_prob, es.softmax_prob);
+            assert_eq!(ls.is_branch, es.is_branch);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not synthesized")]
+    fn reading_an_unsynthesized_layer_panics() {
+        let b = bench();
+        let m = linker();
+        let inst = &b.split.dev[0];
+        let mut vocab = Vocab::new();
+        let mut scratch = SynthScratch::default();
+        let lazy = m.generate_with_layers(
+            inst,
+            &mut vocab,
+            LinkTarget::Tables,
+            GenMode::Free,
+            &LayerSet::select([3, 5]),
+            &mut scratch,
+        );
+        let _ = lazy.steps[0].hidden.layer(4);
+    }
+
+    #[test]
+    fn layer_set_api_contract() {
+        let all = LayerSet::all();
+        assert!(all.is_all() && all.contains(29));
+        assert_eq!(all.count(30), 30);
+        let none = LayerSet::none();
+        assert!(!none.is_all() && !none.contains(0));
+        assert_eq!(none.count(30), 0);
+        // Unsorted, duplicated input is normalised.
+        let sel = LayerSet::select([9, 2, 9, 21]);
+        assert_eq!(sel.count(30), 3);
+        assert!(sel.contains(2) && sel.contains(9) && sel.contains(21));
+        assert!(!sel.contains(10));
+    }
+
+    #[test]
+    fn lazy_stack_reports_layer_indices() {
+        let b = bench();
+        let m = linker();
+        let inst = &b.split.dev[0];
+        let mut vocab = Vocab::new();
+        let mut scratch = SynthScratch::default();
+        let lazy = m.generate_with_layers(
+            inst,
+            &mut vocab,
+            LinkTarget::Tables,
+            GenMode::Free,
+            &LayerSet::select([4, 17, 22]),
+            &mut scratch,
+        );
+        let stack = &lazy.steps[0].hidden;
+        assert_eq!(stack.layer_indices().collect::<Vec<_>>(), vec![4, 17, 22]);
+        assert!(stack.has_layer(17) && !stack.has_layer(16));
+        // Row iteration pairs with layer_indices.
+        for (row, j) in stack.iter().zip(stack.layer_indices()) {
+            assert_eq!(row, stack.layer(j));
         }
     }
 

@@ -55,14 +55,56 @@ impl SplitMix64 {
         (self.next_f64() * n as f64) as usize
     }
 
-    /// Standard normal via Box–Muller. Two uniforms per call; we discard
-    /// the second variate for simplicity (probe feature dims are small).
+    /// Standard normal via Box–Muller. Two uniforms per call; the second
+    /// variate is discarded. Kept byte-for-byte as-is because every
+    /// stream in the workspace (hidden-state corpus, probe training,
+    /// committed `results/*.json`) is pinned to this consumption
+    /// pattern; bulk consumers that are free to pick their own stream
+    /// should use [`SplitMix64::fill_gaussian`], which wastes nothing.
     #[inline]
     pub fn next_gaussian(&mut self) -> f64 {
         // Avoid ln(0).
         let u1 = self.next_f64().max(1e-12);
         let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Both Box–Muller variates from one pair of uniforms. The first
+    /// element is exactly what [`SplitMix64::next_gaussian`] returns
+    /// from the same state (and both consume two uniforms), so taking
+    /// `.0` is stream-compatible with the sequential sampler; the
+    /// second element is the `r·sin θ` twin that `next_gaussian`
+    /// throws away.
+    #[inline]
+    pub fn next_gaussian_pair(&mut self) -> (f64, f64) {
+        // Avoid ln(0).
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+
+    /// Fill `out` with standard normals using both Box–Muller variates:
+    /// two uniforms per *two* outputs instead of the two-per-one of
+    /// repeated [`SplitMix64::next_gaussian`] calls — half the RNG
+    /// draws and half the `ln`/`sqrt` evaluations for bulk synthesis.
+    ///
+    /// The resulting stream is NOT the same as `n` sequential
+    /// `next_gaussian` calls (those discard every `sin` twin), so this
+    /// must only be used where no consumer depends on the legacy
+    /// stream.
+    #[inline]
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let (a, b) = self.next_gaussian_pair();
+            pair[0] = a;
+            pair[1] = b;
+        }
+        if let [last] = chunks.into_remainder() {
+            *last = self.next_gaussian();
+        }
     }
 
     /// Bernoulli draw with probability `p`.
@@ -152,6 +194,73 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_pair_first_matches_sequential_sampler() {
+        // The pair sampler is a strict extension of `next_gaussian`:
+        // same uniforms consumed, same first variate, same state after.
+        let mut a = SplitMix64::new(99);
+        let mut b = a;
+        for _ in 0..200 {
+            let lone = a.next_gaussian();
+            let (first, second) = b.next_gaussian_pair();
+            assert_eq!(lone.to_bits(), first.to_bits());
+            assert_eq!(a, b, "pair call consumed a different uniform count");
+            assert!(second.is_finite());
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_second_variate_is_standard_normal() {
+        // The recovered `sin` twin must be N(0,1) too — the whole point
+        // of not discarding it.
+        let mut rng = SplitMix64::new(21);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian_pair().1).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fill_gaussian_matches_pair_stream_and_halves_draws() {
+        let mut filled = SplitMix64::new(5);
+        let mut paired = SplitMix64::new(5);
+        let mut buf = [0.0f64; 33]; // odd length exercises the tail
+        filled.fill_gaussian(&mut buf);
+        for pair in buf.chunks_exact(2) {
+            let (a, b) = paired.next_gaussian_pair();
+            assert_eq!(pair[0].to_bits(), a.to_bits());
+            assert_eq!(pair[1].to_bits(), b.to_bits());
+        }
+        // Odd tail falls back to the sequential sampler.
+        assert_eq!(buf[32].to_bits(), paired.next_gaussian().to_bits());
+        assert_eq!(filled, paired);
+        // 33 outputs cost 17 pairs of uniforms (16 full + 1 tail), vs 33
+        // pairs for the sequential sampler.
+        let mut counter = SplitMix64::new(5);
+        for _ in 0..34 {
+            counter.next_u64();
+        }
+        assert_eq!(filled, counter, "fill consumed an unexpected draw count");
+    }
+
+    #[test]
+    fn fill_gaussian_moments() {
+        let mut rng = SplitMix64::new(17);
+        let mut xs = vec![0.0f64; 50_000];
+        rng.fill_gaussian(&mut xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        // Adjacent cos/sin twins share a radius but must be linearly
+        // uncorrelated.
+        let corr: f64 = xs.chunks_exact(2).map(|p| p[0] * p[1]).sum::<f64>() / (n / 2.0);
+        assert!(corr.abs() < 0.05, "pair correlation {corr}");
     }
 
     #[test]

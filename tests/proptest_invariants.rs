@@ -133,13 +133,13 @@ proptest! {
 mod parity {
     use super::*;
     use rts::benchgen::{Benchmark, BenchmarkProfile, Instance};
-    use rts::core::abstention::{MitigationPolicy, RtsConfig};
+    use rts::core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
     use rts::core::bpp::{Mbpp, MbppConfig, ProbeConfig};
     use rts::core::branching::BranchDataset;
     use rts::core::human::{Expertise, HumanOracle};
     use rts::core::pipeline::{run_full_pipeline, run_joint_linking};
     use rts::core::sqlgen::SqlGenModel;
-    use rts::simlm::{GenMode, LinkTarget, SchemaLinker, Vocab};
+    use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
     use std::sync::OnceLock;
 
     struct Fx {
@@ -176,6 +176,117 @@ mod parity {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Lazy selected-layer synthesis ≡ eager full-stack synthesis,
+        /// bit for bit, on every requested layer — across instances,
+        /// positions, modes and arbitrary layer subsets (including the
+        /// empty set). Non-hidden observables (tokens, softmax, branch
+        /// labels, decisions) are identical too.
+        #[test]
+        fn lazy_synthesis_bit_identical_to_eager(
+            pick in 0usize..1000,
+            free in prop::bool::ANY,
+            columns in prop::bool::ANY,
+            mask in prop::collection::vec(prop::bool::ANY, 30),
+        ) {
+            let fx = fixture();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let mode = if free { GenMode::Free } else { GenMode::TeacherForced };
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let selected: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &on)| on)
+                .map(|(j, _)| j)
+                .collect();
+            let layers = LayerSet::select(selected.iter().copied());
+            let mut v1 = Vocab::new();
+            let eager = fx.model.generate(inst, &mut v1, target, mode);
+            let mut v2 = Vocab::new();
+            let mut scratch = SynthScratch::default();
+            let lazy = fx.model.generate_with_layers(
+                inst, &mut v2, target, mode, &layers, &mut scratch,
+            );
+            prop_assert_eq!(&lazy.tokens, &eager.tokens);
+            prop_assert_eq!(&lazy.decisions, &eager.decisions);
+            prop_assert_eq!(lazy.n_branches, eager.n_branches);
+            for (ls, es) in lazy.steps.iter().zip(&eager.steps) {
+                prop_assert_eq!(ls.softmax_prob.to_bits(), es.softmax_prob.to_bits());
+                prop_assert_eq!(ls.is_branch, es.is_branch);
+                prop_assert_eq!(ls.element_idx, es.element_idx);
+                prop_assert_eq!(ls.hidden.len(), selected.len());
+                for &j in &selected {
+                    // f32 bit equality, layer by layer.
+                    let l: Vec<u32> = ls.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
+                    let e: Vec<u32> = es.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
+                    prop_assert_eq!(l, e, "layer {} diverged", j);
+                }
+            }
+        }
+
+        /// Monitoring a lazily synthesized trace (only the mBPP's
+        /// selected layers materialised) raises exactly the flags the
+        /// eager full-stack trace does, with the merge RNG in
+        /// lock-step — for both the batched and per-token paths.
+        #[test]
+        fn lazy_trace_flags_match_eager(
+            seed in any::<u64>(),
+            pick in 0usize..1000,
+        ) {
+            let fx = fixture();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let mut v1 = Vocab::new();
+            let eager = fx.model.generate(inst, &mut v1, LinkTarget::Tables, GenMode::Free);
+            let mut v2 = Vocab::new();
+            let mut scratch = SynthScratch::default();
+            let lazy = fx.model.generate_with_layers(
+                inst, &mut v2, LinkTarget::Tables, GenMode::Free,
+                &fx.mbpp_t.layer_set(), &mut scratch,
+            );
+            let mut rng_lazy = SplitMix64::new(seed);
+            let mut rng_eager = SplitMix64::new(seed);
+            prop_assert_eq!(
+                fx.mbpp_t.flag_trace(&lazy, &mut rng_lazy),
+                fx.mbpp_t.flag_trace(&eager, &mut rng_eager)
+            );
+            prop_assert!(rng_lazy == rng_eager, "merge rng diverged");
+            // Per-token path (Mbpp::is_branch) over the lazy stacks.
+            let mut rng_lazy = SplitMix64::new(seed);
+            let mut rng_eager = SplitMix64::new(seed);
+            prop_assert_eq!(
+                fx.mbpp_t.flag_trace_per_token(&lazy, &mut rng_lazy),
+                fx.mbpp_t.flag_trace_per_token(&eager, &mut rng_eager)
+            );
+        }
+
+        /// The monitored-linking runtime produces byte-identical
+        /// outcomes with lazy synthesis (the default) and with the
+        /// eager full-stack reference (`eager_synthesis: true`) — the
+        /// invariant that keeps every `results/*.json` experiment
+        /// output byte-identical to the pre-lazy corpus.
+        #[test]
+        fn lazy_linking_outcomes_match_eager(seed in any::<u64>(), n in 8usize..24) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let lazy_cfg = RtsConfig { seed, ..RtsConfig::default() };
+            let eager_cfg = RtsConfig { seed, eager_synthesis: true, ..RtsConfig::default() };
+            for policy in [
+                MitigationPolicy::AbstainOnly,
+                MitigationPolicy::Human(&oracle),
+            ] {
+                let run = |cfg: &RtsConfig| -> Vec<String> {
+                    fx.bench.split.dev.iter().take(n).map(|inst| {
+                        let meta = fx.bench.meta(&inst.db_name).unwrap();
+                        let o = run_rts_linking(
+                            &fx.model, &fx.mbpp_t, inst, meta,
+                            LinkTarget::Tables, &policy, cfg,
+                        );
+                        format!("{o:?}")
+                    }).collect()
+                };
+                prop_assert_eq!(run(&lazy_cfg), run(&eager_cfg));
+            }
+        }
 
         /// `flag_trace` (batched) ≡ `flag_trace_per_token`, flag for
         /// flag, with the permutation-merge RNG stream in lock-step.
@@ -251,5 +362,36 @@ mod parity {
             }
             prop_assert!(ex_par == ex_serial, "EX diverged: {} vs {}", ex_par, ex_serial);
         }
+    }
+
+    /// Full-stack consumers are untouched by lazy synthesis:
+    /// `BranchDataset::build` still collects every layer of every
+    /// token, row for row what eager per-instance traces contain.
+    #[test]
+    fn branch_dataset_still_builds_from_full_stacks() {
+        let fx = fixture();
+        let ds = BranchDataset::build(&fx.model, &fx.bench.split.train, LinkTarget::Tables, 12);
+        assert_eq!(ds.n_layers, fx.model.n_layers);
+        assert_eq!(ds.layers.len(), fx.model.n_layers);
+        let mut row = 0usize;
+        for inst in &fx.bench.split.train[..12] {
+            let mut vocab = Vocab::new();
+            let trace =
+                fx.model
+                    .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::TeacherForced);
+            for step in &trace.steps {
+                assert_eq!(step.hidden.len(), fx.model.n_layers, "full stack expected");
+                for j in 0..fx.model.n_layers {
+                    assert_eq!(
+                        ds.layers[j].row(row),
+                        step.hidden.layer(j),
+                        "dataset row {row} layer {j} diverged from the eager trace"
+                    );
+                }
+                assert_eq!(ds.labels[row] > 0.5, step.is_branch);
+                row += 1;
+            }
+        }
+        assert_eq!(row, ds.n_tokens());
     }
 }
