@@ -4,9 +4,13 @@
 
 use benchgen::BenchmarkProfile;
 use criterion::{criterion_group, criterion_main, Criterion};
-use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
+use rts_core::abstention::{
+    run_rts_linking, run_rts_linking_from, run_rts_linking_in, LinkScratch, MitigationPolicy,
+    Round0, RtsConfig,
+};
 use rts_core::bpp::{BppScratch, Mbpp, MbppConfig, ProbeConfig};
 use rts_core::branching::BranchDataset;
+use rts_core::context::{implicated_elements_reference, LinkContext};
 use rts_core::human::{Expertise, HumanOracle};
 use rts_core::pipeline::{measure_ex, run_full_pipeline, SchemaSource};
 use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
@@ -49,8 +53,13 @@ fn bench_policies(c: &mut Criterion) {
     let fx = setup();
     let oracle = HumanOracle::new(Expertise::Expert, 5);
     let config = RtsConfig::default();
+    let reference_config = RtsConfig {
+        reference_linking: true,
+        ..RtsConfig::default()
+    };
     let inst = &fx.bench.split.dev[0];
     let meta = fx.bench.meta(&inst.db_name).unwrap();
+    let ctx = LinkContext::new(meta, LinkTarget::Tables);
     let mut group = c.benchmark_group("rts/linking_per_instance");
     group.bench_function("abstain_only", |b| {
         b.iter(|| {
@@ -62,6 +71,62 @@ fn bench_policies(c: &mut Criterion) {
                 LinkTarget::Tables,
                 &MitigationPolicy::AbstainOnly,
                 &config,
+            ))
+        })
+    });
+    group.bench_function("abstain_only_shared_ctx", |b| {
+        let mut scratch = LinkScratch::default();
+        b.iter(|| {
+            black_box(run_rts_linking_in(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                &ctx,
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("abstain_only_from_trace", |b| {
+        let mut scratch = LinkScratch::default();
+        let mut vocab = Vocab::new();
+        let trace = fx.linker.generate_with_layers(
+            inst,
+            &mut vocab,
+            LinkTarget::Tables,
+            GenMode::Free,
+            &fx.mbpp.layer_set(),
+            &mut scratch.synth,
+        );
+        b.iter(|| {
+            black_box(run_rts_linking_from(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                &ctx,
+                Round0 {
+                    trace: &trace,
+                    vocab: &vocab,
+                },
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("abstain_only_reference_path", |b| {
+        b.iter(|| {
+            black_box(run_rts_linking(
+                &fx.linker,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                &MitigationPolicy::AbstainOnly,
+                &reference_config,
             ))
         })
     });
@@ -140,6 +205,58 @@ fn bench_trace_gen(c: &mut Criterion) {
             });
         }
     }
+    group.finish();
+}
+
+/// Algorithm 2 per flag: the precompiled `LinkContext` trie vs the
+/// clone-the-vocab-and-rebuild path every flag used to pay, plus the
+/// context build itself (paid once per database, amortised across all
+/// of its instances, rounds and flags).
+fn bench_traceback(c: &mut Criterion) {
+    let fx = setup();
+    // A flagged free generation: take the first dev instance whose
+    // stream carries a branch token.
+    let (inst, trace, vocab) = fx
+        .bench
+        .split
+        .dev
+        .iter()
+        .find_map(|inst| {
+            let mut vocab = Vocab::new();
+            let trace = fx
+                .linker
+                .generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free);
+            trace
+                .steps
+                .iter()
+                .any(|s| s.is_branch)
+                .then_some((inst, trace, vocab))
+        })
+        .expect("a branching dev generation exists");
+    let branch_pos = trace.steps.iter().position(|s| s.is_branch).unwrap();
+    let meta = fx.bench.meta(&inst.db_name).unwrap();
+    let ctx = LinkContext::new(meta, LinkTarget::Tables);
+    let mut group = c.benchmark_group("rts/traceback");
+    group.bench_function("cached_trie", |b| {
+        b.iter(|| black_box(ctx.implicated_elements(&vocab, &trace.tokens, branch_pos)))
+    });
+    group.bench_function("rebuild_per_flag", |b| {
+        b.iter(|| {
+            black_box(implicated_elements_reference(
+                &vocab,
+                meta,
+                LinkTarget::Tables,
+                &trace.tokens,
+                branch_pos,
+            ))
+        })
+    });
+    group.bench_function("context_build_tables", |b| {
+        b.iter(|| black_box(LinkContext::new(meta, LinkTarget::Tables)))
+    });
+    group.bench_function("context_build_columns", |b| {
+        b.iter(|| black_box(LinkContext::new(meta, LinkTarget::Columns)))
+    });
     group.finish();
 }
 
@@ -292,6 +409,7 @@ criterion_group!(
     benches,
     bench_trace_gen,
     bench_monitoring,
+    bench_traceback,
     bench_monitored_linking,
     bench_policies,
     bench_parallel_pipeline,

@@ -1,6 +1,6 @@
 //! Emit `BENCH_rts.json`: wall-time per pipeline stage (trace_gen,
-//! linking, monitoring, sqlgen, execution) so every PR leaves a
-//! comparable performance record.
+//! linking, monitoring, traceback, sqlgen, execution) so every PR
+//! leaves a comparable performance record.
 //!
 //! ```text
 //! RTS_SCALE=0.05 cargo run --release -p rts-bench --bin perf
@@ -9,11 +9,25 @@
 //! Scale defaults to 0.05 (a few hundred instances) — enough signal for
 //! a trajectory point without paper-scale runtime. `RTS_THREADS=1`
 //! forces the serial runtime for A/B comparisons.
+//!
+//! Stage semantics (PR 3): the monitored stream is generated **once**
+//! (`trace_gen`) and then *shared* — `linking` times
+//! `run_rts_linking_from` consuming that round-0 trace through the
+//! precompiled `LinkContext`s (the production dataflow). The cost of
+//! the runtime when it must regenerate internally is kept as
+//! `linking_regen_baseline`, and the pre-context reference path
+//! (explicit counterfactual generation + clone-per-flag trie rebuild,
+//! `RtsConfig::reference_linking`) as `linking_reference_baseline` —
+//! the latter is the row comparable to the PR 2 "linking" record.
 
 use rts_bench::report::PerfReport;
-use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
+use rts_core::abstention::{
+    run_rts_linking, run_rts_linking_from, run_rts_linking_in, LinkScratch, MitigationPolicy,
+    Round0, RtsConfig,
+};
 use rts_core::bpp::{BppScratch, Mbpp, MbppConfig, ProbeConfig};
 use rts_core::branching::BranchDataset;
+use rts_core::context::{implicated_elements_reference, LinkContexts};
 use rts_core::par::{par_map, par_map_with, thread_count};
 use rts_core::sqlgen::{ProvidedSchema, SqlGenModel};
 use simlm::{GenMode, GenerationTrace, LinkTarget, SchemaLinker, SynthScratch, Vocab};
@@ -58,38 +72,50 @@ fn main() {
         seed,
         ..RtsConfig::default()
     };
+    let reference_config = RtsConfig {
+        seed,
+        reference_linking: true,
+        ..RtsConfig::default()
+    };
+
+    // Stage 0 — context_build: precompile every database's LinkContext
+    // (pre-interned vocab + constrained-decoding trie, both targets).
+    // Paid once per benchmark; recorded amortised per instance.
+    let t0 = Instant::now();
+    let contexts = LinkContexts::build(&bench);
+    perf.push_stage("context_build", t0.elapsed(), n);
 
     // Stage 1 — trace_gen: free-running schema-linking generation for
     // both stages of the joint process (tables, then columns), lazily
     // synthesizing only the hidden layers the monitors read — the
-    // production monitored path. (Previous records conflated this into
-    // a stage labelled "linking"; the monitored-linking runtime is now
-    // timed separately below.)
+    // production monitored path. The traces (and their generation
+    // vocabularies) are kept: the linking stage consumes them instead
+    // of regenerating.
     let layers_t = mbpp_t.layer_set();
     let layers_c = mbpp_c.layer_set();
+    type Gen = (GenerationTrace, Vocab);
     let t0 = Instant::now();
-    let traces: Vec<(GenerationTrace, GenerationTrace)> =
-        par_map_with(instances, SynthScratch::default, |synth, inst| {
-            let mut vocab = Vocab::new();
-            let t = linker.generate_with_layers(
-                inst,
-                &mut vocab,
-                LinkTarget::Tables,
-                GenMode::Free,
-                &layers_t,
-                synth,
-            );
-            let mut v2 = Vocab::new();
-            let c = linker.generate_with_layers(
-                inst,
-                &mut v2,
-                LinkTarget::Columns,
-                GenMode::Free,
-                &layers_c,
-                synth,
-            );
-            (t, c)
-        });
+    let traces: Vec<(Gen, Gen)> = par_map_with(instances, SynthScratch::default, |synth, inst| {
+        let mut vocab = Vocab::new();
+        let t = linker.generate_with_layers(
+            inst,
+            &mut vocab,
+            LinkTarget::Tables,
+            GenMode::Free,
+            &layers_t,
+            synth,
+        );
+        let mut v2 = Vocab::new();
+        let c = linker.generate_with_layers(
+            inst,
+            &mut v2,
+            LinkTarget::Columns,
+            GenMode::Free,
+            &layers_c,
+            synth,
+        );
+        ((t, vocab), (c, v2))
+    });
     perf.push_stage("trace_gen", t0.elapsed(), n);
 
     // Diagnostic baseline: the eager full-stack generation every
@@ -104,11 +130,86 @@ fn main() {
     });
     perf.push_stage("trace_gen_eager_baseline", t0.elapsed(), n);
 
-    // Stage 2 — linking: the monitored-linking runtime end to end
-    // (counterfactual baseline + monitored rounds + flag handling),
-    // what `run_rts_linking` costs per instance under abstain-only.
+    // Stage 2 — linking: the monitored-linking runtime downstream of
+    // trace generation (abstain-only, both targets): monitoring, flag
+    // handling, outcome accounting — consuming the round-0 stream
+    // produced above through the shared contexts. What production pays
+    // per instance on top of trace_gen.
+    let zipped: Vec<(&benchgen::Instance, &(Gen, Gen))> =
+        instances.iter().zip(traces.iter()).collect();
     let t0 = Instant::now();
-    let abstained: usize = par_map(instances, |inst| {
+    let outcomes: Vec<(bool, bool)> =
+        par_map_with(&zipped, LinkScratch::default, |scratch, (inst, gens)| {
+            let meta = bench.meta(&inst.db_name).expect("meta");
+            let ((trace_t, vocab_t), (trace_c, vocab_c)) = gens;
+            let t = run_rts_linking_from(
+                &linker,
+                &mbpp_t,
+                inst,
+                meta,
+                contexts.get(&inst.db_name, LinkTarget::Tables),
+                Round0 {
+                    trace: trace_t,
+                    vocab: vocab_t,
+                },
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                scratch,
+            );
+            let c = run_rts_linking_from(
+                &linker,
+                &mbpp_c,
+                inst,
+                meta,
+                contexts.get(&inst.db_name, LinkTarget::Columns),
+                Round0 {
+                    trace: trace_c,
+                    vocab: vocab_c,
+                },
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                scratch,
+            );
+            (t.abstained, c.abstained)
+        });
+    perf.push_stage("linking", t0.elapsed(), n);
+    let abstained: usize = outcomes.iter().map(|&(t, c)| t as usize + c as usize).sum();
+
+    // Diagnostic: the same runtime when it generates round 0 itself
+    // (context path, no pre-generated trace) …
+    let t0 = Instant::now();
+    let outcomes_regen: Vec<(bool, bool)> =
+        par_map_with(instances, LinkScratch::default, |scratch, inst| {
+            let meta = bench.meta(&inst.db_name).expect("meta");
+            let t = run_rts_linking_in(
+                &linker,
+                &mbpp_t,
+                inst,
+                meta,
+                contexts.get(&inst.db_name, LinkTarget::Tables),
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                scratch,
+            );
+            let c = run_rts_linking_in(
+                &linker,
+                &mbpp_c,
+                inst,
+                meta,
+                contexts.get(&inst.db_name, LinkTarget::Columns),
+                &MitigationPolicy::AbstainOnly,
+                &config,
+                scratch,
+            );
+            (t.abstained, c.abstained)
+        });
+    perf.push_stage("linking_regen_baseline", t0.elapsed(), n);
+
+    // … and the pre-context reference path: explicit counterfactual
+    // generation, fresh vocab + trie rebuild per flag. This row is the
+    // one comparable to the PR 2 "linking" record.
+    let t0 = Instant::now();
+    let outcomes_reference: Vec<(bool, bool)> = par_map(instances, |inst| {
         let meta = bench.meta(&inst.db_name).expect("meta");
         let t = run_rts_linking(
             &linker,
@@ -117,7 +218,7 @@ fn main() {
             meta,
             LinkTarget::Tables,
             &MitigationPolicy::AbstainOnly,
-            &config,
+            &reference_config,
         );
         let c = run_rts_linking(
             &linker,
@@ -126,20 +227,23 @@ fn main() {
             meta,
             LinkTarget::Columns,
             &MitigationPolicy::AbstainOnly,
-            &config,
+            &reference_config,
         );
-        t.abstained as usize + c.abstained as usize
-    })
-    .iter()
-    .sum();
-    perf.push_stage("linking", t0.elapsed(), n);
+        (t.abstained, c.abstained)
+    });
+    perf.push_stage("linking_reference_baseline", t0.elapsed(), n);
+    assert_eq!(outcomes, outcomes_regen, "from-trace vs regen disagreed");
+    assert_eq!(
+        outcomes, outcomes_reference,
+        "context vs reference linking disagreed"
+    );
 
     // Untimed warm-up pass over the freshly materialised traces so the
     // two timed monitoring variants both read warm memory (the first
     // reader otherwise pays every page fault).
     let _warm: usize = traces
         .iter()
-        .map(|(t, c)| {
+        .map(|((t, _), (c, _))| {
             t.steps
                 .iter()
                 .chain(c.steps.iter())
@@ -149,23 +253,24 @@ fn main() {
         .sum();
     let mut warm_scratch = BppScratch::default();
     let mut warm_rng = SplitMix64::new(config.seed);
-    let _ = mbpp_t.flag_trace_with_scratch(&traces[0].0, &mut warm_rng, &mut warm_scratch);
-    let _ = mbpp_t.flag_trace_per_token(&traces[0].0, &mut warm_rng);
+    let _ = mbpp_t.flag_trace_with_scratch(&traces[0].0 .0, &mut warm_rng, &mut warm_scratch);
+    let _ = mbpp_t.flag_trace_per_token(&traces[0].0 .0, &mut warm_rng);
 
     // Stage 3 — monitoring: batched mBPP flagging of both traces (and
     // the per-token baseline as a diagnostic trajectory row). The
     // traces carry only the selected layers; flags must match the
     // eager full-stack traces exactly (asserted below).
     let t0 = Instant::now();
-    let flags: Vec<usize> = par_map_with(&traces, BppScratch::default, |scratch, (t, c)| {
-        let mut rng = SplitMix64::new(config.seed);
-        let nt = mbpp_t.flag_trace_with_scratch(t, &mut rng, scratch);
-        let nc = mbpp_c.flag_trace_with_scratch(c, &mut rng, scratch);
-        nt.iter().chain(nc.iter()).filter(|&&f| f).count()
-    });
+    let flags: Vec<usize> =
+        par_map_with(&traces, BppScratch::default, |scratch, ((t, _), (c, _))| {
+            let mut rng = SplitMix64::new(config.seed);
+            let nt = mbpp_t.flag_trace_with_scratch(t, &mut rng, scratch);
+            let nc = mbpp_c.flag_trace_with_scratch(c, &mut rng, scratch);
+            nt.iter().chain(nc.iter()).filter(|&&f| f).count()
+        });
     perf.push_stage("monitoring", t0.elapsed(), n);
     let t0 = Instant::now();
-    let flags_pt: Vec<usize> = par_map(&traces, |(t, c)| {
+    let flags_pt: Vec<usize> = par_map(&traces, |((t, _), (c, _))| {
         let mut rng = SplitMix64::new(config.seed);
         let nt = mbpp_t.flag_trace_per_token(t, &mut rng);
         let nc = mbpp_c.flag_trace_per_token(c, &mut rng);
@@ -188,7 +293,63 @@ fn main() {
         "lazy and eager trace monitoring disagreed"
     );
 
-    // Stage 4 — sqlgen: SQL generation under the full schema.
+    // Stage 4 — traceback: Algorithm 2 on every mBPP-flagged position,
+    // through the precompiled context tries vs the clone-per-flag
+    // rebuild the runtime used to pay. Flag positions are collected
+    // untimed; each set is traced `TRACEBACK_REPS` times so the stage
+    // is long enough to measure stably (per-instance time is per single
+    // trace back).
+    const TRACEBACK_REPS: usize = 64;
+    type Flagged<'a> = (
+        &'a benchgen::Instance,
+        &'a GenerationTrace,
+        &'a Vocab,
+        LinkTarget,
+        usize,
+    );
+    let mut flagged: Vec<Flagged<'_>> = Vec::new();
+    for (inst, ((trace_t, vocab_t), (trace_c, vocab_c))) in instances.iter().zip(traces.iter()) {
+        let mut rng = SplitMix64::new(config.seed);
+        for (mbpp, trace, vocab, target) in [
+            (&mbpp_t, trace_t, vocab_t, LinkTarget::Tables),
+            (&mbpp_c, trace_c, vocab_c, LinkTarget::Columns),
+        ] {
+            let f = mbpp.flag_trace_with_scratch(trace, &mut rng, &mut warm_scratch);
+            for pos in f.iter().enumerate().filter(|(_, &x)| x).map(|(p, _)| p) {
+                flagged.push((inst, trace, vocab, target, pos));
+            }
+        }
+    }
+    let n_flagged = flagged.len().max(1);
+    let t0 = Instant::now();
+    let mut implicated_cached: Vec<Vec<String>> = Vec::new();
+    for _ in 0..TRACEBACK_REPS {
+        implicated_cached = par_map(&flagged, |(inst, trace, vocab, target, pos)| {
+            contexts
+                .get(&inst.db_name, *target)
+                .implicated_elements(vocab, &trace.tokens, *pos)
+        });
+    }
+    perf.push_stage("traceback", t0.elapsed(), n_flagged * TRACEBACK_REPS);
+    let t0 = Instant::now();
+    let mut implicated_rebuilt: Vec<Vec<String>> = Vec::new();
+    for _ in 0..TRACEBACK_REPS {
+        implicated_rebuilt = par_map(&flagged, |(inst, trace, vocab, target, pos)| {
+            let meta = bench.meta(&inst.db_name).expect("meta");
+            implicated_elements_reference(vocab, meta, *target, &trace.tokens, *pos)
+        });
+    }
+    perf.push_stage(
+        "traceback_rebuild_baseline",
+        t0.elapsed(),
+        n_flagged * TRACEBACK_REPS,
+    );
+    assert_eq!(
+        implicated_cached, implicated_rebuilt,
+        "cached-trie and rebuild-per-flag trace back disagreed"
+    );
+
+    // Stage 5 — sqlgen: SQL generation under the full schema.
     let generator = SqlGenModel::deepseek_7b("bird", seed ^ 0xEE);
     let t0 = Instant::now();
     let stmts: Vec<nanosql::ast::SelectStmt> = par_map(instances, |inst| {
@@ -197,7 +358,7 @@ fn main() {
     });
     perf.push_stage("sqlgen", t0.elapsed(), n);
 
-    // Stage 5 — execution: run the generated SQL for real.
+    // Stage 6 — execution: run the generated SQL for real.
     let t0 = Instant::now();
     let executed = par_map(
         &instances.iter().zip(&stmts).collect::<Vec<_>>(),
@@ -221,6 +382,25 @@ fn main() {
         linker.n_layers,
         layers_c.count(linker.n_layers),
     ));
+    let linking_speedup = perf
+        .stage_ms("linking_reference_baseline")
+        .zip(perf.stage_ms("linking"))
+        .map(|(reference, shared)| reference / shared)
+        .unwrap_or(f64::NAN);
+    perf.note(format!(
+        "linking shared-trace-vs-reference speedup: {linking_speedup:.2}x \
+         (reference regenerates the stream and the counterfactual; outcomes identical)"
+    ));
+    let traceback_speedup = perf
+        .stage_ms("traceback_rebuild_baseline")
+        .zip(perf.stage_ms("traceback"))
+        .map(|(rebuild, cached)| rebuild / cached)
+        .unwrap_or(f64::NAN);
+    perf.note(format!(
+        "traceback cached-trie-vs-rebuild-per-flag speedup: {traceback_speedup:.2}x \
+         over {} flagged positions",
+        flagged.len()
+    ));
     let speedup = perf
         .stage_ms("monitoring_per_token_baseline")
         .zip(perf.stage_ms("monitoring"))
@@ -238,10 +418,10 @@ fn main() {
         2 * n
     ));
     perf.note(
-        "stage semantics changed in PR 2: records before it bundled trace \
-         generation into a stage tagged 'linking'; that cost is now 'trace_gen' \
-         and 'linking' times the monitored run_rts_linking runtime instead — \
-         do not compare 'linking' across that boundary"
+        "stage semantics changed in PR 3: 'linking' now times run_rts_linking_from \
+         consuming the trace_gen stream through shared LinkContexts (the production \
+         dataflow — the stream is generated once, the counterfactual is derived from \
+         it); the PR 2-comparable full-regeneration cost is 'linking_reference_baseline'"
             .to_string(),
     );
 

@@ -1,0 +1,102 @@
+//! CI perf gate: compare a fresh `BENCH_rts.json` snapshot against the
+//! committed baseline and fail when any stage's per-instance time
+//! regresses beyond the tolerance.
+//!
+//! ```text
+//! perf_gate <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! The tolerance defaults to 2.0 (a stage may be up to 2× slower than
+//! the committed record before the gate trips) — deliberately generous
+//! so shared CI runners don't flake — and can also be set via
+//! `RTS_PERF_GATE_TOLERANCE`. Stages present in only one record are
+//! reported but never fail the gate (stage renames land together with a
+//! regenerated baseline). Exits non-zero on regression.
+
+use rts_bench::report::{compare_perf, PerfReport};
+
+fn load(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read perf record {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse perf record {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: perf_gate <baseline.json> <fresh.json> [tolerance]");
+        std::process::exit(2);
+    }
+    let baseline = load(&args[1]);
+    let fresh = load(&args[2]);
+    let tolerance = args
+        .get(3)
+        .cloned()
+        .or_else(|| std::env::var("RTS_PERF_GATE_TOLERANCE").ok())
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(2.0);
+
+    // Per-instance times are only comparable when the two records were
+    // measured under the same workload scale and worker count — a
+    // 4-thread fresh run against a serial baseline would hide a 4x
+    // regression. A mismatch is a gate-configuration error, not a pass.
+    if baseline.scale != fresh.scale || baseline.threads != fresh.threads {
+        eprintln!(
+            "perf gate MISCONFIGURED: baseline (scale {}, threads {}) and fresh \
+             (scale {}, threads {}) records are not comparable — pin RTS_SCALE / \
+             RTS_THREADS to the committed baseline's values or regenerate it",
+            baseline.scale, baseline.threads, fresh.scale, fresh.threads
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "== perf gate: fresh vs committed baseline (tolerance {tolerance:.2}x, \
+         baseline scale {}, fresh scale {})",
+        baseline.scale, fresh.scale
+    );
+    println!(
+        "{:<36} {:>14} {:>14} {:>8}  verdict",
+        "stage", "baseline µs", "fresh µs", "ratio"
+    );
+    let comparisons = compare_perf(&baseline, &fresh, tolerance);
+    for c in &comparisons {
+        println!(
+            "{:<36} {:>14.1} {:>14.1} {:>7.2}x  {}",
+            c.stage,
+            c.baseline_us,
+            c.fresh_us,
+            c.ratio,
+            if c.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for b in &baseline.stages {
+        if !fresh.stages.iter().any(|f| f.stage == b.stage) {
+            println!("{:<36} (baseline-only stage — skipped)", b.stage);
+        }
+    }
+    for f in &fresh.stages {
+        if !baseline.stages.iter().any(|b| b.stage == f.stage) {
+            println!("{:<36} (new stage — no baseline yet)", f.stage);
+        }
+    }
+
+    let regressions: Vec<&str> = comparisons
+        .iter()
+        .filter(|c| c.regressed)
+        .map(|c| c.stage.as_str())
+        .collect();
+    if regressions.is_empty() {
+        println!(
+            "perf gate passed: {} comparable stages within {tolerance:.2}x",
+            comparisons.len()
+        );
+    } else {
+        eprintln!(
+            "perf gate FAILED: {} stage(s) regressed beyond {tolerance:.2}x: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

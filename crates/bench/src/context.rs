@@ -4,6 +4,7 @@
 use benchgen::{Benchmark, BenchmarkProfile};
 use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
 use rts_core::branching::BranchDataset;
+use rts_core::context::LinkContexts;
 use rts_core::surrogate::SurrogateModel;
 use simlm::{LinkTarget, SchemaLinker};
 
@@ -25,6 +26,9 @@ pub struct BenchArtifacts {
     /// Teacher-forced datasets kept for AUC evaluation on other splits.
     pub branch_tables: BranchDataset,
     pub branch_columns: BranchDataset,
+    /// Precompiled per-database linking contexts (vocab + trie), shared
+    /// read-only by every experiment's monitored-linking runs.
+    pub contexts: LinkContexts,
 }
 
 impl BenchArtifacts {
@@ -58,6 +62,7 @@ impl BenchArtifacts {
         let mbpp_tables = Mbpp::train(&branch_tables, &cfg);
         let mbpp_columns = Mbpp::train(&branch_columns, &cfg);
         let surrogate = SurrogateModel::train(&bench, seed ^ 0x5A11);
+        let contexts = LinkContexts::build(&bench);
         Self {
             bench,
             linker,
@@ -66,6 +71,7 @@ impl BenchArtifacts {
             surrogate,
             branch_tables,
             branch_columns,
+            contexts,
         }
     }
 }

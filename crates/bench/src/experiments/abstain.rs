@@ -3,11 +3,13 @@
 
 use crate::context::{BenchArtifacts, Context};
 use crate::report::Report;
-use rts_core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig, RtsOutcome};
+use rts_core::abstention::{
+    run_rts_linking_in, LinkScratch, MitigationPolicy, RtsConfig, RtsOutcome,
+};
 use rts_core::human::{Expertise, HumanOracle};
 use rts_core::metrics::{abstention_metrics, AbstentionMetrics, AbstentionOutcome};
-use rts_core::par::par_map;
-use rts_core::pipeline::{run_joint_linking, JointOutcome};
+use rts_core::par::par_map_with;
+use rts_core::pipeline::{run_joint_linking_in, JointOutcome};
 use simlm::LinkTarget;
 
 fn eval_policy(
@@ -25,9 +27,10 @@ fn eval_policy(
         LinkTarget::Tables => &arts.mbpp_tables,
         LinkTarget::Columns => &arts.mbpp_columns,
     };
-    let outcomes: Vec<AbstentionOutcome> = par_map(split, |inst| {
+    let outcomes: Vec<AbstentionOutcome> = par_map_with(split, LinkScratch::default, |sc, inst| {
         let meta = arts.bench.meta(&inst.db_name).expect("meta");
-        let o = run_rts_linking(&arts.linker, mbpp, inst, meta, target, policy, &config);
+        let ctx = arts.contexts.get(&inst.db_name, target);
+        let o = run_rts_linking_in(&arts.linker, mbpp, inst, meta, ctx, policy, &config, sc);
         AbstentionOutcome {
             abstained: o.abstained,
             correct: o.correct,
@@ -136,15 +139,17 @@ pub fn joint_outcomes(
         seed,
         ..RtsConfig::default()
     };
-    par_map(split, |inst| {
-        run_joint_linking(
+    par_map_with(split, LinkScratch::default, |scratch, inst| {
+        run_joint_linking_in(
             &arts.linker,
             &arts.mbpp_tables,
             &arts.mbpp_columns,
             inst,
             &arts.bench,
+            &arts.contexts,
             &policy,
             &config,
+            scratch,
         )
     })
 }
@@ -244,8 +249,18 @@ pub fn outcomes_for(
         LinkTarget::Tables => &arts.mbpp_tables,
         LinkTarget::Columns => &arts.mbpp_columns,
     };
-    par_map(split, |inst| {
+    par_map_with(split, LinkScratch::default, |scratch, inst| {
         let meta = arts.bench.meta(&inst.db_name).expect("meta");
-        run_rts_linking(&arts.linker, mbpp, inst, meta, target, policy, &config)
+        let ctx = arts.contexts.get(&inst.db_name, target);
+        run_rts_linking_in(
+            &arts.linker,
+            mbpp,
+            inst,
+            meta,
+            ctx,
+            policy,
+            &config,
+            scratch,
+        )
     })
 }

@@ -1,5 +1,5 @@
 //! Experiment implementations, one per paper table/figure. Shared
-//! evaluation helpers live here; each submodule builds one [`Report`].
+//! evaluation helpers live here; each submodule builds one [`crate::report::Report`].
 //!
 //! All helpers fan instances out across threads via
 //! [`rts_core::par::par_map`]. Determinism is preserved by seeding any

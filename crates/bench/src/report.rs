@@ -260,6 +260,53 @@ impl PerfReport {
     }
 }
 
+/// One stage's baseline-vs-fresh comparison (see [`compare_perf`]).
+#[derive(Debug, Clone)]
+pub struct StageComparison {
+    pub stage: String,
+    pub baseline_us: f64,
+    pub fresh_us: f64,
+    /// `fresh / baseline` per-instance time (> 1 = slower than the
+    /// committed record).
+    pub ratio: f64,
+    /// Did this stage blow the gate's tolerance?
+    pub regressed: bool,
+}
+
+/// Compare a freshly measured [`PerfReport`] against the committed
+/// baseline, stage by stage: a stage regresses when its
+/// `per_instance_us` exceeds `tolerance ×` the baseline's. Stages
+/// present in only one record are skipped (renames and new stages must
+/// not fail the gate — the fresh snapshot replaces the baseline when
+/// the PR lands). This is the CI `perf-gate` job's comparison; the
+/// tolerance is deliberately generous so shared runners don't flake.
+pub fn compare_perf(
+    baseline: &PerfReport,
+    fresh: &PerfReport,
+    tolerance: f64,
+) -> Vec<StageComparison> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    baseline
+        .stages
+        .iter()
+        .filter_map(|b| {
+            let f = fresh.stages.iter().find(|f| f.stage == b.stage)?;
+            // Sub-microsecond stages are noise-dominated; never gate them.
+            if b.per_instance_us <= 1.0 {
+                return None;
+            }
+            let ratio = f.per_instance_us / b.per_instance_us;
+            Some(StageComparison {
+                stage: b.stage.clone(),
+                baseline_us: b.per_instance_us,
+                fresh_us: f.per_instance_us,
+                ratio,
+                regressed: ratio > tolerance,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +349,52 @@ mod tests {
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rows.len(), r.rows.len());
         assert_eq!(back.id, r.id);
+    }
+
+    fn perf_with(stages: &[(&str, f64)]) -> PerfReport {
+        let mut p = PerfReport::new(0.02, 7, 1, 1);
+        for &(stage, us) in stages {
+            p.stages.push(StageTiming {
+                stage: stage.into(),
+                wall_ms: us * 46.0 / 1e3,
+                per_instance_us: us,
+                n_instances: 46,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn compare_perf_flags_only_regressions_beyond_tolerance() {
+        let base = perf_with(&[
+            ("trace_gen", 300.0),
+            ("linking", 50.0),
+            ("monitoring", 40.0),
+        ]);
+        let fresh = perf_with(&[
+            ("trace_gen", 450.0), // 1.5x: within a 2x gate
+            ("linking", 140.0),   // 2.8x: regression
+            ("monitoring", 20.0), // faster: fine
+        ]);
+        let cmp = compare_perf(&base, &fresh, 2.0);
+        assert_eq!(cmp.len(), 3);
+        let by_stage = |s: &str| cmp.iter().find(|c| c.stage == s).unwrap();
+        assert!(!by_stage("trace_gen").regressed);
+        assert!(by_stage("linking").regressed);
+        assert!((by_stage("linking").ratio - 2.8).abs() < 1e-9);
+        assert!(!by_stage("monitoring").regressed);
+    }
+
+    #[test]
+    fn compare_perf_skips_unmatched_and_noise_stages() {
+        let base = perf_with(&[("linking", 50.0), ("renamed_away", 10.0), ("tiny", 0.5)]);
+        let fresh = perf_with(&[("linking", 49.0), ("brand_new", 10.0), ("tiny", 400.0)]);
+        let cmp = compare_perf(&base, &fresh, 2.0);
+        // Only "linking" is comparable: renames/new stages are skipped,
+        // and sub-microsecond stages are noise.
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].stage, "linking");
+        assert!(!cmp[0].regressed);
     }
 
     #[test]

@@ -22,12 +22,12 @@
 //! decisions are drawn independently per element.
 
 use crate::bpp::Mbpp;
+use crate::context::{implicated_elements_reference, LinkContext};
 use crate::human::HumanOracle;
 use crate::surrogate::SurrogateModel;
-use crate::traceback::{column_trie, table_trie, trace_back};
 use benchgen::schemagen::DbMeta;
 use benchgen::Instance;
-use simlm::{Decision, GenMode, LinkTarget, SchemaLinker, Vocab};
+use simlm::{Decision, GenMode, GenerationTrace, LinkTarget, SchemaLinker, Vocab};
 use std::collections::{HashMap, HashSet};
 
 /// What to do when a branching point is detected.
@@ -55,6 +55,16 @@ pub struct RtsConfig {
     /// lazy/eager parity proptests); this knob exists for A/B
     /// benchmarking and debugging, mirroring `per_token_monitoring`.
     pub eager_synthesis: bool,
+    /// Run the pre-`LinkContext` reference path: generate the
+    /// unmonitored counterfactual explicitly, regenerate the stream on
+    /// every correction round even when no override changed it, rebuild
+    /// the candidate trie from a vocabulary clone on every flag, and
+    /// trace back by re-decoding the full prefix each step. Outcomes,
+    /// flags, implicated sets and the merge RNG stream are identical
+    /// either way (pinned by the `context_linking_matches_reference`
+    /// parity proptest); this knob exists for A/B benchmarking,
+    /// mirroring `per_token_monitoring` and `eager_synthesis`.
+    pub reference_linking: bool,
 }
 
 impl Default for RtsConfig {
@@ -64,8 +74,20 @@ impl Default for RtsConfig {
             seed: 0xC0FFEE,
             per_token_monitoring: false,
             eager_synthesis: false,
+            reference_linking: false,
         }
     }
+}
+
+/// Reusable buffers for the monitored-linking runtime: hidden-state
+/// synthesis scratch plus the mBPP's batched-scoring scratch. One per
+/// worker thread (threaded through [`crate::par::par_map_with`]) keeps
+/// the per-instance fan-out allocation-light; one per call is what the
+/// plain [`run_rts_linking`] entry point falls back to.
+#[derive(Debug, Default)]
+pub struct LinkScratch {
+    pub synth: simlm::SynthScratch,
+    pub bpp: crate::bpp::BppScratch,
 }
 
 /// Outcome of one monitored linking run.
@@ -85,7 +107,32 @@ pub struct RtsOutcome {
     pub n_flags: usize,
 }
 
+/// A pre-generated round-0 monitored trace, handed to
+/// [`run_rts_linking_from`] by callers that already produced the free
+/// generation (the production dataflow: the stream is generated once
+/// and consumed by both the monitor and the mitigation loop).
+///
+/// Contract: `trace` must be exactly what
+/// `model.generate_with_layers(inst, &mut Vocab::new(), target,
+/// GenMode::Free, &mbpp.layer_set(), …)` returns for this instance —
+/// i.e. a free run with *no* overrides, carrying (at least) the
+/// monitor's selected layers — and `vocab` the vocabulary that
+/// generation filled. Generation is deterministic, so reusing such a
+/// trace is bit-identical to regenerating it (pinned by the
+/// `from_trace_linking_matches_regenerating` parity proptest).
+#[derive(Debug, Clone, Copy)]
+pub struct Round0<'a> {
+    pub trace: &'a GenerationTrace,
+    pub vocab: &'a Vocab,
+}
+
 /// Run RTS schema linking for one instance.
+///
+/// Convenience entry point: precompiles the instance's [`LinkContext`]
+/// on the fly and uses per-call scratch. Hot loops over many instances
+/// of the same database should build the context once (or a
+/// [`crate::context::LinkContexts`] registry per benchmark) and call
+/// [`run_rts_linking_in`] instead.
 pub fn run_rts_linking(
     model: &SchemaLinker,
     mbpp: &Mbpp,
@@ -95,6 +142,148 @@ pub fn run_rts_linking(
     policy: &MitigationPolicy<'_>,
     config: &RtsConfig,
 ) -> RtsOutcome {
+    let mut scratch = LinkScratch::default();
+    if config.reference_linking {
+        // The reference path never touches a context; don't build one.
+        run_rts_rounds(
+            model,
+            mbpp,
+            inst,
+            meta,
+            target,
+            None,
+            None,
+            policy,
+            config,
+            &mut scratch,
+        )
+    } else {
+        let ctx = LinkContext::new(meta, target);
+        run_rts_rounds(
+            model,
+            mbpp,
+            inst,
+            meta,
+            target,
+            Some(&ctx),
+            None,
+            policy,
+            config,
+            &mut scratch,
+        )
+    }
+}
+
+/// [`run_rts_linking`] against a shared precompiled [`LinkContext`]
+/// (and caller-owned scratch): the per-flag vocabulary clone + trie
+/// rebuild disappears, the unmonitored counterfactual is derived from
+/// round 0's stream instead of generated, and clean correction rounds
+/// reuse the previous round's trace. Outcomes are bit-identical to the
+/// reference path either way.
+#[allow(clippy::too_many_arguments)] // mirrors run_rts_linking + context
+pub fn run_rts_linking_in(
+    model: &SchemaLinker,
+    mbpp: &Mbpp,
+    inst: &Instance,
+    meta: &DbMeta,
+    ctx: &LinkContext,
+    policy: &MitigationPolicy<'_>,
+    config: &RtsConfig,
+    scratch: &mut LinkScratch,
+) -> RtsOutcome {
+    run_rts_rounds(
+        model,
+        mbpp,
+        inst,
+        meta,
+        ctx.target(),
+        Some(ctx),
+        None,
+        policy,
+        config,
+        scratch,
+    )
+}
+
+/// [`run_rts_linking_in`] consuming a pre-generated round-0 trace (see
+/// [`Round0`] for the contract): the mitigation loop starts by
+/// monitoring the supplied stream and only generates when a correction
+/// round actually changes it.
+#[allow(clippy::too_many_arguments)] // mirrors run_rts_linking + context
+pub fn run_rts_linking_from(
+    model: &SchemaLinker,
+    mbpp: &Mbpp,
+    inst: &Instance,
+    meta: &DbMeta,
+    ctx: &LinkContext,
+    round0: Round0<'_>,
+    policy: &MitigationPolicy<'_>,
+    config: &RtsConfig,
+    scratch: &mut LinkScratch,
+) -> RtsOutcome {
+    run_rts_rounds(
+        model,
+        mbpp,
+        inst,
+        meta,
+        ctx.target(),
+        Some(ctx),
+        Some(round0),
+        policy,
+        config,
+        scratch,
+    )
+}
+
+/// The round state: round 0 may be borrowed from the caller
+/// ([`Round0`]); regenerated rounds are owned.
+enum Round<'a> {
+    Borrowed(Round0<'a>),
+    Owned(GenerationTrace, Vocab),
+}
+
+impl Round<'_> {
+    fn trace(&self) -> &GenerationTrace {
+        match self {
+            Round::Borrowed(r) => r.trace,
+            Round::Owned(t, _) => t,
+        }
+    }
+
+    fn vocab(&self) -> &Vocab {
+        match self {
+            Round::Borrowed(r) => r.vocab,
+            Round::Owned(_, v) => v,
+        }
+    }
+}
+
+/// The monitored mitigation loop shared by every entry point.
+///
+/// Invariant: `ctx` is `Some` exactly when `config.reference_linking`
+/// is false (the reference path reproduces the pre-context costs:
+/// explicit counterfactual generation, regeneration every round, and a
+/// clone-per-flag trie rebuild). Both paths produce bit-identical
+/// outcomes — generation never consumes the instance RNG (its streams
+/// are self-seeded from `(seed, instance, position)`), so skipping a
+/// redundant regeneration or the counterfactual leaves the merge RNG,
+/// flags and decisions untouched.
+#[allow(clippy::too_many_arguments)] // the one fully-explicit internal
+fn run_rts_rounds(
+    model: &SchemaLinker,
+    mbpp: &Mbpp,
+    inst: &Instance,
+    meta: &DbMeta,
+    target: LinkTarget,
+    ctx: Option<&LinkContext>,
+    round0: Option<Round0<'_>>,
+    policy: &MitigationPolicy<'_>,
+    config: &RtsConfig,
+    scratch: &mut LinkScratch,
+) -> RtsOutcome {
+    // The reference path must pay the clone-per-flag trie rebuild even
+    // if a caller handed us a context alongside the knob.
+    let ctx = if config.reference_linking { None } else { ctx };
     let gold = SchemaLinker::gold_elements(inst, target);
     let gold_set = {
         let mut g = gold.clone();
@@ -104,30 +293,41 @@ pub fn run_rts_linking(
     let mut rng = crate::par::instance_rng(config.seed, inst.id);
 
     // Lazy hidden-state synthesis: monitored traces only materialise
-    // the layers the mBPP's selected probes read (~k of n_layers), and
-    // the unmonitored counterfactual — which is only consulted for its
-    // predicted element set — materialises none at all. Both are
-    // observably identical to eager full-stack generation (per-layer
-    // gaussian streams are independently seeded), so flags, outcomes
-    // and the experiment corpus are unchanged.
-    let (monitor_layers, baseline_layers) = if config.eager_synthesis {
-        (simlm::LayerSet::all(), simlm::LayerSet::all())
+    // the layers the mBPP's selected probes read (~k of n_layers). Both
+    // are observably identical to eager full-stack generation
+    // (per-layer gaussian streams are independently seeded), so flags,
+    // outcomes and the experiment corpus are unchanged.
+    let monitor_layers = if config.eager_synthesis {
+        simlm::LayerSet::all()
     } else {
-        (mbpp.layer_set(), simlm::LayerSet::none())
+        mbpp.layer_set()
     };
-    let mut synth = simlm::SynthScratch::default();
 
-    // The unmonitored counterfactual (for TAR/FAR accounting).
-    let mut vocab = Vocab::new();
-    let baseline = model.generate_with_layers(
-        inst,
-        &mut vocab,
-        target,
-        GenMode::Free,
-        &baseline_layers,
-        &mut synth,
-    );
-    let would_be_correct = baseline.predicted_set() == gold_set;
+    // TAR/FAR accounting needs the *unmonitored* run's predicted set.
+    // Round 0 of the monitored loop runs with no overrides, so its
+    // stream IS the unmonitored counterfactual — deriving the answer
+    // from it below makes the extra generation redundant. The reference
+    // path keeps the explicit extra generation (materialising zero
+    // hidden layers, as before) for A/B comparisons.
+    let mut would_be_correct: Option<bool> = if config.reference_linking {
+        let baseline_layers = if config.eager_synthesis {
+            simlm::LayerSet::all()
+        } else {
+            simlm::LayerSet::none()
+        };
+        let mut vocab = Vocab::new();
+        let baseline = model.generate_with_layers(
+            inst,
+            &mut vocab,
+            target,
+            GenMode::Free,
+            &baseline_layers,
+            &mut scratch.synth,
+        );
+        Some(baseline.predicted_set() == gold_set)
+    } else {
+        None
+    };
 
     let max_rounds = if config.max_rounds == 0 {
         gold.len() + 2
@@ -138,24 +338,45 @@ pub fn run_rts_linking(
     let mut handled: HashSet<usize> = HashSet::new();
     let mut n_interventions = 0usize;
     let mut n_flags = 0usize;
-    // Monitoring scratch shared across correction rounds.
-    let mut scratch = crate::bpp::BppScratch::default();
+
+    let mut cur: Option<Round<'_>> = round0.map(Round::Borrowed);
+    // Have `overrides` changed since `cur` was generated? Clean rounds
+    // (Surrogate "continue unchanged") would regenerate a bit-identical
+    // stream; reusing the trace changes nothing observable. The flags
+    // are still recomputed each round — the merge RNG advances across
+    // rounds, so round k's flags are not round 0's.
+    let mut stale = false;
 
     for _round in 0..max_rounds {
-        let mut vocab = Vocab::new();
-        let trace = model.generate_with_overrides_and_layers(
-            inst,
-            &mut vocab,
-            target,
-            GenMode::Free,
-            &overrides,
-            &monitor_layers,
-            &mut synth,
-        );
+        let regenerate = match &cur {
+            None => true,
+            Some(_) => stale || config.reference_linking,
+        };
+        if regenerate {
+            let mut vocab = Vocab::new();
+            let trace = model.generate_with_overrides_and_layers(
+                inst,
+                &mut vocab,
+                target,
+                GenMode::Free,
+                &overrides,
+                &monitor_layers,
+                &mut scratch.synth,
+            );
+            cur = Some(Round::Owned(trace, vocab));
+            stale = false;
+        }
+        let round = cur.as_ref().expect("round state populated");
+        let trace = round.trace();
+        let vocab = round.vocab();
+        if would_be_correct.is_none() {
+            // Round 0, no overrides: this stream is the counterfactual.
+            would_be_correct = Some(trace.predicted_set() == gold_set);
+        }
         let flags = if config.per_token_monitoring {
-            mbpp.flag_trace_per_token(&trace, &mut rng)
+            mbpp.flag_trace_per_token(trace, &mut rng)
         } else {
-            mbpp.flag_trace_with_scratch(&trace, &mut rng, &mut scratch)
+            mbpp.flag_trace_with_scratch(trace, &mut rng, &mut scratch.bpp)
         };
 
         // First actionable flag: one raised on a not-yet-handled element.
@@ -182,7 +403,7 @@ pub fn run_rts_linking(
                 abstained: false,
                 predicted,
                 correct,
-                would_be_correct,
+                would_be_correct: would_be_correct.unwrap_or(false),
                 n_interventions,
                 n_flags,
             };
@@ -194,14 +415,13 @@ pub fn run_rts_linking(
                     abstained: true,
                     predicted: Vec::new(),
                     correct: false,
-                    would_be_correct,
+                    would_be_correct: would_be_correct.unwrap_or(false),
                     n_interventions,
                     n_flags,
                 };
             }
             MitigationPolicy::Surrogate(surrogate) => {
-                let implicated =
-                    implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
+                let implicated = implicated(ctx, vocab, meta, target, &trace.tokens, branch_pos);
                 n_interventions += 1;
                 let is_table = target == LinkTarget::Tables;
                 // §3.3: halt only if the surrogate explicitly confirms
@@ -215,18 +435,18 @@ pub fn run_rts_linking(
                         abstained: true,
                         predicted: Vec::new(),
                         correct: false,
-                        would_be_correct,
+                        would_be_correct: would_be_correct.unwrap_or(false),
                         n_interventions,
                         n_flags,
                     };
                 }
                 // Otherwise generation continues unchanged; don't
-                // re-consult for the same element.
+                // re-consult for the same element. The stream is not
+                // stale — the next round reuses it.
                 handled.insert(element_idx);
             }
             MitigationPolicy::Human(oracle) => {
-                let implicated =
-                    implicated_elements(&vocab, meta, target, &trace.tokens, branch_pos);
+                let implicated = implicated(ctx, vocab, meta, target, &trace.tokens, branch_pos);
                 n_interventions += 1;
                 let is_table = target == LinkTarget::Tables;
                 let gold_element = &gold[element_idx];
@@ -268,6 +488,8 @@ pub fn run_rts_linking(
                 };
                 overrides.insert(gold_element.clone(), decision);
                 handled.insert(element_idx);
+                // The pinned decision changes the stream: regenerate.
+                stale = true;
             }
         }
     }
@@ -278,28 +500,28 @@ pub fn run_rts_linking(
         abstained: true,
         predicted: Vec::new(),
         correct: false,
-        would_be_correct,
+        would_be_correct: would_be_correct.unwrap_or(false),
         n_interventions,
         n_flags,
     }
 }
 
-/// Algorithm 2 wrapper: implicated elements for the right element kind.
-fn implicated_elements(
+/// Algorithm 2 wrapper: implicated elements through the shared
+/// context's cached trie, or — on the reference path, where no context
+/// exists — by cloning the generation vocabulary and rebuilding the
+/// trie in its id space (the pre-context per-flag cost).
+fn implicated(
+    ctx: Option<&LinkContext>,
     vocab: &Vocab,
     meta: &DbMeta,
     target: LinkTarget,
     tokens: &[simlm::TokenId],
     branch_pos: usize,
 ) -> Vec<String> {
-    // The trie needs a mutable vocab to tokenize candidate names; work on
-    // a clone so caller state is untouched.
-    let mut v = vocab.clone();
-    let trie = match target {
-        LinkTarget::Tables => table_trie(&mut v, meta),
-        LinkTarget::Columns => column_trie(&mut v, meta),
-    };
-    trace_back(&v, &trie, tokens, branch_pos)
+    match ctx {
+        Some(ctx) => ctx.implicated_elements(vocab, tokens, branch_pos),
+        None => implicated_elements_reference(vocab, meta, target, tokens, branch_pos),
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +658,112 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.abstained, y.abstained);
             assert_eq!(x.predicted, y.predicted);
+        }
+    }
+
+    #[test]
+    fn context_path_matches_reference_path_for_all_policies() {
+        let fx = fixture();
+        let surrogate = SurrogateModel::train(&fx.bench, 3);
+        let oracle = HumanOracle::new(Expertise::Expert, 5);
+        let contexts = crate::context::LinkContexts::build(&fx.bench);
+        let fast_cfg = RtsConfig::default();
+        let ref_cfg = RtsConfig {
+            reference_linking: true,
+            ..RtsConfig::default()
+        };
+        let mut scratch = LinkScratch::default();
+        for policy in [
+            MitigationPolicy::AbstainOnly,
+            MitigationPolicy::Surrogate(&surrogate),
+            MitigationPolicy::Human(&oracle),
+        ] {
+            for inst in fx.bench.split.dev.iter().take(60) {
+                let meta = fx.bench.meta(&inst.db_name).unwrap();
+                let ctx = contexts.get(&inst.db_name, LinkTarget::Tables);
+                let fast = run_rts_linking_in(
+                    &fx.model,
+                    &fx.mbpp,
+                    inst,
+                    meta,
+                    ctx,
+                    &policy,
+                    &fast_cfg,
+                    &mut scratch,
+                );
+                let reference = run_rts_linking(
+                    &fx.model,
+                    &fx.mbpp,
+                    inst,
+                    meta,
+                    LinkTarget::Tables,
+                    &policy,
+                    &ref_cfg,
+                );
+                assert_eq!(
+                    format!("{fast:?}"),
+                    format!("{reference:?}"),
+                    "inst {}",
+                    inst.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_trace_entry_matches_regenerating() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 5);
+        let contexts = crate::context::LinkContexts::build(&fx.bench);
+        let config = RtsConfig::default();
+        let mut scratch = LinkScratch::default();
+        for policy in [
+            MitigationPolicy::AbstainOnly,
+            MitigationPolicy::Human(&oracle),
+        ] {
+            for inst in fx.bench.split.dev.iter().take(60) {
+                let meta = fx.bench.meta(&inst.db_name).unwrap();
+                let ctx = contexts.get(&inst.db_name, LinkTarget::Tables);
+                let mut vocab = Vocab::new();
+                let trace = fx.model.generate_with_layers(
+                    inst,
+                    &mut vocab,
+                    LinkTarget::Tables,
+                    GenMode::Free,
+                    &fx.mbpp.layer_set(),
+                    &mut scratch.synth,
+                );
+                let from = run_rts_linking_from(
+                    &fx.model,
+                    &fx.mbpp,
+                    inst,
+                    meta,
+                    ctx,
+                    Round0 {
+                        trace: &trace,
+                        vocab: &vocab,
+                    },
+                    &policy,
+                    &config,
+                    &mut scratch,
+                );
+                let regen = run_rts_linking_in(
+                    &fx.model,
+                    &fx.mbpp,
+                    inst,
+                    meta,
+                    ctx,
+                    &policy,
+                    &config,
+                    &mut scratch,
+                );
+                assert_eq!(
+                    format!("{from:?}"),
+                    format!("{regen:?}"),
+                    "inst {}",
+                    inst.id
+                );
+            }
         }
     }
 

@@ -10,6 +10,10 @@
 //!   (Theorem 1) or the random-permutation merge (Algorithm 1);
 //! * [`traceback`] — Algorithm 2: map a flagged token back to the
 //!   schema elements it implicates;
+//! * [`context`] — the shared per-database [`context::LinkContext`]:
+//!   pre-interned vocabulary + precompiled constrained-decoding trie,
+//!   built once and borrowed read-only by every instance, round and
+//!   worker thread;
 //! * [`surrogate`] — the fine-tuned relevance-classifier stand-in that
 //!   can auto-resolve abstentions (§3.3 "Surrogate Filter");
 //! * [`human`] — human-in-the-loop oracles with expertise profiles
@@ -25,6 +29,7 @@
 pub mod abstention;
 pub mod bpp;
 pub mod branching;
+pub mod context;
 pub mod human;
 pub mod metrics;
 pub mod par;
@@ -33,9 +38,10 @@ pub mod sqlgen;
 pub mod surrogate;
 pub mod traceback;
 
-pub use abstention::{MitigationPolicy, RtsConfig, RtsOutcome};
+pub use abstention::{LinkScratch, MitigationPolicy, Round0, RtsConfig, RtsOutcome};
 pub use bpp::{Mbpp, MergeMethod, Sbpp};
 pub use branching::BranchDataset;
+pub use context::{LinkContext, LinkContexts};
 pub use human::{Expertise, HumanOracle};
 pub use metrics::{AbstentionMetrics, CoverageMetrics, LinkingMetrics};
 pub use par::par_map;

@@ -1,7 +1,7 @@
 //! Evaluation metrics, exactly as defined in §4.2 of the paper.
 //!
 //! Note on TAR/FAR: the paper's prose defines TAR as "abstains … and is
-//! not capable of making the correct [prediction]" and FAR as "abstains
+//! not capable of making the correct \[prediction\]" and FAR as "abstains
 //! … despite being capable of making a correct one", while the displayed
 //! formulas have the conditions swapped (`T_i = T̂_i` under TAR). The
 //! prose (and the magnitudes in Tables 5–6) are only consistent with

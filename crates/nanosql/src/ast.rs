@@ -4,7 +4,7 @@
 //! paper's benchmark queries need: single-table and multi-way equi-join
 //! SELECTs with DISTINCT, WHERE, GROUP BY/HAVING, ORDER BY and LIMIT;
 //! scalar expressions with arithmetic, comparisons, boolean logic,
-//! LIKE, IN-lists and IS [NOT] NULL; aggregates COUNT/SUM/AVG/MIN/MAX
+//! LIKE, IN-lists and IS \[NOT\] NULL; aggregates COUNT/SUM/AVG/MIN/MAX
 //! (with DISTINCT and `COUNT(*)`).
 //!
 //! `Display` renders canonical SQL text; [`crate::parser`] parses it

@@ -113,7 +113,7 @@ impl<T: ArbitraryValue> Strategy for AnyOf<T> {
     }
 }
 
-/// Length specification for [`vec`].
+/// Length specification for [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,

@@ -40,7 +40,7 @@ pub mod profile;
 pub mod trie;
 pub mod vocab;
 
-pub use linearize::{decode_elements, linearize_columns, linearize_tables};
+pub use linearize::{decode_elements, linearize_columns, linearize_tables, IncrementalDecoder};
 pub use model::{
     Decision, GenMode, GenerationTrace, HiddenStack, LayerSet, LinkTarget, SchemaLinker, StepTrace,
     SynthScratch,

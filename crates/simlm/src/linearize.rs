@@ -99,6 +99,81 @@ pub fn decode_elements(vocab: &Vocab, tokens: &[TokenId]) -> (Vec<String>, Vec<T
     (elements, current)
 }
 
+/// Streaming [`decode_elements`]: push one token at a time and read the
+/// complete elements / trailing partial so far. After `k` pushes the
+/// state equals `decode_elements(vocab, &tokens[..k])` exactly — which
+/// is what lets Algorithm 2's trace back consume a stream token by
+/// token instead of re-decoding the whole prefix on every step (the
+/// former path was quadratic in the stream length).
+#[derive(Debug)]
+pub struct IncrementalDecoder<'a> {
+    vocab: &'a Vocab,
+    /// Special-token ids, resolved once (`None` = not in this vocab).
+    comma: Option<TokenId>,
+    end: Option<TokenId>,
+    colon: Option<TokenId>,
+    header_tables: Option<TokenId>,
+    header_columns: Option<TokenId>,
+    /// Tokens consumed so far (drives the position-0 header skip).
+    n_seen: usize,
+    elements: Vec<String>,
+    partial: Vec<TokenId>,
+}
+
+impl<'a> IncrementalDecoder<'a> {
+    pub fn new(vocab: &'a Vocab) -> Self {
+        Self {
+            vocab,
+            comma: vocab.get(TOK_COMMA),
+            end: vocab.get(TOK_END),
+            colon: vocab.get(TOK_COLON),
+            header_tables: vocab.get(TOK_TABLES),
+            header_columns: vocab.get(TOK_COLUMNS),
+            n_seen: 0,
+            elements: Vec::new(),
+            partial: Vec::new(),
+        }
+    }
+
+    /// Consume the next token of the stream.
+    pub fn push(&mut self, t: TokenId) {
+        let first = self.n_seen == 0;
+        self.n_seen += 1;
+        if first && (Some(t) == self.header_tables || Some(t) == self.header_columns) {
+            // A position-0 header is dropped; a header token anywhere
+            // else is ordinary content, exactly like the batch decoder.
+            return;
+        }
+        if Some(t) == self.colon {
+            // The header colon and stray colons are both dropped.
+            return;
+        }
+        if Some(t) == self.comma || Some(t) == self.end {
+            if !self.partial.is_empty() {
+                self.elements.push(self.vocab.concat(&self.partial));
+                self.partial.clear();
+            }
+            return;
+        }
+        self.partial.push(t);
+    }
+
+    /// Complete elements decoded so far (in stream order).
+    pub fn elements(&self) -> &[String] {
+        &self.elements
+    }
+
+    /// Trailing partial element's tokens (empty at a clean boundary).
+    pub fn partial(&self) -> &[TokenId] {
+        &self.partial
+    }
+
+    /// Number of tokens consumed.
+    pub fn n_seen(&self) -> usize {
+        self.n_seen
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +239,46 @@ mod tests {
         let ids = element_tokens(&mut v, "lapTimes.raceId");
         let texts: Vec<&str> = ids.iter().map(|&i| v.text(i)).collect();
         assert_eq!(texts, vec!["lap", "Times", ".", "race", "Id"]);
+    }
+
+    #[test]
+    fn incremental_decoder_matches_batch_on_every_prefix() {
+        let mut v = Vocab::new();
+        let cols = vec![
+            ("lapTimes".to_string(), "time".to_string()),
+            ("races".to_string(), "name".to_string()),
+            ("races".to_string(), "raceId".to_string()),
+        ];
+        let toks = linearize_columns(&mut v, &cols);
+        let mut dec = IncrementalDecoder::new(&v);
+        for (k, &t) in toks.iter().enumerate() {
+            dec.push(t);
+            let (batch_elems, batch_partial) = decode_elements(&v, &toks[..k + 1]);
+            assert_eq!(dec.elements(), &batch_elems[..], "prefix {}", k + 1);
+            assert_eq!(dec.partial(), &batch_partial[..], "prefix {}", k + 1);
+            assert_eq!(dec.n_seen(), k + 1);
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_treats_late_header_as_content() {
+        // A header token beyond position 0 is ordinary content in the
+        // batch decoder; the streaming decoder must agree.
+        let mut v = Vocab::new();
+        let races = v.encode_identifier("races");
+        let header = v.get(TOK_TABLES).unwrap();
+        let comma = v.get(TOK_COMMA).unwrap();
+        let stream: Vec<TokenId> = races
+            .iter()
+            .copied()
+            .chain([comma, header, comma])
+            .collect();
+        let (batch, _) = decode_elements(&v, &stream);
+        let mut dec = IncrementalDecoder::new(&v);
+        for &t in &stream {
+            dec.push(t);
+        }
+        assert_eq!(dec.elements(), &batch[..]);
+        assert_eq!(batch, vec!["races".to_string(), TOK_TABLES.to_string()]);
     }
 }

@@ -76,7 +76,7 @@ impl Decision {
 /// and the unmonitored counterfactual run in the RTS runtime reads no
 /// hidden state at all — synthesizing the full stack for those callers
 /// is the dominant per-instance cost. A `LayerSet` threads the request
-/// down into [`SchemaLinker::hidden_states`] so only the layers that
+/// down into the hidden-state synthesis so only the layers that
 /// will actually be read are materialised. Skipping a layer is
 /// bit-exact safe: every layer's gaussian streams are independently
 /// seeded from `(token, layer, instance, position)`, so the synthesized

@@ -130,6 +130,25 @@ impl Trie {
     pub fn names(&self) -> &[String] {
         &self.names
     }
+
+    /// Build a trie over a fixed set of element names, tokenizing (and
+    /// interning) each one in `vocab`. This is the construction the
+    /// shared `LinkContext` uses: the candidate set is known up front
+    /// (the database schema), so the trie — and the vocabulary it is
+    /// keyed in — can be built once and reused read-only across
+    /// instances, rounds and threads.
+    pub fn from_elements<S: AsRef<str>>(
+        vocab: &mut crate::vocab::Vocab,
+        names: impl IntoIterator<Item = S>,
+    ) -> Trie {
+        let mut trie = Trie::new();
+        for name in names {
+            let name = name.as_ref();
+            let toks = crate::linearize::element_tokens(vocab, name);
+            trie.insert(name, &toks);
+        }
+        trie
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +227,20 @@ mod tests {
         let ids = v.encode_identifier("races");
         t.insert("races", &ids);
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn from_elements_matches_incremental_build() {
+        let names = ["races", "raceId", "raceDays", "lapTimes", "results"];
+        let (v_ref, t_ref) = build();
+        let mut v = Vocab::new();
+        let t = Trie::from_elements(&mut v, names);
+        assert_eq!(t.len(), t_ref.len());
+        for name in names {
+            let ids = v.try_encode_identifier(name).unwrap();
+            assert_eq!(t.complete(&ids), Some(name));
+            let ids_ref = v_ref.try_encode_identifier(name).unwrap();
+            assert_eq!(t_ref.complete(&ids_ref), Some(name));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Multi-layer perceptron binary classifier.
 //!
 //! The paper's branching-point predictors are "two-layer perceptron (MLP)
-//! classifier[s]" over hidden-state vectors (§3.1). [`Mlp`] generalises
+//! classifier\[s\]" over hidden-state vectors (§3.1). [`Mlp`] generalises
 //! that slightly (any number of hidden layers) because the ablation
 //! benches compare probe depths, but the default configuration is exactly
 //! the paper's: one ReLU hidden layer plus a sigmoid output.

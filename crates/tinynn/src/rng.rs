@@ -2,7 +2,7 @@
 //!
 //! `tinynn` (and the crates above it) must be bit-for-bit reproducible for
 //! a given seed, so all stochastic choices flow through either
-//! [`rand::rngs::StdRng`] seeded explicitly, or — on hot paths where we
+//! `rand::rngs::StdRng` seeded explicitly, or — on hot paths where we
 //! want a tiny, inlineable generator — the [`SplitMix64`] implemented
 //! here. SplitMix64 is the statistically solid 64-bit mixer from Steele,
 //! Lea & Flood (OOPSLA'14); it is also what `rand` itself uses to seed

@@ -133,12 +133,17 @@ proptest! {
 mod parity {
     use super::*;
     use rts::benchgen::{Benchmark, BenchmarkProfile, Instance};
-    use rts::core::abstention::{run_rts_linking, MitigationPolicy, RtsConfig};
+    use rts::core::abstention::{
+        run_rts_linking, run_rts_linking_from, run_rts_linking_in, LinkScratch, MitigationPolicy,
+        Round0, RtsConfig,
+    };
     use rts::core::bpp::{Mbpp, MbppConfig, ProbeConfig};
     use rts::core::branching::BranchDataset;
+    use rts::core::context::{implicated_elements_reference, LinkContexts};
     use rts::core::human::{Expertise, HumanOracle};
     use rts::core::pipeline::{run_full_pipeline, run_joint_linking};
     use rts::core::sqlgen::SqlGenModel;
+    use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
     use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
     use std::sync::OnceLock;
 
@@ -147,6 +152,7 @@ mod parity {
         model: SchemaLinker,
         mbpp_t: Mbpp,
         mbpp_c: Mbpp,
+        contexts: LinkContexts,
     }
 
     fn fixture() -> &'static Fx {
@@ -165,13 +171,34 @@ mod parity {
             let ds_c = BranchDataset::build(&model, &bench.split.train, LinkTarget::Columns, 300);
             let mbpp_t = Mbpp::train(&ds_t, &cfg);
             let mbpp_c = Mbpp::train(&ds_c, &cfg);
+            let contexts = LinkContexts::build(&bench);
             Fx {
                 bench,
                 model,
                 mbpp_t,
                 mbpp_c,
+                contexts,
             }
         })
+    }
+
+    /// Base config for parity runs. The CI parity matrix sets
+    /// `RTS_REFERENCE` (`per-token`, `eager`, `reference`) so that
+    /// parallel ≡ serial is enforced on the reference paths too, not
+    /// just on the fast defaults — and crossed with `RTS_THREADS` so
+    /// the serial and parallel runtimes are both exercised.
+    fn base_config(seed: u64) -> RtsConfig {
+        let mut config = RtsConfig {
+            seed,
+            ..RtsConfig::default()
+        };
+        match std::env::var("RTS_REFERENCE").as_deref() {
+            Ok("per-token") => config.per_token_monitoring = true,
+            Ok("eager") => config.eager_synthesis = true,
+            Ok("reference") => config.reference_linking = true,
+            _ => {}
+        }
+        config
     }
 
     proptest! {
@@ -268,8 +295,8 @@ mod parity {
         fn lazy_linking_outcomes_match_eager(seed in any::<u64>(), n in 8usize..24) {
             let fx = fixture();
             let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
-            let lazy_cfg = RtsConfig { seed, ..RtsConfig::default() };
-            let eager_cfg = RtsConfig { seed, eager_synthesis: true, ..RtsConfig::default() };
+            let lazy_cfg = base_config(seed);
+            let eager_cfg = RtsConfig { eager_synthesis: true, ..base_config(seed) };
             for policy in [
                 MitigationPolicy::AbstainOnly,
                 MitigationPolicy::Human(&oracle),
@@ -318,7 +345,7 @@ mod parity {
             let fx = fixture();
             let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
             let generator = SqlGenModel::deepseek_7b("bird", seed ^ 0x5EED);
-            let config = RtsConfig { seed, ..RtsConfig::default() };
+            let config = base_config(seed);
             let instances: Vec<Instance> =
                 fx.bench.split.dev.iter().take(n).cloned().collect();
             let (ex_par, outcomes_par) = run_full_pipeline(
@@ -361,6 +388,148 @@ mod parity {
                 prop_assert_eq!(p.columns.n_flags, s.columns.n_flags);
             }
             prop_assert!(ex_par == ex_serial, "EX diverged: {} vs {}", ex_par, ex_serial);
+        }
+
+        /// The shared-`LinkContext` runtime ≡ the pre-context reference
+        /// path (`reference_linking: true`: explicit counterfactual
+        /// generation, regeneration every round, clone-per-flag trie
+        /// rebuild, full-prefix re-decode): outcomes field-for-field —
+        /// flags, implicated-set-driven decisions, interventions,
+        /// predictions — across targets, policies and seeds. This is
+        /// the invariant that keeps every committed `results/*.json`
+        /// byte-identical under the context refactor.
+        #[test]
+        fn context_linking_matches_reference(
+            seed in any::<u64>(),
+            n in 8usize..24,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mbpp = if columns { &fx.mbpp_c } else { &fx.mbpp_t };
+            let fast_cfg = base_config(seed);
+            let ref_cfg = RtsConfig { reference_linking: true, ..base_config(seed) };
+            let mut scratch = LinkScratch::default();
+            for policy in [
+                MitigationPolicy::AbstainOnly,
+                MitigationPolicy::Human(&oracle),
+            ] {
+                for inst in fx.bench.split.dev.iter().take(n) {
+                    let meta = fx.bench.meta(&inst.db_name).unwrap();
+                    let ctx = fx.contexts.get(&inst.db_name, target);
+                    let fast = run_rts_linking_in(
+                        &fx.model, mbpp, inst, meta, ctx, &policy, &fast_cfg, &mut scratch,
+                    );
+                    let reference = run_rts_linking(
+                        &fx.model, mbpp, inst, meta, target, &policy, &ref_cfg,
+                    );
+                    prop_assert_eq!(
+                        format!("{:?}", fast),
+                        format!("{:?}", reference),
+                        "instance {} target {:?}", inst.id, target
+                    );
+                }
+            }
+        }
+
+        /// `run_rts_linking_from` (round 0 supplied by the caller — the
+        /// production dataflow where the generated stream is shared
+        /// with the monitor) ≡ regenerating round 0 inside the runtime.
+        #[test]
+        fn from_trace_linking_matches_regenerating(
+            seed in any::<u64>(),
+            n in 8usize..24,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mbpp = if columns { &fx.mbpp_c } else { &fx.mbpp_t };
+            let config = base_config(seed);
+            let mut scratch = LinkScratch::default();
+            for policy in [
+                MitigationPolicy::AbstainOnly,
+                MitigationPolicy::Human(&oracle),
+            ] {
+                for inst in fx.bench.split.dev.iter().take(n) {
+                    let meta = fx.bench.meta(&inst.db_name).unwrap();
+                    let ctx = fx.contexts.get(&inst.db_name, target);
+                    let mut vocab = Vocab::new();
+                    let trace = fx.model.generate_with_layers(
+                        inst, &mut vocab, target, GenMode::Free,
+                        &mbpp.layer_set(), &mut scratch.synth,
+                    );
+                    let from = run_rts_linking_from(
+                        &fx.model, mbpp, inst, meta, ctx,
+                        Round0 { trace: &trace, vocab: &vocab },
+                        &policy, &config, &mut scratch,
+                    );
+                    let regen = run_rts_linking_in(
+                        &fx.model, mbpp, inst, meta, ctx, &policy, &config, &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        format!("{:?}", from),
+                        format!("{:?}", regen),
+                        "instance {} target {:?}", inst.id, target
+                    );
+                }
+            }
+        }
+
+        /// The incremental trace back ≡ the quadratic re-decode
+        /// reference on arbitrary (branch position, truncation) pairs of
+        /// generated streams — including mid-element truncations that
+        /// exercise the trie-completion path.
+        #[test]
+        fn traceback_incremental_matches_reference(
+            pick in 0usize..1000,
+            branch_sel in 0usize..1000,
+            cut_sel in 0usize..1000,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mut vocab = Vocab::new();
+            let trace = fx.model.generate(inst, &mut vocab, target, GenMode::Free);
+            let meta = fx.bench.meta(&inst.db_name).unwrap();
+            let trie = match target {
+                LinkTarget::Tables => table_trie(&mut vocab, meta),
+                LinkTarget::Columns => column_trie(&mut vocab, meta),
+            };
+            let branch_pos = branch_sel % trace.tokens.len();
+            let cut = branch_pos + 1 + cut_sel % (trace.tokens.len() - branch_pos);
+            let toks = &trace.tokens[..cut];
+            prop_assert_eq!(
+                trace_back(&vocab, &trie, toks, branch_pos),
+                trace_back_reference(&vocab, &trie, toks, branch_pos),
+                "instance {} target {:?} branch {} cut {}", inst.id, target, branch_pos, cut
+            );
+        }
+
+        /// The cached-context implicated set ≡ the clone-per-flag
+        /// rebuild, at every position of complete generated streams
+        /// (what the runtime actually traces back from).
+        #[test]
+        fn context_implicated_sets_match_rebuild(
+            pick in 0usize..1000,
+            branch_sel in 0usize..1000,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mut vocab = Vocab::new();
+            let trace = fx.model.generate(inst, &mut vocab, target, GenMode::Free);
+            let meta = fx.bench.meta(&inst.db_name).unwrap();
+            let ctx = fx.contexts.get(&inst.db_name, target);
+            let branch_pos = branch_sel % trace.tokens.len();
+            prop_assert_eq!(
+                ctx.implicated_elements(&vocab, &trace.tokens, branch_pos),
+                implicated_elements_reference(&vocab, meta, target, &trace.tokens, branch_pos),
+                "instance {} target {:?} branch {}", inst.id, target, branch_pos
+            );
         }
     }
 
