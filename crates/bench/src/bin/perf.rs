@@ -425,6 +425,42 @@ fn main() {
             .to_string(),
     );
 
+    // Serving section — the rts-serve engine under a closed-loop joint
+    // linking workload (concurrent clients, sessions suspending on
+    // human feedback, lazy context cache). Latencies here are
+    // wall-clock under concurrency, not per-instance stage times; the
+    // perf gate reports but never gates them.
+    let workload = rts_bench::serving::WorkloadConfig {
+        clients: 4,
+        rounds: 2,
+        serve: rts_serve::ServeConfig {
+            queue_capacity: 16,
+            cache_capacity: 8,
+            rts: RtsConfig {
+                seed,
+                ..RtsConfig::default()
+            },
+            ..rts_serve::ServeConfig::default()
+        },
+        oracle: rts_core::human::HumanOracle::new(
+            rts_core::human::Expertise::Expert,
+            seed ^ 0x0DDE,
+        ),
+    };
+    let served = rts_bench::serving::run_workload(
+        &linker,
+        &mbpp_t,
+        &mbpp_c,
+        &bench.metas,
+        instances,
+        &workload,
+    );
+    assert_eq!(
+        served.stats.completed as usize, served.n_requests,
+        "serving workload must complete every request"
+    );
+    perf.serving = Some(rts_bench::serving::serving_record(&served, &workload));
+
     print!("{}", perf.render());
     perf.save_bench_json(std::path::Path::new("."))
         .expect("write BENCH_rts.json");

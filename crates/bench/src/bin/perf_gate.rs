@@ -12,6 +12,11 @@
 //! `RTS_PERF_GATE_TOLERANCE`. Stages present in only one record are
 //! reported but never fail the gate (stage renames land together with a
 //! regenerated baseline). Exits non-zero on regression.
+//!
+//! The optional `serving` section (absent on snapshots predating the
+//! `rts-serve` engine) is surfaced for eyeballs but never gated: its
+//! latencies are wall-clock under concurrency on a shared runner, not
+//! per-instance stage times.
 
 use rts_bench::report::{compare_perf, PerfReport};
 
@@ -79,6 +84,17 @@ fn main() {
         if !baseline.stages.iter().any(|b| b.stage == f.stage) {
             println!("{:<36} (new stage — no baseline yet)", f.stage);
         }
+    }
+
+    match (&baseline.serving, &fresh.serving) {
+        (_, Some(s)) => {
+            println!("serving section (reported, never gated):");
+            print!("{}", s.render());
+        }
+        (Some(_), None) => {
+            println!("serving section present in baseline only — not gated");
+        }
+        (None, None) => {}
     }
 
     let regressions: Vec<&str> = comparisons

@@ -1,0 +1,141 @@
+//! Closed-loop workload driver for the `rts-serve` engine, standalone.
+//!
+//! ```text
+//! RTS_SCALE=0.03 cargo run --release -p rts-bench --bin serve_driver
+//! ```
+//!
+//! Trains the usual artefacts, then drives a mixed joint-linking
+//! workload (concurrent clients, human feedback on every suspension)
+//! through the serving engine and prints the serving record. Knobs:
+//!
+//! * `RTS_SERVE_CLIENTS` (default 4) — closed-loop client threads;
+//! * `RTS_SERVE_ROUNDS` (default 2) — passes over the dev split;
+//! * `RTS_SERVE_QUEUE` (default 16) — admission-queue bound;
+//! * `RTS_SERVE_CACHE` (default 8) — context-cache capacity/target;
+//! * `RTS_SERVE_DEADLINE_MS` (default off) — per-request budget;
+//!   expired requests degrade to abstention instead of dropping;
+//! * `RTS_THREADS` — engine worker threads (as everywhere);
+//! * `RTS_SERVE_RECORD=1` — merge the record into `./BENCH_rts.json`.
+//!
+//! The driver is self-verifying: with shedding off it asserts each
+//! request's joint outcome equals the batch runtime's for the same
+//! instance — the serve engine must never change answers, only when
+//! they arrive.
+
+use rts_bench::report::PerfReport;
+use rts_bench::serving::{run_workload, serving_record, WorkloadConfig};
+use rts_core::abstention::{LinkScratch, MitigationPolicy, RtsConfig};
+use rts_core::bpp::{Mbpp, MbppConfig, ProbeConfig};
+use rts_core::branching::BranchDataset;
+use rts_core::context::LinkContexts;
+use rts_core::human::{Expertise, HumanOracle};
+use rts_core::pipeline::run_joint_linking_in;
+use rts_serve::ServeConfig;
+use simlm::{LinkTarget, SchemaLinker};
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = std::env::var("RTS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
+    let seed = rts_bench::env_seed();
+
+    let t0 = std::time::Instant::now();
+    let bench = benchgen::BenchmarkProfile::bird_like()
+        .scaled(scale)
+        .generate(seed);
+    let linker = SchemaLinker::new("bird", seed ^ 0x11CC);
+    let probe_cfg = MbppConfig {
+        probe: ProbeConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let ds_t = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Tables, 400);
+    let ds_c = BranchDataset::build(&linker, &bench.split.train, LinkTarget::Columns, 400);
+    let mbpp_t = Mbpp::train(&ds_t, &probe_cfg);
+    let mbpp_c = Mbpp::train(&ds_c, &probe_cfg);
+    eprintln!(
+        "[serve_driver] setup (benchmark + mBPPs) in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let deadline = std::env::var("RTS_SERVE_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|ms| Duration::from_secs_f64(ms / 1e3));
+    let config = WorkloadConfig {
+        clients: env_usize("RTS_SERVE_CLIENTS", 4),
+        rounds: env_usize("RTS_SERVE_ROUNDS", 2),
+        serve: ServeConfig {
+            queue_capacity: env_usize("RTS_SERVE_QUEUE", 16),
+            cache_capacity: env_usize("RTS_SERVE_CACHE", 8),
+            deadline,
+            rts: RtsConfig {
+                seed,
+                ..RtsConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        oracle: HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE),
+    };
+
+    let instances = &bench.split.dev;
+    let result = run_workload(&linker, &mbpp_t, &mbpp_c, &bench.metas, instances, &config);
+    let record = serving_record(&result, &config);
+    print!("{}", record.render());
+    assert_eq!(
+        record.completed as usize, result.n_requests,
+        "every request must complete (shedding degrades, never drops)"
+    );
+
+    if config.serve.deadline.is_none() {
+        // Self-check: served outcomes ≡ the batch runtime.
+        let contexts = LinkContexts::build(&bench);
+        let policy = MitigationPolicy::Human(&config.oracle);
+        let mut scratch = LinkScratch::default();
+        for (id, served, shed) in &result.outcomes {
+            assert!(!shed, "no deadline, nothing may shed");
+            let inst = instances.iter().find(|i| i.id == *id).expect("known id");
+            let batch = run_joint_linking_in(
+                &linker,
+                &mbpp_t,
+                &mbpp_c,
+                inst,
+                &bench,
+                &contexts,
+                &policy,
+                &config.serve.rts,
+                &mut scratch,
+            );
+            assert_eq!(
+                format!("{served:?}"),
+                format!("{batch:?}"),
+                "serve/batch outcome mismatch on instance {id}"
+            );
+        }
+        eprintln!(
+            "[serve_driver] outcome parity: {} served requests ≡ batch runtime",
+            result.outcomes.len()
+        );
+    }
+
+    if std::env::var("RTS_SERVE_RECORD").is_ok_and(|v| v == "1") {
+        let path = std::path::Path::new("BENCH_rts.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_rts.json exists — run perf first");
+        let mut perf: PerfReport = serde_json::from_str(&text).expect("parse BENCH_rts.json");
+        perf.serving = Some(record);
+        perf.save_bench_json(std::path::Path::new("."))
+            .expect("write BENCH_rts.json");
+        eprintln!("[serve_driver] merged serving section into BENCH_rts.json");
+    }
+}

@@ -13,6 +13,7 @@
 pub mod context;
 pub mod experiments;
 pub mod report;
+pub mod serving;
 
 pub use context::{Context, Which};
 pub use report::{Report, Row};

@@ -170,6 +170,91 @@ pub struct StageTiming {
     pub n_instances: usize,
 }
 
+/// One closed-loop serving measurement of the `rts-serve` engine: the
+/// optional `serving` section of `BENCH_rts.json`. Optional because
+/// older snapshots predate it — the perf gate must keep parsing them
+/// (the serde shim reads an absent `Option` field as `None`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingRecord {
+    /// Engine workers / closed-loop clients the workload ran with.
+    pub workers: usize,
+    pub clients: usize,
+    /// Admission-queue bound, per-target context-cache capacity, and
+    /// the per-request deadline (None = shedding disabled).
+    pub queue_capacity: usize,
+    pub cache_capacity: usize,
+    pub deadline_ms: Option<f64>,
+    /// Joint-linking requests submitted (each = tables + columns
+    /// linking, human feedback on every flag).
+    pub n_requests: usize,
+    pub completed: u64,
+    /// Requests answered by degrading to abstention on deadline.
+    pub shed: u64,
+    /// Submissions bounced at admission (clients retried them).
+    pub rejected_submits: u64,
+    pub feedback_rounds: u64,
+    /// Submit-to-completion latency distribution, ms.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub max_ms: f64,
+    pub throughput_rps: f64,
+    /// Work-queue depth observed at submits.
+    pub queue_depth_max: usize,
+    pub queue_depth_mean: f64,
+    /// Lazy per-(database, target) context cache counters.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_hit_rate: f64,
+    /// Peak generation state held by sessions parked on feedback.
+    pub parked_bytes_peak: u64,
+    pub parked_sessions_peak: u64,
+    pub wall_ms: f64,
+}
+
+impl ServingRecord {
+    /// Console rendering (shared by the perf and driver binaries).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- serving: {} requests, {} workers, {} clients (queue {}, cache {}, deadline {})",
+            self.n_requests,
+            self.workers,
+            self.clients,
+            self.queue_capacity,
+            self.cache_capacity,
+            self.deadline_ms
+                .map_or("off".to_string(), |d| format!("{d:.0} ms")),
+        );
+        let _ = writeln!(
+            out,
+            "   latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}  ({:.0} req/s)",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.mean_ms, self.max_ms, self.throughput_rps
+        );
+        let _ = writeln!(
+            out,
+            "   completed {} (shed {}, rejected submits {}), feedback rounds {}",
+            self.completed, self.shed, self.rejected_submits, self.feedback_rounds
+        );
+        let _ = writeln!(
+            out,
+            "   queue depth max {} mean {:.2}; context cache {}/{} hit ({:.0}%), {} evictions; parked peak {} sessions / {} B",
+            self.queue_depth_max,
+            self.queue_depth_mean,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.cache_evictions,
+            self.parked_sessions_peak,
+            self.parked_bytes_peak,
+        );
+        out
+    }
+}
+
 /// The cross-PR performance record, persisted as `BENCH_rts.json` so
 /// future changes have a trajectory to compare against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -185,6 +270,10 @@ pub struct PerfReport {
     pub effective_parallelism: usize,
     pub stages: Vec<StageTiming>,
     pub notes: Vec<String>,
+    /// Online-serving measurement (absent on records from before the
+    /// `rts-serve` engine existed; never gated — latencies are
+    /// wall-clock under concurrency, not per-instance stage times).
+    pub serving: Option<ServingRecord>,
 }
 
 impl PerfReport {
@@ -196,6 +285,7 @@ impl PerfReport {
             effective_parallelism,
             stages: Vec::new(),
             notes: Vec::new(),
+            serving: None,
         }
     }
 
@@ -252,6 +342,9 @@ impl PerfReport {
                 "{:<36} {:>12.2} {:>16.1}  {}",
                 s.stage, s.wall_ms, s.per_instance_us, s.n_instances
             );
+        }
+        if let Some(serving) = &self.serving {
+            out.push_str(&serving.render());
         }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
@@ -395,6 +488,72 @@ mod tests {
         assert_eq!(cmp.len(), 1);
         assert_eq!(cmp[0].stage, "linking");
         assert!(!cmp[0].regressed);
+    }
+
+    fn demo_serving() -> ServingRecord {
+        ServingRecord {
+            workers: 2,
+            clients: 4,
+            queue_capacity: 64,
+            cache_capacity: 8,
+            deadline_ms: None,
+            n_requests: 92,
+            completed: 92,
+            shed: 0,
+            rejected_submits: 3,
+            feedback_rounds: 41,
+            p50_ms: 1.2,
+            p95_ms: 3.4,
+            p99_ms: 5.6,
+            mean_ms: 1.5,
+            max_ms: 7.0,
+            throughput_rps: 800.0,
+            queue_depth_max: 5,
+            queue_depth_mean: 1.25,
+            cache_hits: 180,
+            cache_misses: 4,
+            cache_evictions: 0,
+            cache_hit_rate: 180.0 / 184.0,
+            parked_bytes_peak: 65536,
+            parked_sessions_peak: 6,
+            wall_ms: 115.0,
+        }
+    }
+
+    #[test]
+    fn serving_section_roundtrips() {
+        let mut p = PerfReport::new(0.03, 7, 1, 1);
+        p.serving = Some(demo_serving());
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        let s = back.serving.expect("serving section survives");
+        assert_eq!(s.n_requests, 92);
+        assert_eq!(s.deadline_ms, None);
+        assert!((s.p99_ms - 5.6).abs() < 1e-12);
+        let text = p.render();
+        assert!(text.contains("serving: 92 requests"));
+        assert!(text.contains("p99 5.600"));
+    }
+
+    #[test]
+    fn records_without_serving_section_still_parse() {
+        // A BENCH_rts.json predating the serve engine has no "serving"
+        // key at all; the perf gate must keep loading such snapshots.
+        let json = r#"{
+          "scale": 0.03,
+          "seed": 7,
+          "threads": 1,
+          "effective_parallelism": 1,
+          "stages": [
+            { "stage": "linking", "wall_ms": 2.0,
+              "per_instance_us": 43.5, "n_instances": 46 }
+          ],
+          "notes": ["pre-serving snapshot"]
+        }"#;
+        let back: PerfReport = serde_json::from_str(json).expect("old snapshot parses");
+        assert!(back.serving.is_none());
+        assert_eq!(back.stages.len(), 1);
+        assert_eq!(back.stages[0].stage, "linking");
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Closed-loop workload driver for the `rts-serve` engine.
+//!
+//! Simulates production traffic against a [`ServeEngine`]: a pool of
+//! client threads, each owning a slice of the instance set, submits
+//! joint-linking requests, answers every `NeedsFeedback` suspension
+//! with the human oracle, and measures submit-to-completion latency.
+//! "Closed loop" = each client has one request in flight at a time, so
+//! offered load tracks service capacity and the engine's queues show
+//! realistic depth instead of unbounded backlog.
+//!
+//! The driver is what the `perf` binary and the `serve_driver` smoke
+//! binary run to produce the `serving` section of `BENCH_rts.json`.
+
+use crate::report::ServingRecord;
+use rts_core::abstention::MitigationPolicy;
+use rts_core::bpp::Mbpp;
+use rts_core::human::HumanOracle;
+use rts_core::pipeline::JointOutcome;
+use rts_core::session::resolve_flag;
+use rts_serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError};
+use simlm::SchemaLinker;
+use std::time::{Duration, Instant};
+
+/// Workload shape.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Passes each client makes over its instance slice (≥ 2 gives the
+    /// context cache a warm pass to show hits).
+    pub rounds: usize,
+    /// Engine configuration (workers, queue bound, deadline, cache).
+    pub serve: ServeConfig,
+    /// The oracle clients answer feedback queries with.
+    pub oracle: HumanOracle,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            rounds: 2,
+            serve: ServeConfig::default(),
+            oracle: HumanOracle::new(rts_core::human::Expertise::Expert, 9),
+        }
+    }
+}
+
+/// What one workload run produced.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// Per-request outcomes: `(instance id, joint outcome, shed)`, in
+    /// client completion order.
+    pub outcomes: Vec<(u64, JointOutcome, bool)>,
+    /// The engine's counter snapshot at drain.
+    pub stats: rts_serve::ServingStats,
+    /// Whole-workload wall time.
+    pub wall: Duration,
+    /// Requests submitted (`instances × rounds`).
+    pub n_requests: usize,
+}
+
+/// Drive a closed-loop workload: build the engine, spawn its workers
+/// plus `config.clients` client threads, run `rounds` passes over
+/// `instances`, drain, and snapshot the stats.
+pub fn run_workload(
+    model: &SchemaLinker,
+    mbpp_tables: &Mbpp,
+    mbpp_columns: &Mbpp,
+    metas: &[benchgen::schemagen::DbMeta],
+    instances: &[benchgen::Instance],
+    config: &WorkloadConfig,
+) -> WorkloadResult {
+    assert!(config.clients > 0 && config.rounds > 0, "empty workload");
+    let engine = ServeEngine::new(
+        model,
+        mbpp_tables,
+        mbpp_columns,
+        metas,
+        config.serve.clone(),
+    );
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<&benchgen::Instance>> = (0..config.clients)
+        .map(|c| {
+            instances
+                .iter()
+                .skip(c)
+                .step_by(config.clients)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let outcomes: Vec<(u64, JointOutcome, bool)> = crossbeam::thread::scope(|s| {
+        for _ in 0..engine.config().workers {
+            s.spawn(|_| engine.worker_loop());
+        }
+        let handles: Vec<_> = per_client
+            .iter()
+            .map(|slice| {
+                let engine = &engine;
+                let oracle = &config.oracle;
+                let rounds = config.rounds;
+                s.spawn(move |_| client_loop(engine, slice, oracle, rounds))
+            })
+            .collect();
+        let collected: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("workload client panicked"))
+            .collect();
+        engine.shutdown();
+        collected
+    })
+    .expect("workload scope panicked");
+    let wall = t0.elapsed();
+    let n_requests = per_client.iter().map(|s| s.len()).sum::<usize>() * config.rounds;
+    WorkloadResult {
+        outcomes,
+        stats: engine.stats(),
+        wall,
+        n_requests,
+    }
+}
+
+/// One client: submit each owned instance `rounds` times, retrying
+/// bounced admissions (that *is* the backpressure protocol) and
+/// resolving every feedback suspension with the oracle.
+fn client_loop<'a>(
+    engine: &ServeEngine<'a>,
+    instances: &[&'a benchgen::Instance],
+    oracle: &HumanOracle,
+    rounds: usize,
+) -> Vec<(u64, JointOutcome, bool)> {
+    let policy = MitigationPolicy::Human(oracle);
+    let mut out = Vec::with_capacity(instances.len() * rounds);
+    for _ in 0..rounds {
+        for inst in instances {
+            let ticket = loop {
+                match engine.submit(inst) {
+                    Ok(t) => break t,
+                    Err(SubmitError::QueueFull { .. }) => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            };
+            loop {
+                match engine.wait_event(ticket) {
+                    ClientEvent::NeedsFeedback { query, .. } => {
+                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                    }
+                    ClientEvent::Done(done) => {
+                        out.push((inst.id, done.outcome, done.shed));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flatten a workload run into the `BENCH_rts.json` `serving` section.
+pub fn serving_record(result: &WorkloadResult, config: &WorkloadConfig) -> ServingRecord {
+    let s = &result.stats;
+    let wall_ms = result.wall.as_secs_f64() * 1e3;
+    ServingRecord {
+        workers: config.serve.workers,
+        clients: config.clients,
+        queue_capacity: config.serve.queue_capacity,
+        cache_capacity: config.serve.cache_capacity,
+        deadline_ms: config.serve.deadline.map(|d| d.as_secs_f64() * 1e3),
+        n_requests: result.n_requests,
+        completed: s.completed,
+        shed: s.shed,
+        rejected_submits: s.rejected,
+        feedback_rounds: s.feedback_rounds,
+        p50_ms: s.latency.p50_ms,
+        p95_ms: s.latency.p95_ms,
+        p99_ms: s.latency.p99_ms,
+        mean_ms: s.latency.mean_ms,
+        max_ms: s.latency.max_ms,
+        throughput_rps: if wall_ms > 0.0 {
+            s.completed as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        queue_depth_max: s.queue_depth_max,
+        queue_depth_mean: s.queue_depth_mean,
+        cache_hits: s.cache.hits,
+        cache_misses: s.cache.misses,
+        cache_evictions: s.cache.evictions,
+        cache_hit_rate: s.cache.hit_rate(),
+        parked_bytes_peak: s.parked_bytes_peak as u64,
+        parked_sessions_peak: s.parked_sessions_peak as u64,
+        wall_ms,
+    }
+}

@@ -24,6 +24,7 @@
 use crate::bpp::Mbpp;
 use crate::context::{implicated_elements_reference, LinkContext};
 use crate::human::HumanOracle;
+use crate::session::{drive_session, CtxHandle, LinkSession};
 use crate::surrogate::SurrogateModel;
 use benchgen::schemagen::DbMeta;
 use benchgen::Instance;
@@ -133,6 +134,13 @@ pub struct Round0<'a> {
 /// of the same database should build the context once (or a
 /// [`crate::context::LinkContexts`] registry per benchmark) and call
 /// [`run_rts_linking_in`] instead.
+///
+/// Since the [`LinkSession`] refactor every blocking entry point here
+/// is a thin driver: it opens a session and loops
+/// [`LinkSession::step`] / [`crate::session::resolve_flag`] until the
+/// run completes — bit-identical to the pre-session monolithic loop
+/// (kept as [`run_rts_linking_monolithic`]; pinned by the
+/// `session_linking_matches_monolithic_loop` parity proptest).
 pub fn run_rts_linking(
     model: &SchemaLinker,
     mbpp: &Mbpp,
@@ -145,32 +153,21 @@ pub fn run_rts_linking(
     let mut scratch = LinkScratch::default();
     if config.reference_linking {
         // The reference path never touches a context; don't build one.
-        run_rts_rounds(
-            model,
-            mbpp,
-            inst,
-            meta,
-            target,
-            None,
-            None,
-            policy,
-            config,
-            &mut scratch,
-        )
+        let mut session = LinkSession::new(model, mbpp, inst, meta, target, None, None, config);
+        drive_session(&mut session, policy, &mut scratch)
     } else {
         let ctx = LinkContext::new(meta, target);
-        run_rts_rounds(
+        let mut session = LinkSession::new(
             model,
             mbpp,
             inst,
             meta,
             target,
-            Some(&ctx),
+            Some(CtxHandle::Borrowed(&ctx)),
             None,
-            policy,
             config,
-            &mut scratch,
-        )
+        );
+        drive_session(&mut session, policy, &mut scratch)
     }
 }
 
@@ -191,18 +188,17 @@ pub fn run_rts_linking_in(
     config: &RtsConfig,
     scratch: &mut LinkScratch,
 ) -> RtsOutcome {
-    run_rts_rounds(
+    let mut session = LinkSession::new(
         model,
         mbpp,
         inst,
         meta,
         ctx.target(),
-        Some(ctx),
+        Some(CtxHandle::Borrowed(ctx)),
         None,
-        policy,
         config,
-        scratch,
-    )
+    );
+    drive_session(&mut session, policy, scratch)
 }
 
 /// [`run_rts_linking_in`] consuming a pre-generated round-0 trace (see
@@ -221,18 +217,17 @@ pub fn run_rts_linking_from(
     config: &RtsConfig,
     scratch: &mut LinkScratch,
 ) -> RtsOutcome {
-    run_rts_rounds(
+    let mut session = LinkSession::new(
         model,
         mbpp,
         inst,
         meta,
         ctx.target(),
-        Some(ctx),
+        Some(CtxHandle::Borrowed(ctx)),
         Some(round0),
-        policy,
         config,
-        scratch,
-    )
+    );
+    drive_session(&mut session, policy, scratch)
 }
 
 /// The round state: round 0 may be borrowed from the caller
@@ -258,18 +253,29 @@ impl Round<'_> {
     }
 }
 
-/// The monitored mitigation loop shared by every entry point.
+/// The pre-session monolithic mitigation loop, kept verbatim as the
+/// parity reference for the [`LinkSession`] refactor: one blocking
+/// function interleaving generation, monitoring and policy handling.
+/// Every driver above must reproduce it bit for bit — same flags, same
+/// merge-RNG stream, same interventions, same outcomes (enforced by
+/// the `session_linking_matches_monolithic_loop` parity proptest and
+/// the session module's unit tests).
 ///
-/// Invariant: `ctx` is `Some` exactly when `config.reference_linking`
-/// is false (the reference path reproduces the pre-context costs:
-/// explicit counterfactual generation, regeneration every round, and a
-/// clone-per-flag trie rebuild). Both paths produce bit-identical
-/// outcomes — generation never consumes the instance RNG (its streams
-/// are self-seeded from `(seed, instance, position)`), so skipping a
-/// redundant regeneration or the counterfactual leaves the merge RNG,
-/// flags and decisions untouched.
-#[allow(clippy::too_many_arguments)] // the one fully-explicit internal
-fn run_rts_rounds(
+/// `ctx`/`round0` select the entry-point shape being mirrored:
+/// `run_rts_linking` (reference or per-call context),
+/// `run_rts_linking_in` (`ctx` supplied), `run_rts_linking_from`
+/// (`ctx` + `round0`).
+///
+/// Invariant: the loop runs context-backed exactly when
+/// `config.reference_linking` is false (the reference path reproduces
+/// the pre-context costs: explicit counterfactual generation,
+/// regeneration every round, and a clone-per-flag trie rebuild). Both
+/// paths produce bit-identical outcomes — generation never consumes
+/// the instance RNG (its streams are self-seeded from `(seed,
+/// instance, position)`), so skipping a redundant regeneration or the
+/// counterfactual leaves the merge RNG, flags and decisions untouched.
+#[allow(clippy::too_many_arguments)] // the one fully-explicit reference
+pub fn run_rts_linking_monolithic(
     model: &SchemaLinker,
     mbpp: &Mbpp,
     inst: &Instance,
@@ -509,8 +515,9 @@ fn run_rts_rounds(
 /// Algorithm 2 wrapper: implicated elements through the shared
 /// context's cached trie, or — on the reference path, where no context
 /// exists — by cloning the generation vocabulary and rebuilding the
-/// trie in its id space (the pre-context per-flag cost).
-fn implicated(
+/// trie in its id space (the pre-context per-flag cost). Shared by the
+/// monolithic reference loop and the [`LinkSession`] state machine.
+pub(crate) fn implicated(
     ctx: Option<&LinkContext>,
     vocab: &Vocab,
     meta: &DbMeta,

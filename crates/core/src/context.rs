@@ -34,6 +34,8 @@ use benchgen::schemagen::DbMeta;
 use benchgen::Benchmark;
 use simlm::{LinkTarget, TokenId, Trie, Vocab};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Immutable per-`(DbMeta, LinkTarget)` linking state: pre-interned
 /// vocabulary + precompiled candidate-element trie.
@@ -182,6 +184,154 @@ impl LinkContexts {
     }
 }
 
+/// Hit/miss/eviction counters of a [`ContextCache`] snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl ContextCacheStats {
+    /// Fraction of lookups served from cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached context plus its LRU recency stamp. The stamp is atomic
+/// so cache *hits* — the steady state — update recency under the read
+/// lock, keeping lookups reader-parallel.
+#[derive(Debug)]
+struct CacheEntry {
+    ctx: Arc<LinkContext>,
+    last_used: AtomicU64,
+}
+
+/// Lazily-built, capacity-bounded cache of [`LinkContext`]s — the
+/// online-serving counterpart of the eager [`LinkContexts`] registry.
+///
+/// Batch drivers know their whole benchmark up front, so
+/// [`LinkContexts::build`] precompiles every `(database, target)`
+/// context before the fan-out. A serving engine doesn't: tenants
+/// arrive one request at a time, and paying every database's
+/// vocabulary + trie compilation at boot is exactly the cold-start
+/// cost multi-tenant serving cannot afford. [`ContextCache::get`]
+/// builds a context the first time its `(database, target)` pair is
+/// requested and shares it as an [`Arc`] from then on (sessions keep
+/// their clone alive across eviction — an LRU drop never invalidates
+/// an in-flight request).
+///
+/// Concurrency: lookups take the shard's read lock only (recency is an
+/// atomic stamp), so the hot path is reader-parallel across workers;
+/// builds happen outside any lock and the insert re-checks for a
+/// concurrent winner. Eviction (least-recently-used within the
+/// target's shard) only runs under the write lock of a miss.
+#[derive(Debug)]
+pub struct ContextCache {
+    tables: parking_lot::RwLock<HashMap<String, CacheEntry>>,
+    columns: parking_lot::RwLock<HashMap<String, CacheEntry>>,
+    /// Max entries per target shard; 0 = unbounded (a pure lazy
+    /// registry).
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ContextCache {
+    /// An empty cache holding at most `capacity` databases per target
+    /// (`0` = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            tables: parking_lot::RwLock::new(HashMap::new()),
+            columns: parking_lot::RwLock::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, target: LinkTarget) -> &parking_lot::RwLock<HashMap<String, CacheEntry>> {
+        match target {
+            LinkTarget::Tables => &self.tables,
+            LinkTarget::Columns => &self.columns,
+        }
+    }
+
+    /// The context for `(meta, target)`, built on first request.
+    pub fn get(&self, meta: &DbMeta, target: LinkTarget) -> Arc<LinkContext> {
+        let shard = self.shard(target);
+        {
+            let map = shard.read();
+            if let Some(entry) = map.get(&meta.name) {
+                entry
+                    .last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.ctx.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside any lock: building a context is the expensive
+        // part and must not serialize unrelated lookups.
+        let built = Arc::new(LinkContext::new(meta, target));
+        let mut map = shard.write();
+        if let Some(entry) = map.get(&meta.name) {
+            // A concurrent miss won the race; use its context and drop
+            // ours.
+            entry
+                .last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            return entry.ctx.clone();
+        }
+        if self.capacity > 0 && map.len() >= self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            meta.name.clone(),
+            CacheEntry {
+                ctx: built.clone(),
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        built
+    }
+
+    /// Number of resident contexts across both targets.
+    pub fn len(&self) -> usize {
+        self.tables.read().len() + self.columns.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ContextCacheStats {
+        ContextCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +434,66 @@ mod tests {
                 meta.tables.len()
             );
         }
+    }
+
+    #[test]
+    fn cache_builds_lazily_and_counts_hits() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(95);
+        let cache = ContextCache::new(0);
+        assert!(cache.is_empty());
+        let meta = &bench.metas[0];
+        let a = cache.get(meta, LinkTarget::Tables);
+        let b = cache.get(meta, LinkTarget::Tables);
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the built context");
+        assert_eq!(cache.len(), 1, "only the requested pair is built");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // The cached context equals a freshly built one.
+        let fresh = LinkContext::new(meta, LinkTarget::Tables);
+        assert_eq!(a.n_candidates(), fresh.n_candidates());
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_per_target() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.02).generate(96);
+        assert!(bench.metas.len() >= 3, "need ≥3 databases for eviction");
+        let cache = ContextCache::new(2);
+        let (a, b, c) = (&bench.metas[0], &bench.metas[1], &bench.metas[2]);
+        let ctx_a = cache.get(a, LinkTarget::Tables);
+        let _ = cache.get(b, LinkTarget::Tables);
+        let _ = cache.get(a, LinkTarget::Tables); // refresh a: b is now LRU
+        let _ = cache.get(c, LinkTarget::Tables); // evicts b
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // An evicted-and-refetched entry rebuilds (miss), a kept one hits.
+        let before = cache.stats().misses;
+        let _ = cache.get(a, LinkTarget::Tables);
+        assert_eq!(cache.stats().misses, before, "a must still be resident");
+        let _ = cache.get(b, LinkTarget::Tables);
+        assert_eq!(cache.stats().misses, before + 1, "b was evicted");
+        // The Arc held across eviction stays usable.
+        assert_eq!(ctx_a.n_candidates(), a.tables.len());
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(97);
+        let cache = ContextCache::new(0);
+        let instances: Vec<benchgen::Instance> = bench.split.dev.to_vec();
+        let n: usize = crate::par::par_map(&instances, |inst| {
+            let meta = bench.meta(&inst.db_name).unwrap();
+            cache.get(meta, LinkTarget::Tables).n_candidates()
+        })
+        .into_iter()
+        .sum();
+        assert!(n > 0);
+        let stats = cache.stats();
+        // The resident set must match the distinct databases requested
+        // (racing misses may both bill a miss but insert only once).
+        let distinct: std::collections::HashSet<&str> =
+            instances.iter().map(|i| i.db_name.as_str()).collect();
+        assert_eq!(cache.len(), distinct.len());
+        assert_eq!(stats.hits + stats.misses, instances.len() as u64);
     }
 }

@@ -20,6 +20,11 @@
 //!   (§3.3 "Soliciting Human Feedback", §4.3 user study);
 //! * [`abstention`] — the runtime: free generation monitored token by
 //!   token by the mBPP, with abstain / surrogate / human policies;
+//! * [`session`] — the same runtime as a resumable state machine
+//!   ([`session::LinkSession`]): linking suspends on each branching
+//!   flag ([`session::SessionState::NeedsFeedback`]) so an online
+//!   serving engine can park the request until feedback arrives; the
+//!   blocking entry points are thin drivers over it;
 //! * [`sqlgen`] — simulated downstream SQL generators (Deepseek-7B,
 //!   CodeS-15B class) whose corruption process is schema-conditioned,
 //!   executed for real on `nanosql` to measure execution accuracy;
@@ -34,6 +39,7 @@ pub mod human;
 pub mod metrics;
 pub mod par;
 pub mod pipeline;
+pub mod session;
 pub mod sqlgen;
 pub mod surrogate;
 pub mod traceback;
@@ -41,9 +47,10 @@ pub mod traceback;
 pub use abstention::{LinkScratch, MitigationPolicy, Round0, RtsConfig, RtsOutcome};
 pub use bpp::{Mbpp, MergeMethod, Sbpp};
 pub use branching::BranchDataset;
-pub use context::{LinkContext, LinkContexts};
+pub use context::{ContextCache, LinkContext, LinkContexts};
 pub use human::{Expertise, HumanOracle};
 pub use metrics::{AbstentionMetrics, CoverageMetrics, LinkingMetrics};
 pub use par::par_map;
+pub use session::{CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionState};
 pub use sqlgen::{ProvidedSchema, SqlGenModel};
 pub use surrogate::SurrogateModel;

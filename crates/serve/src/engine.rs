@@ -1,0 +1,684 @@
+//! The worker-pool engine driving concurrent resumable linking
+//! sessions. See the crate docs for the design overview.
+
+use crate::stats::{Counters, LatencySummary, LatencyWindow, ServingStats};
+use benchgen::schemagen::DbMeta;
+use benchgen::Instance;
+use parking_lot::{Condvar, Mutex};
+use rts_core::abstention::{LinkScratch, RtsConfig, RtsOutcome};
+use rts_core::bpp::Mbpp;
+use rts_core::context::ContextCache;
+use rts_core::pipeline::JointOutcome;
+use rts_core::session::{CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionState};
+use simlm::{LinkTarget, SchemaLinker};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Handle to one in-flight request.
+pub type TicketId = u64;
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads the caller should spawn on
+    /// [`ServeEngine::worker_loop`] (the engine itself never spawns —
+    /// scoped threads keep every borrow checked).
+    pub workers: usize,
+    /// Admission-queue bound; submits beyond it are rejected
+    /// ([`SubmitError::QueueFull`]). `0` = unbounded. Resumed sessions
+    /// never count against admission — they were already admitted.
+    pub queue_capacity: usize,
+    /// Per-request latency budget. A request past it is *shed*: its
+    /// remaining linking stages degrade to abstention (the answer is
+    /// "hand off to a human", never a dropped connection). `None`
+    /// disables shedding.
+    pub deadline: Option<Duration>,
+    /// Context-cache capacity per link target (databases); `0` =
+    /// unbounded.
+    pub cache_capacity: usize,
+    /// Runtime knobs threaded into every session (seed, reference
+    /// paths, …).
+    pub rts: RtsConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: rts_core::par::thread_count(),
+            queue_capacity: 64,
+            deadline: None,
+            cache_capacity: 0,
+            rts: RtsConfig::default(),
+        }
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity — retry later (client-side
+    /// backpressure).
+    QueueFull { capacity: usize },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A finished request.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Joint table+column linking outcome — abstained stages included
+    /// (whether decided by the runtime or by deadline shedding).
+    pub outcome: JointOutcome,
+    /// Did deadline shedding degrade any stage to abstention?
+    pub shed: bool,
+    /// Submit-to-completion wall time.
+    pub latency: Duration,
+    /// Feedback resolutions this request consumed.
+    pub n_feedback: usize,
+}
+
+/// What [`ServeEngine::wait_event`] delivers to a client.
+#[derive(Debug, Clone)]
+pub enum ClientEvent {
+    /// The request is suspended on a branching flag of `target`
+    /// linking; answer through [`ServeEngine::resolve`].
+    NeedsFeedback {
+        target: LinkTarget,
+        query: FlagQuery,
+    },
+    /// The request finished; the ticket is now invalid.
+    Done(ServeOutcome),
+}
+
+/// Request lifecycle. `Running` exists so a worker can own the session
+/// outside the state lock while clients still see a coherent phase.
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running,
+    AwaitingFeedback(FlagQuery),
+    Done(ServeOutcome),
+}
+
+#[derive(Debug)]
+struct Ticket<'a> {
+    inst: &'a Instance,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    /// Stage currently being linked (tables first, then columns —
+    /// mirroring `run_joint_linking_in`'s joint process).
+    stage: LinkTarget,
+    session: Option<LinkSession<'a>>,
+    tables: Option<RtsOutcome>,
+    n_feedback: usize,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+struct EngineState<'a> {
+    /// New requests, bounded by `ServeConfig::queue_capacity`.
+    admission: VecDeque<TicketId>,
+    /// Resumed sessions; drained before admission so feedback-ready
+    /// work never starves behind fresh arrivals.
+    resume: VecDeque<TicketId>,
+    tickets: HashMap<TicketId, Ticket<'a>>,
+    next_id: TicketId,
+}
+
+/// The serving engine. Borrows the model artefacts for `'a`; sessions,
+/// queues and caches live inside. Share it by reference across scoped
+/// worker + client threads.
+pub struct ServeEngine<'a> {
+    model: &'a SchemaLinker,
+    mbpp_tables: &'a Mbpp,
+    mbpp_columns: &'a Mbpp,
+    metas: HashMap<&'a str, &'a DbMeta>,
+    cache: ContextCache,
+    config: ServeConfig,
+    state: Mutex<EngineState<'a>>,
+    /// Wakes workers (new/resumed work, shutdown).
+    work_cv: Condvar,
+    /// Wakes clients (ticket phase transitions).
+    client_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    completed: AtomicU64,
+    /// Bounded: percentiles are computed over the most recent
+    /// [`LATENCY_WINDOW`] completions, and memory stays O(1) however
+    /// long the engine lives.
+    latencies_ms: Mutex<LatencyWindow>,
+}
+
+/// Completed-request latency samples retained for percentile
+/// reporting (a sliding window, oldest overwritten first).
+const LATENCY_WINDOW: usize = 1 << 16;
+
+impl<'a> ServeEngine<'a> {
+    /// Build an engine over trained artefacts and the databases in
+    /// `metas`. No contexts are compiled here — they materialize
+    /// lazily, per tenant, on first request.
+    pub fn new(
+        model: &'a SchemaLinker,
+        mbpp_tables: &'a Mbpp,
+        mbpp_columns: &'a Mbpp,
+        metas: &'a [DbMeta],
+        config: ServeConfig,
+    ) -> Self {
+        Self {
+            model,
+            mbpp_tables,
+            mbpp_columns,
+            metas: metas.iter().map(|m| (m.name.as_str(), m)).collect(),
+            cache: ContextCache::new(config.cache_capacity),
+            config,
+            state: Mutex::new(EngineState {
+                admission: VecDeque::new(),
+                resume: VecDeque::new(),
+                tickets: HashMap::new(),
+                next_id: 0,
+            }),
+            work_cv: Condvar::new(),
+            client_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            completed: AtomicU64::new(0),
+            latencies_ms: Mutex::new(LatencyWindow::new(LATENCY_WINDOW)),
+        }
+    }
+
+    fn meta_of(&self, inst: &Instance) -> &'a DbMeta {
+        self.metas
+            .get(inst.db_name.as_str())
+            .unwrap_or_else(|| panic!("no database metadata for {}", inst.db_name))
+    }
+
+    /// Admit a request for joint (tables → columns) linking of `inst`.
+    pub fn submit(&self, inst: &'a Instance) -> Result<TicketId, SubmitError> {
+        // Fail fast on unknown tenants, before any queue state changes.
+        let _ = self.meta_of(inst);
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if self.config.queue_capacity > 0 && st.admission.len() >= self.config.queue_capacity {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.tickets.insert(
+            id,
+            Ticket {
+                inst,
+                submitted: now,
+                deadline: self.config.deadline.map(|d| now + d),
+                stage: LinkTarget::Tables,
+                session: None,
+                tables: None,
+                n_feedback: 0,
+                phase: Phase::Queued,
+            },
+        );
+        st.admission.push_back(id);
+        self.counters
+            .note_depth(st.admission.len() + st.resume.len());
+        drop(st);
+        self.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Block until the ticket suspends on feedback or completes. On
+    /// [`ClientEvent::Done`] the ticket is retired. Re-polling a
+    /// suspended ticket returns the same query; the protocol is
+    /// `submit → (wait_event → resolve)* → Done`.
+    pub fn wait_event(&self, id: TicketId) -> ClientEvent {
+        let mut st = self.state.lock();
+        loop {
+            let ticket = st.tickets.get(&id).expect("unknown or retired ticket");
+            match &ticket.phase {
+                Phase::AwaitingFeedback(query) => {
+                    return ClientEvent::NeedsFeedback {
+                        target: ticket.stage,
+                        query: query.clone(),
+                    };
+                }
+                Phase::Done(_) => {
+                    let ticket = st.tickets.remove(&id).expect("ticket present");
+                    let Phase::Done(outcome) = ticket.phase else {
+                        unreachable!("phase checked above");
+                    };
+                    return ClientEvent::Done(outcome);
+                }
+                Phase::Queued | Phase::Running => self.client_cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Apply feedback to a suspended ticket and re-queue it. Resumed
+    /// work bypasses admission bounds — it was already admitted.
+    pub fn resolve(&self, id: TicketId, resolution: FlagResolution) {
+        let mut st = self.state.lock();
+        let ticket = st.tickets.get_mut(&id).expect("unknown or retired ticket");
+        assert!(
+            matches!(ticket.phase, Phase::AwaitingFeedback(_)),
+            "resolve on a ticket that is not awaiting feedback"
+        );
+        let session = ticket.session.as_mut().expect("parked session present");
+        self.counters.note_unparked(session.held_bytes());
+        session.resolve(resolution);
+        ticket.n_feedback += 1;
+        ticket.phase = Phase::Queued;
+        st.resume.push_back(id);
+        self.counters
+            .feedback_rounds
+            .fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.work_cv.notify_one();
+    }
+
+    /// Ask workers to exit once the queues drain. Clients must be done
+    /// (or abandoned) first — a parked ticket never blocks shutdown,
+    /// but an in-queue one is still processed.
+    pub fn shutdown(&self) {
+        // Flip the flag *under the state lock*: a worker that just saw
+        // `shutdown == false` while holding the lock is guaranteed to
+        // reach `work_cv.wait` (atomically releasing it) before this
+        // store can happen, so the notify below always lands. Storing
+        // outside the lock could slot the store+notify between a
+        // worker's check and its wait — a lost wakeup that parks the
+        // worker forever.
+        let st = self.state.lock();
+        self.shutdown.store(true, Ordering::SeqCst);
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    /// The worker body: spawn `config.workers` scoped threads on this.
+    /// Returns when [`ServeEngine::shutdown`] is called and no queued
+    /// work remains.
+    pub fn worker_loop(&self) {
+        let mut scratch = LinkScratch::default();
+        loop {
+            let id = {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(id) = st.resume.pop_front() {
+                        break id;
+                    }
+                    if let Some(id) = st.admission.pop_front() {
+                        break id;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    self.work_cv.wait(&mut st);
+                }
+            };
+            self.process(id, &mut scratch);
+        }
+    }
+
+    /// Run one ticket forward until it parks on feedback, finishes, or
+    /// sheds on its deadline.
+    fn process(&self, id: TicketId, scratch: &mut LinkScratch) {
+        let (inst, mut stage, mut session, deadline) = {
+            let mut st = self.state.lock();
+            let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+            ticket.phase = Phase::Running;
+            (
+                ticket.inst,
+                ticket.stage,
+                ticket.session.take(),
+                ticket.deadline,
+            )
+        };
+        let meta = self.meta_of(inst);
+        loop {
+            // Abstention-as-backpressure: past the budget, the
+            // remaining stages answer with the paper's own hand-off
+            // verdict instead of dropping the request.
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                self.finalize(id, stage, None, true);
+                return;
+            }
+            let mut s = match session.take() {
+                Some(s) => s,
+                None => self.open_session(inst, meta, stage),
+            };
+            match s.step(scratch) {
+                SessionState::NeedsFeedback(query) => {
+                    let held = s.held_bytes();
+                    let mut st = self.state.lock();
+                    let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+                    ticket.session = Some(s);
+                    ticket.stage = stage;
+                    ticket.phase = Phase::AwaitingFeedback(query);
+                    self.counters.note_parked(held);
+                    drop(st);
+                    self.client_cv.notify_all();
+                    return;
+                }
+                SessionState::Done(outcome) => match stage {
+                    LinkTarget::Tables => {
+                        let mut st = self.state.lock();
+                        let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+                        ticket.tables = Some(outcome);
+                        ticket.stage = LinkTarget::Columns;
+                        stage = LinkTarget::Columns;
+                        // Session dropped; the next loop iteration
+                        // opens the chained columns session.
+                    }
+                    LinkTarget::Columns => {
+                        self.finalize(id, stage, Some(outcome), false);
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn open_session(
+        &self,
+        inst: &'a Instance,
+        meta: &'a DbMeta,
+        stage: LinkTarget,
+    ) -> LinkSession<'a> {
+        let mbpp = match stage {
+            LinkTarget::Tables => self.mbpp_tables,
+            LinkTarget::Columns => self.mbpp_columns,
+        };
+        // The reference-linking knob runs context-free (the session
+        // ignores a context under it anyway; skip the cache churn).
+        let ctx = (!self.config.rts.reference_linking)
+            .then(|| CtxHandle::Shared(self.cache.get(meta, stage)));
+        LinkSession::new(
+            self.model,
+            mbpp,
+            inst,
+            meta,
+            stage,
+            ctx,
+            None,
+            &self.config.rts,
+        )
+    }
+
+    /// The abstention every shed stage degrades to.
+    fn shed_outcome() -> RtsOutcome {
+        RtsOutcome {
+            abstained: true,
+            predicted: Vec::new(),
+            correct: false,
+            would_be_correct: false,
+            n_interventions: 0,
+            n_flags: 0,
+        }
+    }
+
+    /// Retire a ticket: `columns` is the finished column outcome, or
+    /// `None` when shedding cut the run short at `stage`.
+    fn finalize(&self, id: TicketId, stage: LinkTarget, columns: Option<RtsOutcome>, shed: bool) {
+        let mut st = self.state.lock();
+        let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+        let tables = match ticket.tables.take() {
+            Some(t) => t,
+            None => {
+                debug_assert!(shed && stage == LinkTarget::Tables);
+                Self::shed_outcome()
+            }
+        };
+        let columns = columns.unwrap_or_else(Self::shed_outcome);
+        let outcome = ServeOutcome {
+            outcome: JointOutcome { tables, columns },
+            shed,
+            latency: ticket.submitted.elapsed(),
+            n_feedback: ticket.n_feedback,
+        };
+        self.latencies_ms
+            .lock()
+            .push(outcome.latency.as_secs_f64() * 1e3);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if shed {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        ticket.phase = Phase::Done(outcome);
+        drop(st);
+        self.client_cv.notify_all();
+    }
+
+    /// Counter snapshot (latency percentiles recomputed on each call).
+    pub fn stats(&self) -> ServingStats {
+        // Copy the samples out under the lock; sort/summarize outside
+        // it so workers finalizing requests are never stalled behind a
+        // percentile computation.
+        let samples = self.latencies_ms.lock().snapshot();
+        let latency = LatencySummary::from_samples(&samples);
+        ServingStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            feedback_rounds: self.counters.feedback_rounds.load(Ordering::Relaxed),
+            latency,
+            queue_depth_max: self.counters.depth_max.load(Ordering::Relaxed),
+            queue_depth_mean: self.counters.depth_mean(),
+            cache: self.cache.stats(),
+            parked_bytes_peak: self.counters.parked_bytes_peak.load(Ordering::Relaxed),
+            parked_sessions_peak: self.counters.parked_sessions_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_core::abstention::MitigationPolicy;
+    use rts_core::bpp::{MbppConfig, ProbeConfig};
+    use rts_core::branching::BranchDataset;
+    use rts_core::human::{Expertise, HumanOracle};
+    use rts_core::session::resolve_flag;
+
+    struct Fx {
+        bench: benchgen::Benchmark,
+        model: SchemaLinker,
+        mbpp_t: Mbpp,
+        mbpp_c: Mbpp,
+    }
+
+    fn fixture() -> Fx {
+        let bench = benchgen::BenchmarkProfile::bird_like()
+            .scaled(0.04)
+            .generate(77);
+        let model = SchemaLinker::new("bird", 5);
+        let cfg = MbppConfig {
+            probe: ProbeConfig {
+                epochs: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ds_t = BranchDataset::build(&model, &bench.split.train, LinkTarget::Tables, 300);
+        let ds_c = BranchDataset::build(&model, &bench.split.train, LinkTarget::Columns, 300);
+        let mbpp_t = Mbpp::train(&ds_t, &cfg);
+        let mbpp_c = Mbpp::train(&ds_c, &cfg);
+        Fx {
+            bench,
+            model,
+            mbpp_t,
+            mbpp_c,
+        }
+    }
+
+    /// Closed-loop client: submit every instance of `slice`, answering
+    /// feedback with the oracle, collecting outcomes by instance id.
+    fn client_run<'a>(
+        engine: &ServeEngine<'a>,
+        instances: &'a [benchgen::Instance],
+        oracle: &HumanOracle,
+    ) -> Vec<(u64, ServeOutcome)> {
+        let policy = MitigationPolicy::Human(oracle);
+        let mut out = Vec::new();
+        for inst in instances {
+            let ticket = loop {
+                match engine.submit(inst) {
+                    Ok(t) => break t,
+                    Err(SubmitError::QueueFull { .. }) => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            };
+            loop {
+                match engine.wait_event(ticket) {
+                    ClientEvent::NeedsFeedback { query, .. } => {
+                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                    }
+                    ClientEvent::Done(outcome) => {
+                        out.push((inst.id, outcome));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn engine_serves_concurrent_clients_with_feedback() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(40).cloned().collect();
+        let config = ServeConfig {
+            workers: 3,
+            queue_capacity: 4,
+            cache_capacity: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let n_clients = 4;
+        let chunks: Vec<&[benchgen::Instance]> = instances.chunks(10).collect();
+        let results: Vec<Vec<(u64, ServeOutcome)>> = crossbeam::thread::scope(|s| {
+            for _ in 0..engine.config().workers {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let handles: Vec<_> = (0..n_clients)
+                .map(|c| {
+                    let engine = &engine;
+                    let chunk = chunks[c];
+                    let oracle = &oracle;
+                    s.spawn(move |_| client_run(engine, chunk, oracle))
+                })
+                .collect();
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().expect("client panicked"))
+                .collect();
+            engine.shutdown();
+            results
+        })
+        .expect("serve scope panicked");
+
+        let all: Vec<(u64, ServeOutcome)> = results.into_iter().flatten().collect();
+        assert_eq!(all.len(), instances.len());
+        let stats = engine.stats();
+        assert_eq!(stats.completed, instances.len() as u64);
+        assert_eq!(stats.shed, 0, "no deadline configured");
+        assert!(
+            stats.feedback_rounds > 0,
+            "a human workload must consult at least once"
+        );
+        assert!(stats.cache.hits > 0, "contexts must be reused");
+        // Engine outcomes ≡ the batch runtime, instance by instance.
+        let contexts = rts_core::context::LinkContexts::build(&fx.bench);
+        let policy = MitigationPolicy::Human(&oracle);
+        let mut scratch = LinkScratch::default();
+        for (id, served) in &all {
+            let inst = instances.iter().find(|i| i.id == *id).unwrap();
+            let batch = rts_core::pipeline::run_joint_linking_in(
+                &fx.model,
+                &fx.mbpp_t,
+                &fx.mbpp_c,
+                inst,
+                &fx.bench,
+                &contexts,
+                &policy,
+                &engine.config().rts,
+                &mut scratch,
+            );
+            assert_eq!(
+                format!("{:?}", served.outcome),
+                format!("{batch:?}"),
+                "instance {id}"
+            );
+            assert!(!served.shed);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_sheds_to_abstention_not_drops() {
+        let fx = fixture();
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(8).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let outcomes = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let out = client_run(&engine, &instances, &oracle);
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len(), "shedding never drops");
+        for (_, o) in &outcomes {
+            assert!(o.shed);
+            assert!(o.outcome.abstained(), "shed degrades to abstention");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed, instances.len() as u64);
+        assert_eq!(
+            stats.cache.misses, 0,
+            "an instantly-shed request never builds a context"
+        );
+    }
+
+    #[test]
+    fn bounded_admission_rejects_when_full() {
+        let fx = fixture();
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        // No workers running: the queue only fills.
+        let a = engine.submit(&fx.bench.split.dev[0]);
+        let b = engine.submit(&fx.bench.split.dev[1]);
+        let c = engine.submit(&fx.bench.split.dev[2]);
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(c, Err(SubmitError::QueueFull { capacity: 2 }));
+        assert_eq!(engine.stats().rejected, 1);
+        assert_eq!(engine.stats().queue_depth_max, 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # rts-serve — the online serving engine
+//!
+//! The batch drivers in `rts-core` answer "how well does adaptive
+//! abstention work?"; this crate answers "how do you *serve* it".
+//! Production traffic is nothing like a closed batch job: requests
+//! arrive concurrently, suspend mid-flight awaiting human feedback,
+//! and must come back with *some* answer under a latency budget.
+//! [`ServeEngine`] is that runtime, built directly on the resumable
+//! [`rts_core::session::LinkSession`] state machine:
+//!
+//! * **Bounded admission** — [`ServeEngine::submit`] enqueues into a
+//!   fixed-capacity queue and rejects beyond it, so overload surfaces
+//!   as backpressure at the edge instead of unbounded memory.
+//! * **Non-blocking feedback** — when a session hits a branching flag
+//!   it is *parked* (worker moves on); the client answers through
+//!   [`ServeEngine::resolve`] and the session re-enters the work queue.
+//!   No worker is ever held hostage by a waiting human.
+//! * **Joint session chaining** — each request runs table linking then
+//!   column linking, mirroring `run_joint_linking_in`'s joint process,
+//!   with outcomes combined into a [`rts_core::pipeline::JointOutcome`].
+//! * **Lazy per-tenant contexts** — `LinkContext`s are built on first
+//!   request per `(database, target)` and shared through an LRU
+//!   [`rts_core::context::ContextCache`]; cold-start cost is paid per
+//!   tenant, not per boot.
+//! * **Abstention as backpressure** — a request past its deadline is
+//!   not dropped: the remaining linking stages degrade to *abstention*,
+//!   the paper's own "hand this instance off" verdict. Load shedding
+//!   and reliability share one mechanism, unique to this design.
+//! * **Accounting** — per-request latency (p50/p95/p99), queue depth,
+//!   context-cache hit rate and parked-session memory are recorded in
+//!   a [`ServingStats`] snapshot.
+//!
+//! Outcome parity: with no deadline pressure, the engine's per-request
+//! outcomes are *identical* to the batch pipeline's — every linking
+//! run is a deterministic function of `(instance, seed)` and feedback
+//! resolutions are deterministic per oracle, so worker scheduling
+//! cannot change results (pinned by the `serve_engine_matches_batch…`
+//! parity tests).
+//!
+//! ```text
+//! crossbeam::thread::scope(|s| {
+//!     for _ in 0..workers { s.spawn(|_| engine.worker_loop()); }
+//!     // clients: submit → wait_event → resolve → … → Done
+//! })
+//! ```
+
+mod engine;
+mod stats;
+
+pub use engine::{ClientEvent, ServeConfig, ServeEngine, ServeOutcome, SubmitError, TicketId};
+pub use stats::{LatencySummary, ServingStats};

@@ -1,0 +1,197 @@
+//! Serving-side accounting: latency percentiles, queue depth, parked
+//! memory — the numbers the workload driver records into
+//! `BENCH_rts.json`.
+
+use rts_core::context::ContextCacheStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Latency distribution of completed requests, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a sample set (order irrelevant). Empty input yields
+    /// all-zero summaries.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let pct = |q: f64| {
+            // Nearest-rank percentile: the smallest sample ≥ q of the
+            // distribution — no interpolation artefacts on tiny sets.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        Self {
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Snapshot of an engine's counters (see [`crate::ServeEngine::stats`]).
+#[derive(Debug, Clone)]
+pub struct ServingStats {
+    /// Requests that ran to completion (including shed ones — shedding
+    /// degrades to abstention, it never drops a request).
+    pub completed: u64,
+    /// Completed requests whose deadline expired mid-flight, answered
+    /// by degrading the remaining stages to abstention.
+    pub shed: u64,
+    /// Submissions rejected at admission (queue full).
+    pub rejected: u64,
+    /// Feedback resolutions applied across all requests.
+    pub feedback_rounds: u64,
+    /// Latency distribution over completed requests.
+    pub latency: LatencySummary,
+    /// Work-queue depth (admission + resume) observed at submits.
+    pub queue_depth_max: usize,
+    pub queue_depth_mean: f64,
+    /// Context-cache counters (hits/misses/evictions).
+    pub cache: ContextCacheStats,
+    /// Peak bytes of generation state held by parked sessions.
+    pub parked_bytes_peak: usize,
+    /// Peak number of simultaneously parked sessions.
+    pub parked_sessions_peak: usize,
+}
+
+/// Bounded sliding window of latency samples: a long-lived engine must
+/// not grow a sample vector forever (8 bytes per request adds up at
+/// production rates), and percentiles over the most recent window are
+/// the operationally useful ones anyway. Overwrites oldest-first once
+/// full; `snapshot` copies the samples out so the caller can summarize
+/// them without holding the engine's lock.
+#[derive(Debug)]
+pub(crate) struct LatencyWindow {
+    samples: Vec<f64>,
+    next: usize,
+    capacity: usize,
+}
+
+impl LatencyWindow {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "latency window needs room");
+        Self {
+            samples: Vec::new(),
+            next: 0,
+            capacity,
+        }
+    }
+
+    pub fn push(&mut self, sample_ms: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample_ms);
+        } else {
+            self.samples[self.next] = sample_ms;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.samples.clone()
+    }
+}
+
+/// Internal atomic counters the engine mutates from workers/clients.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub shed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub feedback_rounds: AtomicU64,
+    pub depth_max: AtomicUsize,
+    pub depth_sum: AtomicU64,
+    pub depth_samples: AtomicU64,
+    pub parked_bytes: AtomicUsize,
+    pub parked_bytes_peak: AtomicUsize,
+    pub parked_sessions: AtomicUsize,
+    pub parked_sessions_peak: AtomicUsize,
+}
+
+impl Counters {
+    pub fn note_depth(&self, depth: usize) {
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
+        self.depth_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn note_parked(&self, bytes: usize) {
+        let cur = self.parked_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.parked_bytes_peak.fetch_max(cur, Ordering::Relaxed);
+        let n = self.parked_sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.parked_sessions_peak.fetch_max(n, Ordering::Relaxed);
+    }
+
+    pub fn note_unparked(&self, bytes: usize) {
+        self.parked_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.parked_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn depth_mean(&self) -> f64 {
+        let n = self.depth_samples.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.depth_sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let one = LatencySummary::from_samples(&[7.5]);
+        assert_eq!(one.p50_ms, 7.5);
+        assert_eq!(one.p99_ms, 7.5);
+        assert_eq!(one.max_ms, 7.5);
+    }
+
+    #[test]
+    fn latency_window_overwrites_oldest_at_capacity() {
+        let mut w = LatencyWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(v);
+        }
+        let mut snap = w.snapshot();
+        snap.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(snap, vec![3.0, 4.0, 5.0], "oldest samples rotate out");
+        assert_eq!(w.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn parked_accounting_tracks_peak_not_current() {
+        let c = Counters::default();
+        c.note_parked(100);
+        c.note_parked(50);
+        c.note_unparked(100);
+        c.note_parked(20);
+        assert_eq!(c.parked_bytes_peak.load(Ordering::Relaxed), 150);
+        assert_eq!(c.parked_bytes.load(Ordering::Relaxed), 70);
+        assert_eq!(c.parked_sessions_peak.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,5 +1,8 @@
-//! `parking_lot::Mutex` stand-in over `std::sync::Mutex`: same
+//! `parking_lot` stand-ins over `std::sync` primitives: the same
 //! non-poisoning API (a poisoned std lock just yields its inner data).
+//! Covers the surface the workspace uses: [`Mutex`], the
+//! reader-parallel [`RwLock`] (the serve engine's context cache), and
+//! [`Condvar`] (its work/client queues).
 
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
@@ -45,6 +48,185 @@ impl<T: Default> Default for Mutex<T> {
     }
 }
 
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Mutex");
+        match self.try_lock() {
+            Some(guard) => d.field("data", &&*guard),
+            None => d.field("data", &"<locked>"),
+        };
+        d.finish()
+    }
+}
+
+/// `parking_lot::RwLock` stand-in over `std::sync::RwLock`: multiple
+/// concurrent readers, exclusive writers, no poisoning.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RwLock");
+        match self.try_read() {
+            Some(guard) => d.field("data", &&*guard),
+            None => d.field("data", &"<locked>"),
+        };
+        d.finish()
+    }
+}
+
+/// Result of a [`Condvar::wait_for`]: did the wait end by timeout?
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// `parking_lot::Condvar` stand-in over `std::sync::Condvar`.
+///
+/// The parking_lot API takes the guard by `&mut` while std's consumes
+/// and returns it; the adapters below bridge the two by moving the
+/// guard out and writing the re-acquired one back in. A poisoned lock
+/// comes back as `Err` carrying the guard and is unwrapped, so the
+/// slot is rewritten on both regular paths. The one way std's wait can
+/// *panic* is waiting one condvar on two different mutexes; unwinding
+/// through the moved-out guard would double-drop it (UB), so that
+/// misuse aborts the process instead — stricter than real parking_lot
+/// (which tolerates it), never unsound.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+/// Run `f` (a std condvar wait consuming a moved-out guard) and abort
+/// on unwind: by the time `f` panics the duplicated guard has been
+/// consumed and dropped inside `f`, and letting the caller's original
+/// drop too would be a double unlock.
+fn wait_or_abort<R>(f: impl FnOnce() -> R) -> R {
+    struct AbortOnDrop;
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            eprintln!("parking_lot shim: Condvar used with more than one Mutex — aborting");
+            std::process::abort();
+        }
+    }
+    let bomb = AbortOnDrop;
+    let out = f();
+    std::mem::forget(bomb);
+    out
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically release the lock and block until notified; the lock
+    /// is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: `taken` moves the guard out of the caller's slot;
+        // `std::sync::Condvar::wait` consumes it and returns the
+        // re-acquired guard (also on the poisoned path), which is
+        // written back before the function returns. The wait runs
+        // under `wait_or_abort`, so an unwinding wait (multi-mutex
+        // misuse) can never reach the caller with the slot already
+        // consumed.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let back = wait_or_abort(|| self.0.wait(taken))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::ptr::write(guard, back);
+        }
+    }
+
+    /// [`Condvar::wait`] with a timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: same move-out / write-back / abort-on-unwind contract
+        // as `wait`.
+        unsafe {
+            let taken = std::ptr::read(guard);
+            let (back, result) = match wait_or_abort(|| self.0.wait_timeout(taken, timeout)) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r)
+                }
+            };
+            std::ptr::write(guard, back);
+            WaitTimeoutResult(result.timed_out())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +236,46 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_readers_are_parallel_and_writer_is_exclusive() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+            assert!(l.try_write().is_none(), "write must wait for readers");
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            // Flip the flag and notify; the waiter must observe it.
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
     }
 }

@@ -104,6 +104,19 @@ pub fn __get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, Err
         .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
 }
 
+/// Missing-tolerant lookup the derive expansion uses for `Option<…>`
+/// fields: an absent key reads as [`Value::Null`], so optional fields
+/// added after a snapshot was written deserialize to `None` instead of
+/// failing the whole record (the real serde's `Option` + default
+/// behaviour this workspace relies on for `BENCH_rts.json`).
+pub fn __get_opt<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -5,9 +5,19 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether its type is an
+/// `Option<…>` (detected syntactically — the derive sees tokens, not
+/// resolved types). Optional fields deserialize through the
+/// missing-tolerant `__get_opt`, mirroring serde's `Option` handling so
+/// snapshots written before a field existed still parse.
+struct Field {
+    name: String,
+    optional: bool,
+}
+
 /// Parsed shape of the fields of a struct or an enum variant.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -79,16 +89,33 @@ fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
     &tokens[i..]
 }
 
-fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
-    let mut names = Vec::new();
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
     for field in split_top_commas(body) {
         let field = strip_attrs_and_vis(&field);
-        match field.first() {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+        let name = match field.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
             _ => return Err("unsupported field syntax".into()),
-        }
+        };
+        // `name : Type` — the type is optional iff its head ident is
+        // `Option` (or a `std`/`core`-qualified path ending there).
+        let ty_head = field
+            .iter()
+            .skip_while(|t| !matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+            .skip(1)
+            .find_map(|t| match t {
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    (s != "std" && s != "core" && s != "option").then_some(s)
+                }
+                _ => None,
+            });
+        fields.push(Field {
+            name,
+            optional: ty_head.as_deref() == Some("Option"),
+        });
     }
-    Ok(names)
+    Ok(fields)
 }
 
 fn parse_fields_group(g: &proc_macro::Group) -> Result<Fields, String> {
@@ -175,13 +202,14 @@ fn gen_serialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let body = match fields {
-                Fields::Named(names) => {
-                    let pairs: Vec<(String, String)> = names
+                Fields::Named(fields) => {
+                    let pairs: Vec<(String, String)> = fields
                         .iter()
                         .map(|f| {
+                            let name = &f.name;
                             (
-                                f.clone(),
-                                format!("::serde::Serialize::to_value(&self.{f})"),
+                                name.clone(),
+                                format!("::serde::Serialize::to_value(&self.{name})"),
                             )
                         })
                         .collect();
@@ -230,7 +258,8 @@ fn gen_serialize(item: &Item) -> String {
                             )])
                         )
                     }
-                    Fields::Named(fnames) => {
+                    Fields::Named(fields) => {
+                        let fnames: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let pairs: Vec<(String, String)> = fnames
                             .iter()
                             .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
@@ -260,13 +289,20 @@ fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct { name, fields } => {
             let body = match fields {
-                Fields::Named(names) => {
-                    let inits: Vec<String> = names
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
                         .iter()
                         .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(::serde::__get(obj, {f:?})?)?"
-                            )
+                            let fname = &f.name;
+                            if f.optional {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(::serde::__get_opt(obj, {fname:?}))?"
+                                )
+                            } else {
+                                format!(
+                                    "{fname}: ::serde::Deserialize::from_value(::serde::__get(obj, {fname:?})?)?"
+                                )
+                            }
                         })
                         .collect();
                     format!(
@@ -328,13 +364,20 @@ fn gen_deserialize(item: &Item) -> String {
                             inits.join(", ")
                         ));
                     }
-                    Fields::Named(fnames) => {
-                        let inits: Vec<String> = fnames
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(::serde::__get(vobj, {f:?})?)?"
-                                )
+                                let fname = &f.name;
+                                if f.optional {
+                                    format!(
+                                        "{fname}: ::serde::Deserialize::from_value(::serde::__get_opt(vobj, {fname:?}))?"
+                                    )
+                                } else {
+                                    format!(
+                                        "{fname}: ::serde::Deserialize::from_value(::serde::__get(vobj, {fname:?})?)?"
+                                    )
+                                }
                             })
                             .collect();
                         data_arms.push(format!(

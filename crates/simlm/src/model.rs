@@ -37,8 +37,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tinynn::rng::{stable_hash, SplitMix64};
 
-/// What is being linked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What is being linked. (`Hash` so per-`(database, target)` caches —
+/// the serving engine's context cache — can key on it directly.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkTarget {
     Tables,
     Columns,
@@ -230,6 +231,12 @@ impl HiddenStack {
         self.data.chunks_exact(self.dim)
     }
 
+    /// Heap bytes the synthesized hidden states occupy — what a parked
+    /// serving session holding this stack is billed for.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of_val(self.data.as_slice())
+    }
+
     /// The original layer id of each stored row, in row order.
     pub fn layer_indices(&self) -> impl Iterator<Item = usize> + '_ {
         let dense = self.layers.is_none();
@@ -299,6 +306,13 @@ impl GenerationTrace {
         s.sort();
         s.dedup();
         s
+    }
+
+    /// Total heap bytes of synthesized hidden state across the trace —
+    /// the dominant share of what a suspended linking session keeps
+    /// alive while parked awaiting feedback.
+    pub fn hidden_bytes(&self) -> usize {
+        self.steps.iter().map(|s| s.hidden.footprint_bytes()).sum()
     }
 
     /// Pack one layer's hidden states across all tokens into a

@@ -6,5 +6,6 @@ pub use benchgen;
 pub use conformal;
 pub use nanosql;
 pub use rts_core as core;
+pub use rts_serve as serve;
 pub use simlm;
 pub use tinynn;

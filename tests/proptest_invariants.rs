@@ -134,16 +134,18 @@ mod parity {
     use super::*;
     use rts::benchgen::{Benchmark, BenchmarkProfile, Instance};
     use rts::core::abstention::{
-        run_rts_linking, run_rts_linking_from, run_rts_linking_in, LinkScratch, MitigationPolicy,
-        Round0, RtsConfig,
+        run_rts_linking, run_rts_linking_from, run_rts_linking_in, run_rts_linking_monolithic,
+        LinkScratch, MitigationPolicy, Round0, RtsConfig,
     };
     use rts::core::bpp::{Mbpp, MbppConfig, ProbeConfig};
     use rts::core::branching::BranchDataset;
     use rts::core::context::{implicated_elements_reference, LinkContexts};
     use rts::core::human::{Expertise, HumanOracle};
-    use rts::core::pipeline::{run_full_pipeline, run_joint_linking};
+    use rts::core::pipeline::{run_full_pipeline, run_joint_linking, JointOutcome};
+    use rts::core::session::resolve_flag;
     use rts::core::sqlgen::SqlGenModel;
     use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
+    use rts::serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError};
     use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
     use std::sync::OnceLock;
 
@@ -477,6 +479,71 @@ mod parity {
             }
         }
 
+        /// The resumable `LinkSession` drivers ≡ the pre-session
+        /// monolithic blocking loop, field for field, across policies,
+        /// targets, seeds and both driver shapes (`run_rts_linking_in`
+        /// and the trace-consuming `run_rts_linking_from`). Multi-round
+        /// Human runs only agree if the merge-RNG stream, flag counts
+        /// and intervention accounting stay in lock-step, so outcome
+        /// equality pins the whole state machine — under every
+        /// `RTS_REFERENCE` knob and thread count of the CI matrix.
+        #[test]
+        fn session_linking_matches_monolithic_loop(
+            seed in any::<u64>(),
+            n in 8usize..20,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mbpp = if columns { &fx.mbpp_c } else { &fx.mbpp_t };
+            let config = base_config(seed);
+            let mut scratch = LinkScratch::default();
+            for policy in [
+                MitigationPolicy::AbstainOnly,
+                MitigationPolicy::Human(&oracle),
+            ] {
+                for inst in fx.bench.split.dev.iter().take(n) {
+                    let meta = fx.bench.meta(&inst.db_name).unwrap();
+                    let ctx = fx.contexts.get(&inst.db_name, target);
+                    // Driver shape 1: shared context, internal round 0.
+                    let driven = run_rts_linking_in(
+                        &fx.model, mbpp, inst, meta, ctx, &policy, &config, &mut scratch,
+                    );
+                    let monolithic = run_rts_linking_monolithic(
+                        &fx.model, mbpp, inst, meta, target, Some(ctx), None,
+                        &policy, &config, &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        format!("{:?}", driven),
+                        format!("{:?}", monolithic),
+                        "run_rts_linking_in vs monolith, instance {} target {:?}",
+                        inst.id, target
+                    );
+                    // Driver shape 2: caller-supplied round-0 stream.
+                    let mut vocab = Vocab::new();
+                    let trace = fx.model.generate_with_layers(
+                        inst, &mut vocab, target, GenMode::Free,
+                        &mbpp.layer_set(), &mut scratch.synth,
+                    );
+                    let round0 = Round0 { trace: &trace, vocab: &vocab };
+                    let driven = run_rts_linking_from(
+                        &fx.model, mbpp, inst, meta, ctx, round0, &policy, &config, &mut scratch,
+                    );
+                    let monolithic = run_rts_linking_monolithic(
+                        &fx.model, mbpp, inst, meta, target, Some(ctx), Some(round0),
+                        &policy, &config, &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        format!("{:?}", driven),
+                        format!("{:?}", monolithic),
+                        "run_rts_linking_from vs monolith, instance {} target {:?}",
+                        inst.id, target
+                    );
+                }
+            }
+        }
+
         /// The incremental trace back ≡ the quadratic re-decode
         /// reference on arbitrary (branch position, truncation) pairs of
         /// generated streams — including mid-element truncations that
@@ -530,6 +597,108 @@ mod parity {
                 implicated_elements_reference(&vocab, meta, target, &trace.tokens, branch_pos),
                 "instance {} target {:?} branch {}", inst.id, target, branch_pos
             );
+        }
+    }
+
+    /// The `rts-serve` engine ≡ batch `run_full_pipeline` on the same
+    /// instance set: concurrent clients, parked sessions and the lazy
+    /// context cache must change *when* answers arrive, never what
+    /// they are. Runs under the CI parity matrix, so worker scheduling
+    /// (`RTS_THREADS`) and every `RTS_REFERENCE` knob are crossed with
+    /// the engine's concurrency.
+    #[test]
+    fn serve_engine_matches_batch_pipeline() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 0x5E17E);
+        let config = base_config(0xC0FFEE);
+        let instances: Vec<Instance> = fx.bench.split.dev.iter().take(36).cloned().collect();
+        let serve_cfg = ServeConfig {
+            queue_capacity: 6,
+            cache_capacity: 3,
+            rts: config.clone(),
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(
+            &fx.model,
+            &fx.mbpp_t,
+            &fx.mbpp_c,
+            &fx.bench.metas,
+            serve_cfg,
+        );
+        let n_clients = 3;
+        let served: Vec<(u64, JointOutcome)> = crossbeam::thread::scope(|s| {
+            for _ in 0..engine.config().workers {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let handles: Vec<_> = (0..n_clients)
+                .map(|c| {
+                    let engine = &engine;
+                    let instances = &instances;
+                    let oracle = &oracle;
+                    s.spawn(move |_| {
+                        let policy = MitigationPolicy::Human(oracle);
+                        let mut out = Vec::new();
+                        for inst in instances.iter().skip(c).step_by(n_clients) {
+                            let ticket = loop {
+                                match engine.submit(inst) {
+                                    Ok(t) => break t,
+                                    Err(SubmitError::QueueFull { .. }) => {
+                                        std::thread::sleep(std::time::Duration::from_micros(100))
+                                    }
+                                }
+                            };
+                            loop {
+                                match engine.wait_event(ticket) {
+                                    ClientEvent::NeedsFeedback { query, .. } => {
+                                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                                    }
+                                    ClientEvent::Done(done) => {
+                                        assert!(!done.shed, "no deadline configured");
+                                        out.push((inst.id, done.outcome));
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let out: Vec<_> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client panicked"))
+                .collect();
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+
+        let generator = SqlGenModel::deepseek_7b("bird", 99);
+        let (_ex, batch) = run_full_pipeline(
+            &fx.bench, &instances, &fx.model, &fx.mbpp_t, &fx.mbpp_c, &oracle, &generator, &config,
+        );
+        assert_eq!(served.len(), instances.len());
+        for (id, outcome) in &served {
+            let i = instances.iter().position(|x| x.id == *id).unwrap();
+            assert_eq!(
+                format!("{outcome:?}"),
+                format!("{:?}", batch[i]),
+                "serve/batch outcome mismatch on instance {id}"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, instances.len() as u64);
+        assert!(
+            stats.feedback_rounds > 0,
+            "a human workload must suspend at least once"
+        );
+        assert!(
+            stats.parked_sessions_peak >= 1,
+            "suspensions must park sessions"
+        );
+        if !config.reference_linking {
+            // The reference knob runs context-free, bypassing the cache.
+            assert!(stats.cache.hits > 0, "contexts must be reused");
         }
     }
 
