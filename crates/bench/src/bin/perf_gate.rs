@@ -13,12 +13,94 @@
 //! reported but never fail the gate (stage renames land together with a
 //! regenerated baseline). Exits non-zero on regression.
 //!
-//! The optional `serving` section (absent on snapshots predating the
-//! `rts-serve` engine) is surfaced for eyeballs but never gated: its
-//! latencies are wall-clock under concurrency on a shared runner, not
-//! per-instance stage times.
+//! The `serving` section is gated too — on two robust quantities:
+//! p99 submit-to-done latency (its own, extra-generous tolerance:
+//! `RTS_PERF_GATE_SERVING_TOLERANCE`, default 4.0, plus 1 ms absolute
+//! grace, because these are wall-clock numbers under concurrency on a
+//! shared runner) and a context-cache hit-rate floor (baseline − 0.10
+//! — a hit-rate collapse is a logic regression, not scheduling noise).
+//! The same record-mismatch refusal applies as for stages: serving
+//! sections measured under different workload shapes (workers,
+//! clients, queue, request count) are incomparable and exit 2, as does
+//! a fresh record that dropped the section while the baseline has one.
+//! A baseline predating the serving section simply reports the fresh
+//! numbers un-gated.
 
-use rts_bench::report::{compare_perf, PerfReport};
+use rts_bench::report::{compare_perf, PerfReport, ServingRecord};
+
+/// The workload-shape knobs that make two serving sections comparable.
+/// Tenancy knobs are normalized so a pre-tenancy baseline (no sub-
+/// record) compares equal to a fresh record that ran with the
+/// single-tenant defaults — only an actually different workload
+/// (quotas, timeouts, stalls, budgets change latencies by design)
+/// triggers the refusal.
+fn serving_shape(
+    s: &ServingRecord,
+) -> (usize, usize, usize, usize, usize, Option<u64>, ShapeTenancy) {
+    (
+        s.workers,
+        s.clients,
+        s.queue_capacity,
+        // The hit-rate floor is only meaningful at the same cache size.
+        s.cache_capacity,
+        s.n_requests,
+        s.deadline_ms.map(|ms| ms.to_bits()),
+        s.tenancy.as_ref().map_or((1, 0, 0, None, 0), |t| {
+            (
+                t.tenants,
+                t.quota_max_in_flight,
+                t.quota_max_parked,
+                t.feedback_timeout_ms.map(|ms| ms.to_bits()),
+                t.parked_bytes_budget,
+            )
+        }),
+    )
+}
+
+type ShapeTenancy = (usize, usize, usize, Option<u64>, u64);
+
+/// Outcome of gating the serving section: the failed checks (empty =
+/// pass). `None` = nothing comparable to gate.
+fn gate_serving(
+    baseline: &ServingRecord,
+    fresh: &ServingRecord,
+    tolerance: f64,
+) -> Vec<&'static str> {
+    let mut failures = Vec::new();
+    // 1 ms absolute grace: at sub-millisecond baselines the ratio is
+    // scheduler noise, not signal.
+    let p99_limit = baseline.p99_ms * tolerance + 1.0;
+    println!(
+        "serving p99    {:>10.3} ms baseline → {:>10.3} ms fresh (limit {:.3} ms)  {}",
+        baseline.p99_ms,
+        fresh.p99_ms,
+        p99_limit,
+        if fresh.p99_ms <= p99_limit {
+            "ok"
+        } else {
+            "REGRESSED"
+        }
+    );
+    if fresh.p99_ms > p99_limit {
+        failures.push("serving/p99_ms");
+    }
+    let hit_floor = (baseline.cache_hit_rate - 0.10).max(0.0);
+    println!(
+        "serving cache  {:>9.1}% baseline → {:>9.1}% fresh (floor {:.1}%)  {}",
+        baseline.cache_hit_rate * 100.0,
+        fresh.cache_hit_rate * 100.0,
+        hit_floor * 100.0,
+        if fresh.cache_hit_rate >= hit_floor {
+            "ok"
+        } else {
+            "REGRESSED"
+        }
+    );
+    if fresh.cache_hit_rate < hit_floor {
+        failures.push("serving/cache_hit_rate");
+    }
+    failures
+}
 
 fn load(path: &str) -> PerfReport {
     let text = std::fs::read_to_string(path)
@@ -86,22 +168,69 @@ fn main() {
         }
     }
 
-    match (&baseline.serving, &fresh.serving) {
-        (_, Some(s)) => {
-            println!("serving section (reported, never gated):");
-            print!("{}", s.render());
-        }
-        (Some(_), None) => {
-            println!("serving section present in baseline only — not gated");
-        }
-        (None, None) => {}
-    }
-
-    let regressions: Vec<&str> = comparisons
+    let mut regressions: Vec<&str> = comparisons
         .iter()
         .filter(|c| c.regressed)
         .map(|c| c.stage.as_str())
         .collect();
+
+    let serving_tolerance = std::env::var("RTS_PERF_GATE_SERVING_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(4.0);
+    match (&baseline.serving, &fresh.serving) {
+        (Some(b), Some(f)) => {
+            // Same refusal rule as stages: latencies measured under a
+            // different workload shape — worker/client counts, queue
+            // bound, request count, deadline, or any tenancy knob
+            // (quotas, feedback timeout, parked budget all change
+            // latencies by design) — are incomparable. A config error,
+            // not a pass.
+            if serving_shape(b) != serving_shape(f) {
+                eprintln!(
+                    "perf gate MISCONFIGURED: serving sections are not comparable — \
+                     baseline ({} workers, {} clients, queue {}, {} requests, \
+                     deadline {:?} ms, tenancy {:?}) vs fresh ({} workers, {} clients, \
+                     queue {}, {} requests, deadline {:?} ms, tenancy {:?}); pin the \
+                     workload shape to the committed baseline's or regenerate it",
+                    b.workers,
+                    b.clients,
+                    b.queue_capacity,
+                    b.n_requests,
+                    b.deadline_ms,
+                    serving_shape(b).6,
+                    f.workers,
+                    f.clients,
+                    f.queue_capacity,
+                    f.n_requests,
+                    f.deadline_ms,
+                    serving_shape(f).6,
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "== serving gate (p99 tolerance {serving_tolerance:.2}x + 1 ms, \
+                 cache-hit floor baseline − 0.10):"
+            );
+            regressions.extend(gate_serving(b, f, serving_tolerance));
+            print!("{}", f.render());
+        }
+        (Some(_), None) => {
+            // The serving section is gated now: a fresh record that
+            // silently dropped it would un-gate it forever.
+            eprintln!(
+                "perf gate MISCONFIGURED: committed baseline has a serving section \
+                 but the fresh record has none — the perf bin must run its serving \
+                 workload (or regenerate the baseline without one)"
+            );
+            std::process::exit(2);
+        }
+        (None, Some(s)) => {
+            println!("serving section (new — no baseline yet, not gated):");
+            print!("{}", s.render());
+        }
+        (None, None) => {}
+    }
     if regressions.is_empty() {
         println!(
             "perf gate passed: {} comparable stages within {tolerance:.2}x",

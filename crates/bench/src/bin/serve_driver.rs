@@ -10,17 +10,37 @@
 //!
 //! * `RTS_SERVE_CLIENTS` (default 4) — closed-loop client threads;
 //! * `RTS_SERVE_ROUNDS` (default 2) — passes over the dev split;
+//! * `RTS_SERVE_TENANTS` (default 1) — distinct tenants, clients
+//!   assigned round-robin;
+//! * `RTS_SERVE_QUOTA` (default off) — per-tenant max in-flight;
+//!   bounced submissions are retried (quota backpressure protocol);
 //! * `RTS_SERVE_QUEUE` (default 16) — admission-queue bound;
 //! * `RTS_SERVE_CACHE` (default 8) — context-cache capacity/target;
 //! * `RTS_SERVE_DEADLINE_MS` (default off) — per-request budget;
 //!   expired requests degrade to abstention instead of dropping;
+//! * `RTS_SERVE_FEEDBACK_TIMEOUT_MS` (default off) — park-to-abstain
+//!   feedback timeout;
+//! * `RTS_SERVE_STALL_TENANT` (default off) — this tenant's clients
+//!   never answer feedback; its flagged requests must complete through
+//!   the feedback timeout;
+//! * `RTS_SERVE_PARKED_BUDGET` (default off) — live parked-bytes
+//!   budget; past it parked sessions are checkpointed out of memory;
 //! * `RTS_THREADS` — engine worker threads (as everywhere);
 //! * `RTS_SERVE_RECORD=1` — merge the record into `./BENCH_rts.json`.
 //!
-//! The driver is self-verifying: with shedding off it asserts each
-//! request's joint outcome equals the batch runtime's for the same
-//! instance — the serve engine must never change answers, only when
-//! they arrive.
+//! The driver is self-verifying before it exits:
+//! * zero drops — every submitted request completes, however it was
+//!   degraded (shed, quota-bounced-then-retried, timed out);
+//! * fairness — no tenant ever exceeded its in-flight quota;
+//! * stalled tenants — every timed-out request abstained, and only the
+//!   stalled tenant timed out; with a stall configured at least one
+//!   timeout must actually fire;
+//! * memory — parked bytes and checkpoint bytes return to 0 after the
+//!   drain (per-ticket state is released eagerly, not at engine drop);
+//! * outcome parity — with no shedding/timeouts in play, each
+//!   request's joint outcome equals the batch runtime's for the same
+//!   instance: the serve engine must never change answers, only when
+//!   they arrive.
 
 use rts_bench::report::PerfReport;
 use rts_bench::serving::{run_workload, serving_record, WorkloadConfig};
@@ -30,7 +50,7 @@ use rts_core::branching::BranchDataset;
 use rts_core::context::LinkContexts;
 use rts_core::human::{Expertise, HumanOracle};
 use rts_core::pipeline::run_joint_linking_in;
-use rts_serve::ServeConfig;
+use rts_serve::{ServeConfig, TenantId, TenantQuota};
 use simlm::{LinkTarget, SchemaLinker};
 use std::time::Duration;
 
@@ -39,6 +59,13 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn env_ms(key: &str) -> Option<Duration> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|ms| Duration::from_secs_f64(ms / 1e3))
 }
 
 fn main() {
@@ -69,17 +96,26 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let deadline = std::env::var("RTS_SERVE_DEADLINE_MS")
+    let tenants = env_usize("RTS_SERVE_TENANTS", 1);
+    let quota = env_usize("RTS_SERVE_QUOTA", 0);
+    let stall_tenant: Option<TenantId> = std::env::var("RTS_SERVE_STALL_TENANT")
         .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(|ms| Duration::from_secs_f64(ms / 1e3));
+        .and_then(|v| v.parse().ok());
     let config = WorkloadConfig {
         clients: env_usize("RTS_SERVE_CLIENTS", 4),
         rounds: env_usize("RTS_SERVE_ROUNDS", 2),
+        tenants,
+        stall_tenant,
         serve: ServeConfig {
             queue_capacity: env_usize("RTS_SERVE_QUEUE", 16),
             cache_capacity: env_usize("RTS_SERVE_CACHE", 8),
-            deadline,
+            quota: TenantQuota {
+                max_in_flight: quota,
+                max_parked: 0,
+            },
+            deadline: env_ms("RTS_SERVE_DEADLINE_MS"),
+            feedback_timeout: env_ms("RTS_SERVE_FEEDBACK_TIMEOUT_MS"),
+            parked_bytes_budget: env_usize("RTS_SERVE_PARKED_BUDGET", 0),
             rts: RtsConfig {
                 seed,
                 ..RtsConfig::default()
@@ -93,19 +129,111 @@ fn main() {
     let result = run_workload(&linker, &mbpp_t, &mbpp_c, &bench.metas, instances, &config);
     let record = serving_record(&result, &config);
     print!("{}", record.render());
+
+    // Self-check 1: degrade, never drop — whatever the knobs did.
     assert_eq!(
         record.completed as usize, result.n_requests,
-        "every request must complete (shedding degrades, never drops)"
+        "every request must complete (shed/timeout degrade, never drop)"
     );
 
-    if config.serve.deadline.is_none() {
-        // Self-check: served outcomes ≡ the batch runtime.
+    // Self-check 2: fairness — the engine never let any tenant exceed
+    // its in-flight quota, however hard its clients pushed.
+    if quota > 0 {
+        assert!(
+            result.stats.tenant_in_flight_peak <= quota,
+            "fairness violated: a tenant reached {} in flight with quota {quota}",
+            result.stats.tenant_in_flight_peak,
+        );
+        eprintln!(
+            "[serve_driver] fairness: peak per-tenant in-flight {} ≤ quota {quota} \
+             ({} quota bounces retried)",
+            result.stats.tenant_in_flight_peak, result.stats.rejected_quota,
+        );
+    }
+
+    // Self-check 3: stalled tenants time out into abstention. Every
+    // timed-out request must have abstained (the degrade-never-drop
+    // contract — hard assert); a *non*-stalled tenant timing out is
+    // possible on a contended runner (its prompt answer can still lose
+    // the scheduling race against the park deadline), so that is
+    // reported, not failed.
+    if let Some(stalled) = stall_tenant {
+        let stalled_timeouts = result
+            .outcomes
+            .iter()
+            .filter(|r| r.tenant == stalled && r.timed_out)
+            .count();
+        assert!(
+            stalled_timeouts > 0,
+            "a stalled tenant must hit the feedback timeout at least once"
+        );
+        for r in &result.outcomes {
+            if r.timed_out {
+                assert!(
+                    r.outcome.abstained(),
+                    "timed-out request must abstain (instance {})",
+                    r.instance
+                );
+            }
+        }
+        let bystander_timeouts = result
+            .outcomes
+            .iter()
+            .filter(|r| r.tenant != stalled && r.timed_out)
+            .count();
+        if bystander_timeouts > 0 {
+            eprintln!(
+                "[serve_driver] note: {bystander_timeouts} non-stalled request(s) also \
+                 timed out (scheduling noise; their answers were dropped, not misapplied)"
+            );
+        }
+        eprintln!(
+            "[serve_driver] stall: tenant {stalled} had {stalled_timeouts} requests \
+             time out to abstention ({} total engine timeouts); zero drops across \
+             all tenants",
+            result.stats.timed_out_to_abstention,
+        );
+    }
+
+    // Self-check 4: parked state is released eagerly — after the drain
+    // the engine holds no session memory, live or checkpointed.
+    assert_eq!(
+        result.stats.parked_sessions_now, 0,
+        "drained engine still holds parked sessions"
+    );
+    assert_eq!(
+        result.stats.parked_bytes_now, 0,
+        "drained engine still bills parked bytes"
+    );
+    assert_eq!(
+        result.stats.checkpoint_bytes_now, 0,
+        "drained engine still holds checkpoint bytes"
+    );
+    if config.serve.parked_bytes_budget > 0 {
+        eprintln!(
+            "[serve_driver] checkpointing: {} parked sessions evicted to bytes, {} restored, \
+             peak {} checkpoint B (budget {} B); parked bytes back to 0 after drain",
+            result.stats.checkpoints,
+            result.stats.restores,
+            result.stats.checkpoint_bytes_peak,
+            config.serve.parked_bytes_budget,
+        );
+    }
+
+    // Self-check 5: outcome parity against the batch runtime — only
+    // meaningful when nothing can be degraded by wall-clock effects
+    // (deadlines and feedback timeouts both change answers by design).
+    if config.serve.deadline.is_none() && config.serve.feedback_timeout.is_none() {
         let contexts = LinkContexts::build(&bench);
         let policy = MitigationPolicy::Human(&config.oracle);
         let mut scratch = LinkScratch::default();
-        for (id, served, shed) in &result.outcomes {
-            assert!(!shed, "no deadline, nothing may shed");
-            let inst = instances.iter().find(|i| i.id == *id).expect("known id");
+        for r in &result.outcomes {
+            assert!(!r.shed, "no deadline, nothing may shed");
+            assert!(!r.timed_out, "no stall, nothing should time out");
+            let inst = instances
+                .iter()
+                .find(|i| i.id == r.instance)
+                .expect("known id");
             let batch = run_joint_linking_in(
                 &linker,
                 &mbpp_t,
@@ -118,9 +246,10 @@ fn main() {
                 &mut scratch,
             );
             assert_eq!(
-                format!("{served:?}"),
+                format!("{:?}", r.outcome),
                 format!("{batch:?}"),
-                "serve/batch outcome mismatch on instance {id}"
+                "serve/batch outcome mismatch on instance {}",
+                r.instance
             );
         }
         eprintln!(

@@ -170,6 +170,35 @@ pub struct StageTiming {
     pub n_instances: usize,
 }
 
+/// Multi-tenant serving counters: the knobs and outcomes of the
+/// fairness/quota/timeout/checkpoint machinery. Grouped in an
+/// `Option` sub-record so serving sections written before tenancy
+/// existed (PR 4 snapshots) still parse — the serde shim reads an
+/// absent `Option` field as `None`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenancyRecord {
+    /// Distinct tenants the workload submitted as.
+    pub tenants: usize,
+    /// Per-tenant quota the engine enforced (0 = unbounded).
+    pub quota_max_in_flight: usize,
+    pub quota_max_parked: usize,
+    /// Park-to-abstention feedback timeout (None = park forever).
+    pub feedback_timeout_ms: Option<f64>,
+    /// Live parked-bytes budget before checkpoint eviction (0 = off).
+    pub parked_bytes_budget: u64,
+    /// Submissions bounced by a per-tenant quota (clients retried).
+    pub rejected_quota: u64,
+    /// Parked sessions resumed with abstention by the timeout.
+    pub timed_out_to_abstention: u64,
+    /// Parked sessions evicted to serialized checkpoints / restored.
+    pub checkpoints: u64,
+    pub restores: u64,
+    pub checkpoint_bytes_peak: u64,
+    /// Highest concurrent in-flight count any single tenant reached —
+    /// the fairness self-check compares this against the quota.
+    pub tenant_in_flight_peak: usize,
+}
+
 /// One closed-loop serving measurement of the `rts-serve` engine: the
 /// optional `serving` section of `BENCH_rts.json`. Optional because
 /// older snapshots predate it — the perf gate must keep parsing them
@@ -212,6 +241,8 @@ pub struct ServingRecord {
     pub parked_bytes_peak: u64,
     pub parked_sessions_peak: u64,
     pub wall_ms: f64,
+    /// Multi-tenant counters (absent on pre-tenancy snapshots).
+    pub tenancy: Option<TenancyRecord>,
 }
 
 impl ServingRecord {
@@ -251,6 +282,26 @@ impl ServingRecord {
             self.parked_sessions_peak,
             self.parked_bytes_peak,
         );
+        if let Some(t) = &self.tenancy {
+            let _ = writeln!(
+                out,
+                "   tenancy: {} tenants (quota {}/{} in-flight/parked, peak in-flight {}), \
+                 {} quota bounces, feedback timeout {} → {} timed out to abstention",
+                t.tenants,
+                t.quota_max_in_flight,
+                t.quota_max_parked,
+                t.tenant_in_flight_peak,
+                t.rejected_quota,
+                t.feedback_timeout_ms
+                    .map_or("off".to_string(), |ms| format!("{ms:.0} ms")),
+                t.timed_out_to_abstention,
+            );
+            let _ = writeln!(
+                out,
+                "   checkpointing: budget {} B → {} evicted / {} restored, checkpoint peak {} B",
+                t.parked_bytes_budget, t.checkpoints, t.restores, t.checkpoint_bytes_peak,
+            );
+        }
         out
     }
 }
@@ -517,6 +568,19 @@ mod tests {
             parked_bytes_peak: 65536,
             parked_sessions_peak: 6,
             wall_ms: 115.0,
+            tenancy: Some(TenancyRecord {
+                tenants: 3,
+                quota_max_in_flight: 2,
+                quota_max_parked: 0,
+                feedback_timeout_ms: Some(40.0),
+                parked_bytes_budget: 32768,
+                rejected_quota: 5,
+                timed_out_to_abstention: 2,
+                checkpoints: 4,
+                restores: 4,
+                checkpoint_bytes_peak: 900,
+                tenant_in_flight_peak: 2,
+            }),
         }
     }
 
@@ -530,9 +594,41 @@ mod tests {
         assert_eq!(s.n_requests, 92);
         assert_eq!(s.deadline_ms, None);
         assert!((s.p99_ms - 5.6).abs() < 1e-12);
+        let t = s.tenancy.expect("tenancy sub-record survives");
+        assert_eq!(t.tenants, 3);
+        assert_eq!(t.feedback_timeout_ms, Some(40.0));
+        assert_eq!(t.timed_out_to_abstention, 2);
+        assert_eq!(t.checkpoints, 4);
         let text = p.render();
         assert!(text.contains("serving: 92 requests"));
         assert!(text.contains("p99 5.600"));
+        assert!(text.contains("tenancy: 3 tenants"));
+        assert!(text.contains("2 timed out to abstention"));
+    }
+
+    #[test]
+    fn pre_tenancy_serving_sections_still_parse() {
+        // A PR 4-era serving section has no "tenancy" key at all; the
+        // gate must keep loading such baselines (tenancy reads as None).
+        let json = r#"{
+          "workers": 1, "clients": 4, "queue_capacity": 16,
+          "cache_capacity": 8, "deadline_ms": null,
+          "n_requests": 92, "completed": 92, "shed": 0,
+          "rejected_submits": 0, "feedback_rounds": 84,
+          "p50_ms": 1.9, "p95_ms": 3.3, "p99_ms": 4.4,
+          "mean_ms": 2.0, "max_ms": 4.4, "throughput_rps": 1933.0,
+          "queue_depth_max": 4, "queue_depth_mean": 3.9,
+          "cache_hits": 182, "cache_misses": 2, "cache_evictions": 0,
+          "cache_hit_rate": 0.989, "parked_bytes_peak": 23184,
+          "parked_sessions_peak": 1, "wall_ms": 47.6
+        }"#;
+        let s: ServingRecord = serde_json::from_str(json).expect("old section parses");
+        assert!(s.tenancy.is_none());
+        assert_eq!(s.n_requests, 92);
+        assert!(
+            !s.render().contains("tenancy:"),
+            "no tenancy line to render"
+        );
     }
 
     #[test]

@@ -1,23 +1,31 @@
 //! Closed-loop workload driver for the `rts-serve` engine.
 //!
 //! Simulates production traffic against a [`ServeEngine`]: a pool of
-//! client threads, each owning a slice of the instance set, submits
-//! joint-linking requests, answers every `NeedsFeedback` suspension
-//! with the human oracle, and measures submit-to-completion latency.
-//! "Closed loop" = each client has one request in flight at a time, so
-//! offered load tracks service capacity and the engine's queues show
-//! realistic depth instead of unbounded backlog.
+//! client threads, each owning a slice of the instance set and tagged
+//! with a [`TenantId`], submits joint-linking requests, answers every
+//! `NeedsFeedback` suspension with the human oracle, and measures
+//! submit-to-completion latency. "Closed loop" = each client has one
+//! request in flight at a time, so offered load tracks service
+//! capacity and the engine's queues show realistic depth instead of
+//! unbounded backlog.
+//!
+//! Multi-tenant shapes: [`WorkloadConfig::tenants`] spreads the
+//! clients over N tenants (round-robin), exercising the fair queue and
+//! per-tenant quotas, and [`WorkloadConfig::stall_tenant`] marks one
+//! tenant's clients as *never answering feedback* — their flagged
+//! requests only complete through the engine's feedback timeout
+//! (park → abstain), which is exactly what the CI smoke leg asserts.
 //!
 //! The driver is what the `perf` binary and the `serve_driver` smoke
 //! binary run to produce the `serving` section of `BENCH_rts.json`.
 
-use crate::report::ServingRecord;
+use crate::report::{ServingRecord, TenancyRecord};
 use rts_core::abstention::MitigationPolicy;
 use rts_core::bpp::Mbpp;
 use rts_core::human::HumanOracle;
 use rts_core::pipeline::JointOutcome;
 use rts_core::session::resolve_flag;
-use rts_serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError};
+use rts_serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError, TenantId};
 use simlm::SchemaLinker;
 use std::time::{Duration, Instant};
 
@@ -29,7 +37,15 @@ pub struct WorkloadConfig {
     /// Passes each client makes over its instance slice (≥ 2 gives the
     /// context cache a warm pass to show hits).
     pub rounds: usize,
-    /// Engine configuration (workers, queue bound, deadline, cache).
+    /// Distinct tenants; client `c` submits as tenant `c % tenants`.
+    pub tenants: usize,
+    /// A tenant whose clients never answer feedback: its flagged
+    /// requests complete only through the engine's feedback timeout.
+    /// Requires `serve.feedback_timeout` to be set, or those clients
+    /// would wait forever.
+    pub stall_tenant: Option<TenantId>,
+    /// Engine configuration (workers, queue bound, quotas, deadline,
+    /// feedback timeout, parked budget, cache).
     pub serve: ServeConfig,
     /// The oracle clients answer feedback queries with.
     pub oracle: HumanOracle,
@@ -40,18 +56,31 @@ impl Default for WorkloadConfig {
         Self {
             clients: 4,
             rounds: 2,
+            tenants: 1,
+            stall_tenant: None,
             serve: ServeConfig::default(),
             oracle: HumanOracle::new(rts_core::human::Expertise::Expert, 9),
         }
     }
 }
 
+/// One served request, as the client observed it.
+#[derive(Debug, Clone)]
+pub struct ServedRequest {
+    pub tenant: TenantId,
+    pub instance: u64,
+    pub outcome: JointOutcome,
+    /// Deadline shedding degraded a stage to abstention.
+    pub shed: bool,
+    /// A feedback timeout resolved a flag to abstention.
+    pub timed_out: bool,
+}
+
 /// What one workload run produced.
 #[derive(Debug)]
 pub struct WorkloadResult {
-    /// Per-request outcomes: `(instance id, joint outcome, shed)`, in
-    /// client completion order.
-    pub outcomes: Vec<(u64, JointOutcome, bool)>,
+    /// Per-request outcomes in client completion order.
+    pub outcomes: Vec<ServedRequest>,
     /// The engine's counter snapshot at drain.
     pub stats: rts_serve::ServingStats,
     /// Whole-workload wall time.
@@ -71,7 +100,14 @@ pub fn run_workload(
     instances: &[benchgen::Instance],
     config: &WorkloadConfig,
 ) -> WorkloadResult {
-    assert!(config.clients > 0 && config.rounds > 0, "empty workload");
+    assert!(
+        config.clients > 0 && config.rounds > 0 && config.tenants > 0,
+        "empty workload"
+    );
+    assert!(
+        config.stall_tenant.is_none() || config.serve.feedback_timeout.is_some(),
+        "a stalled tenant without a feedback timeout would wait forever"
+    );
     let engine = ServeEngine::new(
         model,
         mbpp_tables,
@@ -89,17 +125,20 @@ pub fn run_workload(
                 .collect::<Vec<_>>()
         })
         .collect();
-    let outcomes: Vec<(u64, JointOutcome, bool)> = crossbeam::thread::scope(|s| {
+    let outcomes: Vec<ServedRequest> = crossbeam::thread::scope(|s| {
         for _ in 0..engine.config().workers {
             s.spawn(|_| engine.worker_loop());
         }
         let handles: Vec<_> = per_client
             .iter()
-            .map(|slice| {
+            .enumerate()
+            .map(|(c, slice)| {
                 let engine = &engine;
                 let oracle = &config.oracle;
                 let rounds = config.rounds;
-                s.spawn(move |_| client_loop(engine, slice, oracle, rounds))
+                let tenant = (c % config.tenants) as TenantId;
+                let stalled = config.stall_tenant == Some(tenant);
+                s.spawn(move |_| client_loop(engine, tenant, stalled, slice, oracle, rounds))
             })
             .collect();
         let collected: Vec<_> = handles
@@ -120,23 +159,27 @@ pub fn run_workload(
     }
 }
 
-/// One client: submit each owned instance `rounds` times, retrying
-/// bounced admissions (that *is* the backpressure protocol) and
-/// resolving every feedback suspension with the oracle.
+/// One client: submit each owned instance `rounds` times as `tenant`,
+/// retrying bounced admissions (both queue-full and quota bounces —
+/// that *is* the backpressure protocol) and resolving every feedback
+/// suspension with the oracle. A stalled client never resolves: it
+/// re-polls until the engine's feedback timeout completes the request.
 fn client_loop<'a>(
     engine: &ServeEngine<'a>,
+    tenant: TenantId,
+    stalled: bool,
     instances: &[&'a benchgen::Instance],
     oracle: &HumanOracle,
     rounds: usize,
-) -> Vec<(u64, JointOutcome, bool)> {
+) -> Vec<ServedRequest> {
     let policy = MitigationPolicy::Human(oracle);
     let mut out = Vec::with_capacity(instances.len() * rounds);
     for _ in 0..rounds {
         for inst in instances {
             let ticket = loop {
-                match engine.submit(inst) {
+                match engine.submit(tenant, inst) {
                     Ok(t) => break t,
-                    Err(SubmitError::QueueFull { .. }) => {
+                    Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
                         std::thread::sleep(Duration::from_micros(200));
                     }
                 }
@@ -144,10 +187,22 @@ fn client_loop<'a>(
             loop {
                 match engine.wait_event(ticket) {
                     ClientEvent::NeedsFeedback { query, .. } => {
-                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                        if stalled {
+                            // Never answer; the park-to-abstention
+                            // timeout will complete the request.
+                            std::thread::sleep(Duration::from_micros(500));
+                        } else {
+                            engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
+                        }
                     }
                     ClientEvent::Done(done) => {
-                        out.push((inst.id, done.outcome, done.shed));
+                        out.push(ServedRequest {
+                            tenant,
+                            instance: inst.id,
+                            outcome: done.outcome,
+                            shed: done.shed,
+                            timed_out: done.timed_out,
+                        });
                         break;
                     }
                 }
@@ -191,5 +246,18 @@ pub fn serving_record(result: &WorkloadResult, config: &WorkloadConfig) -> Servi
         parked_bytes_peak: s.parked_bytes_peak as u64,
         parked_sessions_peak: s.parked_sessions_peak as u64,
         wall_ms,
+        tenancy: Some(TenancyRecord {
+            tenants: config.tenants,
+            quota_max_in_flight: config.serve.quota.max_in_flight,
+            quota_max_parked: config.serve.quota.max_parked,
+            feedback_timeout_ms: config.serve.feedback_timeout.map(|t| t.as_secs_f64() * 1e3),
+            parked_bytes_budget: config.serve.parked_bytes_budget as u64,
+            rejected_quota: s.rejected_quota,
+            timed_out_to_abstention: s.timed_out_to_abstention,
+            checkpoints: s.checkpoints,
+            restores: s.restores,
+            checkpoint_bytes_peak: s.checkpoint_bytes_peak as u64,
+            tenant_in_flight_peak: s.tenant_in_flight_peak,
+        }),
     }
 }

@@ -27,7 +27,7 @@ use crate::bpp::Mbpp;
 use crate::context::LinkContext;
 use benchgen::schemagen::DbMeta;
 use benchgen::Instance;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use simlm::{Decision, GenMode, GenerationTrace, LinkTarget, SchemaLinker, Vocab};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -56,7 +56,7 @@ impl std::ops::Deref for CtxHandle<'_> {
 /// A branching flag the session suspended on: everything a feedback
 /// provider (human UI, surrogate service, test oracle) needs to act,
 /// self-contained and serializable so it can cross a process boundary.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlagQuery {
     /// Instance the session is linking.
     pub instance: u64,
@@ -105,6 +105,56 @@ pub enum FlagResolution {
     /// Pin a decision for the flagged gold element and regenerate with
     /// it forced (the human protocol's confirmed/corrected element).
     Pin(Decision),
+}
+
+/// The serializable state of a suspended [`LinkSession`] — everything a
+/// parked session owns that cannot be rebuilt from its construction
+/// arguments, *minus* the current round's trace and vocabulary.
+///
+/// The trace is the whole point of checkpointing: its synthesized
+/// hidden-state stacks dominate a parked session's memory
+/// ([`LinkSession::held_bytes`]), yet generation is a pure function of
+/// `(instance, overrides, layer set)` — so the checkpoint records the
+/// *recipe* (the override map it was generated under) instead of the
+/// data, and [`LinkSession::restore`] re-synthesizes a bit-identical
+/// round. What must survive verbatim is everything generation does NOT
+/// determine: the merge-RNG state (flags already consumed draws from
+/// it), the flag/intervention counters, the handled-element set, and
+/// the pending query. Pinned end to end by the
+/// `checkpoint_roundtrip_matches_monolithic_loop` parity proptest.
+///
+/// Invariant this leans on: while a session is suspended, the current
+/// round's trace is exactly `generate_with_overrides(inst, overrides)`
+/// for the *current* override map — `resolve(Pin)` is the only
+/// mutation of `overrides`, it clears the suspension, and the next
+/// `step` regenerates before it can suspend again.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Instance id the session links (restore refuses a mismatch).
+    pub instance: u64,
+    /// `true` = table linking, `false` = column linking.
+    pub is_table: bool,
+    /// Raw merge-RNG state (`SplitMix64` is one `u64` of state).
+    pub rng_state: u64,
+    /// TAR/FAR counterfactual verdict, if already computed.
+    pub would_be_correct: Option<bool>,
+    /// Pinned per-element decisions, sorted by element for
+    /// deterministic bytes.
+    pub overrides: Vec<(String, Decision)>,
+    /// Gold-element indices already handled, sorted.
+    pub handled: Vec<usize>,
+    pub n_interventions: usize,
+    pub n_flags: usize,
+    pub rounds_done: usize,
+    /// Always `false` while suspended (a `Pin` marks the stream stale
+    /// but also un-suspends); kept explicit so the invariant is
+    /// checked, not assumed, across serialization boundaries.
+    pub stale: bool,
+    /// Did the session hold a current round? (Always true at a
+    /// suspension; restore re-synthesizes it.)
+    pub has_round: bool,
+    /// The flag the session is suspended on.
+    pub pending: Option<FlagQuery>,
 }
 
 /// What [`LinkSession::step`] returns.
@@ -282,6 +332,100 @@ impl<'a> LinkSession<'a> {
             .unwrap_or(0)
     }
 
+    /// Snapshot a *suspended* session into its serializable state (see
+    /// [`SessionCheckpoint`] for what is stored vs re-synthesized).
+    /// Panics when the session is not suspended: running and finished
+    /// sessions have a worker or nobody attached — only a parked one is
+    /// worth shipping out of memory.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        assert!(
+            self.pending.is_some(),
+            "only a suspended session can checkpoint"
+        );
+        let mut overrides: Vec<(String, Decision)> = self
+            .overrides
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        overrides.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut handled: Vec<usize> = self.handled.iter().copied().collect();
+        handled.sort_unstable();
+        SessionCheckpoint {
+            instance: self.inst.id,
+            is_table: self.target == LinkTarget::Tables,
+            rng_state: self.rng.state(),
+            would_be_correct: self.would_be_correct,
+            overrides,
+            handled,
+            n_interventions: self.n_interventions,
+            n_flags: self.n_flags,
+            rounds_done: self.rounds_done,
+            stale: self.stale,
+            has_round: self.cur.is_some(),
+            pending: self.pending.as_ref().map(|p| p.query.clone()),
+        }
+    }
+
+    /// Rebuild a suspended session from a [`SessionCheckpoint`]: the
+    /// construction arguments come back from the caller (the serving
+    /// engine keeps them per ticket), the recorded state is restored
+    /// verbatim, and the current round — evicted at checkpoint time —
+    /// is re-synthesized from the restored override map. Bit-identical
+    /// to a session that was never checkpointed: same pending query,
+    /// same `held_bytes`, same flags/RNG/outcomes downstream (pinned by
+    /// the checkpoint-roundtrip parity proptest).
+    ///
+    /// Panics when the checkpoint does not belong to `(inst, target)`.
+    #[allow(clippy::too_many_arguments)] // mirrors LinkSession::new
+    pub fn restore(
+        model: &'a SchemaLinker,
+        mbpp: &'a Mbpp,
+        inst: &'a Instance,
+        meta: &'a DbMeta,
+        target: LinkTarget,
+        ctx: Option<CtxHandle<'a>>,
+        config: &RtsConfig,
+        cp: &SessionCheckpoint,
+        synth: &mut simlm::SynthScratch,
+    ) -> Self {
+        assert_eq!(
+            cp.instance, inst.id,
+            "checkpoint belongs to another instance"
+        );
+        assert_eq!(
+            cp.is_table,
+            target == LinkTarget::Tables,
+            "checkpoint belongs to the other link target"
+        );
+        let mut session = Self::new(model, mbpp, inst, meta, target, ctx, None, config);
+        session.rng = tinynn::rng::SplitMix64::new(cp.rng_state);
+        session.would_be_correct = cp.would_be_correct;
+        session.overrides = cp.overrides.iter().cloned().collect();
+        session.handled = cp.handled.iter().copied().collect();
+        session.n_interventions = cp.n_interventions;
+        session.n_flags = cp.n_flags;
+        session.rounds_done = cp.rounds_done;
+        session.stale = cp.stale;
+        if cp.has_round {
+            // Re-synthesize the evicted round: generation is
+            // deterministic in (instance, overrides, layer set), so the
+            // trace and vocabulary come back bit-identical.
+            let mut vocab = Vocab::new();
+            let trace = model.generate_with_overrides_and_layers(
+                inst,
+                &mut vocab,
+                target,
+                GenMode::Free,
+                &session.overrides,
+                &session.monitor_layers,
+                synth,
+            );
+            session.cur = Some(SessionRound::Owned(trace, vocab));
+        }
+        session.pending = cp.pending.clone().map(|query| PendingFlag { query });
+        session
+    }
+
     fn abstained_outcome(&self) -> RtsOutcome {
         RtsOutcome {
             abstained: true,
@@ -294,6 +438,11 @@ impl<'a> LinkSession<'a> {
     }
 
     fn finish(&mut self, outcome: RtsOutcome) -> SessionState {
+        // A finished session is pure result: release the round state
+        // (trace + hidden stacks) eagerly instead of holding it until
+        // the session object drops — a serving engine may keep finished
+        // tickets around until clients collect them.
+        self.cur = None;
         self.finished = Some(outcome.clone());
         SessionState::Done(outcome)
     }
@@ -350,6 +499,9 @@ impl<'a> LinkSession<'a> {
             Some(_) => self.stale || self.config.reference_linking,
         };
         let round = if regenerate {
+            // Free the superseded round before synthesizing its
+            // replacement; otherwise both traces are live at once.
+            self.cur = None;
             let mut vocab = Vocab::new();
             let trace = self.model.generate_with_overrides_and_layers(
                 self.inst,
@@ -406,7 +558,7 @@ impl<'a> LinkSession<'a> {
                 n_interventions: self.n_interventions,
                 n_flags: self.n_flags,
             };
-            self.cur = Some(round);
+            drop(round); // accepted: the stream's job is done
             return self.finish(outcome);
         };
 
@@ -457,6 +609,8 @@ impl<'a> LinkSession<'a> {
                     self.n_interventions += 1;
                 }
                 self.finished = Some(self.abstained_outcome());
+                // The run is over; the parked round will never be read.
+                self.cur = None;
             }
             FlagResolution::Continue => {
                 // Generation continues unchanged; don't re-consult for
@@ -470,7 +624,12 @@ impl<'a> LinkSession<'a> {
                 self.handled.insert(pending.query.element_idx);
                 self.overrides.insert(pending.query.gold_element, decision);
                 // The pinned decision changes the stream: regenerate.
+                // The now-stale round is dead weight — free its hidden
+                // stacks here rather than carrying them to the next
+                // `step` (a resolved-but-not-yet-scheduled serving
+                // ticket would otherwise park megabytes for nothing).
                 self.stale = true;
+                self.cur = None;
             }
         }
     }
@@ -699,6 +858,130 @@ mod tests {
             }
         }
         assert!(exercised_suspend, "no session ever suspended");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_bit_identical_sessions() {
+        let fx = fixture();
+        let config = RtsConfig::default();
+        let mut scratch = LinkScratch::default();
+        let oracle = HumanOracle::new(Expertise::Expert, 5);
+        let policy = MitigationPolicy::Human(&oracle);
+        let mut exercised = 0usize;
+        for inst in fx.bench.split.dev.iter().take(60) {
+            let meta = fx.bench.meta(&inst.db_name).unwrap();
+            let ctx = fx.contexts.get(&inst.db_name, LinkTarget::Tables);
+            // Reference drive: never checkpointed.
+            let mut plain = LinkSession::new(
+                &fx.model,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                Some(CtxHandle::Borrowed(ctx)),
+                None,
+                &config,
+            );
+            let expected = drive_session(&mut plain, &policy, &mut scratch);
+            // Checkpointing drive: serialize + drop + restore at every
+            // suspension.
+            let mut session = LinkSession::new(
+                &fx.model,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                Some(CtxHandle::Borrowed(ctx)),
+                None,
+                &config,
+            );
+            let outcome = loop {
+                match session.step(&mut scratch) {
+                    SessionState::Done(o) => break o,
+                    SessionState::NeedsFeedback(q) => {
+                        exercised += 1;
+                        let held_before = session.held_bytes();
+                        let cp = session.checkpoint();
+                        let json = serde_json::to_string(&cp).expect("checkpoint serializes");
+                        let back: SessionCheckpoint =
+                            serde_json::from_str(&json).expect("checkpoint parses");
+                        assert_eq!(cp, back, "checkpoint must survive the serde shim");
+                        // Drop the live session (hidden stacks freed)…
+                        session = LinkSession::restore(
+                            &fx.model,
+                            &fx.mbpp,
+                            inst,
+                            meta,
+                            LinkTarget::Tables,
+                            Some(CtxHandle::Borrowed(ctx)),
+                            &config,
+                            &back,
+                            &mut scratch.synth,
+                        );
+                        // …and the restored one is indistinguishable.
+                        assert_eq!(session.pending_query(), Some(&q));
+                        assert_eq!(session.held_bytes(), held_before);
+                        session.resolve(resolve_flag(&policy, inst, &q));
+                    }
+                }
+            };
+            assert_eq!(
+                format!("{outcome:?}"),
+                format!("{expected:?}"),
+                "checkpointed drive diverged on instance {}",
+                inst.id
+            );
+        }
+        assert!(exercised > 0, "no session ever suspended at this scale");
+    }
+
+    #[test]
+    #[should_panic(expected = "only a suspended session")]
+    fn checkpoint_of_unsuspended_session_panics() {
+        let fx = fixture();
+        let inst = &fx.bench.split.dev[0];
+        let meta = fx.bench.meta(&inst.db_name).unwrap();
+        let session = LinkSession::new(
+            &fx.model,
+            &fx.mbpp,
+            inst,
+            meta,
+            LinkTarget::Tables,
+            None,
+            None,
+            &RtsConfig::default(),
+        );
+        let _ = session.checkpoint();
+    }
+
+    #[test]
+    fn finished_sessions_release_their_round_state() {
+        let fx = fixture();
+        let config = RtsConfig::default();
+        let mut scratch = LinkScratch::default();
+        let oracle = HumanOracle::new(Expertise::Expert, 5);
+        let policy = MitigationPolicy::Human(&oracle);
+        for inst in fx.bench.split.dev.iter().take(20) {
+            let meta = fx.bench.meta(&inst.db_name).unwrap();
+            let ctx = fx.contexts.get(&inst.db_name, LinkTarget::Tables);
+            let mut session = LinkSession::new(
+                &fx.model,
+                &fx.mbpp,
+                inst,
+                meta,
+                LinkTarget::Tables,
+                Some(CtxHandle::Borrowed(ctx)),
+                None,
+                &config,
+            );
+            drive_session(&mut session, &policy, &mut scratch);
+            assert_eq!(
+                session.held_bytes(),
+                0,
+                "a done session must not park trace memory (instance {})",
+                inst.id
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Parked-session checkpointing: the byte codec and the engine's
+//! eviction policy helpers.
+//!
+//! A parked session's memory is dominated by its current round's
+//! synthesized hidden-state stacks (tens of kilobytes per request —
+//! megabytes once thousands of tenants park on slow humans). The
+//! [`rts_core::session::SessionCheckpoint`] drops the stacks and keeps
+//! only the recipe + irreplaceable state, so a checkpointed ticket
+//! costs a few hundred bytes of JSON instead. Restoration
+//! re-synthesizes the round bit-identically on a worker thread when
+//! the feedback finally arrives (or times out).
+
+use rts_core::session::SessionCheckpoint;
+
+/// Serialize a checkpoint through the serde shim into an owned byte
+/// buffer (UTF-8 JSON — self-describing, deterministic: override and
+/// handled sets are sorted before encoding).
+pub fn encode(cp: &SessionCheckpoint) -> Vec<u8> {
+    serde_json::to_string(cp)
+        .expect("session checkpoint serializes")
+        .into_bytes()
+}
+
+/// Rebuild a checkpoint from [`encode`]'s bytes. Panics on corrupt
+/// bytes: the buffer never leaves the engine, so corruption is a bug,
+/// not an input error.
+pub fn decode(bytes: &[u8]) -> SessionCheckpoint {
+    let text = std::str::from_utf8(bytes).expect("checkpoint bytes are UTF-8");
+    serde_json::from_str(text).expect("checkpoint bytes parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_core::session::FlagQuery;
+    use simlm::Decision;
+
+    fn sample() -> SessionCheckpoint {
+        SessionCheckpoint {
+            instance: 41,
+            is_table: false,
+            rng_state: 0xDEAD_BEEF_0BAD_F00D,
+            would_be_correct: Some(false),
+            overrides: vec![
+                ("orders".into(), Decision::Correct),
+                ("users".into(), Decision::Substitute("user_logs".into())),
+            ],
+            handled: vec![0, 2],
+            n_interventions: 2,
+            n_flags: 5,
+            rounds_done: 3,
+            stale: false,
+            has_round: true,
+            pending: Some(FlagQuery {
+                instance: 41,
+                is_table: false,
+                round: 2,
+                branch_pos: 7,
+                element_idx: 1,
+                gold_element: "users.name".into(),
+                implicated: vec!["users.nick".into()],
+                predicted: vec!["orders.id".into(), "users.nick".into()],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let cp = sample();
+        assert_eq!(decode(&encode(&cp)), cp);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_small() {
+        let cp = sample();
+        assert_eq!(encode(&cp), encode(&cp));
+        // The point of checkpointing: bytes are of query-text order,
+        // not hidden-stack order (tens of KB).
+        assert!(encode(&cp).len() < 2048, "checkpoint unexpectedly large");
+    }
+
+    #[test]
+    fn full_u64_rng_state_survives_json() {
+        let mut cp = sample();
+        cp.rng_state = u64::MAX;
+        assert_eq!(decode(&encode(&cp)).rng_state, u64::MAX);
+    }
+}

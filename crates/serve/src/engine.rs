@@ -1,7 +1,9 @@
 //! The worker-pool engine driving concurrent resumable linking
 //! sessions. See the crate docs for the design overview.
 
+use crate::checkpoint;
 use crate::stats::{Counters, LatencySummary, LatencyWindow, ServingStats};
+use crate::tenant::{FairQueue, TenantId, TenantQuota, TicketId};
 use benchgen::schemagen::DbMeta;
 use benchgen::Instance;
 use parking_lot::{Condvar, Mutex};
@@ -11,12 +13,9 @@ use rts_core::context::ContextCache;
 use rts_core::pipeline::JointOutcome;
 use rts_core::session::{CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionState};
 use simlm::{LinkTarget, SchemaLinker};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-/// Handle to one in-flight request.
-pub type TicketId = u64;
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -25,15 +24,33 @@ pub struct ServeConfig {
     /// [`ServeEngine::worker_loop`] (the engine itself never spawns —
     /// scoped threads keep every borrow checked).
     pub workers: usize,
-    /// Admission-queue bound; submits beyond it are rejected
-    /// ([`SubmitError::QueueFull`]). `0` = unbounded. Resumed sessions
-    /// never count against admission — they were already admitted.
+    /// Admission-queue bound across all tenants; submits beyond it are
+    /// rejected ([`SubmitError::QueueFull`]). `0` = unbounded. Resumed
+    /// sessions never count against admission — they were already
+    /// admitted.
     pub queue_capacity: usize,
+    /// Per-tenant admission quota (max in-flight / max parked;
+    /// `0` = unbounded). Submissions beyond it are rejected with
+    /// [`SubmitError::QuotaExceeded`], so backpressure lands on the
+    /// tenant generating the load instead of on everyone.
+    pub quota: TenantQuota,
     /// Per-request latency budget. A request past it is *shed*: its
     /// remaining linking stages degrade to abstention (the answer is
     /// "hand off to a human", never a dropped connection). `None`
     /// disables shedding.
     pub deadline: Option<Duration>,
+    /// How long a session may stay parked on one feedback query. Past
+    /// it the flag is resolved as [`FlagResolution::Abstain`] — the
+    /// paper's own hand-off verdict — and the request completes
+    /// (degrade, never drop; same philosophy as deadline shedding).
+    /// `None` = park forever.
+    pub feedback_timeout: Option<Duration>,
+    /// Budget for live generation state held by parked sessions. Past
+    /// it the engine serializes the largest parked sessions through the
+    /// serde shim (dropping their hidden-state stacks) and restores
+    /// them bit-identically when feedback arrives. `0` = never
+    /// checkpoint.
+    pub parked_bytes_budget: usize,
     /// Context-cache capacity per link target (databases); `0` =
     /// unbounded.
     pub cache_capacity: usize,
@@ -47,7 +64,10 @@ impl Default for ServeConfig {
         Self {
             workers: rts_core::par::thread_count(),
             queue_capacity: 64,
+            quota: TenantQuota::default(),
             deadline: None,
+            feedback_timeout: None,
+            parked_bytes_budget: 0,
             cache_capacity: 0,
             rts: RtsConfig::default(),
         }
@@ -60,6 +80,10 @@ pub enum SubmitError {
     /// The admission queue is at capacity — retry later (client-side
     /// backpressure).
     QueueFull { capacity: usize },
+    /// The submitting tenant is at its own quota (in-flight or parked
+    /// bound) — other tenants are unaffected; retry after some of this
+    /// tenant's requests complete.
+    QuotaExceeded { tenant: TenantId, limit: usize },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -67,6 +91,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "admission queue full ({capacity} requests)")
+            }
+            SubmitError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant} at quota ({limit} requests)")
             }
         }
     }
@@ -78,13 +105,18 @@ impl std::error::Error for SubmitError {}
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
     /// Joint table+column linking outcome — abstained stages included
-    /// (whether decided by the runtime or by deadline shedding).
+    /// (whether decided by the runtime, deadline shedding, or a
+    /// feedback timeout).
     pub outcome: JointOutcome,
     /// Did deadline shedding degrade any stage to abstention?
     pub shed: bool,
+    /// Did a feedback timeout resolve any of this request's flags to
+    /// abstention?
+    pub timed_out: bool,
     /// Submit-to-completion wall time.
     pub latency: Duration,
-    /// Feedback resolutions this request consumed.
+    /// Feedback resolutions this request consumed (client answers only
+    /// — timeout resolutions are counted in the engine stats instead).
     pub n_feedback: usize,
 }
 
@@ -113,27 +145,45 @@ enum Phase {
 
 #[derive(Debug)]
 struct Ticket<'a> {
+    tenant: TenantId,
     inst: &'a Instance,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// When a parked session times out into abstention (`None` while
+    /// not parked or with timeouts disabled).
+    park_deadline: Option<Instant>,
     /// Stage currently being linked (tables first, then columns —
     /// mirroring `run_joint_linking_in`'s joint process).
     stage: LinkTarget,
     session: Option<LinkSession<'a>>,
+    /// Serialized session state when the parked-bytes budget evicted
+    /// the live session (mutually exclusive with `session`).
+    checkpoint: Option<Vec<u8>>,
+    /// A resolution that arrived while the session was checkpointed;
+    /// the worker applies it after restoring.
+    pending_resolution: Option<FlagResolution>,
+    /// Live parked bytes billed for this ticket (0 once checkpointed).
+    parked_billed: usize,
     tables: Option<RtsOutcome>,
     n_feedback: usize,
+    timed_out: bool,
     phase: Phase,
 }
 
 #[derive(Debug)]
 struct EngineState<'a> {
-    /// New requests, bounded by `ServeConfig::queue_capacity`.
-    admission: VecDeque<TicketId>,
-    /// Resumed sessions; drained before admission so feedback-ready
-    /// work never starves behind fresh arrivals.
-    resume: VecDeque<TicketId>,
+    /// Per-tenant sub-queues with deficit-round-robin dispatch;
+    /// resumed sessions drain before admissions so feedback-ready work
+    /// never starves behind fresh arrivals.
+    queues: FairQueue,
     tickets: HashMap<TicketId, Ticket<'a>>,
     next_id: TicketId,
+    /// Lower bound on the earliest parked-feedback deadline (`None` =
+    /// no parked deadline). Tightened on every park, recomputed exactly
+    /// by the expiry sweep; may be stale-early after an unpark, which
+    /// only costs one harmless extra sweep — and spares every dispatch
+    /// the O(tickets) scan while nothing can have lapsed.
+    next_timeout: Option<Instant>,
 }
 
 /// The serving engine. Borrows the model artefacts for `'a`; sessions,
@@ -167,7 +217,7 @@ const LATENCY_WINDOW: usize = 1 << 16;
 impl<'a> ServeEngine<'a> {
     /// Build an engine over trained artefacts and the databases in
     /// `metas`. No contexts are compiled here — they materialize
-    /// lazily, per tenant, on first request.
+    /// lazily, per database, on first request.
     pub fn new(
         model: &'a SchemaLinker,
         mbpp_tables: &'a Mbpp,
@@ -183,10 +233,10 @@ impl<'a> ServeEngine<'a> {
             cache: ContextCache::new(config.cache_capacity),
             config,
             state: Mutex::new(EngineState {
-                admission: VecDeque::new(),
-                resume: VecDeque::new(),
+                queues: FairQueue::new(1),
                 tickets: HashMap::new(),
                 next_id: 0,
+                next_timeout: None,
             }),
             work_cv: Condvar::new(),
             client_cv: Condvar::new(),
@@ -203,13 +253,37 @@ impl<'a> ServeEngine<'a> {
             .unwrap_or_else(|| panic!("no database metadata for {}", inst.db_name))
     }
 
-    /// Admit a request for joint (tables → columns) linking of `inst`.
-    pub fn submit(&self, inst: &'a Instance) -> Result<TicketId, SubmitError> {
-        // Fail fast on unknown tenants, before any queue state changes.
+    /// Override a tenant's fair-share weight (default 1): a tenant with
+    /// weight `w` is dispatched `w` admissions per scheduling cycle.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: u32) {
+        self.state.lock().queues.set_weight(tenant, weight);
+    }
+
+    /// Admit a request by `tenant` for joint (tables → columns) linking
+    /// of `inst`. Per-tenant quotas are checked before the global queue
+    /// bound, so an over-quota tenant sees its own error, not everyone's.
+    pub fn submit(&self, tenant: TenantId, inst: &'a Instance) -> Result<TicketId, SubmitError> {
+        // Fail fast on unknown databases, before any queue state changes.
         let _ = self.meta_of(inst);
         let now = Instant::now();
         let mut st = self.state.lock();
-        if self.config.queue_capacity > 0 && st.admission.len() >= self.config.queue_capacity {
+        let quota = self.config.quota;
+        let load = st.queues.load(tenant);
+        if quota.max_in_flight > 0 && load.in_flight >= quota.max_in_flight {
+            self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QuotaExceeded {
+                tenant,
+                limit: quota.max_in_flight,
+            });
+        }
+        if quota.max_parked > 0 && load.parked >= quota.max_parked {
+            self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QuotaExceeded {
+                tenant,
+                limit: quota.max_parked,
+            });
+        }
+        if self.config.queue_capacity > 0 && st.queues.n_admission() >= self.config.queue_capacity {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
                 capacity: self.config.queue_capacity,
@@ -220,19 +294,25 @@ impl<'a> ServeEngine<'a> {
         st.tickets.insert(
             id,
             Ticket {
+                tenant,
                 inst,
                 submitted: now,
                 deadline: self.config.deadline.map(|d| now + d),
+                park_deadline: None,
                 stage: LinkTarget::Tables,
                 session: None,
+                checkpoint: None,
+                pending_resolution: None,
+                parked_billed: 0,
                 tables: None,
                 n_feedback: 0,
+                timed_out: false,
                 phase: Phase::Queued,
             },
         );
-        st.admission.push_back(id);
-        self.counters
-            .note_depth(st.admission.len() + st.resume.len());
+        st.queues.push_admission(tenant, id);
+        st.queues.note_admitted(tenant);
+        self.counters.note_depth(st.queues.queued_len());
         drop(st);
         self.work_cv.notify_one();
         Ok(id)
@@ -265,26 +345,73 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    /// Apply feedback to a suspended ticket and re-queue it. Resumed
-    /// work bypasses admission bounds — it was already admitted.
-    pub fn resolve(&self, id: TicketId, resolution: FlagResolution) {
+    /// Apply feedback to a suspended ticket and re-queue it. `query` is
+    /// the [`FlagQuery`] the client is answering (from its last
+    /// [`ClientEvent::NeedsFeedback`]) — the flag's identity, so a
+    /// stale answer can never land on a different flag. Resumed work
+    /// bypasses admission bounds — it was already admitted.
+    ///
+    /// Returns `false` when the resolution lost a race against a
+    /// feedback timeout: either the flag was already answered with
+    /// abstention (the next [`ServeEngine::wait_event`] reports the
+    /// outcome), or — with a chained stage in between — the ticket is
+    /// already suspended on a *different* flag than the one the client
+    /// saw. A protocol race, not an error; the answer is dropped, never
+    /// misapplied. Panics on a ticket that never asked for feedback.
+    pub fn resolve(&self, id: TicketId, query: &FlagQuery, resolution: FlagResolution) -> bool {
         let mut st = self.state.lock();
         let ticket = st.tickets.get_mut(&id).expect("unknown or retired ticket");
-        assert!(
-            matches!(ticket.phase, Phase::AwaitingFeedback(_)),
-            "resolve on a ticket that is not awaiting feedback"
-        );
-        let session = ticket.session.as_mut().expect("parked session present");
-        self.counters.note_unparked(session.held_bytes());
-        session.resolve(resolution);
+        match &ticket.phase {
+            Phase::AwaitingFeedback(current) if current == query => {}
+            Phase::AwaitingFeedback(_) => {
+                // The flag the client saw timed out, the request moved
+                // on, and it is now parked on a newer flag: the stale
+                // answer must not be applied to it.
+                assert!(
+                    ticket.timed_out,
+                    "resolve with a query the ticket never raised"
+                );
+                return false;
+            }
+            _ => {
+                assert!(
+                    ticket.timed_out || matches!(ticket.phase, Phase::Done(_)),
+                    "resolve on a ticket that is not awaiting feedback"
+                );
+                return false;
+            }
+        }
         ticket.n_feedback += 1;
-        ticket.phase = Phase::Queued;
-        st.resume.push_back(id);
+        self.unpark(&mut st, id, resolution);
         self.counters
             .feedback_rounds
             .fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.work_cv.notify_one();
+        true
+    }
+
+    /// The one unpark protocol, shared by client resolutions and
+    /// feedback-timeout expiry: release the parked billing, apply the
+    /// resolution to the live session (or stash it for the worker to
+    /// apply after restoring a checkpointed one), and re-queue the
+    /// ticket on its tenant's resume lane. Callers bill their own
+    /// counters (`feedback_rounds` vs `timed_out`) around it.
+    fn unpark(&self, st: &mut EngineState<'a>, id: TicketId, resolution: FlagResolution) {
+        let ticket = st.tickets.get_mut(&id).expect("unparked ticket exists");
+        self.counters.note_unparked(ticket.parked_billed);
+        ticket.parked_billed = 0;
+        ticket.park_deadline = None;
+        match ticket.session.as_mut() {
+            Some(session) => session.resolve(resolution),
+            // Checkpointed while parked: the worker restores the
+            // session and applies this resolution before stepping.
+            None => ticket.pending_resolution = Some(resolution),
+        }
+        ticket.phase = Phase::Queued;
+        let tenant = ticket.tenant;
+        st.queues.push_resume(tenant, id);
+        st.queues.note_unparked(tenant);
     }
 
     /// Ask workers to exit once the queues drain. Clients must be done
@@ -304,6 +431,58 @@ impl<'a> ServeEngine<'a> {
         self.work_cv.notify_all();
     }
 
+    /// Resolve every parked ticket whose feedback deadline lapsed with
+    /// the abstention verdict and re-queue it. Called by workers on
+    /// every dispatch, so timeouts fire as soon as a worker is free to
+    /// act on them. O(1) while nothing can have lapsed (the cached
+    /// `next_timeout` bound); the full ticket scan runs only when a
+    /// deadline actually passed, and re-tightens the bound.
+    fn expire_lapsed_parks(&self, st: &mut EngineState<'a>) {
+        if self.config.feedback_timeout.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        match st.next_timeout {
+            None => return,
+            Some(bound) if now < bound => return,
+            Some(_) => {}
+        }
+        let lapsed: Vec<TicketId> = st
+            .tickets
+            .iter()
+            .filter(|(_, t)| {
+                matches!(t.phase, Phase::AwaitingFeedback(_))
+                    && t.park_deadline.is_some_and(|d| now >= d)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        st.next_timeout = st
+            .tickets
+            .values()
+            .filter(|t| matches!(t.phase, Phase::AwaitingFeedback(_)))
+            .filter_map(|t| t.park_deadline)
+            .filter(|&d| d > now)
+            .min();
+        for id in lapsed {
+            let ticket = st.tickets.get_mut(&id).expect("lapsed ticket exists");
+            ticket.timed_out = true;
+            // The timeout is billed as an unconsulted abstention: no
+            // human was reached, the stage degrades to the hand-off
+            // verdict (never drop).
+            self.unpark(st, id, FlagResolution::Abstain { consulted: false });
+            self.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Earliest possible parked-feedback deadline, bounding how long an
+    /// idle worker may sleep. The cached bound may be stale-early after
+    /// an unpark — the woken worker just sweeps, finds nothing, and
+    /// sleeps again with a corrected bound.
+    fn next_park_deadline(&self, st: &EngineState<'a>) -> Option<Instant> {
+        self.config.feedback_timeout?;
+        st.next_timeout
+    }
+
     /// The worker body: spawn `config.workers` scoped threads on this.
     /// Returns when [`ServeEngine::shutdown`] is called and no queued
     /// work remains.
@@ -313,16 +492,23 @@ impl<'a> ServeEngine<'a> {
             let id = {
                 let mut st = self.state.lock();
                 loop {
-                    if let Some(id) = st.resume.pop_front() {
-                        break id;
-                    }
-                    if let Some(id) = st.admission.pop_front() {
+                    self.expire_lapsed_parks(&mut st);
+                    if let Some(id) = st.queues.pop() {
                         break id;
                     }
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    self.work_cv.wait(&mut st);
+                    match self.next_park_deadline(&st) {
+                        // Sleep only until the next timeout can fire; a
+                        // stalled tenant must not park forever just
+                        // because no new work arrives to wake us.
+                        Some(deadline) => {
+                            let wait = deadline.saturating_duration_since(Instant::now());
+                            let _ = self.work_cv.wait_for(&mut st, wait);
+                        }
+                        None => self.work_cv.wait(&mut st),
+                    }
                 }
             };
             self.process(id, &mut scratch);
@@ -332,14 +518,17 @@ impl<'a> ServeEngine<'a> {
     /// Run one ticket forward until it parks on feedback, finishes, or
     /// sheds on its deadline.
     fn process(&self, id: TicketId, scratch: &mut LinkScratch) {
-        let (inst, mut stage, mut session, deadline) = {
+        let (inst, tenant, mut stage, mut session, mut checkpointed, mut resolution, deadline) = {
             let mut st = self.state.lock();
             let ticket = st.tickets.get_mut(&id).expect("ticket exists");
             ticket.phase = Phase::Running;
             (
                 ticket.inst,
+                ticket.tenant,
                 ticket.stage,
                 ticket.session.take(),
+                ticket.checkpoint.take(),
+                ticket.pending_resolution.take(),
                 ticket.deadline,
             )
         };
@@ -349,24 +538,56 @@ impl<'a> ServeEngine<'a> {
             // remaining stages answer with the paper's own hand-off
             // verdict instead of dropping the request.
             if deadline.is_some_and(|d| Instant::now() > d) {
-                self.finalize(id, stage, None, true);
+                if let Some(bytes) = checkpointed.take() {
+                    // The shed ticket's checkpoint is never restored —
+                    // return its bytes to the accounting or the gauge
+                    // would read non-zero forever.
+                    self.counters.note_checkpoint_discarded(bytes.len());
+                }
+                self.finalize(id, tenant, stage, None, true);
                 return;
             }
             let mut s = match session.take() {
                 Some(s) => s,
-                None => self.open_session(inst, meta, stage),
+                None => match checkpointed.take() {
+                    Some(bytes) => {
+                        self.restore_session(inst, meta, stage, &bytes, &resolution, scratch)
+                    }
+                    None => self.open_session(inst, meta, stage),
+                },
             };
+            if let Some(res) = resolution.take() {
+                // Feedback (or a timeout verdict) that arrived while
+                // the session was checkpointed out of memory.
+                s.resolve(res);
+            }
             match s.step(scratch) {
                 SessionState::NeedsFeedback(query) => {
                     let held = s.held_bytes();
+                    let park_deadline = self.config.feedback_timeout.map(|t| Instant::now() + t);
                     let mut st = self.state.lock();
+                    if let Some(deadline) = park_deadline {
+                        st.next_timeout = Some(match st.next_timeout {
+                            Some(cur) => cur.min(deadline),
+                            None => deadline,
+                        });
+                    }
                     let ticket = st.tickets.get_mut(&id).expect("ticket exists");
                     ticket.session = Some(s);
                     ticket.stage = stage;
+                    ticket.parked_billed = held;
+                    ticket.park_deadline = park_deadline;
                     ticket.phase = Phase::AwaitingFeedback(query);
+                    st.queues.note_parked(tenant);
                     self.counters.note_parked(held);
+                    self.enforce_parked_budget(&mut st);
                     drop(st);
                     self.client_cv.notify_all();
+                    // A parked deadline may now be the earliest wake-up:
+                    // make sure some idle worker re-arms its sleep.
+                    if self.config.feedback_timeout.is_some() {
+                        self.work_cv.notify_one();
+                    }
                     return;
                 }
                 SessionState::Done(outcome) => match stage {
@@ -380,12 +601,50 @@ impl<'a> ServeEngine<'a> {
                         // opens the chained columns session.
                     }
                     LinkTarget::Columns => {
-                        self.finalize(id, stage, Some(outcome), false);
+                        self.finalize(id, tenant, stage, Some(outcome), false);
                         return;
                     }
                 },
             }
         }
+    }
+
+    /// Evict live parked sessions (largest first) into serialized
+    /// checkpoints until the parked-bytes budget holds. Serialization
+    /// is cheap — the checkpoint stores the regeneration recipe, not
+    /// the hidden stacks — so running under the state lock is fine;
+    /// the expensive re-synthesis happens on the worker that resumes
+    /// the ticket.
+    fn enforce_parked_budget(&self, st: &mut EngineState<'a>) {
+        let budget = self.config.parked_bytes_budget;
+        if budget == 0 {
+            return;
+        }
+        while self.counters.parked_bytes.load(Ordering::Relaxed) > budget {
+            let victim = st
+                .tickets
+                .iter()
+                .filter(|(_, t)| {
+                    matches!(t.phase, Phase::AwaitingFeedback(_)) && t.session.is_some()
+                })
+                .max_by_key(|(_, t)| t.parked_billed)
+                .map(|(&id, _)| id);
+            let Some(vid) = victim else { break };
+            let ticket = st.tickets.get_mut(&vid).expect("victim exists");
+            let session = ticket.session.take().expect("victim has a live session");
+            let bytes = checkpoint::encode(&session.checkpoint());
+            self.counters
+                .note_checkpointed(ticket.parked_billed, bytes.len());
+            ticket.parked_billed = 0;
+            ticket.checkpoint = Some(bytes);
+            // `session` drops here — its hidden stacks are freed.
+        }
+    }
+
+    fn session_ctx(&self, meta: &'a DbMeta, stage: LinkTarget) -> Option<CtxHandle<'a>> {
+        // The reference-linking knob runs context-free (the session
+        // ignores a context under it anyway; skip the cache churn).
+        (!self.config.rts.reference_linking).then(|| CtxHandle::Shared(self.cache.get(meta, stage)))
     }
 
     fn open_session(
@@ -398,20 +657,58 @@ impl<'a> ServeEngine<'a> {
             LinkTarget::Tables => self.mbpp_tables,
             LinkTarget::Columns => self.mbpp_columns,
         };
-        // The reference-linking knob runs context-free (the session
-        // ignores a context under it anyway; skip the cache churn).
-        let ctx = (!self.config.rts.reference_linking)
-            .then(|| CtxHandle::Shared(self.cache.get(meta, stage)));
         LinkSession::new(
             self.model,
             mbpp,
             inst,
             meta,
             stage,
-            ctx,
+            self.session_ctx(meta, stage),
             None,
             &self.config.rts,
         )
+    }
+
+    /// Rebuild a checkpointed session: deserialize the recipe and
+    /// re-synthesize the evicted round bit-identically (generation is
+    /// deterministic in instance + overrides). `resolution` is the
+    /// stashed verdict about to be applied: when it discards the round
+    /// anyway (an abstention finishes the session without reading it;
+    /// a pin marks the stream stale and regenerates), the synthesis is
+    /// skipped — only a `Continue` actually re-reads the parked round.
+    fn restore_session(
+        &self,
+        inst: &'a Instance,
+        meta: &'a DbMeta,
+        stage: LinkTarget,
+        bytes: &[u8],
+        resolution: &Option<FlagResolution>,
+        scratch: &mut LinkScratch,
+    ) -> LinkSession<'a> {
+        let mut cp = checkpoint::decode(bytes);
+        if matches!(
+            resolution,
+            Some(FlagResolution::Abstain { .. } | FlagResolution::Pin(_))
+        ) {
+            cp.has_round = false;
+        }
+        let mbpp = match stage {
+            LinkTarget::Tables => self.mbpp_tables,
+            LinkTarget::Columns => self.mbpp_columns,
+        };
+        let session = LinkSession::restore(
+            self.model,
+            mbpp,
+            inst,
+            meta,
+            stage,
+            self.session_ctx(meta, stage),
+            &self.config.rts,
+            &cp,
+            &mut scratch.synth,
+        );
+        self.counters.note_restored(bytes.len());
+        session
     }
 
     /// The abstention every shed stage degrades to.
@@ -428,7 +725,14 @@ impl<'a> ServeEngine<'a> {
 
     /// Retire a ticket: `columns` is the finished column outcome, or
     /// `None` when shedding cut the run short at `stage`.
-    fn finalize(&self, id: TicketId, stage: LinkTarget, columns: Option<RtsOutcome>, shed: bool) {
+    fn finalize(
+        &self,
+        id: TicketId,
+        tenant: TenantId,
+        stage: LinkTarget,
+        columns: Option<RtsOutcome>,
+        shed: bool,
+    ) {
         let mut st = self.state.lock();
         let ticket = st.tickets.get_mut(&id).expect("ticket exists");
         let tables = match ticket.tables.take() {
@@ -442,6 +746,7 @@ impl<'a> ServeEngine<'a> {
         let outcome = ServeOutcome {
             outcome: JointOutcome { tables, columns },
             shed,
+            timed_out: ticket.timed_out,
             latency: ticket.submitted.elapsed(),
             n_feedback: ticket.n_feedback,
         };
@@ -453,6 +758,7 @@ impl<'a> ServeEngine<'a> {
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
         }
         ticket.phase = Phase::Done(outcome);
+        st.queues.note_done(tenant);
         drop(st);
         self.client_cv.notify_all();
     }
@@ -464,17 +770,31 @@ impl<'a> ServeEngine<'a> {
         // percentile computation.
         let samples = self.latencies_ms.lock().snapshot();
         let latency = LatencySummary::from_samples(&samples);
+        let (tenants_seen, tenant_in_flight_peak) = {
+            let st = self.state.lock();
+            (st.queues.n_tenants(), st.queues.max_in_flight_peak())
+        };
         ServingStats {
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
+            rejected_quota: self.counters.rejected_quota.load(Ordering::Relaxed),
             feedback_rounds: self.counters.feedback_rounds.load(Ordering::Relaxed),
+            timed_out_to_abstention: self.counters.timed_out.load(Ordering::Relaxed),
             latency,
             queue_depth_max: self.counters.depth_max.load(Ordering::Relaxed),
             queue_depth_mean: self.counters.depth_mean(),
             cache: self.cache.stats(),
             parked_bytes_peak: self.counters.parked_bytes_peak.load(Ordering::Relaxed),
             parked_sessions_peak: self.counters.parked_sessions_peak.load(Ordering::Relaxed),
+            parked_bytes_now: self.counters.parked_bytes.load(Ordering::Relaxed),
+            parked_sessions_now: self.counters.parked_sessions.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            restores: self.counters.restores.load(Ordering::Relaxed),
+            checkpoint_bytes_peak: self.counters.checkpoint_bytes_peak.load(Ordering::Relaxed),
+            checkpoint_bytes_now: self.counters.checkpoint_bytes.load(Ordering::Relaxed),
+            tenants_seen,
+            tenant_in_flight_peak,
         }
     }
 
@@ -524,10 +844,12 @@ mod tests {
         }
     }
 
-    /// Closed-loop client: submit every instance of `slice`, answering
-    /// feedback with the oracle, collecting outcomes by instance id.
+    /// Closed-loop client: submit every instance of `slice` as
+    /// `tenant`, answering feedback with the oracle, collecting
+    /// outcomes by instance id.
     fn client_run<'a>(
         engine: &ServeEngine<'a>,
+        tenant: TenantId,
         instances: &'a [benchgen::Instance],
         oracle: &HumanOracle,
     ) -> Vec<(u64, ServeOutcome)> {
@@ -535,9 +857,9 @@ mod tests {
         let mut out = Vec::new();
         for inst in instances {
             let ticket = loop {
-                match engine.submit(inst) {
+                match engine.submit(tenant, inst) {
                     Ok(t) => break t,
-                    Err(SubmitError::QueueFull { .. }) => {
+                    Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
                         std::thread::sleep(Duration::from_micros(200));
                     }
                 }
@@ -545,7 +867,7 @@ mod tests {
             loop {
                 match engine.wait_event(ticket) {
                     ClientEvent::NeedsFeedback { query, .. } => {
-                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                        engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
                     }
                     ClientEvent::Done(outcome) => {
                         out.push((inst.id, outcome));
@@ -557,8 +879,41 @@ mod tests {
         out
     }
 
+    fn assert_batch_parity(
+        fx: &Fx,
+        engine: &ServeEngine<'_>,
+        oracle: &HumanOracle,
+        instances: &[benchgen::Instance],
+        all: &[(u64, ServeOutcome)],
+    ) {
+        let contexts = rts_core::context::LinkContexts::build(&fx.bench);
+        let policy = MitigationPolicy::Human(oracle);
+        let mut scratch = LinkScratch::default();
+        for (id, served) in all {
+            let inst = instances.iter().find(|i| i.id == *id).unwrap();
+            let batch = rts_core::pipeline::run_joint_linking_in(
+                &fx.model,
+                &fx.mbpp_t,
+                &fx.mbpp_c,
+                inst,
+                &fx.bench,
+                &contexts,
+                &policy,
+                &engine.config().rts,
+                &mut scratch,
+            );
+            assert_eq!(
+                format!("{:?}", served.outcome),
+                format!("{batch:?}"),
+                "instance {id}"
+            );
+            assert!(!served.shed);
+            assert!(!served.timed_out);
+        }
+    }
+
     #[test]
-    fn engine_serves_concurrent_clients_with_feedback() {
+    fn engine_serves_concurrent_tenants_with_feedback() {
         let fx = fixture();
         let oracle = HumanOracle::new(Expertise::Expert, 9);
         let instances: Vec<benchgen::Instance> =
@@ -581,7 +936,9 @@ mod tests {
                     let engine = &engine;
                     let chunk = chunks[c];
                     let oracle = &oracle;
-                    s.spawn(move |_| client_run(engine, chunk, oracle))
+                    // Each client is its own tenant: the fair queue and
+                    // per-tenant accounting are on the hot path.
+                    s.spawn(move |_| client_run(engine, c as TenantId, chunk, oracle))
                 })
                 .collect();
             let results = handles
@@ -598,35 +955,117 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.completed, instances.len() as u64);
         assert_eq!(stats.shed, 0, "no deadline configured");
+        assert_eq!(stats.timed_out_to_abstention, 0, "no timeout configured");
         assert!(
             stats.feedback_rounds > 0,
             "a human workload must consult at least once"
         );
         assert!(stats.cache.hits > 0, "contexts must be reused");
+        assert_eq!(stats.tenants_seen, n_clients);
+        assert!(
+            stats.tenant_in_flight_peak <= 1,
+            "closed-loop clients keep one request in flight"
+        );
+        assert_eq!(stats.parked_bytes_now, 0, "drained engine parks nothing");
+        assert_eq!(stats.parked_sessions_now, 0);
         // Engine outcomes ≡ the batch runtime, instance by instance.
-        let contexts = rts_core::context::LinkContexts::build(&fx.bench);
-        let policy = MitigationPolicy::Human(&oracle);
-        let mut scratch = LinkScratch::default();
-        for (id, served) in &all {
-            let inst = instances.iter().find(|i| i.id == *id).unwrap();
-            let batch = rts_core::pipeline::run_joint_linking_in(
-                &fx.model,
-                &fx.mbpp_t,
-                &fx.mbpp_c,
-                inst,
-                &fx.bench,
-                &contexts,
-                &policy,
-                &engine.config().rts,
-                &mut scratch,
-            );
-            assert_eq!(
-                format!("{:?}", served.outcome),
-                format!("{batch:?}"),
-                "instance {id}"
-            );
-            assert!(!served.shed);
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &all);
+    }
+
+    #[test]
+    fn checkpointed_parked_sessions_restore_bit_identically() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(24).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            // A 1-byte budget forces *every* parked session through the
+            // checkpoint → restore path.
+            parked_bytes_budget: 1,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let outcomes = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let out = client_run(&engine, 0, &instances, &oracle);
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len());
+        let stats = engine.stats();
+        assert!(
+            stats.checkpoints > 0 && stats.restores == stats.checkpoints,
+            "every park must checkpoint and restore (cp {}, restored {})",
+            stats.checkpoints,
+            stats.restores
+        );
+        assert_eq!(stats.checkpoint_bytes_now, 0, "all checkpoints consumed");
+        assert_eq!(stats.parked_bytes_now, 0, "all live parked state released");
+        // Checkpointing must never change answers — only where the
+        // parked state lives.
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &outcomes);
+    }
+
+    #[test]
+    fn feedback_timeout_degrades_to_abstention_not_drop() {
+        let fx = fixture();
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(16).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            feedback_timeout: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        // A client that NEVER answers: it just waits for completion.
+        let outcomes: Vec<(u64, ServeOutcome)> = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let mut out = Vec::new();
+            for inst in &instances {
+                let ticket = engine.submit(0, inst).expect("queue has room");
+                loop {
+                    match engine.wait_event(ticket) {
+                        ClientEvent::NeedsFeedback { .. } => {
+                            // Stall: let the engine time the flag out.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        ClientEvent::Done(done) => {
+                            out.push((inst.id, done));
+                            break;
+                        }
+                    }
+                }
+            }
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len(), "timeouts never drop");
+        let stats = engine.stats();
+        assert!(
+            stats.timed_out_to_abstention > 0,
+            "a stalled client must hit the feedback timeout"
+        );
+        let mut timed_out_seen = false;
+        for (id, o) in &outcomes {
+            if o.timed_out {
+                timed_out_seen = true;
+                assert!(
+                    o.outcome.abstained(),
+                    "timed-out request must abstain (instance {id})"
+                );
+                assert_eq!(o.n_feedback, 0, "the stalled client never answered");
+            }
         }
+        assert!(timed_out_seen);
+        assert_eq!(stats.parked_bytes_now, 0);
+        assert_eq!(stats.parked_sessions_now, 0);
     }
 
     #[test]
@@ -645,7 +1084,7 @@ mod tests {
             for _ in 0..2 {
                 s.spawn(|_| engine.worker_loop());
             }
-            let out = client_run(&engine, &instances, &oracle);
+            let out = client_run(&engine, 0, &instances, &oracle);
             engine.shutdown();
             out
         })
@@ -673,12 +1112,44 @@ mod tests {
         };
         let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
         // No workers running: the queue only fills.
-        let a = engine.submit(&fx.bench.split.dev[0]);
-        let b = engine.submit(&fx.bench.split.dev[1]);
-        let c = engine.submit(&fx.bench.split.dev[2]);
+        let a = engine.submit(0, &fx.bench.split.dev[0]);
+        let b = engine.submit(1, &fx.bench.split.dev[1]);
+        let c = engine.submit(2, &fx.bench.split.dev[2]);
         assert!(a.is_ok() && b.is_ok());
         assert_eq!(c, Err(SubmitError::QueueFull { capacity: 2 }));
         assert_eq!(engine.stats().rejected, 1);
         assert_eq!(engine.stats().queue_depth_max, 2);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_offender() {
+        let fx = fixture();
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 0,
+            quota: TenantQuota {
+                max_in_flight: 2,
+                max_parked: 0,
+            },
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        // No workers: everything stays in flight. Tenant 0 fills its
+        // quota; tenant 1 is untouched by tenant 0's backlog.
+        assert!(engine.submit(0, &fx.bench.split.dev[0]).is_ok());
+        assert!(engine.submit(0, &fx.bench.split.dev[1]).is_ok());
+        assert_eq!(
+            engine.submit(0, &fx.bench.split.dev[2]),
+            Err(SubmitError::QuotaExceeded {
+                tenant: 0,
+                limit: 2
+            })
+        );
+        assert!(engine.submit(1, &fx.bench.split.dev[3]).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.rejected_quota, 1);
+        assert_eq!(stats.rejected, 0, "quota rejections are billed apart");
+        assert_eq!(stats.tenants_seen, 2);
+        assert_eq!(stats.tenant_in_flight_peak, 2);
     }
 }

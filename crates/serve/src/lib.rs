@@ -11,6 +11,26 @@
 //! * **Bounded admission** — [`ServeEngine::submit`] enqueues into a
 //!   fixed-capacity queue and rejects beyond it, so overload surfaces
 //!   as backpressure at the edge instead of unbounded memory.
+//! * **Multi-tenant fairness** — every submission is tagged with a
+//!   [`TenantId`]; admissions land in per-tenant sub-queues served by
+//!   deficit-round-robin dispatch ([`tenant::FairQueue`]), so one
+//!   chatty tenant deepens only its own backlog. Per-tenant quotas
+//!   (max in-flight / max parked) bounce the offender with
+//!   [`SubmitError::QuotaExceeded`] while everyone else keeps
+//!   submitting.
+//! * **Feedback timeouts** — a session parked on a human who never
+//!   answers is resumed after [`ServeConfig::feedback_timeout`] with
+//!   the abstention verdict: the request *completes* as a hand-off
+//!   (`timed_out_to_abstention` in the stats), it is never dropped.
+//!   Load shedding, quota backpressure and feedback timeouts all
+//!   degrade through the same abstention mechanism.
+//! * **Parked-session checkpointing** — past
+//!   [`ServeConfig::parked_bytes_budget`], the largest parked sessions
+//!   are serialized through the serde shim (a few hundred bytes of
+//!   recipe instead of tens of KB of hidden-state stacks) and restored
+//!   bit-identically when their feedback arrives — generation is
+//!   deterministic, so the evicted round re-synthesizes exactly
+//!   (pinned by the checkpoint-roundtrip parity proptests).
 //! * **Non-blocking feedback** — when a session hits a branching flag
 //!   it is *parked* (worker moves on); the client answers through
 //!   [`ServeEngine::resolve`] and the session re-enters the work queue.
@@ -44,8 +64,11 @@
 //! })
 //! ```
 
+pub mod checkpoint;
 mod engine;
 mod stats;
+pub mod tenant;
 
-pub use engine::{ClientEvent, ServeConfig, ServeEngine, ServeOutcome, SubmitError, TicketId};
+pub use engine::{ClientEvent, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
 pub use stats::{LatencySummary, ServingStats};
+pub use tenant::{TenantId, TenantQuota, TicketId};

@@ -43,16 +43,22 @@ impl LatencySummary {
 /// Snapshot of an engine's counters (see [`crate::ServeEngine::stats`]).
 #[derive(Debug, Clone)]
 pub struct ServingStats {
-    /// Requests that ran to completion (including shed ones — shedding
-    /// degrades to abstention, it never drops a request).
+    /// Requests that ran to completion (including shed and timed-out
+    /// ones — both degrade to abstention, neither drops a request).
     pub completed: u64,
     /// Completed requests whose deadline expired mid-flight, answered
     /// by degrading the remaining stages to abstention.
     pub shed: u64,
     /// Submissions rejected at admission (queue full).
     pub rejected: u64,
+    /// Submissions rejected by a per-tenant quota (in-flight or parked
+    /// bound) — backpressure on the tenant causing the load.
+    pub rejected_quota: u64,
     /// Feedback resolutions applied across all requests.
     pub feedback_rounds: u64,
+    /// Parked sessions whose feedback deadline lapsed and were resumed
+    /// with an abstention verdict (degrade, never drop).
+    pub timed_out_to_abstention: u64,
     /// Latency distribution over completed requests.
     pub latency: LatencySummary,
     /// Work-queue depth (admission + resume) observed at submits.
@@ -64,6 +70,24 @@ pub struct ServingStats {
     pub parked_bytes_peak: usize,
     /// Peak number of simultaneously parked sessions.
     pub parked_sessions_peak: usize,
+    /// Bytes of generation state parked *right now* (returns to 0 once
+    /// the engine drains — parked state is released eagerly).
+    pub parked_bytes_now: usize,
+    /// Sessions parked right now.
+    pub parked_sessions_now: usize,
+    /// Parked sessions evicted to checkpoint bytes (cumulative).
+    pub checkpoints: u64,
+    /// Checkpointed sessions re-synthesized on resume (cumulative).
+    pub restores: u64,
+    /// Peak bytes held in serialized checkpoints.
+    pub checkpoint_bytes_peak: usize,
+    /// Checkpoint bytes resident right now (0 after drain).
+    pub checkpoint_bytes_now: usize,
+    /// Distinct tenants that ever submitted.
+    pub tenants_seen: usize,
+    /// Highest concurrent in-flight count any single tenant reached —
+    /// what a fairness self-check compares against the quota.
+    pub tenant_in_flight_peak: usize,
 }
 
 /// Bounded sliding window of latency samples: a long-lived engine must
@@ -108,7 +132,9 @@ impl LatencyWindow {
 pub(crate) struct Counters {
     pub shed: AtomicU64,
     pub rejected: AtomicU64,
+    pub rejected_quota: AtomicU64,
     pub feedback_rounds: AtomicU64,
+    pub timed_out: AtomicU64,
     pub depth_max: AtomicUsize,
     pub depth_sum: AtomicU64,
     pub depth_samples: AtomicU64,
@@ -116,6 +142,10 @@ pub(crate) struct Counters {
     pub parked_bytes_peak: AtomicUsize,
     pub parked_sessions: AtomicUsize,
     pub parked_sessions_peak: AtomicUsize,
+    pub checkpoints: AtomicU64,
+    pub restores: AtomicU64,
+    pub checkpoint_bytes: AtomicUsize,
+    pub checkpoint_bytes_peak: AtomicUsize,
 }
 
 impl Counters {
@@ -135,6 +165,28 @@ impl Counters {
     pub fn note_unparked(&self, bytes: usize) {
         self.parked_bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.parked_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A parked session's live bytes were evicted into `bytes` of
+    /// serialized checkpoint (the session count stays parked).
+    pub fn note_checkpointed(&self, live_bytes: usize, bytes: usize) {
+        self.parked_bytes.fetch_sub(live_bytes, Ordering::Relaxed);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        let cur = self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.checkpoint_bytes_peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// A checkpointed session was re-synthesized on a worker.
+    pub fn note_restored(&self, bytes: usize) {
+        self.restores.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// A checkpoint was dropped without restoring (its ticket was shed
+    /// past the deadline): the bytes leave the gauge, but nothing was
+    /// re-synthesized so `restores` stays put.
+    pub fn note_checkpoint_discarded(&self, bytes: usize) {
+        self.checkpoint_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 
     pub fn depth_mean(&self) -> f64 {
@@ -193,5 +245,38 @@ mod tests {
         assert_eq!(c.parked_bytes_peak.load(Ordering::Relaxed), 150);
         assert_eq!(c.parked_bytes.load(Ordering::Relaxed), 70);
         assert_eq!(c.parked_sessions_peak.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn checkpoint_accounting_moves_bytes_between_pools() {
+        let c = Counters::default();
+        c.note_parked(1000);
+        // Evicted: live bytes leave the parked pool, 80 B of JSON enter
+        // the checkpoint pool; the session itself stays parked.
+        c.note_checkpointed(1000, 80);
+        assert_eq!(c.parked_bytes.load(Ordering::Relaxed), 0);
+        assert_eq!(c.parked_sessions.load(Ordering::Relaxed), 1);
+        assert_eq!(c.checkpoint_bytes.load(Ordering::Relaxed), 80);
+        assert_eq!(c.checkpoint_bytes_peak.load(Ordering::Relaxed), 80);
+        // Restored on resume: checkpoint pool drains; the unpark bills
+        // zero live bytes (they were already released at eviction).
+        c.note_restored(80);
+        c.note_unparked(0);
+        assert_eq!(c.checkpoint_bytes.load(Ordering::Relaxed), 0);
+        assert_eq!(c.parked_sessions.load(Ordering::Relaxed), 0);
+        assert_eq!(c.checkpoints.load(Ordering::Relaxed), 1);
+        assert_eq!(c.restores.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn discarded_checkpoints_drain_bytes_without_a_restore() {
+        let c = Counters::default();
+        c.note_parked(500);
+        c.note_checkpointed(500, 64);
+        // Shed past its deadline: bytes leave, no re-synthesis billed.
+        c.note_checkpoint_discarded(64);
+        assert_eq!(c.checkpoint_bytes.load(Ordering::Relaxed), 0);
+        assert_eq!(c.restores.load(Ordering::Relaxed), 0);
+        assert_eq!(c.checkpoints.load(Ordering::Relaxed), 1);
     }
 }

@@ -53,7 +53,9 @@ pub enum GenMode {
 }
 
 /// The model's (counterfactual) decision for one gold element.
-#[derive(Debug, Clone, PartialEq)]
+/// (Serde so a suspended linking session can checkpoint its pinned
+/// per-element overrides out of memory and restore them bit-exactly.)
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Decision {
     Correct,
     /// Link to this wrong element instead.

@@ -24,6 +24,15 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The raw generator state. `SplitMix64::new(rng.state())` rebuilds
+    /// a generator whose future output is identical — the whole state is
+    /// one `u64`, which is what lets suspended linking sessions
+    /// checkpoint their merge RNG to disk and resume bit-exactly.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -156,6 +165,18 @@ mod tests {
         let mut a = SplitMix64::new(42);
         let mut b = SplitMix64::new(42);
         for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_mid_stream() {
+        let mut a = SplitMix64::new(77);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::new(a.state());
+        for _ in 0..50 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }

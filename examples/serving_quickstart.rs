@@ -31,13 +31,20 @@ fn main() {
     let mbpp_t = Mbpp::train(&ds_t, &MbppConfig::default());
     let mbpp_c = Mbpp::train(&ds_c, &MbppConfig::default());
 
-    // 2. The serving engine: 2 workers, bounded admission, lazy
-    //    per-database context cache. No contexts exist yet — each
-    //    tenant pays its own cold start on first request.
+    // 2. The serving engine: 2 workers, bounded admission, a
+    //    per-tenant quota, lazy per-database context cache. No
+    //    contexts exist yet — each tenant pays its own cold start on
+    //    first request.
     let config = ServeConfig {
         workers: 2,
         queue_capacity: 8,
         cache_capacity: 4,
+        // Fairness: no tenant may hold more than 4 requests in flight;
+        // beyond that *it* gets QuotaExceeded while others keep going.
+        quota: rts::serve::TenantQuota {
+            max_in_flight: 4,
+            max_parked: 0,
+        },
         rts: RtsConfig::default(),
         ..ServeConfig::default()
     };
@@ -58,7 +65,9 @@ fn main() {
         //    other tickets while this one waits for its human.
         let mut suspensions = 0usize;
         for inst in &instances {
-            let ticket = engine.submit(inst).expect("queue has room");
+            // Every submission is tagged with its tenant (tenant 0
+            // here — a real front-end maps API keys to TenantIds).
+            let ticket = engine.submit(0, inst).expect("queue has room");
             loop {
                 match engine.wait_event(ticket) {
                     ClientEvent::NeedsFeedback { target, query } => {
@@ -74,7 +83,7 @@ fn main() {
                         if suspensions == 1 {
                             println!("ticket {ticket}: resolving with {resolution:?}");
                         }
-                        engine.resolve(ticket, resolution);
+                        engine.resolve(ticket, &query, resolution);
                     }
                     ClientEvent::Done(done) => {
                         if suspensions > 0 && done.n_feedback > 0 {

@@ -142,7 +142,9 @@ mod parity {
     use rts::core::context::{implicated_elements_reference, LinkContexts};
     use rts::core::human::{Expertise, HumanOracle};
     use rts::core::pipeline::{run_full_pipeline, run_joint_linking, JointOutcome};
-    use rts::core::session::resolve_flag;
+    use rts::core::session::{
+        resolve_flag, CtxHandle, LinkSession, SessionCheckpoint, SessionState,
+    };
     use rts::core::sqlgen::SqlGenModel;
     use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
     use rts::serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError};
@@ -544,6 +546,73 @@ mod parity {
             }
         }
 
+        /// Checkpointed-and-restored sessions ≡ the monolithic blocking
+        /// loop: at every suspension the session is serialized through
+        /// the serde shim, dropped (hidden stacks and all), restored
+        /// from bytes (the evicted round re-synthesized from the
+        /// override recipe), and only then resolved. Flags, the merge
+        /// RNG stream, interventions and outcomes must be identical to
+        /// a run that never parked — under every `RTS_REFERENCE` knob
+        /// and thread count of the CI matrix, so `results/*.json`
+        /// cannot drift however often the serving engine checkpoints.
+        #[test]
+        fn checkpoint_roundtrip_matches_monolithic_loop(
+            seed in any::<u64>(),
+            n in 6usize..16,
+            columns in prop::bool::ANY,
+        ) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, seed ^ 0x0DDE);
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let mbpp = if columns { &fx.mbpp_c } else { &fx.mbpp_t };
+            let config = base_config(seed);
+            let mut scratch = LinkScratch::default();
+            for policy in [
+                MitigationPolicy::AbstainOnly,
+                MitigationPolicy::Human(&oracle),
+            ] {
+                for inst in fx.bench.split.dev.iter().take(n) {
+                    let meta = fx.bench.meta(&inst.db_name).unwrap();
+                    let ctx = fx.contexts.get(&inst.db_name, target);
+                    let mut session = LinkSession::new(
+                        &fx.model, mbpp, inst, meta, target,
+                        Some(CtxHandle::Borrowed(ctx)), None, &config,
+                    );
+                    let outcome = loop {
+                        match session.step(&mut scratch) {
+                            SessionState::Done(o) => break o,
+                            SessionState::NeedsFeedback(q) => {
+                                let held = session.held_bytes();
+                                let bytes = rts::serve::checkpoint::encode(&session.checkpoint());
+                                let back: SessionCheckpoint =
+                                    rts::serve::checkpoint::decode(&bytes);
+                                // Reassignment drops the live session.
+                                session = LinkSession::restore(
+                                    &fx.model, mbpp, inst, meta, target,
+                                    Some(CtxHandle::Borrowed(ctx)), &config,
+                                    &back, &mut scratch.synth,
+                                );
+                                prop_assert_eq!(session.pending_query(), Some(&q));
+                                prop_assert_eq!(session.held_bytes(), held,
+                                    "restored round must be byte-for-byte the evicted one");
+                                session.resolve(resolve_flag(&policy, inst, &q));
+                            }
+                        }
+                    };
+                    let monolithic = run_rts_linking_monolithic(
+                        &fx.model, mbpp, inst, meta, target, Some(ctx), None,
+                        &policy, &config, &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        format!("{:?}", outcome),
+                        format!("{:?}", monolithic),
+                        "checkpointed drive vs monolith, instance {} target {:?}",
+                        inst.id, target
+                    );
+                }
+            }
+        }
+
         /// The incremental trace back ≡ the quadratic re-decode
         /// reference on arbitrary (branch position, truncation) pairs of
         /// generated streams — including mid-element truncations that
@@ -640,17 +709,25 @@ mod parity {
                         let mut out = Vec::new();
                         for inst in instances.iter().skip(c).step_by(n_clients) {
                             let ticket = loop {
-                                match engine.submit(inst) {
+                                // One tenant per client: the fair queue
+                                // and per-tenant accounting run on the
+                                // parity path too.
+                                match engine.submit(c as u32, inst) {
                                     Ok(t) => break t,
-                                    Err(SubmitError::QueueFull { .. }) => {
-                                        std::thread::sleep(std::time::Duration::from_micros(100))
-                                    }
+                                    Err(
+                                        SubmitError::QueueFull { .. }
+                                        | SubmitError::QuotaExceeded { .. },
+                                    ) => std::thread::sleep(std::time::Duration::from_micros(100)),
                                 }
                             };
                             loop {
                                 match engine.wait_event(ticket) {
                                     ClientEvent::NeedsFeedback { query, .. } => {
-                                        engine.resolve(ticket, resolve_flag(&policy, inst, &query));
+                                        engine.resolve(
+                                            ticket,
+                                            &query,
+                                            resolve_flag(&policy, inst, &query),
+                                        );
                                     }
                                     ClientEvent::Done(done) => {
                                         assert!(!done.shed, "no deadline configured");
