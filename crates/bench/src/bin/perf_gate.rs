@@ -21,10 +21,14 @@
 //! — a hit-rate collapse is a logic regression, not scheduling noise).
 //! The same record-mismatch refusal applies as for stages: serving
 //! sections measured under different workload shapes (workers,
-//! clients, queue, request count) are incomparable and exit 2, as does
-//! a fresh record that dropped the section while the baseline has one.
-//! A baseline predating the serving section simply reports the fresh
-//! numbers un-gated.
+//! clients, queue, request count, tenancy knobs, fault plan) are
+//! incomparable and exit 2, as does a fresh record that dropped the
+//! section while the baseline has one. A baseline predating the
+//! serving section simply reports the fresh numbers un-gated. Fault
+//! *recovery counters* are outcomes, not knobs: the gate tolerates
+//! them (an absent fault sub-record ≡ a disabled plan, so pre-chaos
+//! baselines keep gating) and renders them with the rest of the
+//! serving section.
 
 use rts_bench::report::{compare_perf, PerfReport, ServingRecord};
 
@@ -34,9 +38,19 @@ use rts_bench::report::{compare_perf, PerfReport, ServingRecord};
 /// single-tenant defaults — only an actually different workload
 /// (quotas, timeouts, stalls, budgets change latencies by design)
 /// triggers the refusal.
+#[allow(clippy::type_complexity)]
 fn serving_shape(
     s: &ServingRecord,
-) -> (usize, usize, usize, usize, usize, Option<u64>, ShapeTenancy) {
+) -> (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    Option<u64>,
+    ShapeTenancy,
+    ShapeFault,
+) {
     (
         s.workers,
         s.clients,
@@ -54,10 +68,20 @@ fn serving_shape(
                 t.parked_bytes_budget,
             )
         }),
+        // A fault-injected run measures recovery machinery on the hot
+        // path — incomparable to a fault-free baseline. An absent
+        // sub-record ≡ a disabled plan (pre-chaos baselines still
+        // gate). The recovery *counters* are deliberately not part of
+        // the shape: they are outcomes, tolerated and rendered, not
+        // knobs.
+        s.fault
+            .as_ref()
+            .map(|f| (f.seed, f.step_panic_rate.to_bits())),
     )
 }
 
 type ShapeTenancy = (usize, usize, usize, Option<u64>, u64);
+type ShapeFault = Option<(u64, u64)>;
 
 /// Outcome of gating the serving section: the failed checks (empty =
 /// pass). `None` = nothing comparable to gate.
@@ -182,16 +206,18 @@ fn main() {
         (Some(b), Some(f)) => {
             // Same refusal rule as stages: latencies measured under a
             // different workload shape — worker/client counts, queue
-            // bound, request count, deadline, or any tenancy knob
+            // bound, request count, deadline, any tenancy knob
             // (quotas, feedback timeout, parked budget all change
-            // latencies by design) — are incomparable. A config error,
-            // not a pass.
+            // latencies by design), or a fault plan (injected panics
+            // and retries change latencies by design too) — are
+            // incomparable. A config error, not a pass.
             if serving_shape(b) != serving_shape(f) {
                 eprintln!(
                     "perf gate MISCONFIGURED: serving sections are not comparable — \
                      baseline ({} workers, {} clients, queue {}, {} requests, \
-                     deadline {:?} ms, tenancy {:?}) vs fresh ({} workers, {} clients, \
-                     queue {}, {} requests, deadline {:?} ms, tenancy {:?}); pin the \
+                     deadline {:?} ms, tenancy {:?}, fault {:?}) vs fresh \
+                     ({} workers, {} clients, queue {}, {} requests, \
+                     deadline {:?} ms, tenancy {:?}, fault {:?}); pin the \
                      workload shape to the committed baseline's or regenerate it",
                     b.workers,
                     b.clients,
@@ -199,12 +225,14 @@ fn main() {
                     b.n_requests,
                     b.deadline_ms,
                     serving_shape(b).6,
+                    serving_shape(b).7,
                     f.workers,
                     f.clients,
                     f.queue_capacity,
                     f.n_requests,
                     f.deadline_ms,
                     serving_shape(f).6,
+                    serving_shape(f).7,
                 );
                 std::process::exit(2);
             }

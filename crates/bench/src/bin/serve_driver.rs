@@ -25,22 +25,33 @@
 //!   the feedback timeout;
 //! * `RTS_SERVE_PARKED_BUDGET` (default off) — live parked-bytes
 //!   budget; past it parked sessions are checkpointed out of memory;
+//! * `RTS_SERVE_FAULT_SEED` (default off) — arm the deterministic
+//!   fault-injection plan under this schedule seed (worker step
+//!   panics, corrupt checkpoint decodes, failed context builds,
+//!   lost/delayed feedback — see `rts_serve::fault`);
+//! * `RTS_SERVE_FAULT_RATE` (default 0.05) — per-site trip
+//!   probability when the plan is armed;
 //! * `RTS_THREADS` — engine worker threads (as everywhere);
 //! * `RTS_SERVE_RECORD=1` — merge the record into `./BENCH_rts.json`.
 //!
 //! The driver is self-verifying before it exits:
 //! * zero drops — every submitted request completes, however it was
-//!   degraded (shed, quota-bounced-then-retried, timed out);
+//!   degraded (shed, quota-bounced-then-retried, timed out, faulted);
 //! * fairness — no tenant ever exceeded its in-flight quota;
 //! * stalled tenants — every timed-out request abstained, and only the
 //!   stalled tenant timed out; with a stall configured at least one
 //!   timeout must actually fire;
 //! * memory — parked bytes and checkpoint bytes return to 0 after the
 //!   drain (per-ticket state is released eagerly, not at engine drop);
-//! * outcome parity — with no shedding/timeouts in play, each
-//!   request's joint outcome equals the batch runtime's for the same
-//!   instance: the serve engine must never change answers, only when
-//!   they arrive.
+//! * chaos — with a fault plan armed, injected step panics actually
+//!   fired and were recovered (the counters prove the machinery ran),
+//!   and every faulted request degraded to abstention;
+//! * outcome parity — with no deadline in play, each request's joint
+//!   outcome equals the batch runtime's for the same instance (timed-
+//!   out requests abstain by design and are skipped): the serve engine
+//!   must never change answers, only when they arrive. Under an armed
+//!   fault plan the check covers every *unfaulted* request — recovery
+//!   must be invisible in the answers.
 
 use rts_bench::report::PerfReport;
 use rts_bench::serving::{run_workload, serving_record, WorkloadConfig};
@@ -50,7 +61,7 @@ use rts_core::branching::BranchDataset;
 use rts_core::context::LinkContexts;
 use rts_core::human::{Expertise, HumanOracle};
 use rts_core::pipeline::run_joint_linking_in;
-use rts_serve::{ServeConfig, TenantId, TenantQuota};
+use rts_serve::{FaultPlan, ServeConfig, TenantId, TenantQuota};
 use simlm::{LinkTarget, SchemaLinker};
 use std::time::Duration;
 
@@ -101,6 +112,24 @@ fn main() {
     let stall_tenant: Option<TenantId> = std::env::var("RTS_SERVE_STALL_TENANT")
         .ok()
         .and_then(|v| v.parse().ok());
+    let fault = match std::env::var("RTS_SERVE_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(fault_seed) => {
+            let rate = std::env::var("RTS_SERVE_FAULT_RATE")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.05);
+            // Injected panics are scheduled, not bugs: keep their
+            // backtraces out of the log (genuine panics still print).
+            rts_serve::fault::silence_injected_panics();
+            eprintln!("[serve_driver] chaos: fault plan armed (seed {fault_seed}, rate {rate})");
+            FaultPlan::seeded(fault_seed, rate)
+        }
+        None => FaultPlan::disabled(),
+    };
+    let fault_enabled = fault.is_enabled();
     let config = WorkloadConfig {
         clients: env_usize("RTS_SERVE_CLIENTS", 4),
         rounds: env_usize("RTS_SERVE_ROUNDS", 2),
@@ -116,6 +145,7 @@ fn main() {
             deadline: env_ms("RTS_SERVE_DEADLINE_MS"),
             feedback_timeout: env_ms("RTS_SERVE_FEEDBACK_TIMEOUT_MS"),
             parked_bytes_budget: env_usize("RTS_SERVE_PARKED_BUDGET", 0),
+            fault,
             rts: RtsConfig {
                 seed,
                 ..RtsConfig::default()
@@ -220,16 +250,69 @@ fn main() {
         );
     }
 
-    // Self-check 5: outcome parity against the batch runtime — only
-    // meaningful when nothing can be degraded by wall-clock effects
-    // (deadlines and feedback timeouts both change answers by design).
-    if config.serve.deadline.is_none() && config.serve.feedback_timeout.is_none() {
+    // Self-check 5: chaos — an armed fault plan must actually have
+    // exercised the recovery machinery, and every unrecoverable fault
+    // must have degraded to abstention (never a drop — check 1 already
+    // proved completion).
+    if fault_enabled {
+        let stats = &result.stats;
+        assert!(
+            stats.panics_recovered > 0,
+            "an armed step-panic site must fire on this workload"
+        );
+        for r in &result.outcomes {
+            if r.faulted {
+                assert!(
+                    r.outcome.abstained(),
+                    "faulted request must abstain (instance {})",
+                    r.instance
+                );
+            }
+        }
+        let faulted = result.outcomes.iter().filter(|r| r.faulted).count();
+        eprintln!(
+            "[serve_driver] chaos: {} step panics recovered ({} tickets degraded to \
+             faulted abstention), {} corrupt checkpoints salvaged, {} context-build \
+             fallbacks, feedback {} lost / {} delayed; {faulted} faulted outcomes, \
+             zero drops, gauges drained",
+            stats.panics_recovered,
+            stats.panics_to_abstention,
+            stats.corrupt_checkpoints_recovered,
+            stats.context_build_fallbacks,
+            stats.feedback_lost,
+            stats.feedback_delayed,
+        );
+    } else {
+        assert!(
+            result.outcomes.iter().all(|r| !r.faulted),
+            "no fault plan, nothing may fault"
+        );
+    }
+
+    // Self-check 6: outcome parity against the batch runtime — only
+    // meaningful where nothing was degraded by wall-clock effects
+    // (deadlines shed whole stages, so those runs are excluded;
+    // timed-out requests are skipped individually). Under an armed
+    // fault plan, *recovered* faults must be invisible: every
+    // unfaulted, untimed request still answers exactly like the batch
+    // run.
+    if config.serve.deadline.is_none() {
         let contexts = LinkContexts::build(&bench);
         let policy = MitigationPolicy::Human(&config.oracle);
         let mut scratch = LinkScratch::default();
+        let mut checked = 0usize;
         for r in &result.outcomes {
             assert!(!r.shed, "no deadline, nothing may shed");
-            assert!(!r.timed_out, "no stall, nothing should time out");
+            if config.serve.feedback_timeout.is_none() {
+                assert!(!r.timed_out, "no timeout, nothing should time out");
+            }
+            if r.faulted || r.timed_out {
+                // Degraded by an unrecoverable injected fault or a
+                // park timeout: abstained by design (asserted above),
+                // not batch-comparable.
+                continue;
+            }
+            checked += 1;
             let inst = instances
                 .iter()
                 .find(|i| i.id == r.instance)
@@ -253,7 +336,7 @@ fn main() {
             );
         }
         eprintln!(
-            "[serve_driver] outcome parity: {} served requests ≡ batch runtime",
+            "[serve_driver] outcome parity: {checked}/{} served requests ≡ batch runtime",
             result.outcomes.len()
         );
     }

@@ -199,6 +199,35 @@ pub struct TenancyRecord {
     pub tenant_in_flight_peak: usize,
 }
 
+/// Fault-injection configuration and recovery counters of a chaos
+/// serving run. Grouped in an `Option` sub-record: absent means the
+/// run was fault-free (every snapshot before this record existed, and
+/// every run with the plan disabled — the two are equivalent, which is
+/// exactly what the perf gate's shape check assumes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The deterministic fault-schedule seed.
+    pub seed: u64,
+    /// Trip probability of the step-panic site (the headline chaos
+    /// knob; the driver arms every site at this rate).
+    pub step_panic_rate: f64,
+    /// Step panics caught by `catch_unwind` — pool intact, ticket
+    /// salvaged into a retry or an abstention.
+    pub panics_recovered: u64,
+    /// Tickets that kept panicking past the retry budget and degraded
+    /// to a `faulted` abstention (never a drop).
+    pub panics_to_abstention: u64,
+    /// Corrupt checkpoints rebuilt from their in-memory salvage recipe.
+    pub corrupt_checkpoints_recovered: u64,
+    /// Failed context builds that fell back to the context-free path.
+    pub context_build_fallbacks: u64,
+    /// Client resolutions injected as lost / delayed in flight.
+    pub feedback_lost: u64,
+    pub feedback_delayed: u64,
+    /// Parked sessions resolved to abstention by the shutdown drain.
+    pub drained_to_abstention: u64,
+}
+
 /// One closed-loop serving measurement of the `rts-serve` engine: the
 /// optional `serving` section of `BENCH_rts.json`. Optional because
 /// older snapshots predate it — the perf gate must keep parsing them
@@ -243,6 +272,9 @@ pub struct ServingRecord {
     pub wall_ms: f64,
     /// Multi-tenant counters (absent on pre-tenancy snapshots).
     pub tenancy: Option<TenancyRecord>,
+    /// Fault-injection knobs and recovery counters (absent ≡ the run
+    /// was fault-free).
+    pub fault: Option<FaultRecord>,
 }
 
 impl ServingRecord {
@@ -300,6 +332,23 @@ impl ServingRecord {
                 out,
                 "   checkpointing: budget {} B → {} evicted / {} restored, checkpoint peak {} B",
                 t.parked_bytes_budget, t.checkpoints, t.restores, t.checkpoint_bytes_peak,
+            );
+        }
+        if let Some(f) = &self.fault {
+            let _ = writeln!(
+                out,
+                "   faults (seed {}, rate {:.2}): {} step panics recovered ({} to abstention), \
+                 {} corrupt checkpoints salvaged, {} context fallbacks, \
+                 feedback {} lost / {} delayed, {} drained at shutdown",
+                f.seed,
+                f.step_panic_rate,
+                f.panics_recovered,
+                f.panics_to_abstention,
+                f.corrupt_checkpoints_recovered,
+                f.context_build_fallbacks,
+                f.feedback_lost,
+                f.feedback_delayed,
+                f.drained_to_abstention,
             );
         }
         out
@@ -581,6 +630,17 @@ mod tests {
                 checkpoint_bytes_peak: 900,
                 tenant_in_flight_peak: 2,
             }),
+            fault: Some(FaultRecord {
+                seed: 11,
+                step_panic_rate: 0.05,
+                panics_recovered: 7,
+                panics_to_abstention: 1,
+                corrupt_checkpoints_recovered: 2,
+                context_build_fallbacks: 3,
+                feedback_lost: 1,
+                feedback_delayed: 4,
+                drained_to_abstention: 0,
+            }),
         }
     }
 
@@ -599,11 +659,16 @@ mod tests {
         assert_eq!(t.feedback_timeout_ms, Some(40.0));
         assert_eq!(t.timed_out_to_abstention, 2);
         assert_eq!(t.checkpoints, 4);
+        let f = s.fault.expect("fault sub-record survives");
+        assert_eq!(f.seed, 11);
+        assert_eq!(f.panics_recovered, 7);
         let text = p.render();
         assert!(text.contains("serving: 92 requests"));
         assert!(text.contains("p99 5.600"));
         assert!(text.contains("tenancy: 3 tenants"));
         assert!(text.contains("2 timed out to abstention"));
+        assert!(text.contains("faults (seed 11, rate 0.05)"));
+        assert!(text.contains("7 step panics recovered (1 to abstention)"));
     }
 
     #[test]
@@ -624,11 +689,11 @@ mod tests {
         }"#;
         let s: ServingRecord = serde_json::from_str(json).expect("old section parses");
         assert!(s.tenancy.is_none());
+        assert!(s.fault.is_none(), "pre-chaos sections read as fault-free");
         assert_eq!(s.n_requests, 92);
-        assert!(
-            !s.render().contains("tenancy:"),
-            "no tenancy line to render"
-        );
+        let text = s.render();
+        assert!(!text.contains("tenancy:"), "no tenancy line to render");
+        assert!(!text.contains("faults ("), "no fault line to render");
     }
 
     #[test]

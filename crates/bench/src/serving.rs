@@ -19,7 +19,7 @@
 //! The driver is what the `perf` binary and the `serve_driver` smoke
 //! binary run to produce the `serving` section of `BENCH_rts.json`.
 
-use crate::report::{ServingRecord, TenancyRecord};
+use crate::report::{FaultRecord, ServingRecord, TenancyRecord};
 use rts_core::abstention::MitigationPolicy;
 use rts_core::bpp::Mbpp;
 use rts_core::human::HumanOracle;
@@ -74,6 +74,9 @@ pub struct ServedRequest {
     pub shed: bool,
     /// A feedback timeout resolved a flag to abstention.
     pub timed_out: bool,
+    /// An unrecoverable fault degraded the request to abstention
+    /// (recovered faults leave outcomes identical and do not set this).
+    pub faulted: bool,
 }
 
 /// What one workload run produced.
@@ -182,6 +185,9 @@ fn client_loop<'a>(
                     Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
                         std::thread::sleep(Duration::from_micros(200));
                     }
+                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                        panic!("workload instances always have metadata: {e}")
+                    }
                 }
             };
             loop {
@@ -192,7 +198,11 @@ fn client_loop<'a>(
                             // timeout will complete the request.
                             std::thread::sleep(Duration::from_micros(500));
                         } else {
-                            engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
+                            // `Stale` is a legal race under feedback
+                            // timeouts or injected loss/delay — the
+                            // next poll picks up the current state.
+                            let _ =
+                                engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
                         }
                     }
                     ClientEvent::Done(done) => {
@@ -202,8 +212,12 @@ fn client_loop<'a>(
                             outcome: done.outcome,
                             shed: done.shed,
                             timed_out: done.timed_out,
+                            faulted: done.faulted,
                         });
                         break;
+                    }
+                    ClientEvent::Retired => {
+                        panic!("ticket {ticket} retired while its client still waits")
                     }
                 }
             }
@@ -258,6 +272,17 @@ pub fn serving_record(result: &WorkloadResult, config: &WorkloadConfig) -> Servi
             restores: s.restores,
             checkpoint_bytes_peak: s.checkpoint_bytes_peak as u64,
             tenant_in_flight_peak: s.tenant_in_flight_peak,
+        }),
+        fault: config.serve.fault.is_enabled().then(|| FaultRecord {
+            seed: config.serve.fault.seed,
+            step_panic_rate: config.serve.fault.rate_of(rts_serve::FaultSite::StepPanic),
+            panics_recovered: s.panics_recovered,
+            panics_to_abstention: s.panics_to_abstention,
+            corrupt_checkpoints_recovered: s.corrupt_checkpoints_recovered,
+            context_build_fallbacks: s.context_build_fallbacks,
+            feedback_lost: s.feedback_lost,
+            feedback_delayed: s.feedback_delayed,
+            drained_to_abstention: s.drained_to_abstention,
         }),
     }
 }

@@ -105,6 +105,12 @@ pub struct DbMeta {
     pub name: String,
     pub domain: &'static str,
     pub tables: Vec<TableMeta>,
+    /// Schema-drift epoch. Generated corpora are static (always 0);
+    /// a serving deployment bumps it when the schema semantically
+    /// changes, so context caches can tell a stale compile from a
+    /// current one (`rts_core::context::ContextCache` rebuilds on a
+    /// revision mismatch).
+    pub revision: u64,
 }
 
 impl DbMeta {
@@ -370,6 +376,7 @@ pub fn generate_db(
             name: db_name,
             domain: domain.name,
             tables: metas,
+            revision: 0,
         },
     }
 }

@@ -210,6 +210,10 @@ impl ContextCacheStats {
 #[derive(Debug)]
 struct CacheEntry {
     ctx: Arc<LinkContext>,
+    /// Schema-drift epoch the context was compiled against
+    /// ([`DbMeta::revision`]); a lookup with a newer revision treats
+    /// the entry as stale and rebuilds.
+    revision: u64,
     last_used: AtomicU64,
 }
 
@@ -267,17 +271,22 @@ impl ContextCache {
         }
     }
 
-    /// The context for `(meta, target)`, built on first request.
+    /// The context for `(meta, target)`, built on first request. An
+    /// entry compiled against an older [`DbMeta::revision`] is stale —
+    /// schema drift — and is rebuilt in place; callers already holding
+    /// the old `Arc` (in-flight sessions) are unaffected.
     pub fn get(&self, meta: &DbMeta, target: LinkTarget) -> Arc<LinkContext> {
         let shard = self.shard(target);
         {
             let map = shard.read();
             if let Some(entry) = map.get(&meta.name) {
-                entry
-                    .last_used
-                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return entry.ctx.clone();
+                if entry.revision == meta.revision {
+                    entry
+                        .last_used
+                        .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return entry.ctx.clone();
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -286,14 +295,18 @@ impl ContextCache {
         let built = Arc::new(LinkContext::new(meta, target));
         let mut map = shard.write();
         if let Some(entry) = map.get(&meta.name) {
-            // A concurrent miss won the race; use its context and drop
-            // ours.
-            entry
-                .last_used
-                .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
-            return entry.ctx.clone();
-        }
-        if self.capacity > 0 && map.len() >= self.capacity {
+            if entry.revision == meta.revision {
+                // A concurrent miss won the race; use its context and
+                // drop ours.
+                entry
+                    .last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                return entry.ctx.clone();
+            }
+            // Stale revision: replacing in place below (no capacity
+            // change), billed as an eviction.
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        } else if self.capacity > 0 && map.len() >= self.capacity {
             let victim = map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
@@ -307,10 +320,28 @@ impl ContextCache {
             meta.name.clone(),
             CacheEntry {
                 ctx: built.clone(),
+                revision: meta.revision,
                 last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
             },
         );
         built
+    }
+
+    /// Drop every cached context of `db` (both targets) — the explicit
+    /// schema-drift signal: the next lookup rebuilds against the
+    /// current [`DbMeta`]. In-flight sessions keep their pinned
+    /// `Arc<LinkContext>` alive; invalidation changes what *new*
+    /// lookups see, never what running ones hold. Returns the number
+    /// of entries dropped (billed as evictions).
+    pub fn invalidate_db(&self, db: &str) -> usize {
+        let mut dropped = 0;
+        for shard in [&self.tables, &self.columns] {
+            if shard.write().remove(db).is_some() {
+                dropped += 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        dropped
     }
 
     /// Number of resident contexts across both targets.
@@ -474,6 +505,37 @@ mod tests {
         assert_eq!(cache.stats().misses, before + 1, "b was evicted");
         // The Arc held across eviction stays usable.
         assert_eq!(ctx_a.n_candidates(), a.tables.len());
+    }
+
+    #[test]
+    fn cache_rebuilds_on_revision_bump_and_invalidate() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.01).generate(98);
+        let cache = ContextCache::new(0);
+        let meta = &bench.metas[0];
+        let old = cache.get(meta, LinkTarget::Tables);
+
+        // Schema drift: the same database at a newer revision must not
+        // be served the stale compile.
+        let mut drifted = meta.clone();
+        drifted.revision += 1;
+        let new = cache.get(&drifted, LinkTarget::Tables);
+        assert!(!Arc::ptr_eq(&old, &new), "revision bump must rebuild");
+        assert_eq!(cache.len(), 1, "stale entry replaced, not duplicated");
+        assert_eq!(cache.stats().evictions, 1, "replacement billed");
+        // The current revision now hits.
+        assert!(Arc::ptr_eq(&new, &cache.get(&drifted, LinkTarget::Tables)));
+
+        // Explicit invalidation detaches future lookups too.
+        let before = cache.stats();
+        assert_eq!(cache.invalidate_db(&meta.name), 1, "one target cached");
+        assert_eq!(cache.stats().evictions, before.evictions + 1);
+        let rebuilt = cache.get(&drifted, LinkTarget::Tables);
+        assert!(!Arc::ptr_eq(&new, &rebuilt), "invalidate must rebuild");
+        // Arcs pinned before the drift stay fully usable (an in-flight
+        // session finishes on the context it started with).
+        assert_eq!(old.n_candidates(), meta.tables.len());
+        // Unknown databases are a no-op, not a panic.
+        assert_eq!(cache.invalidate_db("no_such_db"), 0);
     }
 
     #[test]

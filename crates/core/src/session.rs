@@ -157,6 +157,17 @@ pub struct SessionCheckpoint {
     pub pending: Option<FlagQuery>,
 }
 
+impl SessionCheckpoint {
+    /// Does this checkpoint belong to `(inst, target)`?
+    /// [`LinkSession::restore`] asserts exactly this; an engine
+    /// restoring possibly-corrupt decoded bytes checks it first so a
+    /// mismatch can degrade to abstention instead of panicking a
+    /// worker.
+    pub fn matches(&self, inst: &Instance, target: LinkTarget) -> bool {
+        self.instance == inst.id && self.is_table == (target == LinkTarget::Tables)
+    }
+}
+
 /// What [`LinkSession::step`] returns.
 #[derive(Debug, Clone)]
 pub enum SessionState {

@@ -21,12 +21,32 @@ pub fn encode(cp: &SessionCheckpoint) -> Vec<u8> {
         .into_bytes()
 }
 
-/// Rebuild a checkpoint from [`encode`]'s bytes. Panics on corrupt
-/// bytes: the buffer never leaves the engine, so corruption is a bug,
-/// not an input error.
+/// Why a checkpoint failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt session checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Rebuild a checkpoint from [`encode`]'s bytes. The buffer never
+/// leaves the engine, so a decode failure means corruption — the
+/// engine recovers by re-running the regeneration recipe from its
+/// in-memory salvage copy, or degrades the ticket to abstention
+/// (never a worker panic).
+pub fn try_decode(bytes: &[u8]) -> Result<SessionCheckpoint, DecodeError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| DecodeError(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| DecodeError(format!("{e:?}")))
+}
+
+/// [`try_decode`] for callers that treat corruption as a bug (tests,
+/// offline tooling). Panics on corrupt bytes.
 pub fn decode(bytes: &[u8]) -> SessionCheckpoint {
-    let text = std::str::from_utf8(bytes).expect("checkpoint bytes are UTF-8");
-    serde_json::from_str(text).expect("checkpoint bytes parse")
+    try_decode(bytes).expect("checkpoint bytes parse")
 }
 
 #[cfg(test)]
@@ -84,5 +104,15 @@ mod tests {
         let mut cp = sample();
         cp.rng_state = u64::MAX;
         assert_eq!(decode(&encode(&cp)).rng_state, u64::MAX);
+    }
+
+    #[test]
+    fn corrupt_bytes_fail_decode_without_panicking() {
+        assert!(try_decode(b"").is_err(), "empty buffer");
+        assert!(try_decode(&[0xFF, 0xFE, 0x00]).is_err(), "not UTF-8");
+        assert!(try_decode(b"{\"instance\": 41").is_err(), "truncated JSON");
+        let mut bytes = encode(&sample());
+        bytes.truncate(bytes.len() / 2);
+        assert!(try_decode(&bytes).is_err(), "half a checkpoint");
     }
 }

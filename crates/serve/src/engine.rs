@@ -2,6 +2,7 @@
 //! sessions. See the crate docs for the design overview.
 
 use crate::checkpoint;
+use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
 use crate::stats::{Counters, LatencySummary, LatencyWindow, ServingStats};
 use crate::tenant::{FairQueue, TenantId, TenantQuota, TicketId};
 use benchgen::schemagen::DbMeta;
@@ -11,9 +12,12 @@ use rts_core::abstention::{LinkScratch, RtsConfig, RtsOutcome};
 use rts_core::bpp::Mbpp;
 use rts_core::context::ContextCache;
 use rts_core::pipeline::JointOutcome;
-use rts_core::session::{CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionState};
+use rts_core::session::{
+    CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionCheckpoint, SessionState,
+};
 use simlm::{LinkTarget, SchemaLinker};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -54,6 +58,16 @@ pub struct ServeConfig {
     /// Context-cache capacity per link target (databases); `0` =
     /// unbounded.
     pub cache_capacity: usize,
+    /// Deterministic fault-injection schedule (see [`crate::fault`]).
+    /// Disabled by default — one predictable branch per site.
+    pub fault: FaultPlan,
+    /// How many times a panicked step is rebuilt from its salvage
+    /// checkpoint and retried before the ticket degrades to a
+    /// `faulted` abstention.
+    pub step_retry_budget: usize,
+    /// Base backoff before a step retry; doubles per consecutive panic
+    /// of the same ticket. `ZERO` retries immediately.
+    pub step_retry_backoff: Duration,
     /// Runtime knobs threaded into every session (seed, reference
     /// paths, …).
     pub rts: RtsConfig,
@@ -69,13 +83,16 @@ impl Default for ServeConfig {
             feedback_timeout: None,
             parked_bytes_budget: 0,
             cache_capacity: 0,
+            fault: FaultPlan::disabled(),
+            step_retry_budget: 2,
+            step_retry_backoff: Duration::from_micros(100),
             rts: RtsConfig::default(),
         }
     }
 }
 
 /// Why a submit was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The admission queue is at capacity — retry later (client-side
     /// backpressure).
@@ -84,6 +101,10 @@ pub enum SubmitError {
     /// bound) — other tenants are unaffected; retry after some of this
     /// tenant's requests complete.
     QuotaExceeded { tenant: TenantId, limit: usize },
+    /// The instance references a database the engine has no metadata
+    /// for — a client-input error, rejected before any queue state
+    /// changes (it used to panic a worker; see the robustness notes).
+    UnknownDatabase { database: String },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -95,11 +116,43 @@ impl std::fmt::Display for SubmitError {
             SubmitError::QuotaExceeded { tenant, limit } => {
                 write!(f, "tenant {tenant} at quota ({limit} requests)")
             }
+            SubmitError::UnknownDatabase { database } => {
+                write!(f, "no database metadata for {database}")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a [`ServeEngine::resolve`] was not applied. Either way the
+/// answer is *dropped, never misapplied* — and never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The ticket no longer exists: it completed and its outcome was
+    /// collected through [`ServeEngine::wait_event`], or it was never
+    /// issued.
+    Retired,
+    /// The ticket exists but is not suspended on the query being
+    /// answered — the resolution lost a race (a feedback timeout
+    /// already resolved the flag, a chained stage raised a newer one,
+    /// or the same flag was resolved twice). Re-poll with
+    /// [`ServeEngine::wait_event`] for the current state.
+    Stale,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::Retired => write!(f, "ticket already retired"),
+            ResolveError::Stale => {
+                write!(f, "ticket is not suspended on the answered flag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
 
 /// A finished request.
 #[derive(Debug, Clone)]
@@ -113,6 +166,14 @@ pub struct ServeOutcome {
     /// Did a feedback timeout resolve any of this request's flags to
     /// abstention?
     pub timed_out: bool,
+    /// Did an unrecoverable fault (a step panicking past the retry
+    /// budget, an unsalvageable checkpoint) degrade this request to
+    /// abstention? Successfully *recovered* faults leave the outcome
+    /// byte-identical to a fault-free run and do not set this.
+    pub faulted: bool,
+    /// Did a shutdown drain resolve a pending flag of this request to
+    /// abstention (nothing would ever answer it)?
+    pub drained: bool,
     /// Submit-to-completion wall time.
     pub latency: Duration,
     /// Feedback resolutions this request consumed (client answers only
@@ -131,6 +192,11 @@ pub enum ClientEvent {
     },
     /// The request finished; the ticket is now invalid.
     Done(ServeOutcome),
+    /// The ticket no longer exists — its outcome was already collected
+    /// (a previous `wait_event` returned [`ClientEvent::Done`]) or it
+    /// was never issued. Polling a dead ticket used to panic; a typed
+    /// event keeps client bugs out of the engine.
+    Retired,
 }
 
 /// Request lifecycle. `Running` exists so a worker can own the session
@@ -162,11 +228,23 @@ struct Ticket<'a> {
     /// A resolution that arrived while the session was checkpointed;
     /// the worker applies it after restoring.
     pending_resolution: Option<FlagResolution>,
+    /// Salvage recipe: the checkpoint captured at the last park. If a
+    /// later step *panics* (losing the live session), the worker
+    /// rebuilds from this — generation is deterministic, so the retry
+    /// is bit-identical. A few hundred bytes per parked ticket.
+    salvage: Option<SessionCheckpoint>,
+    /// The resolution applied to the live session at unpark, kept so a
+    /// salvage rebuild can re-apply it (the salvage checkpoint predates
+    /// it).
+    salvage_resolution: Option<FlagResolution>,
     /// Live parked bytes billed for this ticket (0 once checkpointed).
     parked_billed: usize,
     tables: Option<RtsOutcome>,
     n_feedback: usize,
     timed_out: bool,
+    /// Set when a shutdown drain resolved a pending flag of this ticket
+    /// to abstention.
+    drained: bool,
     phase: Phase,
 }
 
@@ -247,10 +325,8 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    fn meta_of(&self, inst: &Instance) -> &'a DbMeta {
-        self.metas
-            .get(inst.db_name.as_str())
-            .unwrap_or_else(|| panic!("no database metadata for {}", inst.db_name))
+    fn meta_of(&self, inst: &Instance) -> Option<&'a DbMeta> {
+        self.metas.get(inst.db_name.as_str()).copied()
     }
 
     /// Override a tenant's fair-share weight (default 1): a tenant with
@@ -259,12 +335,29 @@ impl<'a> ServeEngine<'a> {
         self.state.lock().queues.set_weight(tenant, weight);
     }
 
+    /// Signal schema drift for `db`: drop its cached `LinkContext`s so
+    /// *new* sessions rebuild against the current metadata. Sessions
+    /// already in flight finish on their pinned `Arc<LinkContext>` —
+    /// invalidation never changes what a running request holds.
+    /// Returns the number of cached contexts dropped.
+    pub fn invalidate_db(&self, db: &str) -> usize {
+        self.counters
+            .db_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+        self.cache.invalidate_db(db)
+    }
+
     /// Admit a request by `tenant` for joint (tables → columns) linking
     /// of `inst`. Per-tenant quotas are checked before the global queue
     /// bound, so an over-quota tenant sees its own error, not everyone's.
     pub fn submit(&self, tenant: TenantId, inst: &'a Instance) -> Result<TicketId, SubmitError> {
-        // Fail fast on unknown databases, before any queue state changes.
-        let _ = self.meta_of(inst);
+        // Fail fast on unknown databases, before any queue state
+        // changes — a typed rejection, never a worker panic later.
+        if self.meta_of(inst).is_none() {
+            return Err(SubmitError::UnknownDatabase {
+                database: inst.db_name.clone(),
+            });
+        }
         let now = Instant::now();
         let mut st = self.state.lock();
         let quota = self.config.quota;
@@ -303,10 +396,13 @@ impl<'a> ServeEngine<'a> {
                 session: None,
                 checkpoint: None,
                 pending_resolution: None,
+                salvage: None,
+                salvage_resolution: None,
                 parked_billed: 0,
                 tables: None,
                 n_feedback: 0,
                 timed_out: false,
+                drained: false,
                 phase: Phase::Queued,
             },
         );
@@ -319,13 +415,17 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Block until the ticket suspends on feedback or completes. On
-    /// [`ClientEvent::Done`] the ticket is retired. Re-polling a
-    /// suspended ticket returns the same query; the protocol is
+    /// [`ClientEvent::Done`] the ticket is retired — a later call for
+    /// the same id returns [`ClientEvent::Retired`], as does an id
+    /// that was never issued. Re-polling a suspended ticket returns
+    /// the same query; the protocol is
     /// `submit → (wait_event → resolve)* → Done`.
     pub fn wait_event(&self, id: TicketId) -> ClientEvent {
         let mut st = self.state.lock();
         loop {
-            let ticket = st.tickets.get(&id).expect("unknown or retired ticket");
+            let Some(ticket) = st.tickets.get(&id) else {
+                return ClientEvent::Retired;
+            };
             match &ticket.phase {
                 Phase::AwaitingFeedback(query) => {
                     return ClientEvent::NeedsFeedback {
@@ -334,11 +434,13 @@ impl<'a> ServeEngine<'a> {
                     };
                 }
                 Phase::Done(_) => {
-                    let ticket = st.tickets.remove(&id).expect("ticket present");
-                    let Phase::Done(outcome) = ticket.phase else {
-                        unreachable!("phase checked above");
+                    return match st.tickets.remove(&id).map(|t| t.phase) {
+                        Some(Phase::Done(outcome)) => ClientEvent::Done(outcome),
+                        // Unreachable under the lock held since the
+                        // check above — but a client API degrades, it
+                        // never panics.
+                        _ => ClientEvent::Retired,
                     };
-                    return ClientEvent::Done(outcome);
                 }
                 Phase::Queued | Phase::Running => self.client_cv.wait(&mut st),
             }
@@ -351,35 +453,44 @@ impl<'a> ServeEngine<'a> {
     /// stale answer can never land on a different flag. Resumed work
     /// bypasses admission bounds — it was already admitted.
     ///
-    /// Returns `false` when the resolution lost a race against a
-    /// feedback timeout: either the flag was already answered with
-    /// abstention (the next [`ServeEngine::wait_event`] reports the
-    /// outcome), or — with a chained stage in between — the ticket is
-    /// already suspended on a *different* flag than the one the client
-    /// saw. A protocol race, not an error; the answer is dropped, never
-    /// misapplied. Panics on a ticket that never asked for feedback.
-    pub fn resolve(&self, id: TicketId, query: &FlagQuery, resolution: FlagResolution) -> bool {
+    /// `Err(ResolveError::Stale)` means the resolution lost a race:
+    /// the flag was already answered (a feedback timeout, a duplicate
+    /// resolve) or — with a chained stage in between — the ticket is
+    /// now suspended on a *different* flag than the one the client
+    /// saw. `Err(ResolveError::Retired)` means the ticket is gone.
+    /// Either way the answer is dropped, never misapplied — and a
+    /// protocol race is a typed error, never a panic.
+    pub fn resolve(
+        &self,
+        id: TicketId,
+        query: &FlagQuery,
+        resolution: FlagResolution,
+    ) -> Result<(), ResolveError> {
+        if self.config.fault.trip(FaultSite::FeedbackDelay) {
+            // A slow network between client and engine: the resolution
+            // arrives late, exercising the stale-answer races (taken
+            // before the state lock — a delay must not stall workers).
+            self.counters
+                .feedback_delayed
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.config.fault.feedback_delay);
+        }
+        if self.config.feedback_timeout.is_some() && self.config.fault.trip(FaultSite::FeedbackLoss)
+        {
+            // Lost in flight *after* the client sent it — from the
+            // client's view the resolve succeeded; the park timeout
+            // completes the request as an abstention hand-off. Only
+            // injected when a timeout exists to rescue the park.
+            self.counters.feedback_lost.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
         let mut st = self.state.lock();
-        let ticket = st.tickets.get_mut(&id).expect("unknown or retired ticket");
+        let Some(ticket) = st.tickets.get_mut(&id) else {
+            return Err(ResolveError::Retired);
+        };
         match &ticket.phase {
             Phase::AwaitingFeedback(current) if current == query => {}
-            Phase::AwaitingFeedback(_) => {
-                // The flag the client saw timed out, the request moved
-                // on, and it is now parked on a newer flag: the stale
-                // answer must not be applied to it.
-                assert!(
-                    ticket.timed_out,
-                    "resolve with a query the ticket never raised"
-                );
-                return false;
-            }
-            _ => {
-                assert!(
-                    ticket.timed_out || matches!(ticket.phase, Phase::Done(_)),
-                    "resolve on a ticket that is not awaiting feedback"
-                );
-                return false;
-            }
+            _ => return Err(ResolveError::Stale),
         }
         ticket.n_feedback += 1;
         self.unpark(&mut st, id, resolution);
@@ -388,7 +499,7 @@ impl<'a> ServeEngine<'a> {
             .fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.work_cv.notify_one();
-        true
+        Ok(())
     }
 
     /// The one unpark protocol, shared by client resolutions and
@@ -403,7 +514,13 @@ impl<'a> ServeEngine<'a> {
         ticket.parked_billed = 0;
         ticket.park_deadline = None;
         match ticket.session.as_mut() {
-            Some(session) => session.resolve(resolution),
+            Some(session) => {
+                // Remember what was applied: if a later step panics,
+                // the salvage checkpoint (captured *before* this
+                // resolution) plus this replay rebuilds the session.
+                ticket.salvage_resolution = Some(resolution.clone());
+                session.resolve(resolution);
+            }
             // Checkpointed while parked: the worker restores the
             // session and applies this resolution before stepping.
             None => ticket.pending_resolution = Some(resolution),
@@ -414,9 +531,13 @@ impl<'a> ServeEngine<'a> {
         st.queues.note_unparked(tenant);
     }
 
-    /// Ask workers to exit once the queues drain. Clients must be done
-    /// (or abandoned) first — a parked ticket never blocks shutdown,
-    /// but an in-queue one is still processed.
+    /// Ask workers to exit once the queues drain. In-queue tickets are
+    /// still processed, and *parked* tickets are drained: nothing will
+    /// answer their flags anymore, so workers resolve each one with
+    /// the abstention verdict (`drained_to_abstention` in the stats)
+    /// and run it to completion — every submitted ticket ends
+    /// [`ClientEvent::Done`], memory gauges drain to zero, and a
+    /// client still polling collects its outcome.
     pub fn shutdown(&self) {
         // Flip the flag *under the state lock*: a worker that just saw
         // `shutdown == false` while holding the lock is guaranteed to
@@ -474,6 +595,28 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
+    /// Shutdown drain: resolve every parked ticket with the abstention
+    /// verdict and re-queue it so the pool runs it to completion before
+    /// exiting. Workers call this on every dispatch once the shutdown
+    /// flag is up; `process` stops parking new flags at the same point,
+    /// so no ticket can strand between the last sweep and worker exit.
+    fn drain_parked_for_shutdown(&self, st: &mut EngineState<'a>) {
+        let parked: Vec<TicketId> = st
+            .tickets
+            .iter()
+            .filter(|(_, t)| matches!(t.phase, Phase::AwaitingFeedback(_)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in parked {
+            let ticket = st.tickets.get_mut(&id).expect("parked ticket exists");
+            ticket.drained = true;
+            self.unpark(st, id, FlagResolution::Abstain { consulted: false });
+            self.counters
+                .drained_to_abstention
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Earliest possible parked-feedback deadline, bounding how long an
     /// idle worker may sleep. The cached bound may be stale-early after
     /// an unpark — the woken worker just sweeps, finds nothing, and
@@ -493,6 +636,12 @@ impl<'a> ServeEngine<'a> {
                 let mut st = self.state.lock();
                 loop {
                     self.expire_lapsed_parks(&mut st);
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        // Degrade-only shutdown: requeue parked tickets
+                        // with the abstention verdict so they complete
+                        // (and are popped below) before workers exit.
+                        self.drain_parked_for_shutdown(&mut st);
+                    }
                     if let Some(id) = st.queues.pop() {
                         break id;
                     }
@@ -515,10 +664,21 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    /// Run one ticket forward until it parks on feedback, finishes, or
-    /// sheds on its deadline.
+    /// Run one ticket forward until it parks on feedback, finishes,
+    /// sheds on its deadline, or degrades to abstention after an
+    /// unrecoverable fault.
     fn process(&self, id: TicketId, scratch: &mut LinkScratch) {
-        let (inst, tenant, mut stage, mut session, mut checkpointed, mut resolution, deadline) = {
+        let (
+            inst,
+            tenant,
+            mut stage,
+            mut session,
+            mut checkpointed,
+            mut resolution,
+            deadline,
+            mut salvage,
+            mut salvage_resolution,
+        ) = {
             let mut st = self.state.lock();
             let ticket = st.tickets.get_mut(&id).expect("ticket exists");
             ticket.phase = Phase::Running;
@@ -530,9 +690,17 @@ impl<'a> ServeEngine<'a> {
                 ticket.checkpoint.take(),
                 ticket.pending_resolution.take(),
                 ticket.deadline,
+                ticket.salvage.take(),
+                ticket.salvage_resolution.take(),
             )
         };
-        let meta = self.meta_of(inst);
+        let Some(meta) = self.meta_of(inst) else {
+            // `submit` rejects unknown databases, so this cannot happen
+            // through the public API — but an engine bug must degrade
+            // the one ticket, not panic the worker pool.
+            self.finalize(id, tenant, stage, None, false, true);
+            return;
+        };
         loop {
             // Abstention-as-backpressure: past the budget, the
             // remaining stages answer with the paper's own hand-off
@@ -544,26 +712,132 @@ impl<'a> ServeEngine<'a> {
                     // would read non-zero forever.
                     self.counters.note_checkpoint_discarded(bytes.len());
                 }
-                self.finalize(id, tenant, stage, None, true);
+                self.finalize(id, tenant, stage, None, true, false);
                 return;
             }
-            let mut s = match session.take() {
-                Some(s) => s,
+            // Build the session, remembering the recipe that rebuilds
+            // it should a step panic: the pre-resolution checkpoint
+            // plus the resolution to replay. `None` = the session was
+            // freshly opened and rebuilds from scratch.
+            let (mut s, recovery): (
+                LinkSession<'a>,
+                Option<(SessionCheckpoint, Option<FlagResolution>)>,
+            ) = match session.take() {
+                Some(s) => (s, salvage.take().map(|cp| (cp, salvage_resolution.take()))),
                 None => match checkpointed.take() {
                     Some(bytes) => {
-                        self.restore_session(inst, meta, stage, &bytes, &resolution, scratch)
+                        let decoded = if self.config.fault.trip(FaultSite::CheckpointDecode) {
+                            None
+                        } else {
+                            checkpoint::try_decode(&bytes)
+                                .ok()
+                                .filter(|cp| cp.matches(inst, stage))
+                        };
+                        // The bytes leave the gauge either way — they
+                        // are consumed here, restorable or not.
+                        self.counters.note_restored(bytes.len());
+                        let cp = match decoded {
+                            Some(cp) => cp,
+                            // Corrupt checkpoint: the salvage copy kept
+                            // in memory at park time re-runs the same
+                            // regeneration recipe bit-identically.
+                            None => match salvage.take() {
+                                Some(cp) => {
+                                    self.counters
+                                        .corrupt_checkpoints_recovered
+                                        .fetch_add(1, Ordering::Relaxed);
+                                    cp
+                                }
+                                None => {
+                                    self.finalize(id, tenant, stage, None, false, true);
+                                    return;
+                                }
+                            },
+                        };
+                        let res = resolution.take();
+                        let s = self.rebuild_session(inst, meta, stage, &cp, &res, scratch);
+                        (s, Some((cp, res)))
                     }
-                    None => self.open_session(inst, meta, stage),
+                    None => (self.open_session(inst, meta, stage), None),
                 },
             };
-            if let Some(res) = resolution.take() {
-                // Feedback (or a timeout verdict) that arrived while
-                // the session was checkpointed out of memory.
-                s.resolve(res);
-            }
-            match s.step(scratch) {
+            // Step under `catch_unwind`: a panicking step (injected or
+            // genuine) must cost at most this ticket, never the worker
+            // pool. The session is rebuilt from its recovery recipe and
+            // retried with exponential backoff; past the budget the
+            // ticket degrades to a `faulted` abstention.
+            let mut panics = 0usize;
+            let state = loop {
+                let inject = self.config.fault.trip(FaultSite::StepPanic);
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        std::panic::panic_any(InjectedPanic);
+                    }
+                    s.step(scratch)
+                }));
+                match stepped {
+                    Ok(state) => break Some(state),
+                    Err(_) => {
+                        self.counters
+                            .panics_recovered
+                            .fetch_add(1, Ordering::Relaxed);
+                        panics += 1;
+                        if panics > self.config.step_retry_budget {
+                            break None;
+                        }
+                        // The unwound step may have left the scratch
+                        // buffers mid-mutation; start clean.
+                        *scratch = LinkScratch::default();
+                        let backoff =
+                            self.config.step_retry_backoff * (1u32 << (panics - 1).min(16));
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        s = match &recovery {
+                            Some((cp, res)) => {
+                                self.rebuild_session(inst, meta, stage, cp, res, scratch)
+                            }
+                            None => self.open_session(inst, meta, stage),
+                        };
+                    }
+                }
+            };
+            let Some(state) = state else {
+                self.counters
+                    .panics_to_abstention
+                    .fetch_add(1, Ordering::Relaxed);
+                self.finalize(id, tenant, stage, None, false, true);
+                return;
+            };
+            match state {
                 SessionState::NeedsFeedback(query) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        // Shutting down: nothing will answer this flag.
+                        // Resolve it to abstention right here instead
+                        // of parking — parking after the drain sweep
+                        // would strand the ticket forever.
+                        let cp = s.checkpoint();
+                        let verdict = FlagResolution::Abstain { consulted: false };
+                        s.resolve(verdict.clone());
+                        {
+                            let mut st = self.state.lock();
+                            let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+                            ticket.drained = true;
+                        }
+                        self.counters
+                            .drained_to_abstention
+                            .fetch_add(1, Ordering::Relaxed);
+                        session = Some(s);
+                        salvage = Some(cp);
+                        salvage_resolution = Some(verdict);
+                        let _ = query;
+                        continue;
+                    }
                     let held = s.held_bytes();
+                    // The salvage recipe: cheap (recipe-sized, no
+                    // hidden stacks), and the only way back should a
+                    // post-resolution step panic lose the session.
+                    let cp = s.checkpoint();
                     let park_deadline = self.config.feedback_timeout.map(|t| Instant::now() + t);
                     let mut st = self.state.lock();
                     if let Some(deadline) = park_deadline {
@@ -575,6 +849,8 @@ impl<'a> ServeEngine<'a> {
                     let ticket = st.tickets.get_mut(&id).expect("ticket exists");
                     ticket.session = Some(s);
                     ticket.stage = stage;
+                    ticket.salvage = Some(cp);
+                    ticket.salvage_resolution = None;
                     ticket.parked_billed = held;
                     ticket.park_deadline = park_deadline;
                     ticket.phase = Phase::AwaitingFeedback(query);
@@ -598,10 +874,13 @@ impl<'a> ServeEngine<'a> {
                         ticket.stage = LinkTarget::Columns;
                         stage = LinkTarget::Columns;
                         // Session dropped; the next loop iteration
-                        // opens the chained columns session.
+                        // opens the chained columns session. The tables
+                        // salvage is stage-local — clear it.
+                        salvage = None;
+                        salvage_resolution = None;
                     }
                     LinkTarget::Columns => {
-                        self.finalize(id, tenant, stage, Some(outcome), false);
+                        self.finalize(id, tenant, stage, Some(outcome), false, false);
                         return;
                     }
                 },
@@ -644,7 +923,20 @@ impl<'a> ServeEngine<'a> {
     fn session_ctx(&self, meta: &'a DbMeta, stage: LinkTarget) -> Option<CtxHandle<'a>> {
         // The reference-linking knob runs context-free (the session
         // ignores a context under it anyway; skip the cache churn).
-        (!self.config.rts.reference_linking).then(|| CtxHandle::Shared(self.cache.get(meta, stage)))
+        if self.config.rts.reference_linking {
+            return None;
+        }
+        if self.config.fault.trip(FaultSite::ContextBuild) {
+            // A failed context build degrades to the context-free
+            // reference path — outcome-identical (pinned by the
+            // cached≡reference parity proptests), just slower. Never
+            // an abstention, never a drop.
+            self.counters
+                .context_build_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(CtxHandle::Shared(self.cache.get(meta, stage)))
     }
 
     fn open_session(
@@ -669,23 +961,24 @@ impl<'a> ServeEngine<'a> {
         )
     }
 
-    /// Rebuild a checkpointed session: deserialize the recipe and
-    /// re-synthesize the evicted round bit-identically (generation is
-    /// deterministic in instance + overrides). `resolution` is the
-    /// stashed verdict about to be applied: when it discards the round
-    /// anyway (an abstention finishes the session without reading it;
-    /// a pin marks the stream stale and regenerates), the synthesis is
-    /// skipped — only a `Continue` actually re-reads the parked round.
-    fn restore_session(
+    /// Rebuild a session from a checkpoint recipe and re-apply
+    /// `resolution`, re-synthesizing the evicted round bit-identically
+    /// (generation is deterministic in instance + overrides). Shared by
+    /// the checkpoint-restore and panic-salvage paths. When the
+    /// resolution discards the round anyway (an abstention finishes the
+    /// session without reading it; a pin marks the stream stale and
+    /// regenerates), the synthesis is skipped — only a `Continue`
+    /// actually re-reads the parked round.
+    fn rebuild_session(
         &self,
         inst: &'a Instance,
         meta: &'a DbMeta,
         stage: LinkTarget,
-        bytes: &[u8],
+        cp: &SessionCheckpoint,
         resolution: &Option<FlagResolution>,
         scratch: &mut LinkScratch,
     ) -> LinkSession<'a> {
-        let mut cp = checkpoint::decode(bytes);
+        let mut cp = cp.clone();
         if matches!(
             resolution,
             Some(FlagResolution::Abstain { .. } | FlagResolution::Pin(_))
@@ -696,7 +989,7 @@ impl<'a> ServeEngine<'a> {
             LinkTarget::Tables => self.mbpp_tables,
             LinkTarget::Columns => self.mbpp_columns,
         };
-        let session = LinkSession::restore(
+        let mut session = LinkSession::restore(
             self.model,
             mbpp,
             inst,
@@ -707,7 +1000,9 @@ impl<'a> ServeEngine<'a> {
             &cp,
             &mut scratch.synth,
         );
-        self.counters.note_restored(bytes.len());
+        if let Some(res) = resolution {
+            session.resolve(res.clone());
+        }
         session
     }
 
@@ -724,7 +1019,8 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Retire a ticket: `columns` is the finished column outcome, or
-    /// `None` when shedding cut the run short at `stage`.
+    /// `None` when shedding (or an unrecoverable fault, `faulted`) cut
+    /// the run short at `stage`.
     fn finalize(
         &self,
         id: TicketId,
@@ -732,13 +1028,14 @@ impl<'a> ServeEngine<'a> {
         stage: LinkTarget,
         columns: Option<RtsOutcome>,
         shed: bool,
+        faulted: bool,
     ) {
         let mut st = self.state.lock();
         let ticket = st.tickets.get_mut(&id).expect("ticket exists");
         let tables = match ticket.tables.take() {
             Some(t) => t,
             None => {
-                debug_assert!(shed && stage == LinkTarget::Tables);
+                debug_assert!((shed || faulted) && stage == LinkTarget::Tables);
                 Self::shed_outcome()
             }
         };
@@ -747,6 +1044,8 @@ impl<'a> ServeEngine<'a> {
             outcome: JointOutcome { tables, columns },
             shed,
             timed_out: ticket.timed_out,
+            faulted,
+            drained: ticket.drained,
             latency: ticket.submitted.elapsed(),
             n_feedback: ticket.n_feedback,
         };
@@ -795,6 +1094,20 @@ impl<'a> ServeEngine<'a> {
             checkpoint_bytes_now: self.counters.checkpoint_bytes.load(Ordering::Relaxed),
             tenants_seen,
             tenant_in_flight_peak,
+            panics_recovered: self.counters.panics_recovered.load(Ordering::Relaxed),
+            panics_to_abstention: self.counters.panics_to_abstention.load(Ordering::Relaxed),
+            corrupt_checkpoints_recovered: self
+                .counters
+                .corrupt_checkpoints_recovered
+                .load(Ordering::Relaxed),
+            context_build_fallbacks: self
+                .counters
+                .context_build_fallbacks
+                .load(Ordering::Relaxed),
+            feedback_lost: self.counters.feedback_lost.load(Ordering::Relaxed),
+            feedback_delayed: self.counters.feedback_delayed.load(Ordering::Relaxed),
+            drained_to_abstention: self.counters.drained_to_abstention.load(Ordering::Relaxed),
+            db_invalidations: self.counters.db_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -862,16 +1175,25 @@ mod tests {
                     Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
                         std::thread::sleep(Duration::from_micros(200));
                     }
+                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                        panic!("fixture instances always have metadata: {e}")
+                    }
                 }
             };
             loop {
                 match engine.wait_event(ticket) {
                     ClientEvent::NeedsFeedback { query, .. } => {
-                        engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
+                        // A `Stale` result is a legal race (timeout or
+                        // injected loss beat the answer); re-polling
+                        // picks up the current state.
+                        let _ = engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
                     }
                     ClientEvent::Done(outcome) => {
                         out.push((inst.id, outcome));
                         break;
+                    }
+                    ClientEvent::Retired => {
+                        panic!("ticket {ticket} retired while its client still waits")
                     }
                 }
             }
@@ -890,7 +1212,9 @@ mod tests {
         let policy = MitigationPolicy::Human(oracle);
         let mut scratch = LinkScratch::default();
         for (id, served) in all {
-            let inst = instances.iter().find(|i| i.id == *id).unwrap();
+            let Some(inst) = instances.iter().find(|i| i.id == *id) else {
+                panic!("served outcome for instance {id} not in the submitted slice");
+            };
             let batch = rts_core::pipeline::run_joint_linking_in(
                 &fx.model,
                 &fx.mbpp_t,
@@ -909,6 +1233,8 @@ mod tests {
             );
             assert!(!served.shed);
             assert!(!served.timed_out);
+            assert!(!served.faulted);
+            assert!(!served.drained);
         }
     }
 
@@ -1039,6 +1365,9 @@ mod tests {
                             out.push((inst.id, done));
                             break;
                         }
+                        ClientEvent::Retired => {
+                            panic!("ticket {ticket} retired before its outcome was collected")
+                        }
                     }
                 }
             }
@@ -1151,5 +1480,406 @@ mod tests {
         assert_eq!(stats.rejected, 0, "quota rejections are billed apart");
         assert_eq!(stats.tenants_seen, 2);
         assert_eq!(stats.tenant_in_flight_peak, 2);
+    }
+
+    /// A query that cannot match any real park: no instance has id
+    /// `u64::MAX`.
+    fn bogus_query() -> FlagQuery {
+        FlagQuery {
+            instance: u64::MAX,
+            is_table: true,
+            round: 0,
+            branch_pos: 0,
+            element_idx: 0,
+            gold_element: String::new(),
+            implicated: Vec::new(),
+            predicted: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unknown_database_is_a_typed_submit_error() {
+        let fx = fixture();
+        let mut foreign = fx.bench.split.dev[0].clone();
+        foreign.db_name = "no_such_database".to_string();
+        let engine = ServeEngine::new(
+            &fx.model,
+            &fx.mbpp_t,
+            &fx.mbpp_c,
+            &fx.bench.metas,
+            ServeConfig::default(),
+        );
+        // Used to be a worker panic at dispatch; now a typed rejection
+        // at the edge, before any queue state changes.
+        assert_eq!(
+            engine.submit(0, &foreign),
+            Err(SubmitError::UnknownDatabase {
+                database: "no_such_database".to_string()
+            })
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 0, "not billed as queue backpressure");
+        assert_eq!(stats.tenants_seen, 0, "rejected before tenant accounting");
+    }
+
+    #[test]
+    fn dead_and_mismatched_tickets_get_typed_errors_not_panics() {
+        let fx = fixture();
+        let engine = ServeEngine::new(
+            &fx.model,
+            &fx.mbpp_t,
+            &fx.mbpp_c,
+            &fx.bench.metas,
+            ServeConfig::default(),
+        );
+        // Never-issued ticket: polling and answering are both typed.
+        assert!(matches!(engine.wait_event(999), ClientEvent::Retired));
+        assert_eq!(
+            engine.resolve(999, &bogus_query(), FlagResolution::Continue),
+            Err(ResolveError::Retired)
+        );
+        // A live ticket that is *not* awaiting feedback (no workers are
+        // running, so it sits queued): an answer is stale, not a panic.
+        let ticket = engine.submit(0, &fx.bench.split.dev[0]).expect("room");
+        assert_eq!(
+            engine.resolve(ticket, &bogus_query(), FlagResolution::Continue),
+            Err(ResolveError::Stale)
+        );
+    }
+
+    #[test]
+    fn double_resolve_and_resolve_after_collection_are_typed() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let policy = MitigationPolicy::Human(&oracle);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(16).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let mut double_resolves = 0u32;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            for inst in &instances {
+                let ticket = engine.submit(0, inst).expect("queue has room");
+                loop {
+                    match engine.wait_event(ticket) {
+                        ClientEvent::NeedsFeedback { query, .. } => {
+                            engine
+                                .resolve(ticket, &query, resolve_flag(&policy, inst, &query))
+                                .expect("first answer to a live flag lands");
+                            // The duplicate answer races the worker, but
+                            // whatever it observes — re-queued, running,
+                            // parked on the *next* flag, or done — the
+                            // settled flag is gone, so it must be Stale.
+                            assert_eq!(
+                                engine.resolve(
+                                    ticket,
+                                    &query,
+                                    FlagResolution::Abstain { consulted: false }
+                                ),
+                                Err(ResolveError::Stale),
+                                "a settled flag must not be answerable twice"
+                            );
+                            double_resolves += 1;
+                        }
+                        ClientEvent::Done(_) => break,
+                        ClientEvent::Retired => {
+                            panic!("ticket {ticket} retired before collection")
+                        }
+                    }
+                }
+                // Collected: the ticket no longer exists.
+                assert!(matches!(engine.wait_event(ticket), ClientEvent::Retired));
+                assert_eq!(
+                    engine.resolve(ticket, &bogus_query(), FlagResolution::Continue),
+                    Err(ResolveError::Retired)
+                );
+            }
+            engine.shutdown();
+        })
+        .expect("serve scope panicked");
+        assert!(
+            double_resolves > 0,
+            "workload must exercise the double-resolve race"
+        );
+    }
+
+    #[test]
+    fn resolve_after_timeout_is_stale_then_retired() {
+        let fx = fixture();
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(16).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            feedback_timeout: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let mut late_answers = 0u32;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            for inst in &instances {
+                let ticket = engine.submit(0, inst).expect("queue has room");
+                let mut first_flag: Option<FlagQuery> = None;
+                loop {
+                    match engine.wait_event(ticket) {
+                        ClientEvent::NeedsFeedback { query, .. } => {
+                            if first_flag.is_none() {
+                                // Stall far past the timeout, then answer
+                                // anyway. The engine has already resolved
+                                // the flag to abstention without us, so
+                                // the late answer is stale — never a
+                                // panic, never a double-application.
+                                std::thread::sleep(Duration::from_millis(50));
+                                assert_eq!(
+                                    engine.resolve(ticket, &query, FlagResolution::Continue),
+                                    Err(ResolveError::Stale)
+                                );
+                                late_answers += 1;
+                                first_flag = Some(query);
+                            } else {
+                                // Later flags just lapse on their own.
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        ClientEvent::Done(done) => {
+                            assert_eq!(done.n_feedback, 0, "no answer ever landed");
+                            break;
+                        }
+                        ClientEvent::Retired => {
+                            panic!("ticket {ticket} retired before collection")
+                        }
+                    }
+                }
+                // `Done` collected the ticket: the very same answer now
+                // hits a retired ticket, and polling agrees.
+                if let Some(query) = first_flag {
+                    assert_eq!(
+                        engine.resolve(ticket, &query, FlagResolution::Continue),
+                        Err(ResolveError::Retired)
+                    );
+                    assert!(matches!(engine.wait_event(ticket), ClientEvent::Retired));
+                }
+            }
+            engine.shutdown();
+        })
+        .expect("serve scope panicked");
+        assert!(late_answers > 0, "workload must park at least once");
+        assert!(engine.stats().timed_out_to_abstention > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_parked_sessions_to_abstention() {
+        let fx = fixture();
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(16).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            // Route some parks through the checkpoint path too: the
+            // drain must release serialized state just the same.
+            parked_bytes_budget: 1,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let outcomes: Vec<(u64, ServeOutcome)> = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let tickets: Vec<(u64, TicketId)> = instances
+                .iter()
+                .map(|inst| (inst.id, engine.submit(0, inst).expect("queue has room")))
+                .collect();
+            // Nobody answers feedback and no timeout is configured:
+            // wait until the pool quiesces with every ticket either
+            // done or parked forever.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let stats = engine.stats();
+                if stats.parked_sessions_now > 0
+                    && stats.completed + stats.parked_sessions_now as u64 == instances.len() as u64
+                {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "pool failed to quiesce with parked sessions"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Shutdown must complete the parked tickets, not strand them.
+            engine.shutdown();
+            tickets
+                .into_iter()
+                .map(|(id, ticket)| loop {
+                    match engine.wait_event(ticket) {
+                        ClientEvent::Done(done) => break (id, done),
+                        ClientEvent::NeedsFeedback { .. } => {
+                            // The drain is racing us; poll again.
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        ClientEvent::Retired => panic!("ticket {ticket} dropped"),
+                    }
+                })
+                .collect()
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len(), "drains never drop");
+        let stats = engine.stats();
+        assert_eq!(stats.completed, instances.len() as u64);
+        assert!(
+            stats.drained_to_abstention > 0,
+            "quiescing with parked sessions guarantees drained tickets"
+        );
+        let mut drained_seen = 0u64;
+        for (id, o) in &outcomes {
+            if o.drained {
+                drained_seen += 1;
+                assert!(
+                    o.outcome.abstained(),
+                    "drained request must abstain (instance {id})"
+                );
+                assert_eq!(o.n_feedback, 0, "nobody ever answered");
+            }
+        }
+        assert!(drained_seen > 0);
+        // The counter bills per drained *flag* (a ticket can drain once
+        // per stage), so it bounds the drained-ticket count from above.
+        assert!(stats.drained_to_abstention >= drained_seen);
+        assert_eq!(stats.parked_sessions_now, 0, "no session left parked");
+        assert_eq!(stats.parked_bytes_now, 0, "all live parked state released");
+        assert_eq!(stats.checkpoint_bytes_now, 0, "all checkpoints consumed");
+    }
+
+    #[test]
+    fn injected_step_panics_recover_with_outcome_parity() {
+        crate::fault::silence_injected_panics();
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(24).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            fault: FaultPlan::seeded(11, 0.0).with_rate(FaultSite::StepPanic, 0.2),
+            // A deep budget: every panic recovers, none degrade — so
+            // the outcomes must be byte-identical to the fault-free
+            // batch run.
+            step_retry_budget: 64,
+            step_retry_backoff: Duration::ZERO,
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let outcomes = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let out = client_run(&engine, 0, &instances, &oracle);
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len(), "panics never drop");
+        let stats = engine.stats();
+        assert!(
+            stats.panics_recovered > 0,
+            "a 20% step-panic rate must fire on this workload"
+        );
+        assert_eq!(stats.panics_to_abstention, 0, "deep budget: all recovered");
+        assert_eq!(stats.parked_bytes_now, 0);
+        assert_eq!(stats.parked_sessions_now, 0);
+        // The recovery path re-runs the deterministic generation
+        // recipe, so recovered requests answer exactly as if nothing
+        // had happened.
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &outcomes);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_regenerate_from_salvage_with_parity() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(24).cloned().collect();
+        let config = ServeConfig {
+            workers: 2,
+            // Every park checkpoints…
+            parked_bytes_budget: 1,
+            // …and every checkpoint decode is corrupted: the engine
+            // must re-run the regeneration recipe from its in-memory
+            // salvage copy every single time.
+            fault: FaultPlan::seeded(3, 0.0).with_rate(FaultSite::CheckpointDecode, 1.0),
+            ..Default::default()
+        };
+        let engine = ServeEngine::new(&fx.model, &fx.mbpp_t, &fx.mbpp_c, &fx.bench.metas, config);
+        let outcomes = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let out = client_run(&engine, 0, &instances, &oracle);
+            engine.shutdown();
+            out
+        })
+        .expect("serve scope panicked");
+        assert_eq!(outcomes.len(), instances.len());
+        let stats = engine.stats();
+        assert!(
+            stats.checkpoints > 0,
+            "1-byte budget checkpoints every park"
+        );
+        assert_eq!(
+            stats.corrupt_checkpoints_recovered, stats.restores,
+            "every restore hit a corrupt checkpoint and salvaged"
+        );
+        assert!(stats.corrupt_checkpoints_recovered > 0);
+        assert_eq!(
+            stats.checkpoint_bytes_now, 0,
+            "corrupt bytes still billed off"
+        );
+        assert_eq!(stats.parked_bytes_now, 0);
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &outcomes);
+    }
+
+    #[test]
+    fn schema_drift_rebuilds_contexts_without_disturbing_flights() {
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 9);
+        let instances: Vec<benchgen::Instance> =
+            fx.bench.split.dev.iter().take(12).cloned().collect();
+        let engine = ServeEngine::new(
+            &fx.model,
+            &fx.mbpp_t,
+            &fx.mbpp_c,
+            &fx.bench.metas,
+            ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let outcomes = crossbeam::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|_| engine.worker_loop());
+            }
+            let out = client_run(&engine, 0, &instances, &oracle);
+            // Drift every database mid-flight-ish: outcomes already
+            // collected must be untouched, and the counter must bill.
+            for meta in fx.bench.metas.iter() {
+                engine.invalidate_db(&meta.name);
+            }
+            let out2 = client_run(&engine, 0, &instances, &oracle);
+            engine.shutdown();
+            (out, out2)
+        })
+        .expect("serve scope panicked");
+        let stats = engine.stats();
+        assert_eq!(stats.db_invalidations, fx.bench.metas.len() as u64);
+        // Dropped contexts rebuild; answers are a pure function of
+        // `(instance, seed)`, so both passes match the batch runtime.
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &outcomes.0);
+        assert_batch_parity(&fx, &engine, &oracle, &instances, &outcomes.1);
     }
 }

@@ -46,6 +46,21 @@
 //!   not dropped: the remaining linking stages degrade to *abstention*,
 //!   the paper's own "hand this instance off" verdict. Load shedding
 //!   and reliability share one mechanism, unique to this design.
+//! * **Degrade-only fault tolerance** — a panicking session step is
+//!   caught (`catch_unwind`), rebuilt from its salvage checkpoint and
+//!   retried with backoff before degrading the one ticket to
+//!   abstention; corrupt checkpoints re-run their regeneration recipe;
+//!   failed context builds fall back to the outcome-identical
+//!   context-free path; client API misuse (unknown tickets, double
+//!   resolves) returns typed errors ([`ClientEvent::Retired`],
+//!   [`ResolveError`]) instead of panicking. The [`fault`] module's
+//!   deterministic [`fault::FaultPlan`] injects all of these
+//!   reproducibly; the chaos proptests pin the invariant that every
+//!   submitted ticket still terminates with zero drops.
+//! * **Schema-drift epochs** — [`ServeEngine::invalidate_db`] (or a
+//!   bumped `DbMeta::revision`) drops cached contexts so new sessions
+//!   rebuild, while in-flight sessions finish on their pinned
+//!   `Arc<LinkContext>`.
 //! * **Accounting** — per-request latency (p50/p95/p99), queue depth,
 //!   context-cache hit rate and parked-session memory are recorded in
 //!   a [`ServingStats`] snapshot.
@@ -66,9 +81,11 @@
 
 pub mod checkpoint;
 mod engine;
+pub mod fault;
 mod stats;
 pub mod tenant;
 
-pub use engine::{ClientEvent, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
+pub use engine::{ClientEvent, ResolveError, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
+pub use fault::{FaultPlan, FaultSite};
 pub use stats::{LatencySummary, ServingStats};
 pub use tenant::{TenantId, TenantQuota, TicketId};

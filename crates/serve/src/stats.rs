@@ -88,6 +88,30 @@ pub struct ServingStats {
     /// Highest concurrent in-flight count any single tenant reached —
     /// what a fairness self-check compares against the quota.
     pub tenant_in_flight_peak: usize,
+    /// Step panics caught by a worker's `catch_unwind` (injected or
+    /// genuine) — each one left the pool intact and the ticket
+    /// salvaged into a retry or an abstention.
+    pub panics_recovered: u64,
+    /// Tickets whose step kept panicking past the retry budget and
+    /// degraded to a `faulted` abstention (never a drop).
+    pub panics_to_abstention: u64,
+    /// Checkpoints that failed to decode and were rebuilt from the
+    /// ticket's in-memory salvage recipe instead.
+    pub corrupt_checkpoints_recovered: u64,
+    /// Context-cache builds that failed and fell back to the
+    /// context-free reference path (outcome-identical, just slower).
+    pub context_build_fallbacks: u64,
+    /// Client resolutions lost in flight (injected); the park timeout
+    /// completed those requests as abstention hand-offs.
+    pub feedback_lost: u64,
+    /// Client resolutions delayed in flight (injected).
+    pub feedback_delayed: u64,
+    /// Parked sessions resolved to abstention by a shutdown drain —
+    /// shutdown completes every ticket, it never strands one.
+    pub drained_to_abstention: u64,
+    /// Explicit schema-drift invalidations
+    /// ([`crate::ServeEngine::invalidate_db`] calls).
+    pub db_invalidations: u64,
 }
 
 /// Bounded sliding window of latency samples: a long-lived engine must
@@ -146,6 +170,14 @@ pub(crate) struct Counters {
     pub restores: AtomicU64,
     pub checkpoint_bytes: AtomicUsize,
     pub checkpoint_bytes_peak: AtomicUsize,
+    pub panics_recovered: AtomicU64,
+    pub panics_to_abstention: AtomicU64,
+    pub corrupt_checkpoints_recovered: AtomicU64,
+    pub context_build_fallbacks: AtomicU64,
+    pub feedback_lost: AtomicU64,
+    pub feedback_delayed: AtomicU64,
+    pub drained_to_abstention: AtomicU64,
+    pub db_invalidations: AtomicU64,
 }
 
 impl Counters {

@@ -83,7 +83,9 @@ fn main() {
                         if suspensions == 1 {
                             println!("ticket {ticket}: resolving with {resolution:?}");
                         }
-                        engine.resolve(ticket, &query, resolution);
+                        engine
+                            .resolve(ticket, &query, resolution)
+                            .expect("no timeouts or faults configured");
                     }
                     ClientEvent::Done(done) => {
                         if suspensions > 0 && done.n_feedback > 0 {
@@ -97,6 +99,9 @@ fn main() {
                             );
                         }
                         break;
+                    }
+                    ClientEvent::Retired => {
+                        unreachable!("ticket {ticket} retired while its client still waits")
                     }
                 }
             }

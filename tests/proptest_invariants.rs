@@ -147,7 +147,7 @@ mod parity {
     };
     use rts::core::sqlgen::SqlGenModel;
     use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
-    use rts::serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError};
+    use rts::serve::{ClientEvent, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
     use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
     use std::sync::OnceLock;
 
@@ -718,21 +718,34 @@ mod parity {
                                         SubmitError::QueueFull { .. }
                                         | SubmitError::QuotaExceeded { .. },
                                     ) => std::thread::sleep(std::time::Duration::from_micros(100)),
+                                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                                        panic!("fixture instances always have metadata: {e}")
+                                    }
                                 }
                             };
                             loop {
                                 match engine.wait_event(ticket) {
                                     ClientEvent::NeedsFeedback { query, .. } => {
-                                        engine.resolve(
-                                            ticket,
-                                            &query,
-                                            resolve_flag(&policy, inst, &query),
-                                        );
+                                        // No timeouts and no faults: the
+                                        // resolution can never be stale.
+                                        engine
+                                            .resolve(
+                                                ticket,
+                                                &query,
+                                                resolve_flag(&policy, inst, &query),
+                                            )
+                                            .expect("fault-free parity resolve");
                                     }
                                     ClientEvent::Done(done) => {
                                         assert!(!done.shed, "no deadline configured");
+                                        assert!(!done.faulted, "no fault plan armed");
                                         out.push((inst.id, done.outcome));
                                         break;
+                                    }
+                                    ClientEvent::Retired => {
+                                        panic!(
+                                            "ticket {ticket} retired while its client still waits"
+                                        )
                                     }
                                 }
                             }
@@ -776,6 +789,173 @@ mod parity {
         if !config.reference_linking {
             // The reference knob runs context-free, bypassing the cache.
             assert!(stats.cache.hits > 0, "contexts must be reused");
+        }
+    }
+
+    /// The chaos workload shape shared by the fault-schedule proptest
+    /// and its fault-free baseline.
+    const CHAOS_N: usize = 24;
+    const CHAOS_RTS_SEED: u64 = 0xC4405;
+    const CHAOS_ORACLE_SEED: u64 = 0x0DDE;
+
+    /// Fault-free batch outcomes for the chaos workload, one `Debug`
+    /// string per instance — computed once per process (the batch
+    /// pipeline would otherwise dominate every proptest case).
+    fn chaos_baseline() -> &'static [String] {
+        static BASELINE: OnceLock<Vec<String>> = OnceLock::new();
+        BASELINE.get_or_init(|| {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, CHAOS_ORACLE_SEED);
+            let generator = SqlGenModel::deepseek_7b("bird", 99);
+            let config = base_config(CHAOS_RTS_SEED);
+            let instances: Vec<Instance> =
+                fx.bench.split.dev.iter().take(CHAOS_N).cloned().collect();
+            let (_ex, batch) = run_full_pipeline(
+                &fx.bench, &instances, &fx.model, &fx.mbpp_t, &fx.mbpp_c, &oracle, &generator,
+                &config,
+            );
+            batch.iter().map(|o| format!("{o:?}")).collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Degrade-only under chaos: for *arbitrary* seeded fault
+        /// schedules — step panics, corrupt checkpoints, context-build
+        /// failures, lost and delayed feedback, all armed at once —
+        /// every ticket still terminates exactly once, nothing is
+        /// dropped, the parked/checkpoint gauges drain to zero, every
+        /// fault-degraded outcome is an abstention (never a wrong
+        /// answer), and requests the faults did *not* degrade are
+        /// byte-identical to the fault-free batch pipeline. Runs under
+        /// the CI parity matrix, so the recovery machinery is crossed
+        /// with `RTS_THREADS` and every `RTS_REFERENCE` knob.
+        #[test]
+        fn chaos_fault_schedules_degrade_only(fault_seed in any::<u64>()) {
+            rts::serve::fault::silence_injected_panics();
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, CHAOS_ORACLE_SEED);
+            let baseline = chaos_baseline();
+            let instances: Vec<Instance> =
+                fx.bench.split.dev.iter().take(CHAOS_N).cloned().collect();
+            let serve_cfg = ServeConfig {
+                workers: 2,
+                queue_capacity: 4,
+                cache_capacity: 2,
+                // Budget 1 forces every park through the checkpoint
+                // path, so CheckpointDecode faults fire on restores.
+                parked_bytes_budget: 1,
+                // Required for FeedbackLoss to inject; generous enough
+                // that answered flags rarely lose the race.
+                feedback_timeout: Some(std::time::Duration::from_millis(50)),
+                fault: FaultPlan::seeded(fault_seed, 0.08),
+                step_retry_budget: 64,
+                step_retry_backoff: std::time::Duration::ZERO,
+                rts: base_config(CHAOS_RTS_SEED),
+                ..ServeConfig::default()
+            };
+            let engine = ServeEngine::new(
+                &fx.model,
+                &fx.mbpp_t,
+                &fx.mbpp_c,
+                &fx.bench.metas,
+                serve_cfg,
+            );
+            let n_clients = 3;
+            let served: Vec<(u64, ServeOutcome)> = crossbeam::thread::scope(|s| {
+                for _ in 0..engine.config().workers {
+                    s.spawn(|_| engine.worker_loop());
+                }
+                let handles: Vec<_> = (0..n_clients)
+                    .map(|c| {
+                        let engine = &engine;
+                        let instances = &instances;
+                        let oracle = &oracle;
+                        s.spawn(move |_| {
+                            let policy = MitigationPolicy::Human(oracle);
+                            let mut out = Vec::new();
+                            for inst in instances.iter().skip(c).step_by(n_clients) {
+                                let ticket = loop {
+                                    match engine.submit(c as u32, inst) {
+                                        Ok(t) => break t,
+                                        Err(
+                                            SubmitError::QueueFull { .. }
+                                            | SubmitError::QuotaExceeded { .. },
+                                        ) => std::thread::sleep(
+                                            std::time::Duration::from_micros(100),
+                                        ),
+                                        Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                                            panic!("fixture instances always have metadata: {e}")
+                                        }
+                                    }
+                                };
+                                loop {
+                                    match engine.wait_event(ticket) {
+                                        ClientEvent::NeedsFeedback { query, .. } => {
+                                            // `Stale` is a legal race under
+                                            // the feedback timeout and the
+                                            // injected loss/delay faults.
+                                            let _ = engine.resolve(
+                                                ticket,
+                                                &query,
+                                                resolve_flag(&policy, inst, &query),
+                                            );
+                                        }
+                                        ClientEvent::Done(done) => {
+                                            out.push((inst.id, done));
+                                            break;
+                                        }
+                                        ClientEvent::Retired => panic!(
+                                            "ticket {ticket} retired while its client still waits"
+                                        ),
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                let out: Vec<_> = handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("chaos client panicked"))
+                    .collect();
+                engine.shutdown();
+                out
+            })
+            .expect("chaos scope panicked");
+
+            // Exactly-once termination: nothing dropped, nothing doubled.
+            prop_assert_eq!(served.len(), instances.len());
+            let stats = engine.stats();
+            prop_assert_eq!(stats.completed, instances.len() as u64);
+            // The gauges must drain: recovery never leaks parked state.
+            prop_assert_eq!(stats.parked_bytes_now, 0);
+            prop_assert_eq!(stats.parked_sessions_now, 0);
+            prop_assert_eq!(stats.checkpoint_bytes_now, 0);
+            let mut checked = 0usize;
+            for (id, done) in &served {
+                let i = instances.iter().position(|x| x.id == *id).unwrap();
+                if done.faulted {
+                    // Degrade-only: an unrecoverable fault abstains,
+                    // it never fabricates an answer.
+                    prop_assert!(
+                        done.outcome.tables.abstained || done.outcome.columns.abstained,
+                        "faulted instance {} did not abstain", id
+                    );
+                } else if !done.timed_out && !done.shed && !done.drained {
+                    // Recovered faults must be invisible: outcomes the
+                    // schedule did not degrade are byte-identical to
+                    // the fault-free batch pipeline.
+                    prop_assert_eq!(
+                        format!("{:?}", done.outcome),
+                        baseline[i].clone(),
+                        "chaos/batch outcome mismatch on instance {}", id
+                    );
+                    checked += 1;
+                }
+            }
+            prop_assert!(checked > 0, "every request degraded — no parity coverage");
         }
     }
 
