@@ -1,0 +1,77 @@
+//! `rts-analyze` — run the workspace static-analysis passes.
+//!
+//! Usage: `cargo run -p rts-analysis --bin rts-analyze -- [--json] [--root PATH]`
+//!
+//! Exits 0 when every finding is waived, 1 on unwaived findings,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("rts-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: rts-analyze [--json] [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rts-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let specs = match rts_analysis::workspace_specs(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "rts-analyze: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if specs.is_empty() {
+        eprintln!(
+            "rts-analyze: no sources found under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = rts_analysis::analyze(&specs);
+    if json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+    ExitCode::from(report.exit_code() as u8)
+}
+
+/// Walk up from the current directory to the first ancestor holding a
+/// `Cargo.toml` with a `[workspace]` table; fall back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! A minimal Rust lexer: just enough structure for the analysis
+//! passes — identifiers, punctuation, literals, and comments with
+//! line/column spans — while never being fooled by `unwrap()` inside a
+//! string literal or a doc comment.
+//!
+//! This is deliberately not a full parser. The passes work on token
+//! patterns (`.` `unwrap` `(` `)`, `std` `::` `sync` `::` `Mutex`, …)
+//! plus light structure: brace depth, `#[cfg(test)]` item spans, and
+//! per-line comments for waiver lookup.
+
+/// Token kind. Literals carry no sub-kind — no pass needs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Literal,
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.is(TokKind::Punct, text)
+    }
+}
+
+/// A comment, kept out of the token stream. `own_line` means nothing
+/// but whitespace precedes it on its line — the shape waivers and
+/// `SAFETY:` annotations use when they sit above the annotated line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub own_line: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    // Does anything other than whitespace precede position `i` on the
+    // current line? Tracks comment `own_line`.
+    let mut line_has_code = false;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                        line_has_code = false;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Line comment (includes doc comments).
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let start = i;
+            let at_line = line;
+            let own = !line_has_code;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                advance!(1);
+            }
+            comments.push(Comment {
+                line: at_line,
+                text: src[start..i].to_string(),
+                own_line: own,
+            });
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start = i;
+            let at_line = line;
+            let own = !line_has_code;
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    advance!(2);
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    advance!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    advance!(1);
+                }
+            }
+            comments.push(Comment {
+                line: at_line,
+                text: src[start..i.min(src.len())].to_string(),
+                own_line: own,
+            });
+            continue;
+        }
+        line_has_code = true;
+        // Identifier / keyword — or a raw/byte string prefix.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            // Raw and byte strings: r"..", r#".."#, b"..", br#".."#.
+            if (c == b'r' || c == b'b') && is_string_prefix(bytes, i) {
+                let (at_line, at_col) = (line, col);
+                let n = raw_or_byte_string_len(bytes, i);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("\"…\""),
+                    line: at_line,
+                    col: at_col,
+                });
+                advance!(n);
+                continue;
+            }
+            let start = i;
+            let (at_line, at_col) = (line, col);
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line: at_line,
+                col: at_col,
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let (at_line, at_col) = (line, col);
+            while i < bytes.len() {
+                let b = bytes[i];
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    advance!(1);
+                } else if b == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1] != b'.'
+                    && !bytes[i + 1].is_ascii_alphabetic()
+                {
+                    // Decimal point, but never a range (`1..5`) or a
+                    // method call on a literal (`1.max(2)`).
+                    advance!(1);
+                } else if (b == b'+' || b == b'-')
+                    && i > 0
+                    && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')
+                {
+                    advance!(1); // exponent sign in 1e-3
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("#"),
+                line: at_line,
+                col: at_col,
+            });
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let (at_line, at_col) = (line, col);
+            advance!(1);
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            advance!(1); // closing quote
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::from("\"…\""),
+                line: at_line,
+                col: at_col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let (at_line, at_col) = (line, col);
+            if is_lifetime(bytes, i) {
+                advance!(1);
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    advance!(1);
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[start..i].to_string(),
+                    line: at_line,
+                    col: at_col,
+                });
+            } else {
+                advance!(1);
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    if bytes[i] == b'\\' {
+                        advance!(2);
+                    } else {
+                        advance!(1);
+                    }
+                }
+                advance!(1);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("'…'"),
+                    line: at_line,
+                    col: at_col,
+                });
+            }
+            continue;
+        }
+        // Single-character punctuation; the passes match multi-char
+        // operators (`::`, `->`) as token sequences.
+        let (at_line, at_col) = (line, col);
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line: at_line,
+            col: at_col,
+        });
+        advance!(1);
+    }
+    Lexed { toks, comments }
+}
+
+/// Is the `r`/`b` at `i` the prefix of a raw/byte string literal?
+fn is_string_prefix(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && (bytes[j] == b'"' || (bytes[i] == b'b' && bytes[j] == b'\''))
+}
+
+/// Length in bytes of the raw/byte string starting at `i`.
+fn raw_or_byte_string_len(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        // b'x' byte char.
+        j += 1;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += if bytes[j] == b'\\' { 2 } else { 1 };
+        }
+        return j + 1 - i;
+    }
+    j += 1; // opening quote
+    let raw = hashes > 0 || bytes[i] == b'r' || (i + 1 < bytes.len() && bytes[i + 1] == b'r');
+    while j < bytes.len() {
+        if bytes[j] == b'\\' && !raw {
+            j += 2;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k - i;
+            }
+        }
+        j += 1;
+    }
+    bytes.len() - i
+}
+
+/// Is the `'` at `i` a lifetime (rather than a char literal)? A
+/// lifetime is `'ident` NOT followed by a closing `'`.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= bytes.len() || !(bytes[j].is_ascii_alphabetic() || bytes[j] == b'_') {
+        return false;
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    !(j < bytes.len() && bytes[j] == b'\'')
+}
+
+/// Remove tokens belonging to `#[cfg(test)]`-gated items (and the
+/// attributes themselves): test code may unwrap, index, and time
+/// freely. Conservative attribute match: any `#[cfg(...)]` whose
+/// argument mentions `test` without a `not` counts as test-gated.
+pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Parse the attribute to its matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut names: Vec<&str> = Vec::new();
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].kind == TokKind::Ident {
+                    names.push(&toks[j].text);
+                }
+                j += 1;
+            }
+            let is_cfg_test = names.first() == Some(&"cfg")
+                && names.contains(&"test")
+                && !names.contains(&"not");
+            if is_cfg_test {
+                // Skip this attribute, any further attributes, and the
+                // item they gate: everything to the matching `}` of the
+                // item's first top-level brace, or to a `;` before one.
+                i = j + 1;
+                while i < toks.len() && toks[i].is_punct("#") {
+                    let mut d = 0usize;
+                    i += 1; // at `[`
+                    while i < toks.len() {
+                        if toks[i].is_punct("[") {
+                            d += 1;
+                        } else if toks[i].is_punct("]") {
+                            d -= 1;
+                            if d == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                let mut brace = 0usize;
+                while i < toks.len() {
+                    if toks[i].is_punct(";") && brace == 0 {
+                        i += 1;
+                        break;
+                    }
+                    if toks[i].is_punct("{") {
+                        brace += 1;
+                    } else if toks[i].is_punct("}") {
+                        brace = brace.saturating_sub(1);
+                        if brace == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            // A non-test attribute: keep it verbatim.
+            while i <= j && i < toks.len() {
+                out.push(toks[i].clone());
+                i += 1;
+            }
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,144 @@
+//! Rendering: human-readable report and hand-rolled JSON (the
+//! analyzer is dependency-free, so JSON is emitted by hand with
+//! proper string escaping).
+
+use crate::passes::Finding;
+
+/// The aggregated result of an analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, pass, kind).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn new(mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.pass, a.kind).cmp(&(&b.file, b.line, b.col, b.pass, b.kind))
+        });
+        Report { findings }
+    }
+
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    pub fn unwaived_count(&self) -> usize {
+        self.findings.len() - self.waived_count()
+    }
+
+    /// 0 when every finding is waived, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        if self.unwaived_count() == 0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in self.unwaived() {
+            out.push_str(&format!(
+                "{}:{}:{} [{}/{}] {}\n",
+                f.file, f.line, f.col, f.pass, f.kind, f.message
+            ));
+        }
+        let waived = self.waived_count();
+        if waived > 0 {
+            out.push_str(&format!("waived ({waived}):\n"));
+            for f in self.findings.iter().filter(|f| f.waived) {
+                out.push_str(&format!(
+                    "  {}:{}:{} [{}/{}] — {}\n",
+                    f.file,
+                    f.line,
+                    f.col,
+                    f.pass,
+                    f.kind,
+                    f.waiver_reason.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "rts-analyze: {} findings — {} unwaived, {} waived\n",
+            self.findings.len(),
+            self.unwaived_count(),
+            waived
+        ));
+        out
+    }
+
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"total\": {},\n  \"unwaived\": {},\n  \"waived\": {},\n  \"findings\": [",
+            self.findings.len(),
+            self.unwaived_count(),
+            self.waived_count()
+        ));
+        for (n, f) in self.findings.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"pass\": {}, \"kind\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"waived\": {}, \"reason\": {}, \"message\": {}",
+                json_str(f.pass),
+                json_str(f.kind),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                f.waived,
+                f.waiver_reason
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_str),
+                json_str(&f.message)
+            ));
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escape a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::new(Vec::new());
+        assert_eq!(r.exit_code(), 0);
+        assert!(r.json().contains("\"total\": 0"));
+    }
+}

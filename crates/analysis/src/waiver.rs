@@ -1,0 +1,128 @@
+//! Waiver annotations: `// rts-allow(<key>): <reason>`.
+//!
+//! A finding is *waived* when a matching annotation sits on the same
+//! line (trailing) or on the contiguous run of comment-only lines
+//! immediately above it, and carries a non-empty reason. A waiver with
+//! an empty reason does **not** waive — the reason is the audit trail,
+//! and an unexplained exemption is itself a finding.
+//!
+//! The `unsafe`-block pass uses the same placement rule with a
+//! `SAFETY:` comment instead of `rts-allow`.
+
+use crate::lexer::Comment;
+use std::collections::HashMap;
+
+/// Comment geography of one file, indexed for waiver lookup.
+#[derive(Debug, Default)]
+pub struct CommentMap {
+    /// line → concatenated comment text on that line.
+    by_line: HashMap<u32, String>,
+    /// Lines that contain a comment and nothing else.
+    comment_only: HashMap<u32, ()>,
+}
+
+impl CommentMap {
+    pub fn new(comments: &[Comment]) -> Self {
+        let mut map = CommentMap::default();
+        for c in comments {
+            map.by_line.entry(c.line).or_default().push_str(&c.text);
+            if c.own_line {
+                map.comment_only.insert(c.line, ());
+            }
+        }
+        map
+    }
+
+    /// Find an annotation for a finding at `line`: the trailing comment
+    /// on the line itself, or the contiguous comment-only block above.
+    /// `probe` extracts the annotation payload from one comment's text.
+    fn lookup<T>(&self, line: u32, probe: impl Fn(&str) -> Option<T>) -> Option<T> {
+        if let Some(text) = self.by_line.get(&line) {
+            if let Some(found) = probe(text) {
+                return Some(found);
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 && self.comment_only.contains_key(&l) {
+            if let Some(found) = self.by_line.get(&l).and_then(|t| probe(t)) {
+                return Some(found);
+            }
+            l -= 1;
+        }
+        None
+    }
+
+    /// The `rts-allow(key)` reason covering `line`, if any. Returns the
+    /// reason text — possibly empty, which the caller must treat as
+    /// *not waived* (but reportable as "waiver missing its reason").
+    pub fn waiver(&self, line: u32, key: &str) -> Option<String> {
+        let needle = format!("rts-allow({key})");
+        self.lookup(line, |text| {
+            let at = text.find(&needle)?;
+            let rest = &text[at + needle.len()..];
+            let rest = rest.strip_prefix(':').unwrap_or(rest);
+            Some(rest.trim().trim_end_matches("*/").trim().to_string())
+        })
+    }
+
+    /// Does a `SAFETY:` comment cover `line`?
+    pub fn has_safety(&self, line: u32) -> bool {
+        self.lookup(line, |text| text.contains("SAFETY:").then_some(()))
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> CommentMap {
+        CommentMap::new(&lex(src).comments)
+    }
+
+    #[test]
+    fn trailing_waiver_is_found() {
+        let m = map("let x = v.unwrap(); // rts-allow(panic): checked above\n");
+        assert_eq!(m.waiver(1, "panic").as_deref(), Some("checked above"));
+        assert_eq!(m.waiver(1, "clock"), None, "key must match");
+    }
+
+    #[test]
+    fn preceding_comment_block_is_searched_contiguously() {
+        let src = "\
+fn f() {
+    // rts-allow(iter-order): sorted right after
+    // (two-line justification)
+    let v: Vec<_> = set.iter().collect();
+}
+";
+        let m = map(src);
+        assert_eq!(
+            m.waiver(4, "iter-order").as_deref(),
+            Some("sorted right after")
+        );
+        // A code line breaks contiguity: line 1 cannot inherit it.
+        assert_eq!(m.waiver(1, "iter-order"), None);
+    }
+
+    #[test]
+    fn empty_reason_is_surfaced_as_empty_string() {
+        let m = map("x.unwrap(); // rts-allow(panic):\n");
+        assert_eq!(m.waiver(1, "panic").as_deref(), Some(""));
+        let m = map("x.unwrap(); // rts-allow(panic)\n");
+        assert_eq!(m.waiver(1, "panic").as_deref(), Some(""));
+    }
+
+    #[test]
+    fn safety_comments_cover_the_block_below() {
+        let src = "\
+// SAFETY: the guard is written back before returning.
+unsafe {
+}
+";
+        let m = map(src);
+        assert!(m.has_safety(2));
+        assert!(!m.has_safety(5));
+    }
+}

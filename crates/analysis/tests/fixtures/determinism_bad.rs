@@ -1,0 +1,19 @@
+//! Fixture: determinism violations, none waived.
+
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn bad(m: HashMap<u32, u32>) -> Vec<u32> {
+    let _when = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    for (_k, v) in m.iter() {
+        out.push(*v);
+    }
+    let t = table();
+    out.extend(t.values());
+    out
+}

@@ -1,0 +1,21 @@
+//! Fixture: determinism findings under waivers — plus one waiver
+//! whose key does not match the finding, which therefore stays red.
+
+use std::collections::HashMap;
+
+pub fn waived(m: HashMap<u32, u32>) -> Vec<u32> {
+    // rts-allow(clock): timing-only — reported in logs, never part
+    // of an outcome
+    let _when = std::time::Instant::now();
+    // rts-allow(iter-order): sorted right below
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn wrong_key(m: &HashMap<u32, u32>) -> usize {
+    // rts-allow(iter-order): wrong key — a clock finding needs the
+    // clock key, so this annotation does not cover it
+    let _t = std::time::Instant::now();
+    m.len()
+}

@@ -1,0 +1,39 @@
+//! Fixture: a lock-order cycle, a guard held across a foreign
+//! condvar wait, and a self-deadlocking relock.
+
+pub struct Engine {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+    cv: parking_lot::Condvar,
+}
+
+impl Engine {
+    pub fn ab(&self) {
+        let ga = self.a.lock();
+        let _gb = self.b.lock();
+        drop(ga);
+    }
+
+    pub fn ba(&self) {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+    }
+
+    pub fn bad_wait(&self) {
+        let _gb = self.b.lock();
+        let mut ga = self.a.lock();
+        self.cv.wait(&mut ga);
+    }
+
+    pub fn relock(&self) {
+        let _g1 = self.a.lock();
+        let _g2 = self.a.lock();
+    }
+
+    pub fn transient_is_fine(&self) {
+        // A chained call holds the guard for one statement only: no
+        // edge, because nothing is held when the statement ends.
+        let _n = *self.a.lock();
+        let _m = *self.b.lock();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the same two-lock topology, with the cycle-closing edge
+//! carrying a reasoned waiver — the graph analyzed is acyclic.
+
+pub struct Engine {
+    a: parking_lot::Mutex<u32>,
+    b: parking_lot::Mutex<u32>,
+}
+
+impl Engine {
+    pub fn ab(&self) {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+    }
+
+    pub fn ba(&self) {
+        let _gb = self.b.lock();
+        // rts-allow(lock): fixture-documented exception — in real
+        // code this would cite a try_lock or a proven external order
+        let _ga = self.a.lock();
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: one of every panic-pass finding kind, none waived.
+
+pub fn bad(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => {}
+    }
+    let c = v[0];
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+        let v = vec![1u32];
+        let _ = v[0];
+        panic!("never flagged: stripped with the cfg(test) item");
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the same shapes, each carrying a reasoned waiver — except
+//! the last one, whose waiver is missing its reason and therefore
+//! does not waive.
+
+pub fn waived(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap(); // rts-allow(panic): caller checked is_some
+    // rts-allow(panic): index 0 exists — caller rejects empty input
+    let c = v[0];
+    // rts-allow(panic): reason given on its own line above the site,
+    // spanning a contiguous comment block.
+    let b = o.expect("present");
+    a + b + c
+}
+
+pub fn empty_reason(o: Option<u32>) -> u32 {
+    o.unwrap() // rts-allow(panic)
+}

@@ -1,0 +1,13 @@
+//! Fixture: std::sync primitives where the parking_lot shim is
+//! mandated, and an unsafe block with no SAFETY comment.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct S {
+    pub m: Mutex<u32>,
+    pub cv: Condvar,
+}
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

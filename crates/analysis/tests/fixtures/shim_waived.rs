@@ -1,0 +1,14 @@
+//! Fixture: the shim-policy exceptions done right — a reasoned
+//! std-sync waiver and a SAFETY-commented unsafe block.
+
+// rts-allow(std-sync): fixture-documented escape hatch; real code
+// would cite why the shim cannot serve this use
+use std::sync::Mutex;
+
+pub static CELL: Mutex<u32> = Mutex::new(0);
+
+pub fn read(v: &[u8]) -> u8 {
+    // SAFETY: callers pass a non-empty slice, so the pointer read
+    // stays in bounds.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,106 @@
+//! The live workspace must analyze clean — this test makes `cargo
+//! test` itself enforce the static gate — and every waiver must be
+//! load-bearing: disabling any single `rts-allow` annotation makes
+//! the analysis fail.
+
+use rts_analysis::{analyze, workspace_specs, FileSpec};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let specs = workspace_specs(&workspace_root()).expect("workspace sources readable");
+    assert!(!specs.is_empty(), "workspace walk found no sources");
+    let report = analyze(&specs);
+    let red: Vec<String> = report
+        .unwaived()
+        .map(|f| {
+            format!(
+                "{}:{}:{} [{}/{}] {}",
+                f.file, f.line, f.col, f.pass, f.kind, f.message
+            )
+        })
+        .collect();
+    assert!(
+        red.is_empty(),
+        "unwaived findings in the workspace:\n{}",
+        red.join("\n")
+    );
+    // Waived findings exist (the triage left reasoned waivers) and
+    // each carries its reason.
+    assert!(report.waived_count() > 0);
+    for f in report.findings.iter().filter(|f| f.waived) {
+        assert!(
+            f.waiver_reason.as_deref().is_some_and(|r| !r.is_empty()),
+            "waived finding without a reason at {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn every_waiver_is_load_bearing() {
+    let specs = workspace_specs(&workspace_root()).expect("workspace sources readable");
+    // Only files with waived findings carry real annotations — other
+    // occurrences of the marker are documentation or test strings
+    // (e.g. the analyzer's own sources).
+    let baseline = analyze(&specs);
+    let mut checked = 0usize;
+    for (si, spec) in specs.iter().enumerate() {
+        if !baseline
+            .findings
+            .iter()
+            .any(|f| f.waived && f.file == spec.label)
+        {
+            continue;
+        }
+        for (li, line) in spec.src.lines().enumerate() {
+            if !line.contains("rts-allow(") {
+                continue;
+            }
+            // Disable exactly this annotation, keeping line numbers
+            // stable, and re-analyze the whole workspace.
+            let mutated_src: String = spec
+                .src
+                .lines()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i == li {
+                        l.replace("rts-allow(", "rts-off(")
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let mutated: Vec<FileSpec> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let mut s = s.clone();
+                    if i == si {
+                        s.src = mutated_src.clone();
+                    }
+                    s
+                })
+                .collect();
+            let report = analyze(&mutated);
+            assert!(
+                report.unwaived_count() > 0,
+                "annotation at {}:{} waives nothing — delete it",
+                spec.label,
+                li + 1
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "expected at least one waiver in the workspace");
+}

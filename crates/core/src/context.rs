@@ -308,6 +308,11 @@ impl ContextCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         } else if self.capacity > 0 && map.len() >= self.capacity {
             let victim = map
+                // rts-allow(iter-order): LRU victim choice only
+                // affects which entry is rebuilt later (cache hit/miss
+                // counters), never the built context — outputs are
+                // pinned by the parity matrix regardless of eviction
+                // order.
                 .iter()
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone());

@@ -31,6 +31,8 @@ pub fn linking_metrics(golds: &[Vec<String>], preds: &[Vec<String>]) -> LinkingM
     for (g, p) in golds.iter().zip(preds) {
         let gs: std::collections::HashSet<&String> = g.iter().collect();
         let ps: std::collections::HashSet<&String> = p.iter().collect();
+        // rts-allow(iter-order): only the intersection *count* is
+        // used; set cardinality is independent of iteration order.
         let inter = gs.intersection(&ps).count() as f64;
         em += (gs == ps) as usize as f64;
         precision += if ps.is_empty() {

@@ -355,10 +355,13 @@ impl<'a> LinkSession<'a> {
         );
         let mut overrides: Vec<(String, Decision)> = self
             .overrides
+            // rts-allow(iter-order): sorted right after collecting, so
+            // the encoded checkpoint is order-stable.
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         overrides.sort_by(|a, b| a.0.cmp(&b.0));
+        // rts-allow(iter-order): sorted right after collecting.
         let mut handled: Vec<usize> = self.handled.iter().copied().collect();
         handled.sort_unstable();
         SessionCheckpoint {
@@ -411,7 +414,12 @@ impl<'a> LinkSession<'a> {
         let mut session = Self::new(model, mbpp, inst, meta, target, ctx, None, config);
         session.rng = tinynn::rng::SplitMix64::new(cp.rng_state);
         session.would_be_correct = cp.would_be_correct;
+        // rts-allow(iter-order): `cp.overrides` is the checkpoint's
+        // sorted Vec (a field-name collision with the session's map);
+        // collecting into a map is insertion-order independent anyway.
         session.overrides = cp.overrides.iter().cloned().collect();
+        // rts-allow(iter-order): `cp.handled` is the checkpoint's
+        // sorted Vec, same name collision as above.
         session.handled = cp.handled.iter().copied().collect();
         session.n_interventions = cp.n_interventions;
         session.n_flags = cp.n_flags;

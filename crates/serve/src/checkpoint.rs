@@ -17,6 +17,9 @@ use rts_core::session::SessionCheckpoint;
 /// handled sets are sorted before encoding).
 pub fn encode(cp: &SessionCheckpoint) -> Vec<u8> {
     serde_json::to_string(cp)
+        // rts-allow(panic): the shim serializer is infallible on plain
+        // data types — SessionCheckpoint holds only ints, strings, and
+        // vecs, no map keys or floats that could fail to encode.
         .expect("session checkpoint serializes")
         .into_bytes()
 }
@@ -46,6 +49,8 @@ pub fn try_decode(bytes: &[u8]) -> Result<SessionCheckpoint, DecodeError> {
 /// [`try_decode`] for callers that treat corruption as a bug (tests,
 /// offline tooling). Panics on corrupt bytes.
 pub fn decode(bytes: &[u8]) -> SessionCheckpoint {
+    // rts-allow(panic): documented panic-on-corruption helper for
+    // tests and offline tooling; the engine itself uses try_decode.
     try_decode(bytes).expect("checkpoint bytes parse")
 }
 

@@ -509,7 +509,14 @@ impl<'a> ServeEngine<'a> {
     /// ticket on its tenant's resume lane. Callers bill their own
     /// counters (`feedback_rounds` vs `timed_out`) around it.
     fn unpark(&self, st: &mut EngineState<'a>, id: TicketId, resolution: FlagResolution) {
-        let ticket = st.tickets.get_mut(&id).expect("unparked ticket exists");
+        let Some(ticket) = st.tickets.get_mut(&id) else {
+            // Unparking an id with no ticket is an accounting bug;
+            // absorb it (nothing to resume) rather than panic a worker
+            // or a client thread.
+            debug_assert!(false, "unparked ticket exists");
+            self.counters.note_breach();
+            return;
+        };
         self.counters.note_unparked(ticket.parked_billed);
         ticket.parked_billed = 0;
         ticket.park_deadline = None;
@@ -585,7 +592,13 @@ impl<'a> ServeEngine<'a> {
             .filter(|&d| d > now)
             .min();
         for id in lapsed {
-            let ticket = st.tickets.get_mut(&id).expect("lapsed ticket exists");
+            // Collected from the same map under the same lock, so the
+            // entry must still be there; degrade if it is not.
+            let Some(ticket) = st.tickets.get_mut(&id) else {
+                debug_assert!(false, "lapsed ticket exists");
+                self.counters.note_breach();
+                continue;
+            };
             ticket.timed_out = true;
             // The timeout is billed as an unconsulted abstention: no
             // human was reached, the stage degrades to the hand-off
@@ -608,7 +621,11 @@ impl<'a> ServeEngine<'a> {
             .map(|(&id, _)| id)
             .collect();
         for id in parked {
-            let ticket = st.tickets.get_mut(&id).expect("parked ticket exists");
+            let Some(ticket) = st.tickets.get_mut(&id) else {
+                debug_assert!(false, "parked ticket exists");
+                self.counters.note_breach();
+                continue;
+            };
             ticket.drained = true;
             self.unpark(st, id, FlagResolution::Abstain { consulted: false });
             self.counters
@@ -680,7 +697,13 @@ impl<'a> ServeEngine<'a> {
             mut salvage_resolution,
         ) = {
             let mut st = self.state.lock();
-            let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+            let Some(ticket) = st.tickets.get_mut(&id) else {
+                // A dispatched id with no ticket record is an
+                // accounting bug; drop the dispatch, keep the worker.
+                debug_assert!(false, "dispatched ticket exists");
+                self.counters.note_breach();
+                return;
+            };
             ticket.phase = Phase::Running;
             (
                 ticket.inst,
@@ -771,6 +794,9 @@ impl<'a> ServeEngine<'a> {
                 let inject = self.config.fault.trip(FaultSite::StepPanic);
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
                     if inject {
+                        // rts-allow(panic): deterministic fault
+                        // injection — this panic exists to exercise
+                        // the catch_unwind recovery path right below.
                         std::panic::panic_any(InjectedPanic);
                     }
                     s.step(scratch)
@@ -821,8 +847,12 @@ impl<'a> ServeEngine<'a> {
                         s.resolve(verdict.clone());
                         {
                             let mut st = self.state.lock();
-                            let ticket = st.tickets.get_mut(&id).expect("ticket exists");
-                            ticket.drained = true;
+                            if let Some(ticket) = st.tickets.get_mut(&id) {
+                                ticket.drained = true;
+                            } else {
+                                debug_assert!(false, "running ticket exists");
+                                self.counters.note_breach();
+                            }
                         }
                         self.counters
                             .drained_to_abstention
@@ -846,7 +876,14 @@ impl<'a> ServeEngine<'a> {
                             None => deadline,
                         });
                     }
-                    let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+                    let Some(ticket) = st.tickets.get_mut(&id) else {
+                        // No ticket to park the session on: absorb the
+                        // accounting bug and drop this request's state
+                        // instead of poisoning the worker pool.
+                        debug_assert!(false, "running ticket exists");
+                        self.counters.note_breach();
+                        return;
+                    };
                     ticket.session = Some(s);
                     ticket.stage = stage;
                     ticket.salvage = Some(cp);
@@ -869,7 +906,11 @@ impl<'a> ServeEngine<'a> {
                 SessionState::Done(outcome) => match stage {
                     LinkTarget::Tables => {
                         let mut st = self.state.lock();
-                        let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+                        let Some(ticket) = st.tickets.get_mut(&id) else {
+                            debug_assert!(false, "running ticket exists");
+                            self.counters.note_breach();
+                            return;
+                        };
                         ticket.tables = Some(outcome);
                         ticket.stage = LinkTarget::Columns;
                         stage = LinkTarget::Columns;
@@ -909,8 +950,20 @@ impl<'a> ServeEngine<'a> {
                 .max_by_key(|(_, t)| t.parked_billed)
                 .map(|(&id, _)| id);
             let Some(vid) = victim else { break };
-            let ticket = st.tickets.get_mut(&vid).expect("victim exists");
-            let session = ticket.session.take().expect("victim has a live session");
+            // The victim was selected from this map under this lock;
+            // a miss here is an accounting bug — stop evicting (the
+            // budget check loops on a counter, so continuing could
+            // spin) and record the breach.
+            let Some(ticket) = st.tickets.get_mut(&vid) else {
+                debug_assert!(false, "victim exists");
+                self.counters.note_breach();
+                break;
+            };
+            let Some(session) = ticket.session.take() else {
+                debug_assert!(false, "victim has a live session");
+                self.counters.note_breach();
+                break;
+            };
             let bytes = checkpoint::encode(&session.checkpoint());
             self.counters
                 .note_checkpointed(ticket.parked_billed, bytes.len());
@@ -1031,7 +1084,14 @@ impl<'a> ServeEngine<'a> {
         faulted: bool,
     ) {
         let mut st = self.state.lock();
-        let ticket = st.tickets.get_mut(&id).expect("ticket exists");
+        let Some(ticket) = st.tickets.get_mut(&id) else {
+            // Finalizing an id with no ticket record: nothing to
+            // retire. Absorb the accounting bug instead of panicking
+            // with the state lock held.
+            debug_assert!(false, "finalized ticket exists");
+            self.counters.note_breach();
+            return;
+        };
         let tables = match ticket.tables.take() {
             Some(t) => t,
             None => {
@@ -1108,6 +1168,7 @@ impl<'a> ServeEngine<'a> {
             feedback_delayed: self.counters.feedback_delayed.load(Ordering::Relaxed),
             drained_to_abstention: self.counters.drained_to_abstention.load(Ordering::Relaxed),
             db_invalidations: self.counters.db_invalidations.load(Ordering::Relaxed),
+            invariant_breaches: self.counters.invariant_breaches.load(Ordering::Relaxed),
         }
     }
 

@@ -23,11 +23,13 @@ impl LatencySummary {
             return Self::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         let pct = |q: f64| {
             // Nearest-rank percentile: the smallest sample ≥ q of the
             // distribution — no interpolation artefacts on tiny sets.
             let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            // rts-allow(panic): rank is clamped to 1..=len above, so
+            // rank - 1 is always in bounds for the non-empty vec.
             sorted[rank - 1]
         };
         Self {
@@ -35,7 +37,7 @@ impl LatencySummary {
             p95_ms: pct(0.95),
             p99_ms: pct(0.99),
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            max_ms: *sorted.last().expect("non-empty"),
+            max_ms: sorted.last().copied().unwrap_or_default(),
         }
     }
 }
@@ -112,6 +114,11 @@ pub struct ServingStats {
     /// Explicit schema-drift invalidations
     /// ([`crate::ServeEngine::invalidate_db`] calls).
     pub db_invalidations: u64,
+    /// Internal-invariant violations the engine absorbed instead of
+    /// panicking (e.g. a dispatched ticket id with no ticket record).
+    /// Always 0 in a healthy engine; nonzero means an accounting bug
+    /// that was degraded, not a crash.
+    pub invariant_breaches: u64,
 }
 
 /// Bounded sliding window of latency samples: a long-lived engine must
@@ -141,6 +148,8 @@ impl LatencyWindow {
         if self.samples.len() < self.capacity {
             self.samples.push(sample_ms);
         } else {
+            // rts-allow(panic): in this branch len == capacity and
+            // next wraps modulo capacity, so the index is in bounds.
             self.samples[self.next] = sample_ms;
             self.next = (self.next + 1) % self.capacity;
         }
@@ -178,6 +187,7 @@ pub(crate) struct Counters {
     pub feedback_delayed: AtomicU64,
     pub drained_to_abstention: AtomicU64,
     pub db_invalidations: AtomicU64,
+    pub invariant_breaches: AtomicU64,
 }
 
 impl Counters {
@@ -206,6 +216,15 @@ impl Counters {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         let cur = self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.checkpoint_bytes_peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Record an absorbed internal-invariant violation: the engine hit
+    /// a state that should be unreachable (see
+    /// [`ServingStats::invariant_breaches`]) and degraded instead of
+    /// panicking. `debug_assert!` still trips in debug builds so tests
+    /// catch the accounting bug at its source.
+    pub fn note_breach(&self) {
+        self.invariant_breaches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A checkpointed session was re-synthesized on a worker.

@@ -218,12 +218,21 @@ impl FairQueue {
     /// Drop the head-of-ring tenant if it ran out of queued work, or
     /// rotate it to the back when `cede` says its turn is over.
     fn retire_or_rotate(&mut self, t: TenantId, cede: bool) {
-        let s = &mut self.tenants.get_mut(&t).expect("ring tenant exists");
-        if !s.has_queued() {
-            s.deficit = 0;
-            self.ring.pop_front();
-        } else if cede {
-            self.ring.rotate_left(1);
+        match self.tenants.get_mut(&t) {
+            Some(s) if !s.has_queued() => {
+                s.deficit = 0;
+                self.ring.pop_front();
+            }
+            Some(_) if cede => {
+                self.ring.rotate_left(1);
+            }
+            Some(_) => {}
+            // A ring entry without a tenant record is an accounting
+            // bug; retire the orphan entry and keep serving rather
+            // than panicking mid-dispatch.
+            None => {
+                self.ring.pop_front();
+            }
         }
     }
 
@@ -239,7 +248,7 @@ impl FairQueue {
         // the common case — skips the ring rotation entirely.
         if self.n_resume > 0 {
             for _ in 0..self.ring.len() {
-                let t = *self.ring.front().expect("ring non-empty in loop");
+                let Some(&t) = self.ring.front() else { break };
                 if let Some(s) = self.tenants.get_mut(&t) {
                     if let Some(id) = s.resume.pop_front() {
                         self.n_resume -= 1;
@@ -254,17 +263,21 @@ impl FairQueue {
         // every ring member has an empty resume queue, so an empty
         // admission queue means no work at all → leave the ring.
         while let Some(&t) = self.ring.front() {
-            let s = self.tenants.get_mut(&t).expect("ring tenant exists");
-            if s.admission.is_empty() {
+            let Some(s) = self.tenants.get_mut(&t) else {
+                // Orphan ring entry (accounting bug): retire it and
+                // keep serving the rest of the ring.
+                self.ring.pop_front();
+                continue;
+            };
+            let Some(id) = s.admission.pop_front() else {
                 s.deficit = 0;
                 self.ring.pop_front();
                 continue;
-            }
+            };
             if s.deficit == 0 {
                 s.deficit = u64::from(s.weight.max(1));
             }
             s.deficit -= 1;
-            let id = s.admission.pop_front().expect("checked non-empty");
             self.n_admission -= 1;
             let spent = s.deficit == 0;
             if spent || !s.has_queued() {

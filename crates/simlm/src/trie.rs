@@ -89,6 +89,8 @@ impl Trie {
     pub fn allowed_next(&self, prefix: &[TokenId]) -> Vec<TokenId> {
         match self.walk(prefix) {
             Some(n) => {
+                // rts-allow(iter-order): sorted immediately below, so
+                // the mask is order-stable.
                 let mut toks: Vec<TokenId> = self.nodes[n].children.keys().copied().collect();
                 toks.sort_unstable();
                 toks
@@ -120,6 +122,8 @@ impl Trie {
                 return Some((suffix, self.names[name_idx].as_str()));
             }
             // Smallest token id first for determinism.
+            // rts-allow(iter-order): min_by_key over the unique
+            // smallest token id is independent of iteration order.
             let (&t, &next) = self.nodes[cur].children.iter().min_by_key(|(&t, _)| t)?;
             suffix.push(t);
             cur = next;
