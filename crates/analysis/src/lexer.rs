@@ -356,9 +356,8 @@ pub fn strip_cfg_test(toks: Vec<Tok>) -> Vec<Tok> {
                 }
                 j += 1;
             }
-            let is_cfg_test = names.first() == Some(&"cfg")
-                && names.contains(&"test")
-                && !names.contains(&"not");
+            let is_cfg_test =
+                names.first() == Some(&"cfg") && names.contains(&"test") && !names.contains(&"not");
             if is_cfg_test {
                 // Skip this attribute, any further attributes, and the
                 // item they gate: everything to the matching `}` of the

@@ -125,6 +125,14 @@ pub fn workspace_passes(rel: &str) -> PassSet {
     {
         p.determinism = true;
     }
+    // The open-loop harness's arrival schedule is a pure function of
+    // its seed (the sharded↔single-shard parity checks depend on it),
+    // so the bench crate's openloop module is determinism-pinned too;
+    // its deliberate wall-clock *measurement* carries `rts-allow`
+    // waivers.
+    if rel == "crates/bench/src/openloop.rs" {
+        p.determinism = true;
+    }
     p
 }
 
@@ -196,6 +204,15 @@ mod tests {
         let shim = workspace_passes("crates/shims/parking_lot/src/lib.rs");
         assert!(shim.unsafety, "shims still need SAFETY comments");
         assert!(!shim.std_sync, "the shim wraps std::sync by design");
+
+        let openloop = workspace_passes("crates/bench/src/openloop.rs");
+        assert!(openloop.determinism, "the arrival schedule is seed-pure");
+        assert!(!openloop.panic, "the bench crate may assert freely");
+        let bench = workspace_passes("crates/bench/src/serving.rs");
+        assert!(
+            !bench.determinism,
+            "only the openloop module is determinism-pinned in rts-bench"
+        );
 
         assert_eq!(workspace_passes("README.md"), PassSet::default());
     }

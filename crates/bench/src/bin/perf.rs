@@ -470,6 +470,46 @@ fn main() {
     );
     perf.serving = Some(rts_bench::serving::serving_record(&served, &workload));
 
+    // Open-loop section — the sharded engine under a seeded Poisson
+    // arrival sweep (see rts_bench::openloop). Every knob is pinned so
+    // the record's workload shape stays comparable across PRs; the
+    // perf gate holds peak throughput and knee p99, and REFUSES
+    // records whose shape differs from the committed baseline's.
+    // Workers are explicit (not RTS_THREADS) for the same reason.
+    let open_loop = rts_bench::openloop::OpenLoopConfig {
+        shards: 2,
+        users: 200,
+        tenants: 4,
+        zipf_s: 1.1,
+        requests_per_point: 60,
+        rates_rps: vec![400.0, 1200.0, 3600.0],
+        collectors: 4,
+        serve: rts_serve::ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 8,
+            rts: RtsConfig {
+                seed,
+                ..RtsConfig::default()
+            },
+            ..rts_serve::ServeConfig::default()
+        },
+        oracle: rts_core::human::HumanOracle::new(
+            rts_core::human::Expertise::Expert,
+            seed ^ 0x0DDE,
+        ),
+        seed,
+    };
+    let sweep = rts_bench::openloop::run_sweep(
+        &linker,
+        &mbpp_t,
+        &mbpp_c,
+        &bench.metas,
+        instances,
+        &open_loop,
+    );
+    perf.open_loop = Some(sweep.record);
+
     print!("{}", perf.render());
     perf.save_bench_json(std::path::Path::new("."))
         .expect("write BENCH_rts.json");

@@ -30,7 +30,7 @@
 //! baselines keep gating) and renders them with the rest of the
 //! serving section.
 
-use rts_bench::report::{compare_perf, PerfReport, ServingRecord};
+use rts_bench::report::{compare_perf, OpenLoopRecord, PerfReport, ServingRecord};
 
 /// The workload-shape knobs that make two serving sections comparable.
 /// Tenancy knobs are normalized so a pre-tenancy baseline (no sub-
@@ -82,6 +82,85 @@ fn serving_shape(
 
 type ShapeTenancy = (usize, usize, usize, Option<u64>, u64);
 type ShapeFault = Option<(u64, u64)>;
+
+/// The workload-shape knobs that make two open-loop sections
+/// comparable: the engine geometry, the simulated population, the
+/// schedule seed, and the exact swept rates. Throughput and knee
+/// latency measured under a different shape are incomparable.
+#[allow(clippy::type_complexity)]
+fn open_loop_shape(
+    o: &OpenLoopRecord,
+) -> (
+    usize,
+    usize,
+    usize,
+    usize,
+    u64,
+    usize,
+    u64,
+    usize,
+    usize,
+    Vec<u64>,
+) {
+    (
+        o.shards,
+        o.workers_per_shard,
+        o.users,
+        o.tenants,
+        o.zipf_s.to_bits(),
+        o.requests_per_point,
+        o.seed,
+        o.queue_capacity,
+        o.cache_capacity,
+        o.points.iter().map(|p| p.offered_rps.to_bits()).collect(),
+    )
+}
+
+/// Gate the open-loop section: peak throughput must hold at least half
+/// the baseline's (throughput collapse is a logic/scaling regression,
+/// not runner noise at this margin), and the knee p99 gets the same
+/// generous wall-clock treatment as serving p99. Returns the failed
+/// checks (empty = pass).
+fn gate_open_loop(
+    baseline: &OpenLoopRecord,
+    fresh: &OpenLoopRecord,
+    tolerance: f64,
+) -> Vec<&'static str> {
+    let mut failures = Vec::new();
+    let peak_floor = baseline.peak_throughput_rps / 2.0;
+    println!(
+        "open-loop peak {:>10.1} r/s baseline → {:>8.1} r/s fresh (floor {:.1} r/s)  {}",
+        baseline.peak_throughput_rps,
+        fresh.peak_throughput_rps,
+        peak_floor,
+        if fresh.peak_throughput_rps >= peak_floor {
+            "ok"
+        } else {
+            "REGRESSED"
+        }
+    );
+    if fresh.peak_throughput_rps < peak_floor {
+        failures.push("open_loop/peak_throughput_rps");
+    }
+    // Same 1 ms absolute grace as serving: sub-millisecond knees are
+    // scheduler noise territory.
+    let knee_limit = baseline.knee_p99_ms * tolerance + 1.0;
+    println!(
+        "open-loop knee {:>10.3} ms baseline → {:>8.3} ms fresh (limit {:.3} ms)  {}",
+        baseline.knee_p99_ms,
+        fresh.knee_p99_ms,
+        knee_limit,
+        if fresh.knee_p99_ms <= knee_limit {
+            "ok"
+        } else {
+            "REGRESSED"
+        }
+    );
+    if fresh.knee_p99_ms > knee_limit {
+        failures.push("open_loop/knee_p99_ms");
+    }
+    failures
+}
 
 /// Outcome of gating the serving section: the failed checks (empty =
 /// pass). `None` = nothing comparable to gate.
@@ -256,6 +335,63 @@ fn main() {
         (None, Some(s)) => {
             println!("serving section (new — no baseline yet, not gated):");
             print!("{}", s.render());
+        }
+        (None, None) => {}
+    }
+
+    match (&baseline.open_loop, &fresh.open_loop) {
+        (Some(b), Some(f)) => {
+            if open_loop_shape(b) != open_loop_shape(f) {
+                eprintln!(
+                    "perf gate MISCONFIGURED: open-loop sections are not comparable — \
+                     baseline ({} shards x {} workers, {} users / {} tenants, zipf {}, \
+                     {} req/point, seed {:#x}, queue {}, cache {}, rates {:?}) vs fresh \
+                     ({} shards x {} workers, {} users / {} tenants, zipf {}, \
+                     {} req/point, seed {:#x}, queue {}, cache {}, rates {:?}); pin the \
+                     sweep shape to the committed baseline's or regenerate it",
+                    b.shards,
+                    b.workers_per_shard,
+                    b.users,
+                    b.tenants,
+                    b.zipf_s,
+                    b.requests_per_point,
+                    b.seed,
+                    b.queue_capacity,
+                    b.cache_capacity,
+                    b.points.iter().map(|p| p.offered_rps).collect::<Vec<_>>(),
+                    f.shards,
+                    f.workers_per_shard,
+                    f.users,
+                    f.tenants,
+                    f.zipf_s,
+                    f.requests_per_point,
+                    f.seed,
+                    f.queue_capacity,
+                    f.cache_capacity,
+                    f.points.iter().map(|p| p.offered_rps).collect::<Vec<_>>(),
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "== open-loop gate (peak floor baseline/2, knee p99 tolerance \
+                 {serving_tolerance:.2}x + 1 ms):"
+            );
+            regressions.extend(gate_open_loop(b, f, serving_tolerance));
+            print!("{}", f.render());
+        }
+        (Some(_), None) => {
+            // Same refusal as serving: silently dropping the section
+            // would un-gate scale-out forever.
+            eprintln!(
+                "perf gate MISCONFIGURED: committed baseline has an open_loop section \
+                 but the fresh record has none — the perf bin must run its open-loop \
+                 sweep (or regenerate the baseline without one)"
+            );
+            std::process::exit(2);
+        }
+        (None, Some(o)) => {
+            println!("open-loop section (new — no baseline yet, not gated):");
+            print!("{}", o.render());
         }
         (None, None) => {}
     }

@@ -12,6 +12,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod openloop;
 pub mod report;
 pub mod serving;
 

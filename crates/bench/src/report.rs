@@ -355,6 +355,119 @@ impl ServingRecord {
     }
 }
 
+/// One sweep point of the open-loop driver: requests offered at a
+/// fixed Poisson arrival rate, latency measured from the *scheduled*
+/// arrival (so schedule lag past saturation shows up in the tail, the
+/// defining property of an open-loop measurement).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenLoopPoint {
+    /// Poisson arrival rate the schedule was generated at, req/s.
+    pub offered_rps: f64,
+    /// Completions over the point's wall time, req/s.
+    pub achieved_rps: f64,
+    /// Scheduled-arrival-to-completion latency distribution, ms.
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub max_ms: f64,
+    pub completed: u64,
+    /// Requests answered by degrading to abstention on deadline.
+    pub shed: u64,
+    /// Parked sessions resumed with abstention by a feedback timeout.
+    pub timed_out: u64,
+    /// Admission bounces (QueueFull/quota) the submitter retried —
+    /// open loop never drops, it lags the schedule instead.
+    pub rejected_submits: u64,
+    pub wall_ms: f64,
+}
+
+/// The open-loop load harness measurement: the optional `open_loop`
+/// section of `BENCH_rts.json`. A deterministic seeded schedule
+/// (Poisson arrivals on a virtual clock, Zipf tenant/database skew
+/// over simulated users) swept across arrival rates against the
+/// sharded engine; the perf gate holds the peak throughput and the
+/// knee latency. Optional for the same reason as [`TenancyRecord`]:
+/// snapshots from before the harness existed must keep parsing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenLoopRecord {
+    /// Sharded-engine geometry the sweep ran against.
+    pub shards: usize,
+    pub workers_per_shard: usize,
+    /// Simulated-user population and tenant count behind the Zipf skew.
+    pub users: usize,
+    pub tenants: usize,
+    /// Zipf exponent of the user/database popularity skew.
+    pub zipf_s: f64,
+    /// Arrivals per sweep point.
+    pub requests_per_point: usize,
+    /// Schedule seed (arrivals are a pure function of it).
+    pub seed: u64,
+    /// Per-shard admission-queue and context-cache bounds.
+    pub queue_capacity: usize,
+    pub cache_capacity: usize,
+    /// The throughput-vs-latency curve, one point per offered rate
+    /// (ascending).
+    pub points: Vec<OpenLoopPoint>,
+    /// Highest achieved throughput across the sweep, req/s.
+    pub peak_throughput_rps: f64,
+    /// The saturation knee: the highest offered rate the engine still
+    /// sustained (achieved ≥ 90% of offered), and its p99. Past the
+    /// knee, schedule lag grows without bound.
+    pub knee_offered_rps: f64,
+    pub knee_p99_ms: f64,
+    /// Admissions executed by a worker away from its home shard.
+    pub steals: u64,
+    /// Aggregate context-cache hit rate across shards over the sweep.
+    pub cache_hit_rate: f64,
+}
+
+impl OpenLoopRecord {
+    /// Console rendering (shared by the perf and driver binaries).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "-- open loop: {} shards x {} workers, {} users / {} tenants (zipf {}), {} req/point, seed {:#x}",
+            self.shards,
+            self.workers_per_shard,
+            self.users,
+            self.tenants,
+            self.zipf_s,
+            self.requests_per_point,
+            self.seed,
+        );
+        let _ = writeln!(
+            out,
+            "   {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            "offered r/s", "achieved", "p50 ms", "p99 ms", "max ms", "shed", "bounced"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "   {:>12.0} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>8} {:>8}",
+                p.offered_rps,
+                p.achieved_rps,
+                p.p50_ms,
+                p.p99_ms,
+                p.max_ms,
+                p.shed,
+                p.rejected_submits,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "   peak {:.0} req/s; knee at {:.0} offered (p99 {:.3} ms); {} steals, cache hit {:.0}%",
+            self.peak_throughput_rps,
+            self.knee_offered_rps,
+            self.knee_p99_ms,
+            self.steals,
+            self.cache_hit_rate * 100.0,
+        );
+        out
+    }
+}
+
 /// The cross-PR performance record, persisted as `BENCH_rts.json` so
 /// future changes have a trajectory to compare against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -374,6 +487,10 @@ pub struct PerfReport {
     /// `rts-serve` engine existed; never gated — latencies are
     /// wall-clock under concurrency, not per-instance stage times).
     pub serving: Option<ServingRecord>,
+    /// Open-loop throughput-vs-latency sweep against the sharded
+    /// engine (absent on records from before the load harness
+    /// existed; gated on peak throughput and knee latency).
+    pub open_loop: Option<OpenLoopRecord>,
 }
 
 impl PerfReport {
@@ -386,6 +503,7 @@ impl PerfReport {
             stages: Vec::new(),
             notes: Vec::new(),
             serving: None,
+            open_loop: None,
         }
     }
 
@@ -445,6 +563,9 @@ impl PerfReport {
         }
         if let Some(serving) = &self.serving {
             out.push_str(&serving.render());
+        }
+        if let Some(open_loop) = &self.open_loop {
+            out.push_str(&open_loop.render());
         }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
@@ -715,6 +836,108 @@ mod tests {
         assert!(back.serving.is_none());
         assert_eq!(back.stages.len(), 1);
         assert_eq!(back.stages[0].stage, "linking");
+    }
+
+    fn demo_open_loop() -> OpenLoopRecord {
+        OpenLoopRecord {
+            shards: 2,
+            workers_per_shard: 1,
+            users: 200,
+            tenants: 4,
+            zipf_s: 1.1,
+            requests_per_point: 60,
+            seed: 0xC0FFEE,
+            queue_capacity: 32,
+            cache_capacity: 8,
+            points: vec![
+                OpenLoopPoint {
+                    offered_rps: 400.0,
+                    achieved_rps: 398.0,
+                    p50_ms: 2.0,
+                    p95_ms: 4.0,
+                    p99_ms: 5.0,
+                    mean_ms: 2.2,
+                    max_ms: 6.0,
+                    completed: 60,
+                    shed: 0,
+                    timed_out: 0,
+                    rejected_submits: 0,
+                    wall_ms: 150.0,
+                },
+                OpenLoopPoint {
+                    offered_rps: 3600.0,
+                    achieved_rps: 1500.0,
+                    p50_ms: 12.0,
+                    p95_ms: 30.0,
+                    p99_ms: 38.0,
+                    mean_ms: 14.0,
+                    max_ms: 41.0,
+                    completed: 60,
+                    shed: 0,
+                    timed_out: 0,
+                    rejected_submits: 7,
+                    wall_ms: 40.0,
+                },
+            ],
+            peak_throughput_rps: 1500.0,
+            knee_offered_rps: 400.0,
+            knee_p99_ms: 5.0,
+            steals: 12,
+            cache_hit_rate: 0.97,
+        }
+    }
+
+    #[test]
+    fn open_loop_section_roundtrips_and_renders() {
+        let mut p = PerfReport::new(0.03, 7, 1, 1);
+        p.open_loop = Some(demo_open_loop());
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        let o = back.open_loop.expect("open_loop section survives");
+        assert_eq!(o.shards, 2);
+        assert_eq!(o.points.len(), 2);
+        assert!((o.points[1].offered_rps - 3600.0).abs() < 1e-12);
+        assert!((o.knee_p99_ms - 5.0).abs() < 1e-12);
+        assert_eq!(o.steals, 12);
+        let text = p.render();
+        assert!(text.contains("open loop: 2 shards x 1 workers"));
+        assert!(text.contains("peak 1500 req/s; knee at 400 offered"));
+    }
+
+    #[test]
+    fn pre_open_loop_records_still_parse() {
+        // A PR 5-7-era BENCH_rts.json has a serving section but no
+        // "open_loop" key; the perf gate must keep loading such
+        // baselines (open_loop reads as None) — same pattern as the
+        // tenancy/fault sub-records.
+        let json = r#"{
+          "scale": 0.03,
+          "seed": 7,
+          "threads": 1,
+          "effective_parallelism": 1,
+          "stages": [
+            { "stage": "linking", "wall_ms": 2.0,
+              "per_instance_us": 43.5, "n_instances": 46 }
+          ],
+          "notes": [],
+          "serving": {
+            "workers": 1, "clients": 4, "queue_capacity": 16,
+            "cache_capacity": 8, "deadline_ms": null,
+            "n_requests": 92, "completed": 92, "shed": 0,
+            "rejected_submits": 0, "feedback_rounds": 84,
+            "p50_ms": 1.9, "p95_ms": 3.3, "p99_ms": 4.4,
+            "mean_ms": 2.0, "max_ms": 4.4, "throughput_rps": 1933.0,
+            "queue_depth_max": 4, "queue_depth_mean": 3.9,
+            "cache_hits": 182, "cache_misses": 2, "cache_evictions": 0,
+            "cache_hit_rate": 0.989, "parked_bytes_peak": 23184,
+            "parked_sessions_peak": 1, "wall_ms": 47.6
+          }
+        }"#;
+        let back: PerfReport = serde_json::from_str(json).expect("old snapshot parses");
+        assert!(back.open_loop.is_none());
+        assert!(back.serving.is_some(), "serving section untouched");
+        let text = back.render();
+        assert!(!text.contains("open loop:"), "no open-loop block to render");
     }
 
     #[test]

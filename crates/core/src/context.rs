@@ -202,6 +202,40 @@ impl ContextCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fold another snapshot's counters into this one — how a sharded
+    /// engine aggregates its per-shard caches into one fleet view.
+    pub fn absorb(&mut self, other: ContextCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// Stable database→shard assignment: FNV-1a over the database name,
+/// reduced modulo the shard count.
+///
+/// This is the routing function a sharded serving deployment keys its
+/// per-database partitioning on (workers, [`ContextCache`] instances,
+/// on-disk placement), so it must be a *revision-stable* pure function
+/// of the name: the same database lands on the same shard across
+/// processes, restarts, and releases. `std`'s `DefaultHasher` is
+/// explicitly unsuitable (its output may change between Rust releases
+/// and is randomly keyed per process); FNV-1a is fixed by its two
+/// published constants, and a unit test pins concrete assignments so a
+/// change here is a deliberate re-sharding, never an accident.
+pub fn db_shard(db: &str, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in db.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % n_shards as u64) as usize
 }
 
 /// One cached context plus its LRU recency stamp. The stamp is atomic
@@ -541,6 +575,60 @@ mod tests {
         assert_eq!(old.n_candidates(), meta.tables.len());
         // Unknown databases are a no-op, not a panic.
         assert_eq!(cache.invalidate_db("no_such_db"), 0);
+    }
+
+    #[test]
+    fn db_shard_assignments_are_pinned_across_revisions() {
+        // These are FNV-1a(name) mod n — recorded constants, not
+        // derived in-test, so any change to the hash constants or the
+        // reduction shows up as a failed pin (a deliberate re-sharding
+        // must update this test *knowingly*).
+        assert_eq!(db_shard("schools_0", 2), 1);
+        assert_eq!(db_shard("finance_1", 2), 1);
+        assert_eq!(db_shard("medical_3", 2), 0);
+        assert_eq!(db_shard("schools_0", 4), 1);
+        assert_eq!(db_shard("retail_2", 4), 3);
+        assert_eq!(db_shard("medical_3", 4), 2);
+        assert_eq!(db_shard("", 4), 1, "empty name is the FNV offset basis");
+        // Degenerate shard counts collapse to shard 0.
+        assert_eq!(db_shard("anything", 1), 0);
+        assert_eq!(db_shard("anything", 0), 0);
+        // Stability across repeated calls (pure function of the name).
+        for n in 1..8 {
+            assert_eq!(db_shard("schools_0", n), db_shard("schools_0", n));
+            assert!(n <= 1 || db_shard("schools_0", n) < n);
+        }
+    }
+
+    #[test]
+    fn db_shard_spreads_generated_databases() {
+        let bench = BenchmarkProfile::bird_like().scaled(0.03).generate(77);
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for meta in &bench.metas {
+            counts[db_shard(&meta.name, n)] += 1;
+        }
+        let populated = counts.iter().filter(|&&c| c > 0).count();
+        assert!(
+            populated >= 2,
+            "a realistic database population must span shards: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn cache_stats_absorb_sums_counters() {
+        let mut a = ContextCacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        a.absorb(ContextCacheStats {
+            hits: 1,
+            misses: 3,
+            evictions: 2,
+        });
+        assert_eq!((a.hits, a.misses, a.evictions), (4, 4, 2));
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -681,6 +681,61 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
+    /// Non-blocking single dispatch: run the timeout/shutdown sweeps,
+    /// pop one ready ticket if there is one, and process it. Returns
+    /// whether a ticket was processed. This is the building block a
+    /// sharded pool's workers use to serve their home shard and steal
+    /// from neighbours without committing to any engine's blocking
+    /// [`ServeEngine::worker_loop`].
+    pub fn try_process_one(&self, scratch: &mut LinkScratch) -> bool {
+        let id = {
+            let mut st = self.state.lock();
+            self.expire_lapsed_parks(&mut st);
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.drain_parked_for_shutdown(&mut st);
+            }
+            st.queues.pop()
+        };
+        match id {
+            Some(id) => {
+                self.process(id, scratch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Park the calling worker until work may be available on this
+    /// engine, bounded by `timeout` and by the next parked-feedback
+    /// deadline. Returns immediately when work is already queued or
+    /// shutdown was requested. A work-stealing worker sleeps here on
+    /// its *home* shard between scans — the bound keeps it rescanning
+    /// neighbours it holds no condvar on.
+    pub fn wait_for_work(&self, timeout: Duration) {
+        let mut st = self.state.lock();
+        if st.queues.queued_len() > 0 || self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let bound = match self.next_park_deadline(&st) {
+            Some(deadline) => deadline
+                .saturating_duration_since(Instant::now())
+                .min(timeout),
+            None => timeout,
+        };
+        let _ = self.work_cv.wait_for(&mut st, bound);
+    }
+
+    /// Whether [`ServeEngine::shutdown`] has been requested.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Raw completed-request latency samples (the bounded window) —
+    /// what a sharded aggregate recomputes fleet percentiles from.
+    pub(crate) fn latency_samples_ms(&self) -> Vec<f64> {
+        self.latencies_ms.lock().snapshot()
+    }
+
     /// Run one ticket forward until it parks on feedback, finishes,
     /// sheds on its deadline, or degrades to abstention after an
     /// unrecoverable fault.

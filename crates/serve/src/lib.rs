@@ -61,6 +61,11 @@
 //!   bumped `DbMeta::revision`) drops cached contexts so new sessions
 //!   rebuild, while in-flight sessions finish on their pinned
 //!   `Arc<LinkContext>`.
+//! * **Shard-level scale-out** — [`ShardedEngine`] partitions workers
+//!   and the context cache by database (revision-stable FNV-1a
+//!   routing, [`rts_core::context::db_shard`]) with work-stealing
+//!   across idle shards; outcomes stay byte-identical to the
+//!   single-shard engine (see the [`shard`] module docs).
 //! * **Accounting** — per-request latency (p50/p95/p99), queue depth,
 //!   context-cache hit rate and parked-session memory are recorded in
 //!   a [`ServingStats`] snapshot.
@@ -82,10 +87,12 @@
 pub mod checkpoint;
 mod engine;
 pub mod fault;
+pub mod shard;
 mod stats;
 pub mod tenant;
 
 pub use engine::{ClientEvent, ResolveError, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
 pub use fault::{FaultPlan, FaultSite};
+pub use shard::{ShardedEngine, ShardedTicket};
 pub use stats::{LatencySummary, ServingStats};
 pub use tenant::{TenantId, TenantQuota, TicketId};

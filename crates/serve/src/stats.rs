@@ -43,7 +43,8 @@ impl LatencySummary {
 }
 
 /// Snapshot of an engine's counters (see [`crate::ServeEngine::stats`]).
-#[derive(Debug, Clone)]
+/// `Default` is the all-zero snapshot of an engine that never served.
+#[derive(Debug, Clone, Default)]
 pub struct ServingStats {
     /// Requests that ran to completion (including shed and timed-out
     /// ones — both degrade to abstention, neither drops a request).

@@ -147,7 +147,9 @@ mod parity {
     };
     use rts::core::sqlgen::SqlGenModel;
     use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
-    use rts::serve::{ClientEvent, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
+    use rts::serve::{
+        ClientEvent, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, ShardedEngine, SubmitError,
+    };
     use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
     use std::sync::OnceLock;
 
@@ -789,6 +791,169 @@ mod parity {
         if !config.reference_linking {
             // The reference knob runs context-free, bypassing the cache.
             assert!(stats.cache.hits > 0, "contexts must be reused");
+        }
+    }
+
+    /// The workload shape shared by the shard-parity proptest cases
+    /// and their batch-pipeline baseline.
+    const SHARD_N: usize = 30;
+    const SHARD_RTS_SEED: u64 = 0xC0FFEE;
+    const SHARD_ORACLE_SEED: u64 = 0x5E17E;
+
+    /// Batch-pipeline outcomes for the shard-parity workload, one
+    /// `Debug` string per instance — computed once per process.
+    fn shard_baseline() -> &'static [String] {
+        static BASELINE: OnceLock<Vec<String>> = OnceLock::new();
+        BASELINE.get_or_init(|| {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, SHARD_ORACLE_SEED);
+            let generator = SqlGenModel::deepseek_7b("bird", 99);
+            let config = base_config(SHARD_RTS_SEED);
+            let instances: Vec<Instance> =
+                fx.bench.split.dev.iter().take(SHARD_N).cloned().collect();
+            let (_ex, batch) = run_full_pipeline(
+                &fx.bench, &instances, &fx.model, &fx.mbpp_t, &fx.mbpp_c, &oracle, &generator,
+                &config,
+            );
+            batch.iter().map(|o| format!("{o:?}")).collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The sharded engine ≡ the single-shard engine, byte for byte
+        /// per request, across shard counts and worker budgets:
+        /// database partitioning, per-shard caches, and work-stealing
+        /// placement may move *when* answers arrive, never what they
+        /// are. Parity is pinned transitively against the batch
+        /// pipeline (the same baseline `serve_engine_matches_batch_…`
+        /// holds the one-shard engine to), and rides the CI
+        /// `RTS_THREADS × RTS_REFERENCE` matrix like every other
+        /// parity case. Zero drops and per-shard gauge drain are
+        /// asserted on every case.
+        #[test]
+        fn sharded_engine_matches_single_shard(
+            shards in 2usize..5,
+            workers in 1usize..5,
+        ) {
+            let fx = fixture();
+            let oracle = HumanOracle::new(Expertise::Expert, SHARD_ORACLE_SEED);
+            let baseline = shard_baseline();
+            let instances: Vec<Instance> =
+                fx.bench.split.dev.iter().take(SHARD_N).cloned().collect();
+            let serve_cfg = ServeConfig {
+                workers,
+                queue_capacity: 6,
+                cache_capacity: 3,
+                rts: base_config(SHARD_RTS_SEED),
+                ..ServeConfig::default()
+            };
+            let engine = ShardedEngine::new(
+                &fx.model,
+                &fx.mbpp_t,
+                &fx.mbpp_c,
+                &fx.bench.metas,
+                shards,
+                serve_cfg,
+            );
+            let n_clients = 3;
+            let served: Vec<(u64, JointOutcome)> = crossbeam::thread::scope(|s| {
+                let eng = &engine;
+                for i in 0..eng.workers_total() {
+                    s.spawn(move |_| eng.worker_loop(i));
+                }
+                let handles: Vec<_> = (0..n_clients)
+                    .map(|c| {
+                        let instances = &instances;
+                        let oracle = &oracle;
+                        s.spawn(move |_| {
+                            let policy = MitigationPolicy::Human(oracle);
+                            let mut out = Vec::new();
+                            for inst in instances.iter().skip(c).step_by(n_clients) {
+                                let ticket = loop {
+                                    match eng.submit(c as u32, inst) {
+                                        Ok(t) => break t,
+                                        Err(
+                                            SubmitError::QueueFull { .. }
+                                            | SubmitError::QuotaExceeded { .. },
+                                        ) => std::thread::sleep(
+                                            std::time::Duration::from_micros(100),
+                                        ),
+                                        Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                                            panic!("fixture instances always have metadata: {e}")
+                                        }
+                                    }
+                                };
+                                loop {
+                                    match eng.wait_event(ticket) {
+                                        ClientEvent::NeedsFeedback { query, .. } => {
+                                            // No timeouts and no faults:
+                                            // the resolution can never be
+                                            // stale.
+                                            eng.resolve(
+                                                ticket,
+                                                &query,
+                                                resolve_flag(&policy, inst, &query),
+                                            )
+                                            .expect("fault-free parity resolve");
+                                        }
+                                        ClientEvent::Done(done) => {
+                                            assert!(!done.shed, "no deadline configured");
+                                            assert!(!done.faulted, "no fault plan armed");
+                                            out.push((inst.id, done.outcome));
+                                            break;
+                                        }
+                                        ClientEvent::Retired => panic!(
+                                            "ticket {ticket} retired while its client still waits"
+                                        ),
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                let out: Vec<_> = handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sharded client panicked"))
+                    .collect();
+                engine.shutdown();
+                out
+            })
+            .expect("sharded scope panicked");
+
+            // Byte-identical outcomes, zero drops.
+            prop_assert_eq!(served.len(), instances.len());
+            for (id, outcome) in &served {
+                let i = instances.iter().position(|x| x.id == *id).unwrap();
+                prop_assert_eq!(
+                    format!("{outcome:?}"),
+                    baseline[i].clone(),
+                    "sharded/batch outcome mismatch on instance {} ({} shards, {} workers)",
+                    id, shards, workers
+                );
+            }
+            // Placement followed the pinned routing hash exactly, and
+            // every per-shard gauge drained.
+            let mut expected = vec![0u64; engine.n_shards()];
+            for inst in &instances {
+                expected[rts::core::context::db_shard(&inst.db_name, shards)] += 1;
+            }
+            let mut shard_completed = 0u64;
+            for (idx, want) in expected.iter().enumerate() {
+                let s = engine.shard_stats(idx).unwrap();
+                shard_completed += s.completed;
+                prop_assert_eq!(
+                    s.completed, *want,
+                    "shard {} served {} requests, routing promised {}",
+                    idx, s.completed, want
+                );
+                prop_assert_eq!(s.parked_bytes_now, 0, "shard {} leaks parked bytes", idx);
+                prop_assert_eq!(s.parked_sessions_now, 0, "shard {} leaks sessions", idx);
+                prop_assert_eq!(s.checkpoint_bytes_now, 0, "shard {} leaks checkpoints", idx);
+            }
+            prop_assert_eq!(shard_completed, instances.len() as u64);
         }
     }
 
