@@ -13,7 +13,12 @@
 //!
 //! A fourth pass guards the offline shim policy: no direct
 //! `std::sync::{Mutex,RwLock,Condvar}` outside the shims, and every
-//! `unsafe` block carries a `// SAFETY:` comment.
+//! `unsafe` block carries a `// SAFETY:` comment. A fifth (the corpus
+//! pass, scoped to the synthesis-owning `simlm/src/model.rs`) keeps
+//! the corpus-version contract honest: direct `next_gaussian` calls
+//! there are frozen v1 or corpus-shared streams and must carry
+//! `rts-allow(corpus-v1)` waivers — v2 synthesis draws via
+//! `fill_gaussian`.
 //!
 //! Violations are waived — never silenced — with
 //! `// rts-allow(<key>): <reason>`; an empty reason does not waive.
@@ -37,6 +42,11 @@ use std::path::{Path, PathBuf};
 pub struct PassSet {
     pub panic: bool,
     pub determinism: bool,
+    /// Corpus-version stream discipline: direct `next_gaussian` calls
+    /// on hidden-state synthesis paths must carry
+    /// `rts-allow(corpus-v1)` waivers (frozen v1 or corpus-shared
+    /// streams) — v2 streams draw via `fill_gaussian`.
+    pub corpus: bool,
     pub locks: bool,
     pub std_sync: bool,
     pub unsafety: bool,
@@ -72,6 +82,9 @@ pub fn analyze(specs: &[FileSpec]) -> Report {
         }
         if spec.passes.determinism {
             findings.extend(passes::determinism_pass(&ctx));
+        }
+        if spec.passes.corpus {
+            findings.extend(passes::corpus_pass(&ctx));
         }
         if spec.passes.locks {
             let (f, e) = passes::lock_pass(&ctx);
@@ -132,6 +145,13 @@ pub fn workspace_passes(rel: &str) -> PassSet {
     // waivers.
     if rel == "crates/bench/src/openloop.rs" {
         p.determinism = true;
+    }
+    // The file that owns hidden-state synthesis: every direct
+    // `next_gaussian` call there is either a frozen v1 stream or a
+    // corpus-shared stream, and must say which via
+    // `rts-allow(corpus-v1)` — the v2 streams draw via fill_gaussian.
+    if rel == "crates/simlm/src/model.rs" {
+        p.corpus = true;
     }
     p
 }
@@ -200,6 +220,16 @@ mod tests {
 
         let pinned = workspace_passes("crates/simlm/src/trie.rs");
         assert!(pinned.determinism && !pinned.panic && !pinned.locks);
+        assert!(
+            !pinned.corpus,
+            "only the synthesis-owning file is corpus-pinned"
+        );
+
+        let model = workspace_passes("crates/simlm/src/model.rs");
+        assert!(
+            model.corpus && model.determinism,
+            "model.rs owns the synthesis streams"
+        );
 
         let shim = workspace_passes("crates/shims/parking_lot/src/lib.rs");
         assert!(shim.unsafety, "shims still need SAFETY comments");

@@ -450,6 +450,43 @@ pub fn determinism_pass(ctx: &FileCtx) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// Pass 2b: corpus-version stream discipline
+// ---------------------------------------------------------------------------
+
+/// Flag every direct `next_gaussian` call in a synthesis-owning file.
+/// The v2 corpus draws its hidden-state streams through
+/// `fill_gaussian`/`next_gaussian_pair` (both Box–Muller variates
+/// kept); a lone `.next_gaussian()` on such a path is either a frozen
+/// v1 site or a corpus-shared stream — both legitimate, both required
+/// to say so with `// rts-allow(corpus-v1): <reason>`. An unwaived
+/// call is a new sequential-sampler dependency silently minting a
+/// third corpus. `next_gaussian_pair` lexes as a single identifier,
+/// so it never trips this pass. Waiver key: `corpus-v1`.
+pub fn corpus_pass(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("next_gaussian") && i + 1 < toks.len() && toks[i + 1].is_punct("(") {
+            out.push(
+                ctx.finding(
+                    "corpus",
+                    "sequential-sampler",
+                    "corpus-v1",
+                    t.line,
+                    t.col,
+                    "direct next_gaussian() call on a synthesis path: v2 streams draw via \
+                 fill_gaussian/next_gaussian_pair; waive frozen v1 or corpus-shared \
+                 streams with rts-allow(corpus-v1)"
+                        .into(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Pass 3: lock discipline
 // ---------------------------------------------------------------------------
 

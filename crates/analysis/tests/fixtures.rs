@@ -7,6 +7,7 @@ use rts_analysis::{analyze, FileSpec, PassSet, Report};
 const PANIC: PassSet = PassSet {
     panic: true,
     determinism: false,
+    corpus: false,
     locks: false,
     std_sync: false,
     unsafety: false,
@@ -14,6 +15,15 @@ const PANIC: PassSet = PassSet {
 const DETERMINISM: PassSet = PassSet {
     panic: false,
     determinism: true,
+    corpus: false,
+    locks: false,
+    std_sync: false,
+    unsafety: false,
+};
+const CORPUS: PassSet = PassSet {
+    panic: false,
+    determinism: false,
+    corpus: true,
     locks: false,
     std_sync: false,
     unsafety: false,
@@ -21,6 +31,7 @@ const DETERMINISM: PassSet = PassSet {
 const LOCKS: PassSet = PassSet {
     panic: false,
     determinism: false,
+    corpus: false,
     locks: true,
     std_sync: false,
     unsafety: false,
@@ -28,6 +39,7 @@ const LOCKS: PassSet = PassSet {
 const SHIM: PassSet = PassSet {
     panic: false,
     determinism: false,
+    corpus: false,
     locks: false,
     std_sync: true,
     unsafety: true,
@@ -124,6 +136,40 @@ fn determinism_waivers_are_key_checked() {
     );
     let stripped = run("determinism_waived.rs", &strip_waivers(src), DETERMINISM);
     assert_eq!(stripped.unwaived_count(), 3);
+}
+
+#[test]
+fn corpus_bad_flags_only_sequential_sampling() {
+    let r = run(
+        "corpus_bad.rs",
+        include_str!("fixtures/corpus_bad.rs"),
+        CORPUS,
+    );
+    // fill_gaussian and next_gaussian_pair are corpus-v2-clean; only
+    // the two lone next_gaussian() calls trip the pass.
+    assert_eq!(
+        spans(&r),
+        vec![("sequential-sampler", 8), ("sequential-sampler", 9)]
+    );
+    assert_eq!(r.unwaived_count(), 2);
+    assert_eq!(r.exit_code(), 1);
+}
+
+#[test]
+fn corpus_waivers_are_key_checked() {
+    let src = include_str!("fixtures/corpus_waived.rs");
+    let r = run("corpus_waived.rs", src, CORPUS);
+    assert_eq!(r.findings.len(), 3);
+    assert_eq!(r.waived_count(), 2, "above-line and trailing placements");
+    let red: Vec<_> = r.unwaived().collect();
+    assert_eq!(
+        (red[0].kind, red[0].line),
+        ("sequential-sampler", 15),
+        "an iter-order waiver must not cover a corpus finding"
+    );
+    let stripped = run("corpus_waived.rs", &strip_waivers(src), CORPUS);
+    assert_eq!(stripped.unwaived_count(), 3);
+    assert_eq!(stripped.exit_code(), 1);
 }
 
 #[test]

@@ -43,10 +43,12 @@ fn bench_generation(c: &mut Criterion) {
 
 /// The gaussian samplers under trace-generation-shaped load: the
 /// sequential `next_gaussian` (two uniforms per variate, `sin` twin
-/// discarded — the stream every synthesis path is pinned to) vs the
-/// paired `fill_gaussian` (both Box–Muller variates kept, half the
-/// uniform draws and `ln`/`sqrt` evaluations). The gap is the headroom
-/// available to any future consumer free to pick its own stream.
+/// discarded — the stream the frozen v1 corpus and the corpus-shared
+/// decision/softmax streams are pinned to) vs the paired
+/// `fill_gaussian` (both Box–Muller variates kept, half the uniform
+/// draws and `ln`/`sqrt` evaluations) the v2 synthesis streams were
+/// re-keyed onto. The gap is the per-row headroom the v2 corpus
+/// banked.
 fn bench_gaussian_samplers(c: &mut Criterion) {
     const DIM: usize = 64; // two shared-content vectors of hidden_dim 32
     let mut group = c.benchmark_group("tinynn/gaussian_x64");
@@ -66,6 +68,41 @@ fn bench_gaussian_samplers(c: &mut Criterion) {
         b.iter(|| {
             rng.fill_gaussian(&mut buf);
             black_box(buf[DIM - 1])
+        })
+    });
+    group.finish();
+}
+
+/// The tentpole A/B: identical free-running trace generation under the
+/// frozen v1 corpus (sequential per-layer sampling, two interleaved
+/// streams per layer) vs the v2 corpus (chunked `fill_gaussian` rows,
+/// one merged per-layer stream). Same instance, same lazily selected
+/// layers — only the synthesis corpus differs.
+fn bench_corpus_versions(c: &mut Criterion) {
+    let (bench, linker_v2) = setup();
+    let linker_v1 = SchemaLinker::new("bird", 3).with_corpus(simlm::CorpusVersion::V1);
+    let inst = &bench.split.dev[0];
+    let mut group = c.benchmark_group("trace_gen/corpus_v1_vs_v2");
+    group.bench_function("v1_sequential", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            black_box(linker_v1.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free))
+        })
+    });
+    group.bench_function("v2_chunked", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            black_box(linker_v2.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free))
+        })
+    });
+    // The v2 corpus drawn one scalar at a time (the parity reference
+    // path): isolates chunking/batched-trig gains from the stream
+    // re-key itself.
+    let linker_v2_seq = SchemaLinker::new("bird", 3).with_v2_sequential_reference();
+    group.bench_function("v2_sequential_reference", |b| {
+        b.iter(|| {
+            let mut vocab = Vocab::new();
+            black_box(linker_v2_seq.generate(inst, &mut vocab, LinkTarget::Tables, GenMode::Free))
         })
     });
     group.finish();
@@ -129,6 +166,7 @@ criterion_group!(
     benches,
     bench_generation,
     bench_gaussian_samplers,
+    bench_corpus_versions,
     bench_branch_dataset,
     bench_probe_training,
     bench_flagging

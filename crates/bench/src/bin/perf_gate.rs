@@ -13,6 +13,11 @@
 //! reported but never fail the gate (stage renames land together with a
 //! regenerated baseline). Exits non-zero on regression.
 //!
+//! Records are only comparable when measured under the same workload
+//! scale, worker count, and **synthesis corpus** (`corpus` field;
+//! absent = v1, from before corpus versioning) — any mismatch is a
+//! gate-configuration error and exits 2, never a silent pass.
+//!
 //! The `serving` section is gated too — on two robust quantities:
 //! p99 submit-to-done latency (its own, extra-generous tolerance:
 //! `RTS_PERF_GATE_SERVING_TOLERANCE`, default 4.0, plus 1 ms absolute
@@ -236,6 +241,23 @@ fn main() {
              (scale {}, threads {}) records are not comparable — pin RTS_SCALE / \
              RTS_THREADS to the committed baseline's values or regenerate it",
             baseline.scale, baseline.threads, fresh.scale, fresh.threads
+        );
+        std::process::exit(2);
+    }
+
+    // Same refusal for the synthesis corpus: v2 re-keys the hidden-state
+    // streams precisely to change trace_gen's cost profile, so stage
+    // times measured under different corpora are incomparable by
+    // construction. A record without the field predates corpus
+    // versioning and reads as v1 (corpus_tag's fallback).
+    if baseline.corpus_tag() != fresh.corpus_tag() {
+        eprintln!(
+            "perf gate MISCONFIGURED: baseline (corpus {}) and fresh (corpus {}) \
+             records were measured under different synthesis corpora and are not \
+             comparable — pin RTS_CORPUS to the committed baseline's corpus or \
+             regenerate the baseline under the new one",
+            baseline.corpus_tag(),
+            fresh.corpus_tag()
         );
         std::process::exit(2);
     }

@@ -21,6 +21,7 @@ fn eval_policy(
 ) -> AbstentionMetrics {
     let config = RtsConfig {
         seed,
+        corpus: arts.linker.corpus(),
         ..RtsConfig::default()
     };
     let mbpp = match target {
@@ -137,6 +138,7 @@ pub fn joint_outcomes(
     let policy = MitigationPolicy::Human(oracle);
     let config = RtsConfig {
         seed,
+        corpus: arts.linker.corpus(),
         ..RtsConfig::default()
     };
     par_map_with(split, LinkScratch::default, |scratch, inst| {
@@ -243,6 +245,7 @@ pub fn outcomes_for(
 ) -> Vec<RtsOutcome> {
     let config = RtsConfig {
         seed,
+        corpus: arts.linker.corpus(),
         ..RtsConfig::default()
     };
     let mbpp = match target {

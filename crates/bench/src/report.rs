@@ -481,6 +481,13 @@ pub struct PerfReport {
     /// this (e.g. `"threads": 8` recorded on a 1-core CI container), so
     /// the record keeps both to make timings comparable across hosts.
     pub effective_parallelism: usize,
+    /// Synthesis corpus tag (`"v1"`/`"v2"`, see `simlm::CorpusVersion`)
+    /// the record was measured under. `None` on snapshots predating
+    /// corpus versioning, which were all v1 — read it through
+    /// [`PerfReport::corpus_tag`]. Stage times are incomparable across
+    /// corpora (v2 exists precisely to make `trace_gen` faster), so
+    /// the perf gate refuses cross-corpus comparisons.
+    pub corpus: Option<String>,
     pub stages: Vec<StageTiming>,
     pub notes: Vec<String>,
     /// Online-serving measurement (absent on records from before the
@@ -500,11 +507,20 @@ impl PerfReport {
             seed,
             threads,
             effective_parallelism,
+            corpus: None,
             stages: Vec::new(),
             notes: Vec::new(),
             serving: None,
             open_loop: None,
         }
+    }
+
+    /// The synthesis corpus tag this record was measured under.
+    /// Snapshots from before corpus versioning carry no field; every
+    /// one of them was generated under the original streams, so the
+    /// absent value reads as `"v1"`.
+    pub fn corpus_tag(&self) -> &str {
+        self.corpus.as_deref().unwrap_or("v1")
     }
 
     /// Record a stage measured over `n_instances` instances.
@@ -546,8 +562,12 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== BENCH_rts (scale {}, seed {:#x}, {} threads configured, {} effective)",
-            self.scale, self.seed, self.threads, self.effective_parallelism
+            "== BENCH_rts (scale {}, seed {:#x}, {} threads configured, {} effective, corpus {})",
+            self.scale,
+            self.seed,
+            self.threads,
+            self.effective_parallelism,
+            self.corpus_tag()
         );
         let _ = writeln!(
             out,
@@ -836,6 +856,22 @@ mod tests {
         assert!(back.serving.is_none());
         assert_eq!(back.stages.len(), 1);
         assert_eq!(back.stages[0].stage, "linking");
+        // No "corpus" key either — such snapshots were all measured
+        // under the original streams, so the tag reads v1.
+        assert!(back.corpus.is_none());
+        assert_eq!(back.corpus_tag(), "v1");
+    }
+
+    #[test]
+    fn corpus_tag_roundtrips_and_renders() {
+        let mut p = PerfReport::new(0.03, 7, 1, 1);
+        assert_eq!(p.corpus_tag(), "v1", "unstamped record reads as v1");
+        p.corpus = Some("v2".into());
+        p.push_stage("linking", std::time::Duration::from_millis(2), 46);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.corpus_tag(), "v2");
+        assert!(back.render().contains("corpus v2"));
     }
 
     fn demo_open_loop() -> OpenLoopRecord {

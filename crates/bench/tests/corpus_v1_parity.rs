@@ -1,0 +1,50 @@
+//! Byte-identity of the frozen v1 corpus: regenerating every committed
+//! experiment record under `CorpusVersion::V1` reproduces the archived
+//! `results/v1/*.json` exactly — same JSON bytes, row for row.
+//!
+//! Gated on `RTS_CORPUS=v1` (the CI parity matrix's v1 legs run it;
+//! elsewhere it skips): the regeneration costs a full two-benchmark
+//! context build, and under the default v2 corpus the records
+//! legitimately differ. The scale and seed are pinned to the archive's
+//! (0.02, 0xC0FFEE), not read from the environment — byte-identity is
+//! only defined against the exact workload the archive was generated
+//! under.
+
+use rts_bench::experiments::ablation::{
+    ablation_conformal, ablation_layer_selection, ablation_merge_sets, ablation_probe_depth,
+};
+use rts_bench::experiments::abstain::table5;
+use rts_bench::experiments::linking::table2;
+use rts_bench::experiments::sweeps::figure7;
+use rts_bench::{Context, Which};
+use simlm::CorpusVersion;
+
+#[test]
+fn v1_regeneration_is_byte_identical_to_archive() {
+    if std::env::var("RTS_CORPUS").as_deref() != Ok("v1") {
+        eprintln!("skipping corpus_v1_parity: RTS_CORPUS is not v1");
+        return;
+    }
+    let ctx = Context::load_with_corpus(Which::Both, 0.02, 0xC0FFEE, CorpusVersion::V1);
+    let archive = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/v1");
+    for report in [
+        table2(&ctx),
+        table5(&ctx),
+        figure7(&ctx),
+        ablation_probe_depth(&ctx),
+        ablation_conformal(&ctx),
+        ablation_layer_selection(&ctx),
+        ablation_merge_sets(&ctx),
+    ] {
+        let fresh = serde_json::to_string_pretty(&report).expect("report serialises");
+        let path = archive.join(format!("{}.json", report.id));
+        let archived = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing archived v1 record {}: {e}", path.display()));
+        assert_eq!(
+            fresh, archived,
+            "{} regenerated under the v1 corpus differs from the archived bytes — \
+             the frozen corpus drifted",
+            report.id
+        );
+    }
+}

@@ -807,9 +807,16 @@ impl<'a> ServeEngine<'a> {
                         let decoded = if self.config.fault.trip(FaultSite::CheckpointDecode) {
                             None
                         } else {
-                            checkpoint::try_decode(&bytes)
-                                .ok()
-                                .filter(|cp| cp.matches(inst, stage))
+                            // A decoded checkpoint must belong to this
+                            // (instance, stage) AND to the model's
+                            // synthesis corpus — restore re-synthesizes
+                            // the round, so a cross-corpus checkpoint
+                            // would rebuild different hidden states.
+                            // Mismatches fall through to the salvage
+                            // recipe (degrade, never panic).
+                            checkpoint::try_decode(&bytes).ok().filter(|cp| {
+                                cp.matches(inst, stage) && cp.corpus == self.model.corpus()
+                            })
                         };
                         // The bytes leave the gauge either way — they
                         // are consumed here, restorable or not.

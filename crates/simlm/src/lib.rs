@@ -42,8 +42,8 @@ pub mod vocab;
 
 pub use linearize::{decode_elements, linearize_columns, linearize_tables, IncrementalDecoder};
 pub use model::{
-    Decision, GenMode, GenerationTrace, HiddenStack, LayerSet, LinkTarget, SchemaLinker, StepTrace,
-    SynthScratch,
+    CorpusVersion, Decision, GenMode, GenerationTrace, HiddenStack, LayerSet, LinkTarget,
+    SchemaLinker, StepTrace, SynthScratch,
 };
 pub use profile::CompetenceProfile;
 pub use trie::Trie;

@@ -52,6 +52,46 @@ pub enum GenMode {
     TeacherForced,
 }
 
+/// Which hidden-state synthesis corpus a [`SchemaLinker`] generates.
+///
+/// The corpus-version contract: hidden-state gaussian streams are
+/// versioned, and a version is *frozen* the moment records generated
+/// under it are committed. `V1` is the original corpus — every stream
+/// consumes the sequential [`SplitMix64::next_gaussian`] pattern and
+/// reproduces the archived `results/v1/*.json` byte-for-byte. `V2`
+/// (the default) re-keys the streams to the pair-consuming
+/// [`SplitMix64::fill_gaussian`] pattern and merges each base+noise
+/// stream pair (per token and per layer) into a single stream at the
+/// combined amplitude — half the uniform draws, half the
+/// `ln`/`sqrt`/trig, and half the streams for the same multivariate
+/// distribution — and backs the current `results/*.json` /
+/// `BENCH_rts.json`. Records
+/// from different corpora are never comparable (the perf gate refuses
+/// them); within a corpus, determinism is absolute.
+///
+/// Only the *hidden-state* streams are versioned: decisions, the
+/// latent risk signal, softmax observables and layer directions are
+/// corpus-shared, so Free/TeacherForced traces describe the same
+/// counterfactual generation under either version.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CorpusVersion {
+    /// Frozen original corpus (sequential sampler; `results/v1/`).
+    V1,
+    /// Current corpus (chunked pair sampler; `results/`).
+    #[default]
+    V2,
+}
+
+impl CorpusVersion {
+    /// Short stable tag used in records and env vars (`RTS_CORPUS`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CorpusVersion::V1 => "v1",
+            CorpusVersion::V2 => "v2",
+        }
+    }
+}
+
 /// The model's (counterfactual) decision for one gold element.
 /// (Serde so a suspended linking session can checkpoint its pinned
 /// per-element overrides out of memory and restore them bit-exactly.)
@@ -343,6 +383,14 @@ pub struct SchemaLinker {
     signal_amp: f64,
     base_amp: f64,
     noise_amp: f64,
+    /// Which synthesis corpus the hidden-state streams draw from.
+    corpus: CorpusVersion,
+    /// Testing hook: synthesize the v2 corpus through the
+    /// straightforward per-dimension sequential sampler instead of the
+    /// chunked row fills. Output is bit-identical (pinned by the
+    /// chunked≡sequential parity proptest); only the inner loop shape
+    /// differs.
+    v2_sequential_reference: bool,
 }
 
 impl SchemaLinker {
@@ -378,6 +426,9 @@ impl SchemaLinker {
         let mut layer_dirs = Vec::with_capacity(n_layers);
         for _ in 0..n_layers {
             let mut dir: Vec<f32> = (0..hidden_dim)
+                // rts-allow(corpus-v1): layer directions are corpus-shared
+                // model architecture, not a per-token synthesis stream —
+                // v1 and v2 project onto the same u_j by design.
                 .map(|_| rng.next_gaussian() as f32)
                 .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
@@ -394,7 +445,31 @@ impl SchemaLinker {
             signal_amp: 2.9,
             base_amp: 0.32,
             noise_amp: 0.18,
+            corpus: CorpusVersion::default(),
+            v2_sequential_reference: false,
         }
+    }
+
+    /// Pin the synthesis corpus version (builder style). The default is
+    /// [`CorpusVersion::V2`]; pass [`CorpusVersion::V1`] to reproduce
+    /// the archived `results/v1/*.json` byte-for-byte.
+    pub fn with_corpus(mut self, corpus: CorpusVersion) -> Self {
+        self.corpus = corpus;
+        self
+    }
+
+    /// The synthesis corpus this linker generates.
+    pub fn corpus(&self) -> CorpusVersion {
+        self.corpus
+    }
+
+    /// Switch v2 synthesis to the straightforward sequential reference
+    /// sampler (scalar pair draws per dimension, no row buffers). Used
+    /// by the chunked≡sequential parity proptest; answers are
+    /// bit-identical either way.
+    pub fn with_v2_sequential_reference(mut self) -> Self {
+        self.v2_sequential_reference = true;
+        self
     }
 
     /// Layer depth profile (exposed for the layer-selection ablation).
@@ -840,14 +915,21 @@ impl SchemaLinker {
                         ^ ((pos as u64) << 17)
                         ^ 0x517C_C1B7_2722_0A95,
                 );
+                // The s-signal / softmax stream below is corpus-shared
+                // observable structure (decision topology), not
+                // hidden-state synthesis — v1 and v2 traces carry the
+                // same s and softmax_prob by design, so these sites
+                // keep the sequential sampler under either corpus.
                 let s = if is_branch {
                     let strength = step_element
                         .map(|i| branch_strength[i])
                         .filter(|&v| v > 0.0)
                         .unwrap_or(0.9);
+                    // rts-allow(corpus-v1): corpus-shared s-signal stream
                     strength + 0.07 * srng.next_gaussian()
                 } else {
                     match kind {
+                        // rts-allow(corpus-v1): corpus-shared s-signal stream
                         Kind::WrongElem | Kind::ExtraElem => 0.20 + 0.12 * srng.next_gaussian(),
                         Kind::GoldElem if k == 0 => {
                             // Risky-but-resolved decision point.
@@ -856,6 +938,7 @@ impl SchemaLinker {
                             // signal, giving the conformal calibration a
                             // tail to quantile against at every α.
                             let level = 0.70 * (link_mass + 0.08) / (0.43 + link_mass);
+                            // rts-allow(corpus-v1): corpus-shared s-signal stream
                             level + 0.22 * srng.next_gaussian()
                         }
                         // Ordinary tokens carry a continuum of spurious
@@ -863,14 +946,17 @@ impl SchemaLinker {
                         // probe scores — and with them the conformal
                         // calibration quantiles — vary smoothly instead
                         // of collapsing to a point mass at zero.
+                        // rts-allow(corpus-v1): corpus-shared s-signal stream
                         _ => 0.04 + 0.12 * srng.next_gaussian().abs(),
                     }
                 };
 
                 // Over-confident softmax (Fig 3a): both classes hug 1.
                 let prob = if is_branch {
+                    // rts-allow(corpus-v1): corpus-shared softmax stream
                     (1.0 - (0.02 + 0.025 * srng.next_gaussian().abs())).clamp(0.85, 0.9995)
                 } else {
+                    // rts-allow(corpus-v1): corpus-shared softmax stream
                     (1.0 - 0.008 * srng.next_gaussian().abs()).clamp(0.9, 0.99995)
                 };
 
@@ -897,7 +983,7 @@ impl SchemaLinker {
     }
 
     /// Hidden-state stack for one token: base features + risk direction
-    /// + noise, all deterministic in (seed, instance, position).
+    /// + noise, all deterministic in (seed, instance, position, corpus).
     ///
     /// Base content and noise are *correlated across layers* (70%
     /// shared / 30% layer-specific), mirroring a transformer residual
@@ -907,14 +993,18 @@ impl SchemaLinker {
     /// theorems are designed for (they assume nothing about
     /// independence).
     ///
-    /// Only the layers in `layers` are synthesized. Every gaussian
-    /// stream here is pinned to the sequential
-    /// [`SplitMix64::next_gaussian`] consumption pattern: the committed
-    /// experiment corpus (`results/*.json`) and the lazy/eager parity
-    /// contract both depend on these exact draws, so the pair-using
-    /// [`SplitMix64::fill_gaussian`] sampler — although it would halve
-    /// the uniform draws for the shared-content vectors — must not be
-    /// used on any of them.
+    /// Only the layers in `layers` are synthesized. The gaussian
+    /// streams are versioned by [`CorpusVersion`]: under `V1` every
+    /// stream keeps the sequential [`SplitMix64::next_gaussian`]
+    /// consumption pattern the archived `results/v1/*.json` corpus is
+    /// pinned to; under `V2` (the default) the streams are re-keyed to
+    /// the pair-consuming [`SplitMix64::fill_gaussian`] pattern —
+    /// whole `hidden_dim` rows per call, half the uniform draws, and
+    /// one merged layer-specific stream instead of two (the sum of two
+    /// independent gaussians is a gaussian, so the multivariate
+    /// distribution is unchanged). Each version is frozen once records
+    /// generated under it are committed; speedups that would move a
+    /// stream belong in a *new* version.
     fn hidden_states_for(
         &self,
         inst: &Instance,
@@ -924,7 +1014,6 @@ impl SchemaLinker {
         layers: &LayerSet,
         scratch: &mut SynthScratch,
     ) -> HiddenStack {
-        let n_rows = layers.count(self.n_layers);
         if let Some(sel) = &layers.sel {
             if let Some(&max) = sel.last() {
                 assert!(max < self.n_layers, "layer {max} out of range");
@@ -937,7 +1026,29 @@ impl SchemaLinker {
                 return HiddenStack::from_selected(self.hidden_dim, Vec::new(), sel.clone());
             }
         }
+        match self.corpus {
+            CorpusVersion::V1 => self.hidden_states_v1(inst, pos, tok, s, layers, scratch),
+            CorpusVersion::V2 if self.v2_sequential_reference => {
+                self.hidden_states_v2_sequential(inst, pos, tok, s, layers, scratch)
+            }
+            CorpusVersion::V2 => self.hidden_states_v2(inst, pos, tok, s, layers, scratch),
+        }
+    }
 
+    /// The frozen v1 synthesis path, byte-for-byte as committed with
+    /// `results/v1/*.json`: sequential `next_gaussian` draws on two
+    /// shared and two per-layer streams. Never change these draws —
+    /// the v1 parity test compares the archived records byte-identically.
+    fn hidden_states_v1(
+        &self,
+        inst: &Instance,
+        pos: usize,
+        tok: TokenId,
+        s: f64,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
+    ) -> HiddenStack {
+        let n_rows = layers.count(self.n_layers);
         // Shared token content: one draw per dimension, reused by every
         // layer.
         let mut shared_rng = SplitMix64::new(stable_hash(&token_key(tok, inst.id, pos)));
@@ -947,10 +1058,12 @@ impl SchemaLinker {
         scratch.shared_base.clear();
         scratch
             .shared_base
+            // rts-allow(corpus-v1): frozen v1 shared-content stream
             .extend((0..self.hidden_dim).map(|_| shared_rng.next_gaussian()));
         scratch.shared_noise.clear();
         scratch
             .shared_noise
+            // rts-allow(corpus-v1): frozen v1 shared-noise stream
             .extend((0..self.hidden_dim).map(|_| shared_noise_rng.next_gaussian()));
         let shared_base = &scratch.shared_base;
         let shared_noise = &scratch.shared_noise;
@@ -967,13 +1080,14 @@ impl SchemaLinker {
             );
             let g = self.layer_gain[j];
             let dir = &self.layer_dirs[j];
-            const SHARE: f64 = 0.55;
             let mix = (1.0 - SHARE * SHARE).sqrt();
             for d in 0..self.hidden_dim {
                 let base =
+                    // rts-allow(corpus-v1): frozen v1 per-layer base stream
                     self.base_amp * (SHARE * shared_base[d] + mix * base_rng.next_gaussian());
                 let signal = self.signal_amp * g * s * dir[d] as f64;
                 let noise =
+                    // rts-allow(corpus-v1): frozen v1 per-layer noise stream
                     self.noise_amp * (SHARE * shared_noise[d] + mix * noise_rng.next_gaussian());
                 h.push((base + signal + noise) as f32);
             }
@@ -993,17 +1107,235 @@ impl SchemaLinker {
             }
         }
     }
+
+    /// Seed of the single merged per-layer v2 stream. v1 spent two
+    /// streams per layer (base + noise); v2 merges them into one at
+    /// amplitude `mix·√(base_amp² + noise_amp²)` — same distribution,
+    /// half the per-layer seeding and stream bookkeeping. The seed
+    /// mixes the structural layer key with the model seed (the v1
+    /// noise stream depended on it, so the merged stream must too) and
+    /// a fresh salt so it collides with neither v1 stream.
+    #[inline]
+    fn v2_layer_seed(&self, tok: TokenId, j: usize, inst_id: u64, pos: usize) -> u64 {
+        stable_hash(&layer_key(tok, j, inst_id, pos))
+            ^ self.seed.rotate_left(17)
+            ^ 0x9E6C_63D0_5C02_71A7
+    }
+
+    /// Amplitude of the merged layer-specific v2 stream: the two v1
+    /// layer streams contribute `mix·(base_amp·g_b + noise_amp·g_n)`
+    /// per dimension, a gaussian with this standard deviation.
+    #[inline]
+    fn v2_merged_amp(&self) -> f64 {
+        (1.0 - SHARE * SHARE).sqrt()
+            * (self.base_amp * self.base_amp + self.noise_amp * self.noise_amp).sqrt()
+    }
+
+    /// Seed of the single merged shared v2 stream. v1 spent two shared
+    /// per-token streams (content, keyed on the token; noise, keyed on
+    /// the model seed); v2 merges them into one at
+    /// [`SchemaLinker::v2_shared_amp`] — same distribution, half the
+    /// shared-row synthesis. The seed mixes the content key with the
+    /// model seed (each v1 stream depended on one of them, so the
+    /// merged stream must depend on both) and a fresh salt so it
+    /// collides with neither.
+    #[inline]
+    fn v2_shared_seed(&self, tok: TokenId, inst_id: u64, pos: usize) -> u64 {
+        stable_hash(&token_key(tok, inst_id, pos))
+            ^ self.seed.rotate_left(29)
+            ^ 0xD6E8_FEB8_6659_FD93
+    }
+
+    /// Amplitude of the merged shared v2 stream: the two v1 shared
+    /// streams contribute `SHARE·(base_amp·g_b + noise_amp·g_n)` per
+    /// dimension, a gaussian with this standard deviation. Shared
+    /// across every layer of the token, exactly like v1's shared
+    /// component — the cross-layer correlation the mBPP merge sees is
+    /// unchanged.
+    #[inline]
+    fn v2_shared_amp(&self) -> f64 {
+        SHARE * (self.base_amp * self.base_amp + self.noise_amp * self.noise_amp).sqrt()
+    }
+
+    /// The v2 chunked synthesis path: every stream is materialised a
+    /// whole `hidden_dim` row at a time through
+    /// [`SplitMix64::fill_gaussian`] — both Box–Muller variates kept
+    /// (half the uniform draws and half the `ln`/`sqrt`/trig of the v1
+    /// sequential sampler), contiguous cache-friendly writes, and one
+    /// merged stream per layer *and* per token instead of two of each.
+    /// The shared row is scaled to its final amplitude once per token,
+    /// so the per-layer combine is a single fused add per stream.
+    /// Composes with the [`LayerSet`] lazy selection exactly like v1:
+    /// per-layer streams are independently seeded, so skipping a layer
+    /// perturbs nothing.
+    fn hidden_states_v2(
+        &self,
+        inst: &Instance,
+        pos: usize,
+        tok: TokenId,
+        s: f64,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
+    ) -> HiddenStack {
+        let n_rows = layers.count(self.n_layers);
+        let dim = self.hidden_dim;
+        let mut shared_rng = SplitMix64::new(self.v2_shared_seed(tok, inst.id, pos));
+        let SynthScratch {
+            shared_base,
+            layer_row,
+            ..
+        } = scratch;
+        shared_base.resize(dim, 0.0);
+        shared_rng.fill_gaussian(shared_base);
+        let shared_amp = self.v2_shared_amp();
+        for v in shared_base.iter_mut() {
+            *v *= shared_amp;
+        }
+
+        let merged_amp = self.v2_merged_amp();
+        let mut out = Vec::with_capacity(n_rows * dim);
+        let mut synth_layer = |j: usize, h: &mut Vec<f32>| {
+            let mut layer_rng = SplitMix64::new(self.v2_layer_seed(tok, j, inst.id, pos));
+            layer_row.resize(dim, 0.0);
+            layer_rng.fill_gaussian(layer_row);
+            let g = self.layer_gain[j];
+            let dir = &self.layer_dirs[j];
+            let signal_gain = self.signal_amp * g * s;
+            for d in 0..dim {
+                let v = shared_base[d] + merged_amp * layer_row[d] + signal_gain * dir[d] as f64;
+                h.push(v as f32);
+            }
+        };
+        match &layers.sel {
+            None => {
+                for j in 0..self.n_layers {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_flat(dim, out)
+            }
+            Some(sel) => {
+                for &j in sel.iter() {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_selected(dim, out, sel.clone())
+            }
+        }
+    }
+
+    /// Straightforward per-dimension reference for the v2 corpus: the
+    /// same streams as [`SchemaLinker::hidden_states_v2`], drawn one
+    /// value at a time through [`SeqGaussian`] (which mirrors
+    /// `fill_gaussian`'s pair consumption exactly) and combined in a
+    /// scalar per-dimension loop with no row buffers. Bit-identical to
+    /// the chunked path at every [`LayerSet`] — pinned by the
+    /// chunked≡sequential parity proptest.
+    fn hidden_states_v2_sequential(
+        &self,
+        inst: &Instance,
+        pos: usize,
+        tok: TokenId,
+        s: f64,
+        layers: &LayerSet,
+        scratch: &mut SynthScratch,
+    ) -> HiddenStack {
+        let n_rows = layers.count(self.n_layers);
+        let dim = self.hidden_dim;
+        let mut shared_rng =
+            SeqGaussian::new(SplitMix64::new(self.v2_shared_seed(tok, inst.id, pos)), dim);
+        let shared_amp = self.v2_shared_amp();
+        scratch.shared_base.clear();
+        scratch
+            .shared_base
+            .extend((0..dim).map(|_| shared_amp * shared_rng.next()));
+        let shared_base = &scratch.shared_base;
+
+        let merged_amp = self.v2_merged_amp();
+        let mut out = Vec::with_capacity(n_rows * dim);
+        let synth_layer = |j: usize, h: &mut Vec<f32>| {
+            let mut layer_rng = SeqGaussian::new(
+                SplitMix64::new(self.v2_layer_seed(tok, j, inst.id, pos)),
+                dim,
+            );
+            let g = self.layer_gain[j];
+            let dir = &self.layer_dirs[j];
+            let signal_gain = self.signal_amp * g * s;
+            for d in 0..dim {
+                let v =
+                    shared_base[d] + merged_amp * layer_rng.next() + signal_gain * dir[d] as f64;
+                h.push(v as f32);
+            }
+        };
+        match &layers.sel {
+            None => {
+                for j in 0..self.n_layers {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_flat(dim, out)
+            }
+            Some(sel) => {
+                for &j in sel.iter() {
+                    synth_layer(j, &mut out);
+                }
+                HiddenStack::from_selected(dim, out, sel.clone())
+            }
+        }
+    }
+}
+
+/// Shared/layer-specific content split: 0.55² ≈ 30% of the variance is
+/// layer-specific under both corpora.
+const SHARE: f64 = 0.55;
+
+/// Scalar one-at-a-time view of a `fill_gaussian` stream over a row of
+/// known length: pairs of variates per two values, with the lone
+/// sequential draw `fill_gaussian` uses for an odd final element. Lets
+/// the v2 sequential reference consume *exactly* the chunked stream
+/// without materialising rows.
+struct SeqGaussian {
+    rng: SplitMix64,
+    pending: Option<f64>,
+    remaining: usize,
+}
+
+impl SeqGaussian {
+    fn new(rng: SplitMix64, row_len: usize) -> Self {
+        Self {
+            rng,
+            pending: None,
+            remaining: row_len,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        debug_assert!(self.remaining > 0, "SeqGaussian drawn past its row");
+        self.remaining -= 1;
+        if let Some(v) = self.pending.take() {
+            return v;
+        }
+        if self.remaining == 0 {
+            // Odd tail: fill_gaussian falls back to one sequential draw.
+            // rts-allow(corpus-v1): mirrors fill_gaussian's odd-tail draw exactly
+            return self.rng.next_gaussian();
+        }
+        let (a, b) = self.rng.next_gaussian_pair();
+        self.pending = Some(b);
+        a
+    }
 }
 
 /// Reusable buffers for [`SchemaLinker`] hidden-state synthesis: the
-/// shared-content vectors redrawn per token. One instance per trace (or
-/// per worker thread) keeps steady-state synthesis free of the
-/// per-token allocations the old path paid, mirroring how `BppScratch`
-/// amortises the monitoring path.
+/// shared-content vectors redrawn per token (v2 merges base+noise into
+/// `shared_base` alone; `shared_noise` only serves the frozen v1
+/// path), plus the merged per-layer row the v2 chunked path fills
+/// through `fill_gaussian`. One instance
+/// per trace (or per worker thread) keeps steady-state synthesis free
+/// of the per-token allocations the old path paid, mirroring how
+/// `BppScratch` amortises the monitoring path.
 #[derive(Debug, Default, Clone)]
 pub struct SynthScratch {
     shared_base: Vec<f64>,
     shared_noise: Vec<f64>,
+    layer_row: Vec<f64>,
 }
 
 /// Seed bytes for the per-token shared-content stream — the same byte
@@ -1189,6 +1521,107 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lazy_selected_layers_are_bit_identical_to_eager_under_v1() {
+        // The frozen corpus keeps the lazy/eager contract too.
+        let b = bench();
+        let m = linker().with_corpus(CorpusVersion::V1);
+        let layers = LayerSet::select([3, 21]);
+        let mut scratch = SynthScratch::default();
+        for inst in b.split.dev.iter().take(8) {
+            let mut v1 = Vocab::new();
+            let eager = m.generate(inst, &mut v1, LinkTarget::Columns, GenMode::Free);
+            let mut v2 = Vocab::new();
+            let lazy = m.generate_with_layers(
+                inst,
+                &mut v2,
+                LinkTarget::Columns,
+                GenMode::Free,
+                &layers,
+                &mut scratch,
+            );
+            for (ls, es) in lazy.steps.iter().zip(&eager.steps) {
+                for j in [3usize, 21] {
+                    assert_eq!(ls.hidden.layer(j), es.hidden.layer(j), "layer {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_versions_share_observables_but_not_hidden_states() {
+        let b = bench();
+        let m1 = linker().with_corpus(CorpusVersion::V1);
+        let m2 = linker(); // default V2
+        assert_eq!(m2.corpus(), CorpusVersion::V2);
+        let inst = &b.split.dev[0];
+        let mut va = Vocab::new();
+        let t1 = m1.generate(inst, &mut va, LinkTarget::Columns, GenMode::Free);
+        let mut vb = Vocab::new();
+        let t2 = m2.generate(inst, &mut vb, LinkTarget::Columns, GenMode::Free);
+        // Decisions, tokens, softmax and branch labels are corpus-shared…
+        assert_eq!(t1.tokens, t2.tokens);
+        assert_eq!(t1.decisions, t2.decisions);
+        let mut any_hidden_diff = false;
+        for (s1, s2) in t1.steps.iter().zip(&t2.steps) {
+            assert_eq!(s1.softmax_prob, s2.softmax_prob);
+            assert_eq!(s1.is_branch, s2.is_branch);
+            // …while the hidden-state streams are re-keyed.
+            any_hidden_diff |= s1.hidden != s2.hidden;
+        }
+        assert!(any_hidden_diff, "v2 must re-key the hidden-state corpus");
+    }
+
+    #[test]
+    fn v2_chunked_matches_sequential_reference() {
+        let b = bench();
+        let chunked = linker();
+        let sequential = linker().with_v2_sequential_reference();
+        let layer_sets = [
+            LayerSet::all(),
+            LayerSet::select([0, 7, 19, 21, 29]),
+            LayerSet::select([29]),
+        ];
+        let mut sc = SynthScratch::default();
+        let mut ss = SynthScratch::default();
+        for inst in b.split.dev.iter().take(8) {
+            for layers in &layer_sets {
+                let mut va = Vocab::new();
+                let a = chunked.generate_with_layers(
+                    inst,
+                    &mut va,
+                    LinkTarget::Columns,
+                    GenMode::Free,
+                    layers,
+                    &mut sc,
+                );
+                let mut vb = Vocab::new();
+                let r = sequential.generate_with_layers(
+                    inst,
+                    &mut vb,
+                    LinkTarget::Columns,
+                    GenMode::Free,
+                    layers,
+                    &mut ss,
+                );
+                assert_eq!(a.tokens, r.tokens);
+                for (sa, sr) in a.steps.iter().zip(&r.steps) {
+                    assert_eq!(sa.hidden, sr.hidden);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_version_tags_and_default() {
+        assert_eq!(CorpusVersion::default(), CorpusVersion::V2);
+        assert_eq!(CorpusVersion::V1.tag(), "v1");
+        assert_eq!(CorpusVersion::V2.tag(), "v2");
+        let json = serde_json::to_string(&CorpusVersion::V1).unwrap();
+        let back: CorpusVersion = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CorpusVersion::V1);
     }
 
     #[test]

@@ -65,11 +65,16 @@ impl SplitMix64 {
     }
 
     /// Standard normal via Box–Muller. Two uniforms per call; the second
-    /// variate is discarded. Kept byte-for-byte as-is because every
-    /// stream in the workspace (hidden-state corpus, probe training,
-    /// committed `results/*.json`) is pinned to this consumption
-    /// pattern; bulk consumers that are free to pick their own stream
-    /// should use [`SplitMix64::fill_gaussian`], which wastes nothing.
+    /// variate is discarded. Kept byte-for-byte as-is because frozen
+    /// streams are pinned to this consumption pattern under the
+    /// workspace's corpus-version contract (`simlm::CorpusVersion`):
+    /// the archived v1 hidden-state corpus (`results/v1/*.json`),
+    /// probe training, and every corpus-shared stream (decisions,
+    /// s-signal, softmax) consume it sequentially. The v2 synthesis
+    /// streams were re-keyed onto [`SplitMix64::fill_gaussian`], which
+    /// keeps both variates and wastes nothing — new bulk streams
+    /// should start there; moving an existing stream means minting a
+    /// new corpus version, never editing this sampler.
     #[inline]
     pub fn next_gaussian(&mut self) -> f64 {
         // Avoid ln(0).

@@ -150,8 +150,22 @@ mod parity {
     use rts::serve::{
         ClientEvent, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, ShardedEngine, SubmitError,
     };
-    use rts::simlm::{GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab};
+    use rts::simlm::{
+        CorpusVersion, GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab,
+    };
     use std::sync::OnceLock;
+
+    /// The CI matrix's corpus leg (`RTS_CORPUS=v1|v2`, default v2):
+    /// the whole parity suite — lazy/eager, context/reference,
+    /// session/monolith, serve/batch, chaos — runs under both
+    /// synthesis corpora, with the fixture model and every `RtsConfig`
+    /// agreeing on the version.
+    fn env_corpus() -> CorpusVersion {
+        match std::env::var("RTS_CORPUS").as_deref() {
+            Ok("v1") => CorpusVersion::V1,
+            _ => CorpusVersion::V2,
+        }
+    }
 
     struct Fx {
         bench: Benchmark,
@@ -165,7 +179,7 @@ mod parity {
         static FX: OnceLock<Fx> = OnceLock::new();
         FX.get_or_init(|| {
             let bench = BenchmarkProfile::bird_like().scaled(0.04).generate(77);
-            let model = SchemaLinker::new("bird", 5);
+            let model = SchemaLinker::new("bird", 5).with_corpus(env_corpus());
             let cfg = MbppConfig {
                 probe: ProbeConfig {
                     epochs: 6,
@@ -196,6 +210,7 @@ mod parity {
     fn base_config(seed: u64) -> RtsConfig {
         let mut config = RtsConfig {
             seed,
+            corpus: env_corpus(),
             ..RtsConfig::default()
         };
         match std::env::var("RTS_REFERENCE").as_deref() {
@@ -205,6 +220,19 @@ mod parity {
             _ => {}
         }
         config
+    }
+
+    /// The corpus default threads consistently: an unconfigured
+    /// `RtsConfig` expects the same corpus an unconfigured
+    /// `SchemaLinker` generates (v2), so the `LinkSession::new`
+    /// agreement debug-assert can never fire on defaults.
+    #[test]
+    fn default_corpus_is_v2_everywhere() {
+        assert_eq!(RtsConfig::default().corpus, CorpusVersion::V2);
+        assert_eq!(CorpusVersion::default(), CorpusVersion::V2);
+        assert_eq!(SchemaLinker::new("bird", 5).corpus(), CorpusVersion::V2);
+        assert_eq!(CorpusVersion::V1.tag(), "v1");
+        assert_eq!(CorpusVersion::V2.tag(), "v2");
     }
 
     proptest! {
@@ -253,6 +281,47 @@ mod parity {
                     let l: Vec<u32> = ls.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
                     let e: Vec<u32> = es.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
                     prop_assert_eq!(l, e, "layer {} diverged", j);
+                }
+            }
+        }
+
+        /// The v2 corpus's chunk-at-a-time synthesis (whole
+        /// `hidden_dim` rows via `fill_gaussian`) ≡ the straightforward
+        /// per-dimension sequential reference drawing the same streams
+        /// one scalar at a time — bit for bit, at every `LayerSet`
+        /// selection, across instances, positions, modes and targets.
+        /// This is the invariant that lets the chunked path be the
+        /// production default without its own corpus version.
+        #[test]
+        fn v2_chunked_synthesis_matches_sequential_reference(
+            pick in 0usize..1000,
+            free in prop::bool::ANY,
+            columns in prop::bool::ANY,
+            mask in prop::collection::vec(prop::bool::ANY, 30),
+        ) {
+            let fx = fixture();
+            let chunked = SchemaLinker::new("bird", 5);
+            let sequential = SchemaLinker::new("bird", 5).with_v2_sequential_reference();
+            let inst = &fx.bench.split.dev[pick % fx.bench.split.dev.len()];
+            let mode = if free { GenMode::Free } else { GenMode::TeacherForced };
+            let target = if columns { LinkTarget::Columns } else { LinkTarget::Tables };
+            let layers = LayerSet::select(
+                mask.iter().enumerate().filter(|(_, &on)| on).map(|(j, _)| j),
+            );
+            let mut scratch = SynthScratch::default();
+            let mut vc = Vocab::new();
+            let c = chunked.generate_with_layers(inst, &mut vc, target, mode, &layers, &mut scratch);
+            let mut vs = Vocab::new();
+            let s =
+                sequential.generate_with_layers(inst, &mut vs, target, mode, &layers, &mut scratch);
+            prop_assert_eq!(&c.tokens, &s.tokens);
+            prop_assert_eq!(&c.decisions, &s.decisions);
+            for (cs, ss) in c.steps.iter().zip(&s.steps) {
+                prop_assert_eq!(cs.softmax_prob.to_bits(), ss.softmax_prob.to_bits());
+                for j in cs.hidden.layer_indices() {
+                    let l: Vec<u32> = cs.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
+                    let r: Vec<u32> = ss.hidden.layer(j).iter().map(|x| x.to_bits()).collect();
+                    prop_assert_eq!(l, r, "layer {} diverged", j);
                 }
             }
         }
