@@ -120,16 +120,30 @@ pub fn workspace_passes(rel: &str) -> PassSet {
     if rel.contains("/tests/fixtures/") {
         return p;
     }
+    // Integration-test harnesses (`crates/*/tests/`) assert loudly by
+    // design, like the workspace-root suites: the degrade-only and
+    // lock-discipline passes bind shipped sources, not the tests that
+    // hold them to it. (Inline `#[cfg(test)]` modules are already
+    // stripped by the scanner.)
+    let harness = rel.contains("/tests/");
     // Every crate: unsafe blocks need SAFETY comments.
     p.unsafety = true;
     // Every crate except the shims themselves: no direct std::sync
     // primitives (the parking_lot shim implements *over* std::sync,
     // and other shims may legitimately reach for it).
     p.std_sync = !rel.starts_with("crates/shims/");
-    if rel.starts_with("crates/serve/") {
+    if rel.starts_with("crates/serve/") && !harness {
         // Serving paths must degrade, never panic — except fault.rs,
         // which exists to inject panics deterministically.
         p.panic = !rel.ends_with("/fault.rs");
+        p.locks = true;
+    }
+    // The wire server and client extend the serving surface across a
+    // socket: same degrade-only contract, same lock discipline. A
+    // malformed or hostile peer must read as a typed error, never a
+    // panic; waivers are reasoned and live only at the I/O boundary.
+    if (rel.starts_with("crates/served/") || rel.starts_with("crates/client/")) && !harness {
+        p.panic = true;
         p.locks = true;
     }
     if PINNED_CRATES
@@ -229,6 +243,27 @@ mod tests {
         assert!(
             model.corpus && model.determinism,
             "model.rs owns the synthesis streams"
+        );
+
+        let served = workspace_passes("crates/served/src/lib.rs");
+        assert!(
+            served.panic && served.locks,
+            "the wire server inherits the serve crate's degrade-only contract"
+        );
+        assert!(!served.determinism, "I/O timing is inherently wall-clock");
+        let client = workspace_passes("crates/client/src/lib.rs");
+        assert!(
+            client.panic && client.locks,
+            "the wire client must surface typed errors, never panic"
+        );
+        let wire_tests = workspace_passes("crates/served/tests/wire.rs");
+        assert!(
+            !wire_tests.panic && !wire_tests.locks,
+            "integration harnesses assert loudly by design"
+        );
+        assert!(
+            wire_tests.std_sync && wire_tests.unsafety,
+            "hygiene passes still bind test harnesses"
         );
 
         let shim = workspace_passes("crates/shims/parking_lot/src/lib.rs");

@@ -45,7 +45,7 @@ use rts_core::bpp::Mbpp;
 use rts_core::human::HumanOracle;
 use rts_core::session::resolve_flag;
 use rts_serve::{
-    ClientEvent, LatencySummary, ServeConfig, ShardedEngine, ShardedTicket, SubmitError, TenantId,
+    ClientEvent, Engine, LatencySummary, ServeConfig, ShardedEngine, SubmitError, TenantId,
 };
 use simlm::SchemaLinker;
 use std::collections::VecDeque;
@@ -221,18 +221,19 @@ pub fn outcome_key(o: &rts_serve::ServeOutcome) -> String {
 }
 
 /// A completion job handed from the submitter to the collectors: the
-/// arrival index, the live ticket, and the *scheduled* arrival instant
-/// latency is measured from.
-struct Job {
+/// arrival index, the live ticket (generic over the engine surface —
+/// sharded tickets in-process, request ids over the wire), and the
+/// *scheduled* arrival instant latency is measured from.
+struct Job<T> {
     idx: usize,
-    ticket: ShardedTicket,
+    ticket: T,
     sched: Instant,
 }
 
 /// Submitter → collector handoff: a bounded-by-workload queue plus a
 /// close flag, under one lock with a condvar.
-struct CollectQueue {
-    jobs: VecDeque<Job>,
+struct CollectQueue<T> {
+    jobs: VecDeque<Job<T>>,
     closed: bool,
 }
 
@@ -259,7 +260,7 @@ fn run_point(
     );
     let n = arrivals.len();
     let shared = (
-        parking_lot::Mutex::new(CollectQueue {
+        parking_lot::Mutex::new(CollectQueue::<rts_serve::ShardedTicket> {
             jobs: VecDeque::new(),
             closed: false,
         }),
@@ -304,7 +305,7 @@ fn run_point(
                         // the measurement.
                         std::thread::sleep(Duration::from_micros(50));
                     }
-                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
+                    Err(e) => {
                         panic!("schedule instances always have metadata: {e}")
                     }
                 }
@@ -391,13 +392,17 @@ fn run_point(
 
 /// One collector: pop completion jobs, drive each ticket to `Done`
 /// (answering every feedback suspension with the oracle), and time it
-/// from its scheduled arrival.
-fn collector_loop(
-    engine: &ShardedEngine<'_>,
+/// from its scheduled arrival. Generic over the serving surface — the
+/// open-loop discipline does not care whether the ticket is local.
+fn collector_loop<E: Engine>(
+    engine: &E,
     instances: &[benchgen::Instance],
     arrivals: &[Arrival],
     oracle: &HumanOracle,
-    shared: &(parking_lot::Mutex<CollectQueue>, parking_lot::Condvar),
+    shared: &(
+        parking_lot::Mutex<CollectQueue<E::Ticket>>,
+        parking_lot::Condvar,
+    ),
 ) -> Vec<(usize, f64, String)> {
     let policy = MitigationPolicy::Human(oracle);
     let mut out = Vec::new();

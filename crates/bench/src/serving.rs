@@ -25,7 +25,7 @@ use rts_core::bpp::Mbpp;
 use rts_core::human::HumanOracle;
 use rts_core::pipeline::JointOutcome;
 use rts_core::session::resolve_flag;
-use rts_serve::{ClientEvent, ServeConfig, ServeEngine, SubmitError, TenantId};
+use rts_serve::{drive_closed_loop, Engine, ServeConfig, ServeEngine, TenantId};
 use simlm::SchemaLinker;
 use std::time::{Duration, Instant};
 
@@ -119,24 +119,49 @@ pub fn run_workload(
         config.serve.clone(),
     );
     let t0 = Instant::now();
-    let per_client: Vec<Vec<&benchgen::Instance>> = (0..config.clients)
+    let outcomes: Vec<ServedRequest> = crossbeam::thread::scope(|s| {
+        for _ in 0..engine.config().workers {
+            s.spawn(|_| engine.worker_loop());
+        }
+        let collected = run_clients(&engine, instances, config);
+        engine.shutdown();
+        collected
+    })
+    .expect("workload scope panicked");
+    let wall = t0.elapsed();
+    WorkloadResult {
+        outcomes,
+        stats: engine.stats(),
+        wall,
+        n_requests: instances.len() * config.rounds,
+    }
+}
+
+/// Spawn `config.clients` closed-loop client threads against any
+/// [`Engine`] — the in-process engines or the `rts-client` wire client
+/// — and collect every served request. The caller owns the engine's
+/// lifecycle (workers, shutdown); this is only the client side, which
+/// is exactly what the wire driver reuses against a remote server.
+pub fn run_clients<E: Engine>(
+    engine: &E,
+    instances: &[benchgen::Instance],
+    config: &WorkloadConfig,
+) -> Vec<ServedRequest> {
+    let per_client: Vec<Vec<benchgen::Instance>> = (0..config.clients)
         .map(|c| {
             instances
                 .iter()
                 .skip(c)
                 .step_by(config.clients)
-                .collect::<Vec<_>>()
+                .cloned()
+                .collect()
         })
         .collect();
-    let outcomes: Vec<ServedRequest> = crossbeam::thread::scope(|s| {
-        for _ in 0..engine.config().workers {
-            s.spawn(|_| engine.worker_loop());
-        }
+    crossbeam::thread::scope(|s| {
         let handles: Vec<_> = per_client
             .iter()
             .enumerate()
             .map(|(c, slice)| {
-                let engine = &engine;
                 let oracle = &config.oracle;
                 let rounds = config.rounds;
                 let tenant = (c % config.tenants) as TenantId;
@@ -144,84 +169,50 @@ pub fn run_workload(
                 s.spawn(move |_| client_loop(engine, tenant, stalled, slice, oracle, rounds))
             })
             .collect();
-        let collected: Vec<_> = handles
+        handles
             .into_iter()
             .flat_map(|h| h.join().expect("workload client panicked"))
-            .collect();
-        engine.shutdown();
-        collected
+            .collect()
     })
-    .expect("workload scope panicked");
-    let wall = t0.elapsed();
-    let n_requests = per_client.iter().map(|s| s.len()).sum::<usize>() * config.rounds;
-    WorkloadResult {
-        outcomes,
-        stats: engine.stats(),
-        wall,
-        n_requests,
-    }
+    .expect("workload scope panicked")
 }
 
-/// One client: submit each owned instance `rounds` times as `tenant`,
-/// retrying bounced admissions (both queue-full and quota bounces —
-/// that *is* the backpressure protocol) and resolving every feedback
-/// suspension with the oracle. A stalled client never resolves: it
+/// One client: submit each owned instance `rounds` times as `tenant`
+/// through the shared [`drive_closed_loop`] protocol (bounced
+/// admissions retried, every feedback suspension answered with the
+/// oracle). A stalled client *stalls* instead of answering — it
 /// re-polls until the engine's feedback timeout completes the request.
-fn client_loop<'a>(
-    engine: &ServeEngine<'a>,
+fn client_loop<E: Engine>(
+    engine: &E,
     tenant: TenantId,
     stalled: bool,
-    instances: &[&'a benchgen::Instance],
+    instances: &[benchgen::Instance],
     oracle: &HumanOracle,
     rounds: usize,
 ) -> Vec<ServedRequest> {
     let policy = MitigationPolicy::Human(oracle);
     let mut out = Vec::with_capacity(instances.len() * rounds);
     for _ in 0..rounds {
-        for inst in instances {
-            let ticket = loop {
-                match engine.submit(tenant, inst) {
-                    Ok(t) => break t,
-                    Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                        panic!("workload instances always have metadata: {e}")
-                    }
-                }
-            };
-            loop {
-                match engine.wait_event(ticket) {
-                    ClientEvent::NeedsFeedback { query, .. } => {
-                        if stalled {
-                            // Never answer; the park-to-abstention
-                            // timeout will complete the request.
-                            std::thread::sleep(Duration::from_micros(500));
-                        } else {
-                            // `Stale` is a legal race under feedback
-                            // timeouts or injected loss/delay — the
-                            // next poll picks up the current state.
-                            let _ =
-                                engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
-                        }
-                    }
-                    ClientEvent::Done(done) => {
-                        out.push(ServedRequest {
-                            tenant,
-                            instance: inst.id,
-                            outcome: done.outcome,
-                            shed: done.shed,
-                            timed_out: done.timed_out,
-                            faulted: done.faulted,
-                        });
-                        break;
-                    }
-                    ClientEvent::Retired => {
-                        panic!("ticket {ticket} retired while its client still waits")
-                    }
-                }
+        let served = drive_closed_loop(engine, tenant, instances, |inst, query| {
+            if stalled {
+                // Never answer; the park-to-abstention timeout will
+                // complete the request.
+                None
+            } else {
+                // `Stale` is a legal race under feedback timeouts or
+                // injected loss/delay — the driver absorbs it and the
+                // next poll picks up the current state.
+                Some(resolve_flag(&policy, inst, query))
             }
-        }
+        });
+        out.extend(served.into_iter().map(|(instance, done)| ServedRequest {
+            tenant,
+            instance,
+            outcome: done.outcome,
+            shed: done.shed,
+            timed_out: done.timed_out,
+            faulted: done.faulted,
+        }));
     }
     out
 }

@@ -101,7 +101,7 @@ pub struct LinkScratch {
 }
 
 /// Outcome of one monitored linking run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RtsOutcome {
     /// The run ended in abstention (never true under the Human policy).
     pub abstained: bool,

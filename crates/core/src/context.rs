@@ -185,7 +185,7 @@ impl LinkContexts {
 }
 
 /// Hit/miss/eviction counters of a [`ContextCache`] snapshot.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ContextCacheStats {
     pub hits: u64,
     pub misses: u64,

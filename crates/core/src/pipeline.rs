@@ -19,7 +19,7 @@ use benchgen::{Benchmark, Instance};
 use simlm::{LinkTarget, SchemaLinker};
 
 /// Outcome of joint (table + column) RTS linking for one instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct JointOutcome {
     pub tables: RtsOutcome,
     pub columns: RtsOutcome,

@@ -32,26 +32,56 @@ use simlm::{Decision, GenMode, GenerationTrace, LinkTarget, SchemaLinker, Vocab}
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// How a session holds its [`LinkContext`]: borrowed from a registry
-/// (the batch drivers — zero-cost sharing within one fan-out) or
-/// sharing ownership with a cache (the serving engine, where an LRU
-/// may evict the registry entry while parked sessions still need it).
-#[derive(Debug, Clone)]
-pub enum CtxHandle<'a> {
-    Borrowed(&'a LinkContext),
-    Shared(Arc<LinkContext>),
+/// How a session holds a model artefact: borrowed from the caller's
+/// stack (the batch drivers — zero-cost sharing within one scoped
+/// fan-out) or sharing ownership through an [`Arc`] (the serving
+/// engine, whose sessions outlive any one stack frame: a parked
+/// session may be resumed by a different worker thread long after the
+/// submitting scope returned).
+///
+/// `Handle<'static, T>` is the ownership shape the `Engine` trait
+/// runs on: every artefact behind an `Arc`, no scoped borrows.
+#[derive(Debug)]
+pub enum Handle<'a, T> {
+    Borrowed(&'a T),
+    Shared(Arc<T>),
 }
 
-impl std::ops::Deref for CtxHandle<'_> {
-    type Target = LinkContext;
-
-    fn deref(&self) -> &LinkContext {
+impl<T> Clone for Handle<'_, T> {
+    fn clone(&self) -> Self {
         match self {
-            CtxHandle::Borrowed(c) => c,
-            CtxHandle::Shared(c) => c,
+            Handle::Borrowed(t) => Handle::Borrowed(t),
+            Handle::Shared(t) => Handle::Shared(Arc::clone(t)),
         }
     }
 }
+
+impl<T> std::ops::Deref for Handle<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Handle::Borrowed(t) => t,
+            Handle::Shared(t) => t,
+        }
+    }
+}
+
+impl<'a, T> From<&'a T> for Handle<'a, T> {
+    fn from(t: &'a T) -> Self {
+        Handle::Borrowed(t)
+    }
+}
+
+impl<T> From<Arc<T>> for Handle<'static, T> {
+    fn from(t: Arc<T>) -> Self {
+        Handle::Shared(t)
+    }
+}
+
+/// How a session holds its [`LinkContext`] (the original use of
+/// [`Handle`], kept under its established name).
+pub type CtxHandle<'a> = Handle<'a, LinkContext>;
 
 /// A branching flag the session suspended on: everything a feedback
 /// provider (human UI, surrogate service, test oracle) needs to act,
@@ -91,8 +121,9 @@ impl FlagQuery {
 }
 
 /// The feedback that resumes a suspended session — the three ways the
-/// monolithic loop's policy arms reacted to a flag.
-#[derive(Debug, Clone, PartialEq)]
+/// monolithic loop's policy arms reacted to a flag. Serializable so a
+/// remote feedback provider can ship its verdict across the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FlagResolution {
     /// Halt and abstain. `consulted` records whether an actual
     /// consultation produced the verdict (the surrogate filter) or the
@@ -232,10 +263,10 @@ impl SessionRound<'_> {
 /// state, not scratch.
 #[derive(Debug)]
 pub struct LinkSession<'a> {
-    model: &'a SchemaLinker,
-    mbpp: &'a Mbpp,
-    inst: &'a Instance,
-    meta: &'a DbMeta,
+    model: Handle<'a, SchemaLinker>,
+    mbpp: Handle<'a, Mbpp>,
+    inst: Handle<'a, Instance>,
+    meta: Handle<'a, DbMeta>,
     target: LinkTarget,
     ctx: Option<CtxHandle<'a>>,
     config: RtsConfig,
@@ -273,6 +304,33 @@ impl<'a> LinkSession<'a> {
         round0: Option<Round0<'a>>,
         config: &RtsConfig,
     ) -> Self {
+        Self::new_in(
+            Handle::Borrowed(model),
+            Handle::Borrowed(mbpp),
+            Handle::Borrowed(inst),
+            Handle::Borrowed(meta),
+            target,
+            ctx,
+            round0,
+            config,
+        )
+    }
+
+    /// [`LinkSession::new`] over explicit artefact [`Handle`]s — the
+    /// constructor the serving engine uses with `Handle::Shared` so the
+    /// resulting session is `LinkSession<'static>` and can be parked
+    /// past any submitting scope.
+    #[allow(clippy::too_many_arguments)] // mirrors LinkSession::new
+    pub fn new_in(
+        model: Handle<'a, SchemaLinker>,
+        mbpp: Handle<'a, Mbpp>,
+        inst: Handle<'a, Instance>,
+        meta: Handle<'a, DbMeta>,
+        target: LinkTarget,
+        ctx: Option<CtxHandle<'a>>,
+        round0: Option<Round0<'a>>,
+        config: &RtsConfig,
+    ) -> Self {
         let ctx = if config.reference_linking { None } else { ctx };
         debug_assert_eq!(
             config.corpus,
@@ -280,7 +338,7 @@ impl<'a> LinkSession<'a> {
             "RtsConfig::corpus disagrees with the model's synthesis corpus — \
              the run would record one version and generate the other"
         );
-        let gold = SchemaLinker::gold_elements(inst, target);
+        let gold = SchemaLinker::gold_elements(&inst, target);
         let gold_set = {
             let mut g = gold.clone();
             g.sort();
@@ -324,8 +382,8 @@ impl<'a> LinkSession<'a> {
     }
 
     /// The instance this session is linking.
-    pub fn instance(&self) -> &'a Instance {
-        self.inst
+    pub fn instance(&self) -> &Instance {
+        &self.inst
     }
 
     /// The link target this session resolves.
@@ -416,6 +474,34 @@ impl<'a> LinkSession<'a> {
         cp: &SessionCheckpoint,
         synth: &mut simlm::SynthScratch,
     ) -> Self {
+        Self::restore_in(
+            Handle::Borrowed(model),
+            Handle::Borrowed(mbpp),
+            Handle::Borrowed(inst),
+            Handle::Borrowed(meta),
+            target,
+            ctx,
+            config,
+            cp,
+            synth,
+        )
+    }
+
+    /// [`LinkSession::restore`] over explicit artefact [`Handle`]s —
+    /// the serving engine's restore path (`Handle::Shared`, so the
+    /// restored session is `'static`).
+    #[allow(clippy::too_many_arguments)] // mirrors LinkSession::restore
+    pub fn restore_in(
+        model: Handle<'a, SchemaLinker>,
+        mbpp: Handle<'a, Mbpp>,
+        inst: Handle<'a, Instance>,
+        meta: Handle<'a, DbMeta>,
+        target: LinkTarget,
+        ctx: Option<CtxHandle<'a>>,
+        config: &RtsConfig,
+        cp: &SessionCheckpoint,
+        synth: &mut simlm::SynthScratch,
+    ) -> Self {
         assert_eq!(
             cp.instance, inst.id,
             "checkpoint belongs to another instance"
@@ -430,7 +516,7 @@ impl<'a> LinkSession<'a> {
             model.corpus(),
             "checkpoint was taken under the other synthesis corpus"
         );
-        let mut session = Self::new(model, mbpp, inst, meta, target, ctx, None, config);
+        let mut session = Self::new_in(model, mbpp, inst, meta, target, ctx, None, config);
         session.rng = tinynn::rng::SplitMix64::new(cp.rng_state);
         session.would_be_correct = cp.would_be_correct;
         // rts-allow(iter-order): `cp.overrides` is the checkpoint's
@@ -449,8 +535,8 @@ impl<'a> LinkSession<'a> {
             // deterministic in (instance, overrides, layer set), so the
             // trace and vocabulary come back bit-identical.
             let mut vocab = Vocab::new();
-            let trace = model.generate_with_overrides_and_layers(
-                inst,
+            let trace = session.model.generate_with_overrides_and_layers(
+                &session.inst,
                 &mut vocab,
                 target,
                 GenMode::Free,
@@ -511,7 +597,7 @@ impl<'a> LinkSession<'a> {
             };
             let mut vocab = Vocab::new();
             let baseline = self.model.generate_with_layers(
-                self.inst,
+                &self.inst,
                 &mut vocab,
                 self.target,
                 GenMode::Free,
@@ -542,7 +628,7 @@ impl<'a> LinkSession<'a> {
             self.cur = None;
             let mut vocab = Vocab::new();
             let trace = self.model.generate_with_overrides_and_layers(
-                self.inst,
+                &self.inst,
                 &mut vocab,
                 self.target,
                 GenMode::Free,
@@ -608,7 +694,7 @@ impl<'a> LinkSession<'a> {
         let implicated = crate::abstention::implicated(
             self.ctx.as_deref(),
             round.vocab(),
-            self.meta,
+            &self.meta,
             self.target,
             &trace.tokens,
             branch_pos,

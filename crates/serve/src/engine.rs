@@ -2,6 +2,7 @@
 //! sessions. See the crate docs for the design overview.
 
 use crate::checkpoint;
+use crate::error::{ResolveError, SubmitError};
 use crate::fault::{FaultPlan, FaultSite, InjectedPanic};
 use crate::stats::{Counters, LatencySummary, LatencyWindow, ServingStats};
 use crate::tenant::{FairQueue, TenantId, TenantQuota, TicketId};
@@ -13,12 +14,13 @@ use rts_core::bpp::Mbpp;
 use rts_core::context::ContextCache;
 use rts_core::pipeline::JointOutcome;
 use rts_core::session::{
-    CtxHandle, FlagQuery, FlagResolution, LinkSession, SessionCheckpoint, SessionState,
+    CtxHandle, FlagQuery, FlagResolution, Handle, LinkSession, SessionCheckpoint, SessionState,
 };
 use simlm::{LinkTarget, SchemaLinker};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine knobs.
@@ -91,69 +93,6 @@ impl Default for ServeConfig {
     }
 }
 
-/// Why a submit was refused.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The admission queue is at capacity — retry later (client-side
-    /// backpressure).
-    QueueFull { capacity: usize },
-    /// The submitting tenant is at its own quota (in-flight or parked
-    /// bound) — other tenants are unaffected; retry after some of this
-    /// tenant's requests complete.
-    QuotaExceeded { tenant: TenantId, limit: usize },
-    /// The instance references a database the engine has no metadata
-    /// for — a client-input error, rejected before any queue state
-    /// changes (it used to panic a worker; see the robustness notes).
-    UnknownDatabase { database: String },
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::QueueFull { capacity } => {
-                write!(f, "admission queue full ({capacity} requests)")
-            }
-            SubmitError::QuotaExceeded { tenant, limit } => {
-                write!(f, "tenant {tenant} at quota ({limit} requests)")
-            }
-            SubmitError::UnknownDatabase { database } => {
-                write!(f, "no database metadata for {database}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-/// Why a [`ServeEngine::resolve`] was not applied. Either way the
-/// answer is *dropped, never misapplied* — and never a panic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ResolveError {
-    /// The ticket no longer exists: it completed and its outcome was
-    /// collected through [`ServeEngine::wait_event`], or it was never
-    /// issued.
-    Retired,
-    /// The ticket exists but is not suspended on the query being
-    /// answered — the resolution lost a race (a feedback timeout
-    /// already resolved the flag, a chained stage raised a newer one,
-    /// or the same flag was resolved twice). Re-poll with
-    /// [`ServeEngine::wait_event`] for the current state.
-    Stale,
-}
-
-impl std::fmt::Display for ResolveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ResolveError::Retired => write!(f, "ticket already retired"),
-            ResolveError::Stale => {
-                write!(f, "ticket is not suspended on the answered flag")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ResolveError {}
-
 /// A finished request.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
@@ -210,9 +149,9 @@ enum Phase {
 }
 
 #[derive(Debug)]
-struct Ticket<'a> {
+struct Ticket {
     tenant: TenantId,
-    inst: &'a Instance,
+    inst: Arc<Instance>,
     submitted: Instant,
     deadline: Option<Instant>,
     /// When a parked session times out into abstention (`None` while
@@ -221,7 +160,7 @@ struct Ticket<'a> {
     /// Stage currently being linked (tables first, then columns —
     /// mirroring `run_joint_linking_in`'s joint process).
     stage: LinkTarget,
-    session: Option<LinkSession<'a>>,
+    session: Option<LinkSession<'static>>,
     /// Serialized session state when the parked-bytes budget evicted
     /// the live session (mutually exclusive with `session`).
     checkpoint: Option<Vec<u8>>,
@@ -249,12 +188,12 @@ struct Ticket<'a> {
 }
 
 #[derive(Debug)]
-struct EngineState<'a> {
+struct EngineState {
     /// Per-tenant sub-queues with deficit-round-robin dispatch;
     /// resumed sessions drain before admissions so feedback-ready work
     /// never starves behind fresh arrivals.
     queues: FairQueue,
-    tickets: HashMap<TicketId, Ticket<'a>>,
+    tickets: HashMap<TicketId, Ticket>,
     next_id: TicketId,
     /// Lower bound on the earliest parked-feedback deadline (`None` =
     /// no parked deadline). Tightened on every park, recomputed exactly
@@ -264,17 +203,19 @@ struct EngineState<'a> {
     next_timeout: Option<Instant>,
 }
 
-/// The serving engine. Borrows the model artefacts for `'a`; sessions,
-/// queues and caches live inside. Share it by reference across scoped
-/// worker + client threads.
-pub struct ServeEngine<'a> {
-    model: &'a SchemaLinker,
-    mbpp_tables: &'a Mbpp,
-    mbpp_columns: &'a Mbpp,
-    metas: HashMap<&'a str, &'a DbMeta>,
+/// The serving engine. Owns its model artefacts behind [`Arc`]s (so
+/// shards, servers, and detached worker threads can share one trained
+/// set without any scoped borrow); sessions, queues and caches live
+/// inside. Share it by reference across scoped worker + client
+/// threads, or behind an `Arc` across detached ones.
+pub struct ServeEngine {
+    model: Arc<SchemaLinker>,
+    mbpp_tables: Arc<Mbpp>,
+    mbpp_columns: Arc<Mbpp>,
+    metas: HashMap<String, Arc<DbMeta>>,
     cache: ContextCache,
     config: ServeConfig,
-    state: Mutex<EngineState<'a>>,
+    state: Mutex<EngineState>,
     /// Wakes workers (new/resumed work, shutdown).
     work_cv: Condvar,
     /// Wakes clients (ticket phase transitions).
@@ -292,22 +233,44 @@ pub struct ServeEngine<'a> {
 /// reporting (a sliding window, oldest overwritten first).
 const LATENCY_WINDOW: usize = 1 << 16;
 
-impl<'a> ServeEngine<'a> {
+impl ServeEngine {
     /// Build an engine over trained artefacts and the databases in
-    /// `metas`. No contexts are compiled here — they materialize
-    /// lazily, per database, on first request.
+    /// `metas`, cloning each into shared ownership. No contexts are
+    /// compiled here — they materialize lazily, per database, on first
+    /// request. To share one trained set across several engines (a
+    /// sharded fleet), clone the `Arc`s and use
+    /// [`ServeEngine::with_artifacts`] instead.
     pub fn new(
-        model: &'a SchemaLinker,
-        mbpp_tables: &'a Mbpp,
-        mbpp_columns: &'a Mbpp,
-        metas: &'a [DbMeta],
+        model: &SchemaLinker,
+        mbpp_tables: &Mbpp,
+        mbpp_columns: &Mbpp,
+        metas: &[DbMeta],
+        config: ServeConfig,
+    ) -> Self {
+        Self::with_artifacts(
+            Arc::new(model.clone()),
+            Arc::new(mbpp_tables.clone()),
+            Arc::new(mbpp_columns.clone()),
+            metas.iter().map(|m| Arc::new(m.clone())).collect(),
+            config,
+        )
+    }
+
+    /// Build an engine over already-shared artefacts — the zero-copy
+    /// constructor a sharded fleet or a standalone server uses so every
+    /// engine points at the same trained weights.
+    pub fn with_artifacts(
+        model: Arc<SchemaLinker>,
+        mbpp_tables: Arc<Mbpp>,
+        mbpp_columns: Arc<Mbpp>,
+        metas: Vec<Arc<DbMeta>>,
         config: ServeConfig,
     ) -> Self {
         Self {
             model,
             mbpp_tables,
             mbpp_columns,
-            metas: metas.iter().map(|m| (m.name.as_str(), m)).collect(),
+            metas: metas.into_iter().map(|m| (m.name.clone(), m)).collect(),
             cache: ContextCache::new(config.cache_capacity),
             config,
             state: Mutex::new(EngineState {
@@ -325,8 +288,8 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    fn meta_of(&self, inst: &Instance) -> Option<&'a DbMeta> {
-        self.metas.get(inst.db_name.as_str()).copied()
+    fn meta_of(&self, inst: &Instance) -> Option<Arc<DbMeta>> {
+        self.metas.get(inst.db_name.as_str()).cloned()
     }
 
     /// Override a tenant's fair-share weight (default 1): a tenant with
@@ -348,9 +311,11 @@ impl<'a> ServeEngine<'a> {
     }
 
     /// Admit a request by `tenant` for joint (tables → columns) linking
-    /// of `inst`. Per-tenant quotas are checked before the global queue
-    /// bound, so an over-quota tenant sees its own error, not everyone's.
-    pub fn submit(&self, tenant: TenantId, inst: &'a Instance) -> Result<TicketId, SubmitError> {
+    /// of `inst` (cloned into the ticket — the engine owns everything a
+    /// parked session may need past the caller's scope). Per-tenant
+    /// quotas are checked before the global queue bound, so an
+    /// over-quota tenant sees its own error, not everyone's.
+    pub fn submit(&self, tenant: TenantId, inst: &Instance) -> Result<TicketId, SubmitError> {
         // Fail fast on unknown databases, before any queue state
         // changes — a typed rejection, never a worker panic later.
         if self.meta_of(inst).is_none() {
@@ -388,7 +353,7 @@ impl<'a> ServeEngine<'a> {
             id,
             Ticket {
                 tenant,
-                inst,
+                inst: Arc::new(inst.clone()),
                 submitted: now,
                 deadline: self.config.deadline.map(|d| now + d),
                 park_deadline: None,
@@ -443,6 +408,41 @@ impl<'a> ServeEngine<'a> {
                     };
                 }
                 Phase::Queued | Phase::Running => self.client_cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Edge-triggered [`ServeEngine::wait_event`]: block until the
+    /// ticket's state *differs* from `last_seen` — the query the caller
+    /// already has in hand (or `None` when it has seen nothing yet).
+    /// A level-triggered poll loop over `wait_event` spins while a
+    /// known flag stays unanswered; a connection handler pushing events
+    /// to a remote client needs "wake me on the *next* transition"
+    /// instead. Round numbers make successive queries of one ticket
+    /// distinct, so equality on the query is a correct edge detector.
+    pub fn wait_event_changed(&self, id: TicketId, last_seen: Option<&FlagQuery>) -> ClientEvent {
+        let mut st = self.state.lock();
+        loop {
+            let Some(ticket) = st.tickets.get(&id) else {
+                return ClientEvent::Retired;
+            };
+            match &ticket.phase {
+                Phase::AwaitingFeedback(query) if Some(query) != last_seen => {
+                    return ClientEvent::NeedsFeedback {
+                        target: ticket.stage,
+                        query: query.clone(),
+                    };
+                }
+                Phase::Done(_) => {
+                    return match st.tickets.remove(&id).map(|t| t.phase) {
+                        Some(Phase::Done(outcome)) => ClientEvent::Done(outcome),
+                        // Unreachable under the lock held since the
+                        // check above — but a client API degrades, it
+                        // never panics.
+                        _ => ClientEvent::Retired,
+                    };
+                }
+                _ => self.client_cv.wait(&mut st),
             }
         }
     }
@@ -508,7 +508,7 @@ impl<'a> ServeEngine<'a> {
     /// apply after restoring a checkpointed one), and re-queue the
     /// ticket on its tenant's resume lane. Callers bill their own
     /// counters (`feedback_rounds` vs `timed_out`) around it.
-    fn unpark(&self, st: &mut EngineState<'a>, id: TicketId, resolution: FlagResolution) {
+    fn unpark(&self, st: &mut EngineState, id: TicketId, resolution: FlagResolution) {
         let Some(ticket) = st.tickets.get_mut(&id) else {
             // Unparking an id with no ticket is an accounting bug;
             // absorb it (nothing to resume) rather than panic a worker
@@ -565,7 +565,7 @@ impl<'a> ServeEngine<'a> {
     /// act on them. O(1) while nothing can have lapsed (the cached
     /// `next_timeout` bound); the full ticket scan runs only when a
     /// deadline actually passed, and re-tightens the bound.
-    fn expire_lapsed_parks(&self, st: &mut EngineState<'a>) {
+    fn expire_lapsed_parks(&self, st: &mut EngineState) {
         if self.config.feedback_timeout.is_none() {
             return;
         }
@@ -613,7 +613,7 @@ impl<'a> ServeEngine<'a> {
     /// exiting. Workers call this on every dispatch once the shutdown
     /// flag is up; `process` stops parking new flags at the same point,
     /// so no ticket can strand between the last sweep and worker exit.
-    fn drain_parked_for_shutdown(&self, st: &mut EngineState<'a>) {
+    fn drain_parked_for_shutdown(&self, st: &mut EngineState) {
         let parked: Vec<TicketId> = st
             .tickets
             .iter()
@@ -638,7 +638,7 @@ impl<'a> ServeEngine<'a> {
     /// idle worker may sleep. The cached bound may be stale-early after
     /// an unpark — the woken worker just sweeps, finds nothing, and
     /// sleeps again with a corrected bound.
-    fn next_park_deadline(&self, st: &EngineState<'a>) -> Option<Instant> {
+    fn next_park_deadline(&self, st: &EngineState) -> Option<Instant> {
         self.config.feedback_timeout?;
         st.next_timeout
     }
@@ -761,7 +761,7 @@ impl<'a> ServeEngine<'a> {
             };
             ticket.phase = Phase::Running;
             (
-                ticket.inst,
+                ticket.inst.clone(),
                 ticket.tenant,
                 ticket.stage,
                 ticket.session.take(),
@@ -772,7 +772,7 @@ impl<'a> ServeEngine<'a> {
                 ticket.salvage_resolution.take(),
             )
         };
-        let Some(meta) = self.meta_of(inst) else {
+        let Some(meta) = self.meta_of(&inst) else {
             // `submit` rejects unknown databases, so this cannot happen
             // through the public API — but an engine bug must degrade
             // the one ticket, not panic the worker pool.
@@ -798,7 +798,7 @@ impl<'a> ServeEngine<'a> {
             // plus the resolution to replay. `None` = the session was
             // freshly opened and rebuilds from scratch.
             let (mut s, recovery): (
-                LinkSession<'a>,
+                LinkSession<'static>,
                 Option<(SessionCheckpoint, Option<FlagResolution>)>,
             ) = match session.take() {
                 Some(s) => (s, salvage.take().map(|cp| (cp, salvage_resolution.take()))),
@@ -815,7 +815,7 @@ impl<'a> ServeEngine<'a> {
                             // Mismatches fall through to the salvage
                             // recipe (degrade, never panic).
                             checkpoint::try_decode(&bytes).ok().filter(|cp| {
-                                cp.matches(inst, stage) && cp.corpus == self.model.corpus()
+                                cp.matches(&inst, stage) && cp.corpus == self.model.corpus()
                             })
                         };
                         // The bytes leave the gauge either way — they
@@ -840,10 +840,10 @@ impl<'a> ServeEngine<'a> {
                             },
                         };
                         let res = resolution.take();
-                        let s = self.rebuild_session(inst, meta, stage, &cp, &res, scratch);
+                        let s = self.rebuild_session(&inst, &meta, stage, &cp, &res, scratch);
                         (s, Some((cp, res)))
                     }
-                    None => (self.open_session(inst, meta, stage), None),
+                    None => (self.open_session(&inst, &meta, stage), None),
                 },
             };
             // Step under `catch_unwind`: a panicking step (injected or
@@ -883,9 +883,9 @@ impl<'a> ServeEngine<'a> {
                         }
                         s = match &recovery {
                             Some((cp, res)) => {
-                                self.rebuild_session(inst, meta, stage, cp, res, scratch)
+                                self.rebuild_session(&inst, &meta, stage, cp, res, scratch)
                             }
-                            None => self.open_session(inst, meta, stage),
+                            None => self.open_session(&inst, &meta, stage),
                         };
                     }
                 }
@@ -997,7 +997,7 @@ impl<'a> ServeEngine<'a> {
     /// the hidden stacks — so running under the state lock is fine;
     /// the expensive re-synthesis happens on the worker that resumes
     /// the ticket.
-    fn enforce_parked_budget(&self, st: &mut EngineState<'a>) {
+    fn enforce_parked_budget(&self, st: &mut EngineState) {
         let budget = self.config.parked_bytes_budget;
         if budget == 0 {
             return;
@@ -1035,7 +1035,7 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
-    fn session_ctx(&self, meta: &'a DbMeta, stage: LinkTarget) -> Option<CtxHandle<'a>> {
+    fn session_ctx(&self, meta: &DbMeta, stage: LinkTarget) -> Option<CtxHandle<'static>> {
         // The reference-linking knob runs context-free (the session
         // ignores a context under it anyway; skip the cache churn).
         if self.config.rts.reference_linking {
@@ -1056,19 +1056,19 @@ impl<'a> ServeEngine<'a> {
 
     fn open_session(
         &self,
-        inst: &'a Instance,
-        meta: &'a DbMeta,
+        inst: &Arc<Instance>,
+        meta: &Arc<DbMeta>,
         stage: LinkTarget,
-    ) -> LinkSession<'a> {
+    ) -> LinkSession<'static> {
         let mbpp = match stage {
-            LinkTarget::Tables => self.mbpp_tables,
-            LinkTarget::Columns => self.mbpp_columns,
+            LinkTarget::Tables => &self.mbpp_tables,
+            LinkTarget::Columns => &self.mbpp_columns,
         };
-        LinkSession::new(
-            self.model,
-            mbpp,
-            inst,
-            meta,
+        LinkSession::new_in(
+            Handle::Shared(self.model.clone()),
+            Handle::Shared(mbpp.clone()),
+            Handle::Shared(inst.clone()),
+            Handle::Shared(meta.clone()),
             stage,
             self.session_ctx(meta, stage),
             None,
@@ -1086,13 +1086,13 @@ impl<'a> ServeEngine<'a> {
     /// actually re-reads the parked round.
     fn rebuild_session(
         &self,
-        inst: &'a Instance,
-        meta: &'a DbMeta,
+        inst: &Arc<Instance>,
+        meta: &Arc<DbMeta>,
         stage: LinkTarget,
         cp: &SessionCheckpoint,
         resolution: &Option<FlagResolution>,
         scratch: &mut LinkScratch,
-    ) -> LinkSession<'a> {
+    ) -> LinkSession<'static> {
         let mut cp = cp.clone();
         if matches!(
             resolution,
@@ -1101,14 +1101,14 @@ impl<'a> ServeEngine<'a> {
             cp.has_round = false;
         }
         let mbpp = match stage {
-            LinkTarget::Tables => self.mbpp_tables,
-            LinkTarget::Columns => self.mbpp_columns,
+            LinkTarget::Tables => &self.mbpp_tables,
+            LinkTarget::Columns => &self.mbpp_columns,
         };
-        let mut session = LinkSession::restore(
-            self.model,
-            mbpp,
-            inst,
-            meta,
+        let mut session = LinkSession::restore_in(
+            Handle::Shared(self.model.clone()),
+            Handle::Shared(mbpp.clone()),
+            Handle::Shared(inst.clone()),
+            Handle::Shared(meta.clone()),
             stage,
             self.session_ctx(meta, stage),
             &self.config.rts,
@@ -1280,53 +1280,25 @@ mod tests {
         }
     }
 
-    /// Closed-loop client: submit every instance of `slice` as
-    /// `tenant`, answering feedback with the oracle, collecting
-    /// outcomes by instance id.
-    fn client_run<'a>(
-        engine: &ServeEngine<'a>,
+    /// Closed-loop client: the shared [`crate::drive_closed_loop`]
+    /// driver with the oracle as the (never-stalling) feedback
+    /// provider. A `Stale` resolve is a legal race (timeout or
+    /// injected loss beat the answer) and is absorbed by the driver.
+    fn client_run(
+        engine: &ServeEngine,
         tenant: TenantId,
-        instances: &'a [benchgen::Instance],
+        instances: &[benchgen::Instance],
         oracle: &HumanOracle,
     ) -> Vec<(u64, ServeOutcome)> {
         let policy = MitigationPolicy::Human(oracle);
-        let mut out = Vec::new();
-        for inst in instances {
-            let ticket = loop {
-                match engine.submit(tenant, inst) {
-                    Ok(t) => break t,
-                    Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                        panic!("fixture instances always have metadata: {e}")
-                    }
-                }
-            };
-            loop {
-                match engine.wait_event(ticket) {
-                    ClientEvent::NeedsFeedback { query, .. } => {
-                        // A `Stale` result is a legal race (timeout or
-                        // injected loss beat the answer); re-polling
-                        // picks up the current state.
-                        let _ = engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
-                    }
-                    ClientEvent::Done(outcome) => {
-                        out.push((inst.id, outcome));
-                        break;
-                    }
-                    ClientEvent::Retired => {
-                        panic!("ticket {ticket} retired while its client still waits")
-                    }
-                }
-            }
-        }
-        out
+        crate::drive_closed_loop(engine, tenant, instances, |inst, query| {
+            Some(resolve_flag(&policy, inst, query))
+        })
     }
 
     fn assert_batch_parity(
         fx: &Fx,
-        engine: &ServeEngine<'_>,
+        engine: &ServeEngine,
         oracle: &HumanOracle,
         instances: &[benchgen::Instance],
         all: &[(u64, ServeOutcome)],

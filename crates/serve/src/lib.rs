@@ -84,14 +84,19 @@
 //! })
 //! ```
 
+pub mod api;
 pub mod checkpoint;
 mod engine;
+pub mod error;
 pub mod fault;
 pub mod shard;
 mod stats;
 pub mod tenant;
+pub mod wire;
 
-pub use engine::{ClientEvent, ResolveError, ServeConfig, ServeEngine, ServeOutcome, SubmitError};
+pub use api::{drive_closed_loop, Engine};
+pub use engine::{ClientEvent, ServeConfig, ServeEngine, ServeOutcome};
+pub use error::{EngineError, ResolveError, SubmitError};
 pub use fault::{FaultPlan, FaultSite};
 pub use shard::{ShardedEngine, ShardedTicket};
 pub use stats::{LatencySummary, ServingStats};

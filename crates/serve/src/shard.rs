@@ -40,7 +40,8 @@
 //! the worst case. That is the deliberate price of shard-local
 //! admission (no cross-shard lock on the submit path).
 
-use crate::engine::{ClientEvent, ResolveError, ServeConfig, ServeEngine, SubmitError};
+use crate::engine::{ClientEvent, ServeConfig, ServeEngine};
+use crate::error::{ResolveError, SubmitError};
 use crate::stats::{LatencySummary, ServingStats};
 use crate::tenant::{TenantId, TicketId};
 use benchgen::schemagen::DbMeta;
@@ -51,6 +52,7 @@ use rts_core::context::db_shard;
 use rts_core::session::FlagResolution;
 use simlm::SchemaLinker;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long an idle work-stealing worker sleeps on its home shard
@@ -76,14 +78,15 @@ impl std::fmt::Display for ShardedTicket {
 /// A database-sharded pool of [`ServeEngine`]s behind one submit /
 /// wait / resolve surface. See the module docs for the partitioning
 /// and stealing semantics.
-pub struct ShardedEngine<'a> {
-    shards: Vec<ServeEngine<'a>>,
+pub struct ShardedEngine {
+    shards: Vec<ServeEngine>,
     workers_per_shard: usize,
     steals: AtomicU64,
 }
 
-impl<'a> ShardedEngine<'a> {
-    /// Build `n_shards` engines over the same model artefacts and
+impl ShardedEngine {
+    /// Build `n_shards` engines sharing one set of model artefacts
+    /// (cloned once here into `Arc`s, then shared by every shard) and
     /// database population. `config.workers` is the *total* worker
     /// budget, split evenly (rounded up) across shards; every other
     /// knob (queue capacity, quotas, cache capacity, deadline, fault
@@ -95,10 +98,31 @@ impl<'a> ShardedEngine<'a> {
     /// foreign thread against its home shard's state, and an engine
     /// must be able to answer any database it is asked about.
     pub fn new(
-        model: &'a SchemaLinker,
-        mbpp_tables: &'a Mbpp,
-        mbpp_columns: &'a Mbpp,
-        metas: &'a [DbMeta],
+        model: &SchemaLinker,
+        mbpp_tables: &Mbpp,
+        mbpp_columns: &Mbpp,
+        metas: &[DbMeta],
+        n_shards: usize,
+        config: ServeConfig,
+    ) -> Self {
+        Self::with_artifacts(
+            Arc::new(model.clone()),
+            Arc::new(mbpp_tables.clone()),
+            Arc::new(mbpp_columns.clone()),
+            metas.iter().map(|m| Arc::new(m.clone())).collect(),
+            n_shards,
+            config,
+        )
+    }
+
+    /// [`ShardedEngine::new`] over already-shared artefacts: every
+    /// shard holds `Arc` clones of the same trained set — one copy of
+    /// the weights however many shards serve them.
+    pub fn with_artifacts(
+        model: Arc<SchemaLinker>,
+        mbpp_tables: Arc<Mbpp>,
+        mbpp_columns: Arc<Mbpp>,
+        metas: Vec<Arc<DbMeta>>,
         n_shards: usize,
         config: ServeConfig,
     ) -> Self {
@@ -110,7 +134,13 @@ impl<'a> ShardedEngine<'a> {
                     workers: workers_per_shard,
                     ..config.clone()
                 };
-                ServeEngine::new(model, mbpp_tables, mbpp_columns, metas, shard_config)
+                ServeEngine::with_artifacts(
+                    model.clone(),
+                    mbpp_tables.clone(),
+                    mbpp_columns.clone(),
+                    metas.clone(),
+                    shard_config,
+                )
             })
             .collect();
         Self {
@@ -151,18 +181,14 @@ impl<'a> ShardedEngine<'a> {
 
     /// Direct access to one shard's engine (stats, cache introspection
     /// in tests and drivers). `None` past the shard count.
-    pub fn shard(&self, idx: usize) -> Option<&ServeEngine<'a>> {
+    pub fn shard(&self, idx: usize) -> Option<&ServeEngine> {
         self.shards.get(idx)
     }
 
     /// Admit a request, routed to its database's shard. Errors are the
     /// shard-local engine's: `QueueFull`/`QuotaExceeded` describe the
     /// owning shard, not fleet-wide occupancy.
-    pub fn submit(
-        &self,
-        tenant: TenantId,
-        inst: &'a Instance,
-    ) -> Result<ShardedTicket, SubmitError> {
+    pub fn submit(&self, tenant: TenantId, inst: &Instance) -> Result<ShardedTicket, SubmitError> {
         let shard = self.shard_of(&inst.db_name);
         // Routing is modulo the shard count, so the lookup cannot miss
         // on a constructed pool; degrade to the typed submit error
@@ -185,6 +211,19 @@ impl<'a> ShardedEngine<'a> {
     pub fn wait_event(&self, ticket: ShardedTicket) -> ClientEvent {
         match self.shards.get(ticket.shard as usize) {
             Some(engine) => engine.wait_event(ticket.id),
+            None => ClientEvent::Retired,
+        }
+    }
+
+    /// Edge-triggered wait on `ticket`'s owning shard — see
+    /// [`ServeEngine::wait_event_changed`].
+    pub fn wait_event_changed(
+        &self,
+        ticket: ShardedTicket,
+        last_seen: Option<&rts_core::session::FlagQuery>,
+    ) -> ClientEvent {
+        match self.shards.get(ticket.shard as usize) {
+            Some(engine) => engine.wait_event_changed(ticket.id, last_seen),
             None => ClientEvent::Retired,
         }
     }
@@ -384,44 +423,19 @@ mod tests {
         }
     }
 
-    /// Closed-loop client against the sharded surface: submit every
-    /// instance, answer feedback with the oracle, collect outcomes.
-    fn client_run<'a>(
-        engine: &ShardedEngine<'a>,
+    /// Closed-loop client against the sharded surface: the shared
+    /// [`crate::drive_closed_loop`] driver with the oracle answering
+    /// every flag.
+    fn client_run(
+        engine: &ShardedEngine,
         tenant: TenantId,
-        instances: &'a [benchgen::Instance],
+        instances: &[benchgen::Instance],
         oracle: &HumanOracle,
     ) -> Vec<(u64, ServeOutcome)> {
         let policy = MitigationPolicy::Human(oracle);
-        let mut out = Vec::new();
-        for inst in instances {
-            let ticket = loop {
-                match engine.submit(tenant, inst) {
-                    Ok(t) => break t,
-                    Err(SubmitError::QueueFull { .. } | SubmitError::QuotaExceeded { .. }) => {
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                        panic!("fixture instances always have metadata: {e}")
-                    }
-                }
-            };
-            loop {
-                match engine.wait_event(ticket) {
-                    ClientEvent::NeedsFeedback { query, .. } => {
-                        let _ = engine.resolve(ticket, &query, resolve_flag(&policy, inst, &query));
-                    }
-                    ClientEvent::Done(outcome) => {
-                        out.push((inst.id, outcome));
-                        break;
-                    }
-                    ClientEvent::Retired => {
-                        panic!("ticket {ticket} retired while its client still waits")
-                    }
-                }
-            }
-        }
-        out
+        crate::drive_closed_loop(engine, tenant, instances, |inst, query| {
+            Some(resolve_flag(&policy, inst, query))
+        })
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rts_core::context::ContextCacheStats;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Latency distribution of completed requests, in milliseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LatencySummary {
     pub p50_ms: f64,
     pub p95_ms: f64,
@@ -44,7 +44,8 @@ impl LatencySummary {
 
 /// Snapshot of an engine's counters (see [`crate::ServeEngine::stats`]).
 /// `Default` is the all-zero snapshot of an engine that never served.
-#[derive(Debug, Clone, Default)]
+/// Serializable so a standalone server can ship it to a remote client.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ServingStats {
     /// Requests that ran to completion (including shed and timed-out
     /// ones — both degrade to abstention, neither drops a request).

@@ -39,7 +39,7 @@ use tinynn::rng::{stable_hash, SplitMix64};
 
 /// What is being linked. (`Hash` so per-`(database, target)` caches —
 /// the serving engine's context cache — can key on it directly.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum LinkTarget {
     Tables,
     Columns,

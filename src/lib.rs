@@ -5,7 +5,9 @@
 pub use benchgen;
 pub use conformal;
 pub use nanosql;
+pub use rts_client as client;
 pub use rts_core as core;
 pub use rts_serve as serve;
+pub use rts_served as served;
 pub use simlm;
 pub use tinynn;

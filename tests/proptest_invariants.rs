@@ -148,7 +148,7 @@ mod parity {
     use rts::core::sqlgen::SqlGenModel;
     use rts::core::traceback::{column_trie, table_trie, trace_back, trace_back_reference};
     use rts::serve::{
-        ClientEvent, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, ShardedEngine, SubmitError,
+        drive_closed_loop, FaultPlan, ServeConfig, ServeEngine, ServeOutcome, ShardedEngine,
     };
     use rts::simlm::{
         CorpusVersion, GenMode, LayerSet, LinkTarget, SchemaLinker, SynthScratch, Vocab,
@@ -777,57 +777,28 @@ mod parity {
                     let oracle = &oracle;
                     s.spawn(move |_| {
                         let policy = MitigationPolicy::Human(oracle);
-                        let mut out = Vec::new();
-                        for inst in instances.iter().skip(c).step_by(n_clients) {
-                            let ticket = loop {
-                                // One tenant per client: the fair queue
-                                // and per-tenant accounting run on the
-                                // parity path too.
-                                match engine.submit(c as u32, inst) {
-                                    Ok(t) => break t,
-                                    Err(
-                                        SubmitError::QueueFull { .. }
-                                        | SubmitError::QuotaExceeded { .. },
-                                    ) => std::thread::sleep(std::time::Duration::from_micros(100)),
-                                    Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                                        panic!("fixture instances always have metadata: {e}")
-                                    }
-                                }
-                            };
-                            loop {
-                                match engine.wait_event(ticket) {
-                                    ClientEvent::NeedsFeedback { query, .. } => {
-                                        // No timeouts and no faults: the
-                                        // resolution can never be stale.
-                                        engine
-                                            .resolve(
-                                                ticket,
-                                                &query,
-                                                resolve_flag(&policy, inst, &query),
-                                            )
-                                            .expect("fault-free parity resolve");
-                                    }
-                                    ClientEvent::Done(done) => {
-                                        assert!(!done.shed, "no deadline configured");
-                                        assert!(!done.faulted, "no fault plan armed");
-                                        out.push((inst.id, done.outcome));
-                                        break;
-                                    }
-                                    ClientEvent::Retired => {
-                                        panic!(
-                                            "ticket {ticket} retired while its client still waits"
-                                        )
-                                    }
-                                }
-                            }
-                        }
-                        out
+                        let slice: Vec<Instance> = instances
+                            .iter()
+                            .skip(c)
+                            .step_by(n_clients)
+                            .cloned()
+                            .collect();
+                        // One tenant per client: the fair queue and
+                        // per-tenant accounting run on the parity path.
+                        drive_closed_loop(engine, c as u32, &slice, |inst, query| {
+                            Some(resolve_flag(&policy, inst, query))
+                        })
                     })
                 })
                 .collect();
             let out: Vec<_> = handles
                 .into_iter()
                 .flat_map(|h| h.join().expect("client panicked"))
+                .map(|(id, done)| {
+                    assert!(!done.shed, "no deadline configured");
+                    assert!(!done.faulted, "no fault plan armed");
+                    (id, done.outcome)
+                })
                 .collect();
             engine.shutdown();
             out
@@ -860,6 +831,114 @@ mod parity {
         if !config.reference_linking {
             // The reference knob runs context-free, bypassing the cache.
             assert!(stats.cache.hits > 0, "contexts must be reused");
+        }
+    }
+
+    /// The wire stack ≡ the in-process engine, byte for byte: the same
+    /// closed-loop workload as `serve_engine_matches_batch_pipeline`,
+    /// but driven through `rts-served` over loopback TCP by the
+    /// `rts-client` crate — framing, request ids, feedback resolution,
+    /// and stats all cross the socket, and every outcome must still be
+    /// identical to the batch pipeline. Runs under the CI parity
+    /// matrix (`RTS_THREADS × RTS_REFERENCE × RTS_CORPUS`) like the
+    /// in-process case it mirrors.
+    #[test]
+    fn wire_serve_matches_batch_pipeline() {
+        use rts::client::RtsClient;
+        use rts::served::Server;
+        use std::sync::Arc;
+
+        let fx = fixture();
+        let oracle = HumanOracle::new(Expertise::Expert, 0x5E17E);
+        let config = base_config(0xC0FFEE);
+        let instances: Vec<Instance> = fx.bench.split.dev.iter().take(36).cloned().collect();
+        let serve_cfg = ServeConfig {
+            queue_capacity: 6,
+            cache_capacity: 3,
+            rts: config.clone(),
+            ..ServeConfig::default()
+        };
+        let engine = Arc::new(ServeEngine::new(
+            &fx.model,
+            &fx.mbpp_t,
+            &fx.mbpp_c,
+            &fx.bench.metas,
+            serve_cfg,
+        ));
+        let fingerprint = "parity-fixture|wire=v1".to_string();
+        let server = Server::new(
+            Arc::clone(&engine),
+            fingerprint.clone(),
+            instances.iter().cloned(),
+        );
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("loopback addr").to_string();
+        let n_clients = 3;
+        let served: Vec<(u64, JointOutcome)> = crossbeam::thread::scope(|s| {
+            for _ in 0..engine.config().workers {
+                let engine = &engine;
+                s.spawn(move |_| engine.worker_loop());
+            }
+            let srv = server.clone();
+            let accept = s.spawn(move |_| srv.serve(listener));
+            let client = RtsClient::connect(&addr, Some(&fingerprint)).expect("wire handshake");
+            let handles: Vec<_> = (0..n_clients)
+                .map(|c| {
+                    let client = client.clone();
+                    let instances = &instances;
+                    let oracle = &oracle;
+                    s.spawn(move |_| {
+                        let policy = MitigationPolicy::Human(oracle);
+                        let slice: Vec<Instance> = instances
+                            .iter()
+                            .skip(c)
+                            .step_by(n_clients)
+                            .cloned()
+                            .collect();
+                        drive_closed_loop(&client, c as u32, &slice, |inst, query| {
+                            Some(resolve_flag(&policy, inst, query))
+                        })
+                    })
+                })
+                .collect();
+            let out: Vec<_> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("wire client panicked"))
+                .map(|(id, done)| {
+                    assert!(!done.shed, "no deadline configured");
+                    assert!(!done.faulted, "no fault plan armed");
+                    (id, done.outcome)
+                })
+                .collect();
+            // Gauges drain to zero, read over the wire — Stats
+            // round-trips and the server holds no session memory.
+            let stats = rts::serve::Engine::stats(&client);
+            assert_eq!(stats.completed, instances.len() as u64);
+            assert_eq!(stats.parked_sessions_now, 0, "server leaks sessions");
+            assert_eq!(stats.parked_bytes_now, 0, "server leaks parked bytes");
+            assert_eq!(stats.checkpoint_bytes_now, 0, "server leaks checkpoints");
+            rts::serve::Engine::shutdown(&client);
+            client.bye();
+            accept
+                .join()
+                .expect("accept thread panicked")
+                .expect("serve drains cleanly");
+            out
+        })
+        .expect("wire scope panicked");
+
+        let generator = SqlGenModel::deepseek_7b("bird", 99);
+        let (_ex, batch) = run_full_pipeline(
+            &fx.bench, &instances, &fx.model, &fx.mbpp_t, &fx.mbpp_c, &oracle, &generator, &config,
+        );
+        assert_eq!(served.len(), instances.len(), "zero drops over the wire");
+        for (id, outcome) in &served {
+            let i = instances.iter().position(|x| x.id == *id).unwrap();
+            assert_eq!(
+                format!("{outcome:?}"),
+                format!("{:?}", batch[i]),
+                "wire/batch outcome mismatch on instance {id}"
+            );
         }
     }
 
@@ -938,54 +1017,26 @@ mod parity {
                         let oracle = &oracle;
                         s.spawn(move |_| {
                             let policy = MitigationPolicy::Human(oracle);
-                            let mut out = Vec::new();
-                            for inst in instances.iter().skip(c).step_by(n_clients) {
-                                let ticket = loop {
-                                    match eng.submit(c as u32, inst) {
-                                        Ok(t) => break t,
-                                        Err(
-                                            SubmitError::QueueFull { .. }
-                                            | SubmitError::QuotaExceeded { .. },
-                                        ) => std::thread::sleep(
-                                            std::time::Duration::from_micros(100),
-                                        ),
-                                        Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                                            panic!("fixture instances always have metadata: {e}")
-                                        }
-                                    }
-                                };
-                                loop {
-                                    match eng.wait_event(ticket) {
-                                        ClientEvent::NeedsFeedback { query, .. } => {
-                                            // No timeouts and no faults:
-                                            // the resolution can never be
-                                            // stale.
-                                            eng.resolve(
-                                                ticket,
-                                                &query,
-                                                resolve_flag(&policy, inst, &query),
-                                            )
-                                            .expect("fault-free parity resolve");
-                                        }
-                                        ClientEvent::Done(done) => {
-                                            assert!(!done.shed, "no deadline configured");
-                                            assert!(!done.faulted, "no fault plan armed");
-                                            out.push((inst.id, done.outcome));
-                                            break;
-                                        }
-                                        ClientEvent::Retired => panic!(
-                                            "ticket {ticket} retired while its client still waits"
-                                        ),
-                                    }
-                                }
-                            }
-                            out
+                            let slice: Vec<Instance> = instances
+                                .iter()
+                                .skip(c)
+                                .step_by(n_clients)
+                                .cloned()
+                                .collect();
+                            drive_closed_loop(eng, c as u32, &slice, |inst, query| {
+                                Some(resolve_flag(&policy, inst, query))
+                            })
                         })
                     })
                     .collect();
                 let out: Vec<_> = handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("sharded client panicked"))
+                    .map(|(id, done)| {
+                        assert!(!done.shed, "no deadline configured");
+                        assert!(!done.faulted, "no fault plan armed");
+                        (id, done.outcome)
+                    })
                     .collect();
                 engine.shutdown();
                 out
@@ -1108,45 +1159,19 @@ mod parity {
                         let oracle = &oracle;
                         s.spawn(move |_| {
                             let policy = MitigationPolicy::Human(oracle);
-                            let mut out = Vec::new();
-                            for inst in instances.iter().skip(c).step_by(n_clients) {
-                                let ticket = loop {
-                                    match engine.submit(c as u32, inst) {
-                                        Ok(t) => break t,
-                                        Err(
-                                            SubmitError::QueueFull { .. }
-                                            | SubmitError::QuotaExceeded { .. },
-                                        ) => std::thread::sleep(
-                                            std::time::Duration::from_micros(100),
-                                        ),
-                                        Err(e @ SubmitError::UnknownDatabase { .. }) => {
-                                            panic!("fixture instances always have metadata: {e}")
-                                        }
-                                    }
-                                };
-                                loop {
-                                    match engine.wait_event(ticket) {
-                                        ClientEvent::NeedsFeedback { query, .. } => {
-                                            // `Stale` is a legal race under
-                                            // the feedback timeout and the
-                                            // injected loss/delay faults.
-                                            let _ = engine.resolve(
-                                                ticket,
-                                                &query,
-                                                resolve_flag(&policy, inst, &query),
-                                            );
-                                        }
-                                        ClientEvent::Done(done) => {
-                                            out.push((inst.id, done));
-                                            break;
-                                        }
-                                        ClientEvent::Retired => panic!(
-                                            "ticket {ticket} retired while its client still waits"
-                                        ),
-                                    }
-                                }
-                            }
-                            out
+                            let slice: Vec<Instance> = instances
+                                .iter()
+                                .skip(c)
+                                .step_by(n_clients)
+                                .cloned()
+                                .collect();
+                            // `Stale` resolves are a legal race under
+                            // the feedback timeout and the injected
+                            // loss/delay faults; the shared driver
+                            // absorbs them.
+                            drive_closed_loop(engine, c as u32, &slice, |inst, query| {
+                                Some(resolve_flag(&policy, inst, query))
+                            })
                         })
                     })
                     .collect();
